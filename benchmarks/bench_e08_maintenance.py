@@ -1,0 +1,194 @@
+"""E8 — Maintenance cost and violation handling.
+
+Paper sources: Section 1 (informational constraints avoid checking),
+Section 3.3 ("SSCs do not have to be checked at update"; "ASCs are as
+expensive to maintain as ICs"), Section 4.1 (an overturned ASC drops every
+dependent pre-compiled plan), Section 4.3 (drop vs synchronous repair vs
+asynchronous repair).
+
+Shape to reproduce: per-update overhead ordering
+
+    hard IC  ~  active ASC   >>   informational  ~  SSC  ~  none
+
+and, on violation, the configured policy's behaviour: drop overturns +
+invalidates cached plans; repair absorbs; async queues.
+"""
+
+import pytest
+
+from repro import SoftDB
+from repro.optimizer.planner import PlanCache
+from repro.softcon.base import SCState
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.maintenance import AsyncRepairPolicy, DropPolicy, RepairPolicy
+from repro.softcon.minmax import MinMaxSC
+from repro.workload.datagen import DataGenerator
+
+UPDATES = 2000
+
+
+def make_db(constraint_flavor: str) -> SoftDB:
+    db = SoftDB()
+    check = {
+        "none": "",
+        "hard_ic": ", CHECK (v BETWEEN 0.0 AND 1000000.0)",
+        "informational": ", CHECK (v BETWEEN 0.0 AND 1000000.0) NOT ENFORCED",
+    }.get(constraint_flavor, "")
+    db.execute(f"CREATE TABLE stream (id INT, v DOUBLE{check})")
+    if constraint_flavor == "asc":
+        db.database.insert_many("stream", [(-1, 500.0)])
+        sc = CheckSoftConstraint("band", "stream", "v BETWEEN 0.0 AND 1000000.0")
+        db.add_soft_constraint(sc, policy=DropPolicy(), verify_first=True)
+    elif constraint_flavor == "ssc":
+        db.database.insert_many("stream", [(-1, 500.0)])
+        sc = CheckSoftConstraint(
+            "band", "stream", "v BETWEEN 0.0 AND 1000000.0", confidence=0.95
+        )
+        db.add_soft_constraint(sc)
+    return db
+
+
+def run_updates(db: SoftDB, updates: int = UPDATES) -> None:
+    generator = DataGenerator(111)
+    for n in range(updates):
+        db.database.insert("stream", [n, generator.uniform(0.0, 1000.0)])
+
+
+@pytest.mark.parametrize(
+    "flavor", ["none", "hard_ic", "informational", "asc", "ssc"]
+)
+def test_e08_benchmark_update_stream(benchmark, flavor):
+    def workload():
+        db = make_db(flavor)
+        run_updates(db)
+        return db
+
+    db = benchmark(workload)
+    if flavor == "asc":
+        assert db.registry.checks_performed == UPDATES
+    if flavor in ("ssc", "none", "informational"):
+        if flavor == "ssc":
+            assert db.registry.checks_performed == 0
+
+
+def test_e08_report_check_counts(report, benchmark):
+    rows = []
+    for flavor in ("none", "hard_ic", "informational", "asc", "ssc"):
+        db = make_db(flavor)
+        run_updates(db, 500)
+        sc_checks = db.registry.checks_performed
+        rows.append([flavor, sc_checks])
+    benchmark(lambda: run_updates(make_db("asc"), 100))
+    report(
+        "E8a: synchronous checks per 500 updates by constraint flavour "
+        "(hard ICs are checked inside the engine; SC checks counted here)",
+        ["flavour", "SC checks performed"],
+        rows,
+    )
+    by_flavor = dict(rows)
+    assert by_flavor["asc"] == 500
+    assert by_flavor["ssc"] == 0
+    assert by_flavor["informational"] == 0
+
+
+def test_e08_report_violation_policies(report, benchmark):
+    """One violating insert under each policy."""
+    rows = []
+    for policy_name, policy in (
+        ("drop", DropPolicy()),
+        ("sync repair", RepairPolicy()),
+        ("async repair", AsyncRepairPolicy()),
+    ):
+        db = SoftDB()
+        db.execute("CREATE TABLE t (a DOUBLE, b DOUBLE)")
+        generator = DataGenerator(7)
+        db.database.insert_many(
+            "t", [(x, 2.0 * x) for x in (generator.uniform(0, 100) for _ in range(500))]
+        )
+        db.execute("CREATE INDEX ix_b ON t (b)")
+        db.runstats_all()
+        sc = LinearCorrelationSC("lin", "t", "b", "a", 2.0, 0.0, 0.001)
+        db.add_soft_constraint(sc, policy=policy, verify_first=True)
+        cache = PlanCache(db.optimizer)
+        plan = cache.get_plan("SELECT b FROM t WHERE a = 50.0")
+        used = "lin" in plan.sc_dependencies
+        db.execute("INSERT INTO t VALUES (50.0, 9999.0)")  # violation
+        rows.append(
+            [
+                policy_name,
+                "yes" if used else "no",
+                sc.state.value,
+                round(sc.confidence, 4),
+                cache.invalidations,
+            ]
+        )
+        if policy_name == "async repair":
+            outcomes = policy.run_pending(db.registry, db.database)
+            rows.append(
+                [
+                    "  + async pass",
+                    "",
+                    sc.state.value,
+                    round(sc.confidence, 4),
+                    cache.invalidations,
+                ]
+            )
+    benchmark(lambda: None)
+    report(
+        "E8b: one ASC violation under each maintenance policy "
+        "(plan cache held a dependent plan)",
+        ["policy", "plan used ASC", "state after", "confidence",
+         "plans invalidated"],
+        rows,
+    )
+    by_policy = {row[0]: row for row in rows}
+    assert by_policy["drop"][2] == "violated"
+    assert by_policy["drop"][4] == 1  # Section 4.1: dependent plan dropped
+    assert by_policy["sync repair"][2] == "active"
+    assert by_policy["  + async pass"][2] == "active"
+
+
+def test_e08_report_backup_plans(report, benchmark):
+    """Section 4.1's backup-plan tactic vs plain eviction.
+
+    "One possible tactic is for a package to incorporate a 'backup' plan
+    which is ASC-free.  If an ASC is overturned, a flag is raised and
+    packages revert to the alternative plans."
+    """
+    from repro.discovery.linear_miner import mine_linear_correlations
+    from repro.workload.schemas import build_correlated_table
+
+    rows = []
+    for label, with_backup in (("evict + recompile", False),
+                               ("backup fallback", True)):
+        db = build_correlated_table(rows=4000, noise=4.0, seed=118)
+        (asc,) = mine_linear_correlations(
+            db.database, "meas", [("a", "b")], confidence_levels=(1.0,)
+        )
+        db.add_soft_constraint(asc, policy=DropPolicy(), verify_first=True)
+        cache = PlanCache(db.optimizer, backup_plans=with_backup)
+        sql = "SELECT id, a FROM meas WHERE b = 500.0"
+        cache.get_plan(sql)
+        db.execute("INSERT INTO meas VALUES (99999, 0.0, 500.0)")  # overturn
+        plan = cache.get_plan(sql)  # post-violation plan
+        result = db.executor.execute(plan)
+        rows.append(
+            [
+                label,
+                cache.invalidations,
+                cache.fallbacks,
+                cache.misses,
+                result.row_count,
+            ]
+        )
+    benchmark(lambda: None)
+    report(
+        "E8c: ASC overturn with vs without backup plans (one cached query)",
+        ["strategy", "invalidations", "fallbacks", "compiles", "rows"],
+        rows,
+    )
+    evict, backup = rows
+    assert evict[3] == 2  # eviction forces a recompile
+    assert backup[3] == 1 and backup[2] == 1  # fallback avoids it
+    assert evict[4] == backup[4]  # identical answers either way

@@ -1,0 +1,137 @@
+"""E9 — The currency (staleness) model: the paper's margin-of-error claim.
+
+Paper source: Section 3.3: *"Given a fact table of a million records and
+the knowledge that only a thousand tuples are affected by updates daily,
+the margin of error for an SSC as a row check constraint on that table
+will be quite small over the course of several days.  But within a month's
+time, the margin of error would be 3%."*
+
+Shape to reproduce: the projected margin matches the paper's arithmetic
+exactly, and a *simulated* update stream tracked by the registry's live
+currency counters reproduces the same curve (and stays an upper bound on
+the SSC's true confidence drift).
+"""
+
+import pytest
+
+from repro import SoftDB
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.currency import project_margin_of_error
+from repro.workload.datagen import DataGenerator
+
+# The paper's numbers, scaled 1:100 so the simulation is laptop-fast:
+# 10k rows, 10 updates/day still gives 0.1%/day and 3%/month.
+SCALE = 100
+ROWS = 1_000_000 // SCALE
+UPDATES_PER_DAY = 1000 // SCALE
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    db = SoftDB()
+    db.execute("CREATE TABLE fact (id INT, status INT, v DOUBLE)")
+    generator = DataGenerator(121)
+    db.database.insert_many(
+        "fact",
+        [
+            (n, 0 if generator.bernoulli(0.95) else 1, generator.uniform(0, 1))
+            for n in range(ROWS)
+        ],
+    )
+    ssc = CheckSoftConstraint("mostly_ok", "fact", "status = 0")
+    db.add_soft_constraint(ssc, verify_first=True)
+    return db
+
+
+def test_e09_benchmark_margin_tracking(benchmark, scenario):
+    """Cost of the currency bookkeeping on the DML path (near zero)."""
+    db = scenario
+    generator = DataGenerator(122)
+
+    def one_day():
+        for _ in range(UPDATES_PER_DAY):
+            db.database.insert(
+                "fact", [0, 0 if generator.bernoulli(0.95) else 1, 0.0]
+            )
+
+    benchmark(one_day)
+
+
+def test_e09_report_projection_matches_paper(report, benchmark):
+    rows = []
+    for days in (1, 3, 7, 14, 30, 90):
+        margin = project_margin_of_error(1_000_000, 1000, days)
+        rows.append([days, f"{margin * 100:.2f}%"])
+    benchmark(lambda: project_margin_of_error(1_000_000, 1000, 30))
+    report(
+        "E9a: projected SSC margin of error — 1M-row fact table, "
+        "1000 updates/day (the paper's example)",
+        ["days since verification", "margin of error"],
+        rows,
+    )
+    assert project_margin_of_error(1_000_000, 1000, 30) == pytest.approx(0.03)
+
+
+def _fresh_scenario() -> SoftDB:
+    db = SoftDB()
+    db.execute("CREATE TABLE fact (id INT, status INT, v DOUBLE)")
+    generator = DataGenerator(121)
+    db.database.insert_many(
+        "fact",
+        [
+            (n, 0 if generator.bernoulli(0.95) else 1, generator.uniform(0, 1))
+            for n in range(ROWS)
+        ],
+    )
+    ssc = CheckSoftConstraint("mostly_ok", "fact", "status = 0")
+    db.add_soft_constraint(ssc, verify_first=True)
+    return db
+
+
+def test_e09_report_simulated_stream(report, benchmark):
+    """Drive a simulated month of updates; live counters match the model.
+
+    Uses a private database: the wall-clock benchmark above mutates the
+    shared one across its timing rounds.
+    """
+    db = _fresh_scenario()
+    registry = db.registry
+    ssc = registry.get("mostly_ok")
+    registry.refresh_currency(ssc, db.database)
+    generator = DataGenerator(123)
+    rows = []
+    checkpoints = {1, 3, 7, 14, 30}
+    for day in range(1, 31):
+        for _ in range(UPDATES_PER_DAY):
+            db.database.insert(
+                "fact",
+                [day, 0 if generator.bernoulli(0.95) else 1,
+                 generator.uniform(0, 1)],
+            )
+        if day in checkpoints:
+            model = registry.currency("mostly_ok")
+            projected = project_margin_of_error(ROWS, UPDATES_PER_DAY, day)
+            rows.append(
+                [
+                    day,
+                    model.updates_seen,
+                    f"{model.margin_of_error * 100:.2f}%",
+                    f"{projected * 100:.2f}%",
+                    f"{registry.effective_confidence(ssc) * 100:.2f}%",
+                ]
+            )
+    benchmark(lambda: registry.currency("mostly_ok").margin_of_error)
+    report(
+        f"E9b: simulated update stream ({ROWS} rows, {UPDATES_PER_DAY} "
+        "updates/day; SSC stated confidence from verification)",
+        ["day", "updates seen", "live margin", "paper model",
+         "effective confidence"],
+        rows,
+    )
+    final_margin = registry.currency("mostly_ok").margin_of_error
+    assert final_margin == pytest.approx(0.03, abs=0.002)
+    # The margin is an upper bound on the true drift: re-verify and check.
+    stated = ssc.confidence
+    violations, total = ssc.verify(db.database)
+    true_confidence = 1 - violations / total
+    assert abs(true_confidence - stated) <= final_margin + 1e-9

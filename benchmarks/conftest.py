@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eXX`` module reproduces one experiment from DESIGN.md's
+index.  Wall-clock timings come from pytest-benchmark; the *shape* results
+(pages read, q-errors, candidate counts) are printed as tables — run with
+``pytest benchmarks/ --benchmark-only`` and the tables appear between the
+benchmark summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment table so it survives pytest's capture."""
+
+    def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]):
+        from repro.harness.reporting import format_table
+
+        with capsys.disabled():
+            print()
+            print(format_table(headers, rows, title=title))
+            print()
+
+    return emit

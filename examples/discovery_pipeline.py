@@ -1,0 +1,114 @@
+"""The full SC process of paper Section 3.2: discovery → selection →
+maintenance, against a workload.
+
+A sensor database has an undeclared linear correlation (power ≈ 2·load),
+undeclared functional dependencies (site → region), and range structure.
+The miners find candidate soft constraints, the selection engine ranks
+them against the workload, the winners are activated, and the optimizer
+immediately exploits them — until an update overturns one and the
+maintenance machinery reacts.
+
+Run:  python examples/discovery_pipeline.py
+"""
+
+from repro import SoftDB
+from repro.discovery import (
+    SelectionEngine,
+    Workload,
+    mine_functional_dependencies,
+    mine_linear_correlations,
+    mine_min_max,
+)
+from repro.softcon.maintenance import AsyncRepairPolicy
+from repro.workload.datagen import DataGenerator
+
+
+def build_sensor_db() -> SoftDB:
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE readings (id INT PRIMARY KEY, site INT, region INT, "
+        "load DOUBLE, power DOUBLE)"
+    )
+    generator = DataGenerator(314)
+    batch = []
+    for n in range(10000):
+        site = generator.integer(0, 49)
+        load = generator.uniform(0.0, 400.0)
+        power = 2.0 * load + 12.0 + generator.uniform(-3.0, 3.0)
+        batch.append((n, site, site % 5, load, power))
+    db.database.insert_many("readings", batch)
+    db.execute("CREATE INDEX idx_power ON readings (power)")
+    db.runstats_all()
+    return db
+
+
+def main() -> None:
+    db = build_sensor_db()
+
+    # -- stage 1: discovery -------------------------------------------------
+    print("=== discovery ===")
+    candidates = []
+    candidates += mine_linear_correlations(
+        db.database, "readings",
+        column_pairs=[("power", "load"), ("load", "power")],
+        confidence_levels=(1.0, 0.95),
+    )
+    candidates += mine_functional_dependencies(
+        db.database, "readings", columns=["site", "region"], max_g3_error=0.0
+    )
+    candidates += mine_min_max(db.database, "readings", ["load"])
+    for candidate in candidates:
+        print(" ", candidate.describe())
+
+    # -- stage 2: selection against the workload --------------------------------
+    print("\n=== selection ===")
+    workload = Workload.from_sql(
+        [
+            ("SELECT id, power FROM readings WHERE load = 200.0", 20.0),
+            ("SELECT site, region, avg(power) AS p FROM readings "
+             "GROUP BY site, region", 5.0),
+        ]
+    )
+    engine = SelectionEngine(update_weight=0.05)
+    ranked = engine.rank(candidates, workload, db.database)
+    for score in ranked[:5]:
+        print(
+            f"  {score.constraint.name:<38} benefit={score.benefit:6.2f} "
+            f"cost={score.maintenance_cost:5.2f} net={score.net_utility:6.2f}"
+        )
+    activate, probation = engine.select(
+        candidates, workload, db.database, keep=4, activation_threshold=0.5
+    )
+    policy = AsyncRepairPolicy(drop_threshold=0.5)
+    for constraint in activate:
+        db.add_soft_constraint(constraint, policy=policy, verify_first=True)
+    print(f"activated: {[c.name for c in activate]}")
+    print(f"probation: {[c.name for c in probation]}")
+
+    # -- exploitation -----------------------------------------------------------
+    print("\n=== exploitation ===")
+    hot_query = "SELECT id, power FROM readings WHERE load = 200.0"
+    print(db.explain(hot_query))
+
+    grouped = "SELECT site, region, avg(power) AS p FROM readings GROUP BY site, region"
+    plan = db.plan(grouped)
+    for rewrite in plan.rewrites_applied:
+        print("  fired:", rewrite)
+
+    # -- maintenance: an outlier reading overturns the linear ASC ----------------
+    print("\n=== violation and asynchronous repair ===")
+    db.execute("INSERT INTO readings VALUES (99999, 3, 3, 200.0, 5000.0)")
+    linear = next(c for c in activate if c.kind == "linear")
+    print(f"after outlier: {linear.describe()}")
+    outcomes = policy.run_pending(db.registry, db.database)
+    print(f"async repair outcomes: {outcomes}")
+    print(f"after repair:  {linear.describe()}")
+    print(
+        "still serving cardinality estimation via twinning:",
+        bool(db.plan(hot_query).estimation_notes)
+        or linear.usable_in_rewrite,
+    )
+
+
+if __name__ == "__main__":
+    main()

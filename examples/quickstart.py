@@ -1,0 +1,74 @@
+"""Quickstart: the SoftDB public API in five minutes.
+
+Creates a small database, runs SQL through the full
+parse → rewrite → cost-based-optimize → execute pipeline, and shows the
+soft-constraint facility at its simplest: declare a statement about the
+data, let the optimizer use it, watch it survive (or not) updates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SoftDB
+from repro.softcon import CheckSoftConstraint, MinMaxSC
+from repro.softcon.maintenance import RepairPolicy
+
+
+def main() -> None:
+    db = SoftDB()
+
+    # -- ordinary SQL ------------------------------------------------------
+    db.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer VARCHAR(20), "
+        "total DOUBLE, placed DATE, shipped DATE)"
+    )
+    db.execute(
+        "INSERT INTO orders VALUES "
+        "(1, 'acme',  120.0, DATE '2001-05-01', DATE '2001-05-03'), "
+        "(2, 'acme',   80.5, DATE '2001-05-02', DATE '2001-05-10'), "
+        "(3, 'initech', 42.0, DATE '2001-05-04', DATE '2001-05-04'), "
+        "(4, 'initech', 99.9, DATE '2001-05-10', DATE '2001-05-21'), "
+        "(5, 'hooli',  310.0, DATE '2001-05-12', DATE '2001-05-13')"
+    )
+    db.runstats_all()  # collect optimizer statistics, DB2's RUNSTATS
+
+    rows = db.query(
+        "SELECT customer, count(*) AS n, sum(total) AS revenue "
+        "FROM orders GROUP BY customer ORDER BY revenue DESC"
+    )
+    print("revenue by customer:")
+    for row in rows:
+        print(f"  {row['customer']:<8} n={row['n']}  revenue={row['revenue']}")
+
+    # -- a soft constraint -------------------------------------------------
+    # Not an integrity constraint: nothing stops future updates from
+    # breaking it.  But while it holds, the optimizer may use it.
+    ship_fast = CheckSoftConstraint(
+        "ship_fast", "orders", "shipped <= placed + 14"
+    )
+    db.add_soft_constraint(ship_fast, policy=RepairPolicy(), verify_first=True)
+    print(f"\nregistered: {ship_fast.describe()}")
+
+    bounds = MinMaxSC("total_range", "orders", "total", 0.0, 500.0)
+    db.add_soft_constraint(bounds, policy=RepairPolicy())
+
+    # The min/max SC proves this query empty without touching the table:
+    plan = db.plan("SELECT id FROM orders WHERE total > 1000.0")
+    print("\nplan for an out-of-known-range query:")
+    print(db.explain("SELECT id FROM orders WHERE total > 1000.0"))
+
+    # -- updates and maintenance ------------------------------------------------
+    # This order violates ship_fast (shipped 40 days after placed); the
+    # RepairPolicy absorbs the violation by demoting the SC to statistical.
+    db.execute(
+        "INSERT INTO orders VALUES "
+        "(6, 'acme', 55.0, DATE '2001-06-01', DATE '2001-07-11')"
+    )
+    print(f"\nafter a violating insert: {ship_fast.describe()}")
+    print(
+        "usable in rewrite:", ship_fast.usable_in_rewrite,
+        "| usable in estimation:", ship_fast.usable_in_estimation,
+    )
+
+
+if __name__ == "__main__":
+    main()

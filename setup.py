@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this file;
+all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — soft constraints for query optimization.
+
+A from-scratch reproduction of Godfrey, Gryz & Zuzarte, *"Exploiting
+Constraint-Like Data Characterizations in Query Optimization"* (SIGMOD
+2001): a relational engine and optimizer in which discovered,
+constraint-like characterizations of the data — **soft constraints** —
+drive query rewriting (when absolute) and cardinality estimation (when
+statistical).
+
+Public entry points:
+
+* :class:`repro.SoftDB` — a complete database session (SQL in, rows out);
+* :mod:`repro.softcon` — the soft-constraint classes, registry,
+  maintenance policies and exception tables;
+* :mod:`repro.discovery` — miners for linear correlations, join holes,
+  functional dependencies and ranges, plus workload-driven selection;
+* :mod:`repro.optimizer` — the rewrite engine and cost-based optimizer;
+* :mod:`repro.workload` — deterministic synthetic scenario generators used
+  by the examples and benchmarks.
+"""
+
+from repro.api import SoftDB
+from repro.optimizer.planner import OptimizerConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["OptimizerConfig", "SoftDB", "__version__"]

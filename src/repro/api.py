@@ -1,0 +1,393 @@
+"""The public facade: a complete soft-constraint-aware database session.
+
+:class:`SoftDB` wires together the storage engine, the soft-constraint
+registry, the optimizer, the plan cache and the executor, and exposes a
+single ``execute(sql)`` entry point plus helpers for statistics, soft
+constraints and exception tables.
+
+Quickstart::
+
+    db = SoftDB()
+    db.execute("CREATE TABLE t (a INT, b INT)")
+    db.execute("INSERT INTO t VALUES (1, 2), (3, 4)")
+    db.runstats("t")
+    result = db.execute("SELECT a FROM t WHERE b = 2")
+    print(result.rows)          # [{'a': 1}]
+    print(db.explain("SELECT a FROM t WHERE b = 2"))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.engine.constraints import (
+    CheckConstraint,
+    Constraint,
+    ConstraintMode,
+    ForeignKeyConstraint,
+    PrimaryKeyConstraint,
+    UniqueConstraint,
+)
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import type_from_name
+from repro.errors import ExecutionError, SqlError
+from repro.executor.runtime import ExecutionResult, Executor
+from repro.expr.eval import compile_predicate, evaluate
+from repro.optimizer.explain import explain as explain_plan
+from repro.optimizer.physical import PhysicalPlan
+from repro.optimizer.planner import Optimizer, OptimizerConfig, PlanCache
+from repro.softcon.base import SoftConstraint
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.exceptions_ast import ExceptionTable
+from repro.softcon.maintenance import MaintenancePolicy
+from repro.softcon.registry import SoftConstraintRegistry
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.printer import sql_of
+from repro.stats.runstats import TableStats, runstats, runstats_virtual
+
+
+class SoftDB:
+    """A self-contained database session with the soft-constraint facility.
+
+    Parameters
+    ----------
+    config:
+        Optimizer feature switches (all rewrites on by default).
+    """
+
+    def __init__(self, config: Optional[OptimizerConfig] = None) -> None:
+        self.database = Database()
+        self.registry = SoftConstraintRegistry(self.database)
+        self.config = config or OptimizerConfig()
+        self.optimizer = Optimizer(self.database, self.registry, self.config)
+        self.plan_cache = PlanCache(self.optimizer)
+        self.executor = Executor(self.database, self.registry)
+        self._constraint_sequence = 0
+
+    # ------------------------------------------------------------- execution
+
+    def execute(
+        self, sql: str, use_cache: bool = False
+    ) -> Optional[Union[ExecutionResult, int]]:
+        """Run one SQL statement.
+
+        Returns an :class:`ExecutionResult` for queries, the affected row
+        count for DML, and None for DDL.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, (ast.SelectStatement, ast.UnionAll)):
+            if use_cache:
+                plan = self.plan_cache.get_plan(sql)
+            else:
+                plan = self.optimizer.optimize(statement)
+            return self.executor.execute(plan)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.CreateTable):
+            self._execute_create_table(statement)
+            return None
+        if isinstance(statement, ast.CreateIndex):
+            self.database.create_index(
+                statement.name,
+                statement.table,
+                statement.columns,
+                unique=statement.unique,
+            )
+            return None
+        if isinstance(statement, ast.CreateSummaryTable):
+            self._execute_create_summary(statement)
+            return None
+        if isinstance(statement, ast.DropTable):
+            self.database.drop_table(statement.name)
+            return None
+        raise SqlError(f"unsupported statement {type(statement).__name__}")
+
+    def query(self, sql: str) -> List[Dict[str, Any]]:
+        """Run a SELECT and return its rows."""
+        result = self.execute(sql)
+        assert isinstance(result, ExecutionResult)
+        return result.rows
+
+    def plan(self, sql: str) -> PhysicalPlan:
+        """Optimize without executing."""
+        return self.optimizer.optimize(sql)
+
+    def execute_plan(
+        self, plan: PhysicalPlan, retry_on_stale: bool = True
+    ) -> ExecutionResult:
+        """Execute a previously compiled plan, re-issuing if it went stale.
+
+        Models the paper's Section 4.1 resolution for a transaction whose
+        ASC-based plan was overturned by a concurrent transaction: "the
+        re-issue can be done behind the scenes just as is done in the case
+        of deadlock resolution.  So the user who issued [it] sees no
+        difference except for more wait time."
+        """
+        from repro.errors import StalePlanError
+
+        try:
+            return self.executor.execute(plan)
+        except StalePlanError:
+            if not retry_on_stale or not plan.sql:
+                raise
+            fresh = self.optimizer.optimize(plan.sql)
+            return self.executor.execute(fresh)
+
+    def explain(self, sql: str, analyze: bool = False) -> str:
+        """EXPLAIN text for a query.
+
+        With ``analyze=True`` the query is *executed* and every operator
+        line additionally shows its actual output row count, plus a
+        summary of the pages actually read — the estimate-vs-actual view
+        used to validate the cost model.
+        """
+        plan = self.plan(sql)
+        if not analyze:
+            return explain_plan(plan)
+        result = self.executor.execute(plan, instrument=True)
+        text = explain_plan(plan)
+        return (
+            text
+            + f"\nactual: {result.row_count} rows, "
+            f"{result.page_reads} pages read"
+        )
+
+    # ----------------------------------------------------------------- stats
+
+    def runstats(self, table_name: str, **kwargs: Any) -> TableStats:
+        """Collect and store statistics for one table."""
+        return runstats(self.database, table_name, **kwargs)
+
+    def runstats_all(self, **kwargs: Any) -> None:
+        """RUNSTATS over every base table."""
+        for table_name in self.database.catalog.table_names():
+            runstats(self.database, table_name, **kwargs)
+
+    def runstats_virtual(
+        self, table_name: str, virtual_name: str, expression: Any, **kwargs: Any
+    ):
+        """Collect statistics over a derived expression (paper §5.1's
+        *virtual column* mechanism), e.g.
+        ``db.runstats_virtual("project", "duration",
+        "end_date - start_date")``."""
+        return runstats_virtual(
+            self.database, table_name, virtual_name, expression, **kwargs
+        )
+
+    # -------------------------------------------------------- soft constraints
+
+    def add_soft_constraint(
+        self,
+        constraint: SoftConstraint,
+        policy: Optional[MaintenancePolicy] = None,
+        activate: bool = True,
+        verify_first: bool = False,
+    ) -> SoftConstraint:
+        """Register (and by default activate) a soft constraint."""
+        self.registry.register(constraint, policy=policy)
+        if activate:
+            self.registry.activate(constraint.name, verify_first=verify_first)
+        return constraint
+
+    def create_exception_table(
+        self, constraint: SoftConstraint, name: Optional[str] = None
+    ) -> ExceptionTable:
+        """Materialize a constraint's exceptions as an AST (Section 4.4)."""
+        return ExceptionTable(self.database, constraint, name)
+
+    # ----------------------------------------------------------- DML internals
+
+    def _execute_insert(self, statement: ast.Insert) -> int:
+        table = self.database.table(statement.table)
+        for row_expressions in statement.rows:
+            values = [evaluate(expr, {}) for expr in row_expressions]
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise ExecutionError(
+                        "INSERT value count does not match column list"
+                    )
+                mapping = dict(zip(statement.columns, values))
+                self.database.insert_mapping(statement.table, mapping)
+            else:
+                self.database.insert(statement.table, values)
+        return len(statement.rows)
+
+    def _execute_delete(self, statement: ast.Delete) -> int:
+        if statement.where is None:
+            table = self.database.table(statement.table)
+            victims = [row_id for row_id, _ in table.scan()]
+            for row_id in victims:
+                self.database.delete_row(statement.table, row_id)
+            return len(victims)
+        predicate = compile_predicate(statement.where)
+        return self.database.delete_where(statement.table, predicate)
+
+    def _execute_update(self, statement: ast.Update) -> int:
+        if statement.where is None:
+            predicate = lambda row: True
+        else:
+            predicate = compile_predicate(statement.where)
+        assignments = statement.assignments
+
+        def assign(row: Dict[str, Any]) -> Dict[str, Any]:
+            return {
+                column: evaluate(expression, row)
+                for column, expression in assignments
+            }
+
+        return self.database.update_where(statement.table, predicate, assign)
+
+    # ----------------------------------------------------------- DDL internals
+
+    def _next_constraint_name(self, table: str, kind: str) -> str:
+        self._constraint_sequence += 1
+        return f"{table}_{kind}_{self._constraint_sequence}"
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> None:
+        columns = []
+        for definition in statement.columns:
+            sql_type = type_from_name(definition.type_name, definition.length)
+            columns.append(
+                Column(
+                    definition.name,
+                    sql_type,
+                    nullable=not (definition.not_null or definition.primary_key),
+                )
+            )
+        schema = TableSchema(statement.name, columns)
+        constraints: List[Constraint] = []
+        for definition in statement.constraints:
+            constraints.append(
+                self._constraint_from_def(statement.name, definition)
+            )
+        self.database.create_table(schema, constraints)
+
+    def _constraint_from_def(
+        self, table_name: str, definition: ast.ConstraintDef
+    ) -> Constraint:
+        mode = (
+            ConstraintMode.ENFORCED
+            if definition.enforced
+            else ConstraintMode.INFORMATIONAL
+        )
+        if isinstance(definition, ast.PrimaryKeyDef):
+            name = definition.name or self._next_constraint_name(table_name, "pk")
+            return PrimaryKeyConstraint(name, table_name, definition.columns, mode)
+        if isinstance(definition, ast.UniqueDef):
+            name = definition.name or self._next_constraint_name(table_name, "uq")
+            return UniqueConstraint(name, table_name, definition.columns, mode)
+        if isinstance(definition, ast.ForeignKeyDef):
+            name = definition.name or self._next_constraint_name(table_name, "fk")
+            parent_columns = definition.parent_columns
+            if not parent_columns:
+                parent_columns = self._default_parent_key(definition.parent_table)
+            return ForeignKeyConstraint(
+                name,
+                table_name,
+                definition.columns,
+                definition.parent_table,
+                parent_columns,
+                mode,
+            )
+        assert isinstance(definition, ast.CheckDef)
+        name = definition.name or self._next_constraint_name(table_name, "ck")
+        assert definition.expression is not None
+        return CheckConstraint(
+            name,
+            table_name,
+            predicate=compile_predicate(definition.expression),
+            expression=definition.expression,
+            sql_text=definition.sql_text or sql_of(definition.expression),
+            mode=mode,
+        )
+
+    def _default_parent_key(self, parent_table: str) -> List[str]:
+        for constraint in self.database.catalog.constraints_on(parent_table):
+            if isinstance(constraint, PrimaryKeyConstraint):
+                return list(constraint.column_names)
+        raise SqlError(
+            f"REFERENCES {parent_table} without columns, and {parent_table} "
+            f"has no primary key"
+        )
+
+    def _execute_create_summary(
+        self, statement: ast.CreateSummaryTable
+    ) -> None:
+        """``CREATE SUMMARY TABLE name AS (SELECT * FROM t WHERE p)``.
+
+        Per the paper (Section 4.4), such an AST expresses the business
+        rule ``NOT p`` as a soft constraint whose exceptions the summary
+        table materializes.  We register exactly that: a check SC with
+        condition ``NOT p`` (verified, so its confidence is measured) plus
+        the exception table under the requested name.
+        """
+        select = statement.select
+        if (
+            select is None
+            or len(select.from_clause) != 1
+            or not isinstance(select.from_clause[0], ast.TableRef)
+            or select.where is None
+            or not (
+                len(select.select_items) == 1 and select.select_items[0].star
+            )
+        ):
+            raise SqlError(
+                "CREATE SUMMARY TABLE supports the exception-table form: "
+                "SELECT * FROM one_table WHERE predicate"
+            )
+        base_table = select.from_clause[0].name
+        rule = CheckSoftConstraint(
+            name=f"{statement.name}_rule",
+            table_name=base_table,
+            condition=ast.UnaryOp("not", select.where),
+        )
+        self.registry.register(rule)
+        rule.verify(self.database)
+        self.registry.activate(rule.name)
+        ExceptionTable(self.database, rule, statement.name)
+
+    # ------------------------------------------------------------ introspection
+
+    def describe(self) -> str:
+        """A human-readable catalog listing: tables, indexes, integrity
+        constraints (with enforcement mode), summary tables, and soft
+        constraints (with lifecycle state and confidence)."""
+        lines: List[str] = []
+        catalog = self.database.catalog
+        for table_name in catalog.table_names():
+            table = catalog.table(table_name)
+            columns = ", ".join(
+                f"{c.name} {c.type}" for c in table.schema.columns
+            )
+            lines.append(
+                f"TABLE {table_name} ({columns}) "
+                f"[{table.row_count} rows, {table.page_count} pages]"
+            )
+            for index in catalog.indexes_on(table_name):
+                unique = "UNIQUE " if index.unique else ""
+                lines.append(
+                    f"  {unique}INDEX {index.name} "
+                    f"({', '.join(index.column_names)})"
+                )
+            for constraint in catalog.constraints_on(table_name):
+                mode = (
+                    " NOT ENFORCED" if constraint.is_informational else ""
+                )
+                lines.append(f"  {constraint.describe()}{mode}")
+        for name in sorted(catalog.summary_tables()):
+            lines.append(f"SUMMARY TABLE {name}")
+        for constraint_name in self.registry.names():
+            lines.append(self.registry.get(constraint_name).describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SoftDB(tables={self.database.catalog.table_names()}, "
+            f"soft_constraints={self.registry.names()})"
+        )

@@ -1,0 +1,45 @@
+"""Discovery: mining soft-constraint candidates from the data.
+
+Implements the discovery stage of the paper's SC process (Section 3.2)
+with one miner per SC class:
+
+* :mod:`repro.discovery.linear_miner` — linear correlations between numeric
+  attribute pairs (the [10] work the paper builds on);
+* :mod:`repro.discovery.hole_miner` — maximal empty rectangles ("holes")
+  over a join path ([8]);
+* :mod:`repro.discovery.fd_miner` — functional dependencies (TANE-style
+  level-wise search with approximate-FD support);
+* :mod:`repro.discovery.range_miner` — min/max and range check
+  characterizations;
+
+plus the *selection* stage (:mod:`repro.discovery.selection`), which ranks
+candidates by estimated utility against a workload model
+(:mod:`repro.discovery.workload_model`).
+"""
+
+from repro.discovery.linear_miner import (
+    LinearMiner,
+    mine_join_linear_correlation,
+    mine_linear_correlations,
+)
+from repro.discovery.hole_miner import HoleMiner, mine_join_holes
+from repro.discovery.fd_miner import FDMiner, mine_functional_dependencies
+from repro.discovery.range_miner import mine_min_max, mine_range_checks
+from repro.discovery.selection import SelectionEngine, UtilityScore
+from repro.discovery.workload_model import Workload, WorkloadQuery
+
+__all__ = [
+    "FDMiner",
+    "HoleMiner",
+    "LinearMiner",
+    "SelectionEngine",
+    "UtilityScore",
+    "Workload",
+    "WorkloadQuery",
+    "mine_functional_dependencies",
+    "mine_join_holes",
+    "mine_join_linear_correlation",
+    "mine_linear_correlations",
+    "mine_min_max",
+    "mine_range_checks",
+]

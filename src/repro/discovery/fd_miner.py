@@ -1,0 +1,185 @@
+"""Mining functional dependencies (TANE-style level-wise search).
+
+The paper (Section 2) points at the FD-mining literature [1, 14, 19, 20,
+22, 26] as the source of FD soft constraints: "With a good FD mining tool,
+FD information could be made available as SCs."
+
+The miner performs a level-wise search over determinant sets (up to a
+configurable size) using *stripped partitions*: the rows of the table are
+partitioned by the determinant values, and ``X -> y`` holds exactly when
+every X-group is constant in ``y``.  Approximate FDs are scored by the
+classic *g3* measure — the minimum fraction of rows to remove for the FD
+to hold — which maps directly onto SSC confidence (``1 - g3``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.softcon.fd import FunctionalDependencySC
+
+
+class FDCandidate:
+    """One scored FD candidate ``determinants -> dependent``."""
+
+    __slots__ = ("determinants", "dependent", "g3_error", "confidence")
+
+    def __init__(
+        self,
+        determinants: Tuple[str, ...],
+        dependent: str,
+        g3_error: float,
+    ) -> None:
+        self.determinants = determinants
+        self.dependent = dependent
+        self.g3_error = g3_error
+        self.confidence = 1.0 - g3_error
+
+    @property
+    def is_exact(self) -> bool:
+        return self.g3_error == 0.0
+
+    def __repr__(self) -> str:
+        lhs = ", ".join(self.determinants)
+        return f"FDCandidate(({lhs}) -> {self.dependent}, g3={self.g3_error:.4f})"
+
+
+class FDMiner:
+    """Level-wise FD discovery on one table.
+
+    Parameters
+    ----------
+    max_determinants:
+        Maximum size of the left-hand side.
+    max_g3_error:
+        Approximate FDs with a g3 error above this are discarded
+        (``0.0`` mines exact FDs only).
+    prune_implied:
+        Skip supersets of determinant sets that already imply the
+        dependent exactly (the standard TANE pruning).
+    """
+
+    def __init__(
+        self,
+        max_determinants: int = 2,
+        max_g3_error: float = 0.05,
+        prune_implied: bool = True,
+    ) -> None:
+        self.max_determinants = max_determinants
+        self.max_g3_error = max_g3_error
+        self.prune_implied = prune_implied
+
+    def mine(
+        self,
+        database: Database,
+        table_name: str,
+        columns: Optional[Sequence[str]] = None,
+    ) -> List[FDCandidate]:
+        """Mine FD candidates over the given (default: all) columns."""
+        table = database.table(table_name)
+        schema = table.schema
+        names = [c.lower() for c in columns] if columns else schema.column_names()
+        positions = {name: schema.position(name) for name in names}
+        rows = [tuple(row[positions[name]] for name in names) for row in table.scan_rows()]
+        index_of = {name: at for at, name in enumerate(names)}
+
+        candidates: List[FDCandidate] = []
+        exact: Dict[str, List[FrozenSet[str]]] = defaultdict(list)
+        total = len(rows)
+        for size in range(1, self.max_determinants + 1):
+            for determinants in itertools.combinations(names, size):
+                det_set = frozenset(determinants)
+                for dependent in names:
+                    if dependent in det_set:
+                        continue
+                    if self.prune_implied and any(
+                        implied <= det_set for implied in exact[dependent]
+                    ):
+                        continue
+                    error = self._g3_error(
+                        rows,
+                        [index_of[d] for d in determinants],
+                        index_of[dependent],
+                        total,
+                    )
+                    if error <= self.max_g3_error:
+                        candidate = FDCandidate(determinants, dependent, error)
+                        candidates.append(candidate)
+                        if candidate.is_exact:
+                            exact[dependent].append(det_set)
+        return candidates
+
+    @staticmethod
+    def _g3_error(
+        rows: List[Tuple[Any, ...]],
+        det_positions: List[int],
+        dep_position: int,
+        total: int,
+    ) -> float:
+        """g3: min fraction of rows to delete so the FD holds exactly.
+
+        Per determinant group, all rows except those agreeing with the
+        group's most frequent dependent value must be removed.  Rows with
+        NULL determinants are ignored (they form no comparable group).
+        """
+        if total == 0:
+            return 0.0
+        groups: Dict[Tuple[Any, ...], Dict[Any, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        counted = 0
+        for row in rows:
+            key = tuple(row[p] for p in det_positions)
+            if any(part is None for part in key):
+                continue
+            counted += 1
+            groups[key][row[dep_position]] += 1
+        if counted == 0:
+            return 0.0
+        keep = sum(max(values.values()) for values in groups.values())
+        return (counted - keep) / total
+
+    def to_soft_constraints(
+        self, table_name: str, candidates: Sequence[FDCandidate]
+    ) -> List[FunctionalDependencySC]:
+        """Wrap candidates as FD soft constraints (merged by determinant).
+
+        Candidates sharing a determinant set merge into one SC with all
+        their dependents (confidence = the minimum across dependents).
+        """
+        by_lhs: Dict[Tuple[str, ...], List[FDCandidate]] = defaultdict(list)
+        for candidate in candidates:
+            by_lhs[candidate.determinants].append(candidate)
+        constraints: List[FunctionalDependencySC] = []
+        for determinants, group in sorted(by_lhs.items()):
+            dependents = sorted({c.dependent for c in group})
+            confidence = min(c.confidence for c in group)
+            lhs_tag = "_".join(determinants)
+            constraints.append(
+                FunctionalDependencySC(
+                    name=f"fd_{table_name}_{lhs_tag}",
+                    table_name=table_name,
+                    determinants=list(determinants),
+                    dependents=dependents,
+                    confidence=max(1e-9, confidence),
+                )
+            )
+        return constraints
+
+
+def mine_functional_dependencies(
+    database: Database,
+    table_name: str,
+    columns: Optional[Sequence[str]] = None,
+    max_determinants: int = 2,
+    max_g3_error: float = 0.05,
+) -> List[FunctionalDependencySC]:
+    """Convenience wrapper: mine and wrap as soft constraints."""
+    miner = FDMiner(
+        max_determinants=max_determinants, max_g3_error=max_g3_error
+    )
+    candidates = miner.mine(database, table_name, columns)
+    return miner.to_soft_constraints(table_name, candidates)

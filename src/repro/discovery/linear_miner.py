@@ -1,0 +1,279 @@
+"""Mining linear correlations between numeric attribute pairs.
+
+Implements the discovery procedure the paper builds on ([10], Section 2):
+for pairs of numeric attributes (A, B) of one table, find the best linear
+formula ``A = k*B + b`` and a deviation ``eps`` such that (a fraction of)
+A's values fall within ``eps`` of ``k*B + b``.  The formula must be fairly
+*selective* — ``eps`` small relative to A's value range — or the
+introduced BETWEEN predicate selects nearly everything and is useless; a
+threshold bounds acceptable ``eps`` exactly as in the paper.
+
+The miner emits one candidate per requested confidence level: the 100%
+quantile of absolute residuals yields an ASC candidate, lower quantiles
+yield SSC candidates with correspondingly tighter deviations — the paper's
+"should the database also keep eps_70 and eps_80?" question made concrete.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.softcon.linear import LinearCorrelationSC
+
+
+class LinearFit:
+    """A fitted linear model between one attribute pair."""
+
+    __slots__ = ("column_a", "column_b", "slope", "intercept",
+                 "residual_quantiles", "a_range", "sample_size", "r_squared")
+
+    def __init__(
+        self,
+        column_a: str,
+        column_b: str,
+        slope: float,
+        intercept: float,
+        residual_quantiles: Dict[float, float],
+        a_range: float,
+        sample_size: int,
+        r_squared: float,
+    ) -> None:
+        self.column_a = column_a
+        self.column_b = column_b
+        self.slope = slope
+        self.intercept = intercept
+        self.residual_quantiles = residual_quantiles
+        self.a_range = a_range
+        self.sample_size = sample_size
+        self.r_squared = r_squared
+
+    def epsilon_at(self, confidence: float) -> float:
+        return self.residual_quantiles[confidence]
+
+    def selectivity_at(self, confidence: float) -> float:
+        """Width of the introduced band relative to A's range.
+
+        Small is good: the introduced BETWEEN predicate admits roughly
+        this fraction of the table.
+        """
+        if self.a_range <= 0:
+            return 1.0
+        return min(1.0, (2.0 * self.epsilon_at(confidence)) / self.a_range)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearFit({self.column_a} = {self.slope:.4g}*{self.column_b} "
+            f"+ {self.intercept:.4g}, r2={self.r_squared:.3f}, "
+            f"n={self.sample_size})"
+        )
+
+
+class LinearMiner:
+    """Searches attribute pairs of one table for usable linear models.
+
+    Parameters
+    ----------
+    confidence_levels:
+        Residual quantiles to report (1.0 must be included for ASC
+        candidates).
+    max_band_selectivity:
+        The paper's threshold on acceptable ``eps``: a candidate is kept at
+        a confidence level only if the introduced band admits at most this
+        fraction of A's range.
+    min_rows:
+        Pairs with fewer non-NULL co-occurring rows are skipped.
+    """
+
+    def __init__(
+        self,
+        confidence_levels: Sequence[float] = (1.0, 0.99, 0.95, 0.9),
+        max_band_selectivity: float = 0.25,
+        min_rows: int = 20,
+    ) -> None:
+        if 1.0 not in confidence_levels:
+            confidence_levels = tuple(confidence_levels) + (1.0,)
+        self.confidence_levels = tuple(sorted(confidence_levels, reverse=True))
+        self.max_band_selectivity = max_band_selectivity
+        self.min_rows = min_rows
+
+    # -- fitting one pair -----------------------------------------------------
+
+    def fit_pair(
+        self, a_values: Sequence[float], b_values: Sequence[float],
+        column_a: str = "a", column_b: str = "b",
+    ) -> Optional[LinearFit]:
+        """Least-squares fit of A on B with residual quantiles."""
+        pairs = [
+            (a, b)
+            for a, b in zip(a_values, b_values)
+            if a is not None and b is not None
+        ]
+        if len(pairs) < self.min_rows:
+            return None
+        a_array = np.array([p[0] for p in pairs], dtype=float)
+        b_array = np.array([p[1] for p in pairs], dtype=float)
+        b_variance = float(np.var(b_array))
+        if b_variance <= 0:
+            return None
+        slope = float(np.cov(b_array, a_array, bias=True)[0, 1] / b_variance)
+        intercept = float(np.mean(a_array) - slope * np.mean(b_array))
+        residuals = np.abs(a_array - (slope * b_array + intercept))
+        quantiles = {
+            level: float(np.quantile(residuals, level))
+            for level in self.confidence_levels
+        }
+        a_range = float(a_array.max() - a_array.min())
+        total_variance = float(np.var(a_array))
+        explained = 0.0 if total_variance <= 0 else 1.0 - float(
+            np.mean((a_array - (slope * b_array + intercept)) ** 2)
+        ) / total_variance
+        return LinearFit(
+            column_a=column_a,
+            column_b=column_b,
+            slope=slope,
+            intercept=intercept,
+            residual_quantiles=quantiles,
+            a_range=a_range,
+            sample_size=len(pairs),
+            r_squared=max(0.0, explained),
+        )
+
+    # -- mining a table -----------------------------------------------------------
+
+    def mine_table(
+        self,
+        database: Database,
+        table_name: str,
+        column_pairs: Optional[Iterable[Tuple[str, str]]] = None,
+    ) -> List[LinearCorrelationSC]:
+        """Mine candidates for a table.
+
+        ``column_pairs`` restricts the search (e.g. to pairs that co-occur
+        in workload queries, as the paper suggests); by default every
+        ordered pair of numeric columns is examined.
+        """
+        table = database.table(table_name)
+        schema = table.schema
+        if column_pairs is None:
+            numeric = [c.name for c in schema.columns if c.type.is_numeric]
+            column_pairs = [
+                (a, b) for a, b in itertools.permutations(numeric, 2)
+            ]
+        columns_needed = sorted({c for pair in column_pairs for c in pair})
+        positions = {name: schema.position(name) for name in columns_needed}
+        data: Dict[str, List[float]] = {name: [] for name in columns_needed}
+        for row in table.scan_rows():
+            for name in columns_needed:
+                data[name].append(row[positions[name]])
+
+        candidates: List[LinearCorrelationSC] = []
+        for column_a, column_b in column_pairs:
+            fit = self.fit_pair(
+                data[column_a], data[column_b], column_a, column_b
+            )
+            if fit is None:
+                continue
+            for level in self.confidence_levels:
+                if fit.selectivity_at(level) > self.max_band_selectivity:
+                    continue
+                suffix = "asc" if level >= 1.0 else f"ssc{int(level * 100)}"
+                candidates.append(
+                    LinearCorrelationSC(
+                        name=f"lin_{table_name}_{column_a}_{column_b}_{suffix}",
+                        table_name=table_name,
+                        column_a=column_a,
+                        column_b=column_b,
+                        slope=fit.slope,
+                        intercept=fit.intercept,
+                        epsilon=fit.epsilon_at(level),
+                        confidence=level,
+                    )
+                )
+        return candidates
+
+
+def mine_linear_correlations(
+    database: Database,
+    table_name: str,
+    column_pairs: Optional[Iterable[Tuple[str, str]]] = None,
+    confidence_levels: Sequence[float] = (1.0, 0.99, 0.95, 0.9),
+    max_band_selectivity: float = 0.25,
+) -> List[LinearCorrelationSC]:
+    """Convenience wrapper over :class:`LinearMiner`."""
+    miner = LinearMiner(
+        confidence_levels=confidence_levels,
+        max_band_selectivity=max_band_selectivity,
+    )
+    return miner.mine_table(database, table_name, column_pairs)
+
+
+def mine_join_linear_correlation(
+    database: Database,
+    table_one: str,
+    column_a: str,
+    table_two: str,
+    column_b: str,
+    join_column_one: str,
+    join_column_two: str,
+    confidence_levels: Sequence[float] = (1.0, 0.99, 0.95, 0.9),
+    max_band_selectivity: float = 0.25,
+    min_rows: int = 20,
+):
+    """Mine a linear correlation *across a join path* (paper Section 2:
+    "it would be possible in principle to mine for these linear
+    correlations between attributes across common join paths").
+
+    Fits ``one.a ~= k * two.b + c`` over the pairs of ``one ⋈ two`` and
+    emits one :class:`~repro.softcon.joinlinear.JoinLinearSC` candidate
+    per confidence level passing the band-selectivity threshold.
+    """
+    from repro.softcon.joinlinear import JoinLinearSC
+    from repro.softcon.joinpath import JoinPathSpec
+
+    spec = JoinPathSpec(
+        table_one, column_a, table_two, column_b,
+        join_column_one, join_column_two,
+    )
+    pairs = [
+        (a, b)
+        for a, b in spec.join_pairs(database)
+        if a is not None and b is not None
+    ]
+    miner = LinearMiner(
+        confidence_levels=confidence_levels,
+        max_band_selectivity=max_band_selectivity,
+        min_rows=min_rows,
+    )
+    fit = miner.fit_pair(
+        [a for a, _ in pairs], [b for _, b in pairs], column_a, column_b
+    )
+    if fit is None:
+        return []
+    candidates = []
+    for level in miner.confidence_levels:
+        if fit.selectivity_at(level) > max_band_selectivity:
+            continue
+        suffix = "asc" if level >= 1.0 else f"ssc{int(level * 100)}"
+        candidates.append(
+            JoinLinearSC(
+                name=(
+                    f"jlin_{table_one}_{column_a}_{table_two}_"
+                    f"{column_b}_{suffix}"
+                ),
+                table_one=table_one,
+                column_a=column_a,
+                table_two=table_two,
+                column_b=column_b,
+                join_column_one=join_column_one,
+                join_column_two=join_column_two,
+                slope=fit.slope,
+                intercept=fit.intercept,
+                epsilon=fit.epsilon_at(level),
+                confidence=level,
+            )
+        )
+    return candidates

@@ -1,0 +1,89 @@
+"""Mining range characterizations: min/max SCs and range CHECK SCs.
+
+Two flavours:
+
+* :func:`mine_min_max` — the Sybase-style per-column min/max facts the
+  paper cites in Section 2, emitted as :class:`MinMaxSC` candidates;
+* :func:`mine_range_checks` — per-table range CHECK statements over a
+  column, the characterization behind union-all branch knockout
+  (Section 5: monthly partitions each carrying a range constraint).
+  When the partitioning is *not* declared, mining each branch's actual
+  min/max recovers the constraint as an SC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.minmax import MinMaxSC
+from repro.sql import ast
+
+
+def mine_min_max(
+    database: Database,
+    table_name: str,
+    columns: Optional[Sequence[str]] = None,
+) -> List[MinMaxSC]:
+    """Min/max SC candidates for each (ordered, non-empty) column."""
+    table = database.table(table_name)
+    schema = table.schema
+    names = [c.lower() for c in columns] if columns else schema.column_names()
+    lows: dict = {}
+    highs: dict = {}
+    positions = {name: schema.position(name) for name in names}
+    for row in table.scan_rows():
+        for name in names:
+            value = row[positions[name]]
+            if value is None:
+                continue
+            if name not in lows or value < lows[name]:
+                lows[name] = value
+            if name not in highs or value > highs[name]:
+                highs[name] = value
+    return [
+        MinMaxSC(
+            name=f"minmax_{table_name}_{name}",
+            table_name=table_name,
+            column_name=name,
+            low=lows[name],
+            high=highs[name],
+        )
+        for name in names
+        if name in lows
+    ]
+
+
+def mine_range_checks(
+    database: Database,
+    table_names: Sequence[str],
+    column_name: str,
+    as_dates: bool = False,
+) -> List[CheckSoftConstraint]:
+    """One range CHECK SC per table over a shared column.
+
+    Intended for the branches of a UNION ALL view: each branch table gets
+    ``CHECK (column BETWEEN observed_min AND observed_max)``, recovering
+    the partitioning constraint the optimizer needs for branch knockout.
+    ``as_dates`` marks the literals as dates for display.
+    """
+    constraints: List[CheckSoftConstraint] = []
+    for table_name in table_names:
+        bounds = mine_min_max(database, table_name, [column_name])
+        if not bounds:
+            continue
+        low, high = bounds[0].low, bounds[0].high
+        expression = ast.BetweenExpr(
+            ast.ColumnRef(column_name),
+            ast.Literal(low, is_date=as_dates),
+            ast.Literal(high, is_date=as_dates),
+        )
+        constraints.append(
+            CheckSoftConstraint(
+                name=f"range_{table_name}_{column_name}",
+                table_name=table_name,
+                condition=expression,
+            )
+        )
+    return constraints

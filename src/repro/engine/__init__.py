@@ -1,0 +1,50 @@
+"""Storage engine substrate: types, schemas, pages, tables, indexes,
+constraints, transactions and the catalog.
+
+The engine simulates a disk-based relational storage layer.  Rows live on
+fixed-size pages, and all operators account for the pages they touch, so the
+optimizer's cost model can be validated against actual execution metrics.
+"""
+
+from repro.engine.types import (
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    SqlType,
+    VARCHAR,
+)
+from repro.engine.schema import Column, TableSchema
+from repro.engine.table import HeapTable
+from repro.engine.index import BTreeIndex
+from repro.engine.catalog import Catalog
+from repro.engine.database import Database
+from repro.engine.constraints import (
+    CheckConstraint,
+    ConstraintMode,
+    ForeignKeyConstraint,
+    NotNullConstraint,
+    PrimaryKeyConstraint,
+    UniqueConstraint,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "BTreeIndex",
+    "Catalog",
+    "CheckConstraint",
+    "Column",
+    "ConstraintMode",
+    "DATE",
+    "DOUBLE",
+    "Database",
+    "ForeignKeyConstraint",
+    "HeapTable",
+    "INTEGER",
+    "NotNullConstraint",
+    "PrimaryKeyConstraint",
+    "SqlType",
+    "TableSchema",
+    "UniqueConstraint",
+    "VARCHAR",
+]

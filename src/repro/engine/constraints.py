@@ -1,0 +1,366 @@
+"""Integrity constraints and their enforcement modes.
+
+Every constraint carries a :class:`ConstraintMode`:
+
+``ENFORCED``
+    A classic *hard* integrity constraint — checked on every DML statement;
+    violating statements are rejected.
+
+``INFORMATIONAL``
+    The paper's *informational constraint* (Section 1): an external promise
+    has been made that the constraint holds, so the system never checks it,
+    but the optimizer may use it exactly like an enforced constraint.
+
+Soft constraints (ASCs / SSCs) are *not* integrity constraints and live in
+:mod:`repro.softcon`; however, an ASC of a constraint-expressible class
+wraps one of these constraint objects, reusing its checking logic.
+
+CHECK constraints hold an opaque ``expression`` (the parsed SQL AST, used by
+the optimizer for rewrites) plus a compiled ``predicate`` callable mapping a
+``{column: value}`` dict to ``True`` / ``False`` / ``None`` (SQL three-valued
+logic: a CHECK is satisfied unless the predicate is *False*).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import ConstraintViolation, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.engine.database import Database
+
+RowDict = Dict[str, Any]
+RowPredicate = Callable[[RowDict], Optional[bool]]
+
+
+class ConstraintMode(enum.Enum):
+    """Whether the system checks the constraint or merely trusts it."""
+
+    ENFORCED = "enforced"
+    INFORMATIONAL = "informational"
+
+
+class Constraint:
+    """Base class for all integrity constraints.
+
+    Parameters
+    ----------
+    name:
+        Constraint name, unique per table.
+    table_name:
+        The constrained table.
+    mode:
+        ENFORCED (checked) or INFORMATIONAL (trusted, never checked).
+    """
+
+    kind = "constraint"
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        mode: ConstraintMode = ConstraintMode.ENFORCED,
+    ) -> None:
+        if not name:
+            raise SchemaError("constraint name must be non-empty")
+        self.name = name.lower()
+        self.table_name = table_name.lower()
+        self.mode = mode
+
+    @property
+    def is_informational(self) -> bool:
+        return self.mode is ConstraintMode.INFORMATIONAL
+
+    # -- checking hooks (ENFORCED mode only; callers skip informational) ----
+
+    def check_insert(self, database: "Database", row: Tuple[Any, ...]) -> None:
+        """Raise :class:`ConstraintViolation` if inserting ``row`` violates."""
+
+    def check_update(
+        self,
+        database: "Database",
+        old_row: Tuple[Any, ...],
+        new_row: Tuple[Any, ...],
+    ) -> None:
+        """Raise if replacing ``old_row`` with ``new_row`` violates."""
+        self.check_insert(database, new_row)
+
+    def check_delete(self, database: "Database", row: Tuple[Any, ...]) -> None:
+        """Raise if deleting ``row`` violates (referential restrict)."""
+
+    def verify_table(self, database: "Database") -> List[Tuple[Any, ...]]:
+        """Return every current row violating the constraint.
+
+        Used when promoting a mined statement to an absolute soft
+        constraint and when re-validating after bulk loads.  The default
+        full-scan implementation re-uses :meth:`row_violates`.
+        """
+        table = database.table(self.table_name)
+        violations = []
+        for row in table.scan_rows():
+            if self.row_violates(database, row):
+                violations.append(row)
+        return violations
+
+    def row_violates(self, database: "Database", row: Tuple[Any, ...]) -> bool:
+        """Whether a single existing row violates the constraint."""
+        try:
+            self.check_insert(database, row)
+        except ConstraintViolation:
+            return True
+        return False
+
+    def describe(self) -> str:
+        """Human-readable one-liner for EXPLAIN / catalog listings."""
+        return f"{self.kind} {self.name} on {self.table_name}"
+
+    def __repr__(self) -> str:
+        flag = " (informational)" if self.is_informational else ""
+        return f"<{type(self).__name__} {self.name}{flag}>"
+
+
+class NotNullConstraint(Constraint):
+    """``column IS NOT NULL`` for one column."""
+
+    kind = "not_null"
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        column_name: str,
+        mode: ConstraintMode = ConstraintMode.ENFORCED,
+    ) -> None:
+        super().__init__(name, table_name, mode)
+        self.column_name = column_name.lower()
+
+    def check_insert(self, database: "Database", row: Tuple[Any, ...]) -> None:
+        schema = database.table(self.table_name).schema
+        if row[schema.position(self.column_name)] is None:
+            raise ConstraintViolation(
+                f"{self.table_name}.{self.column_name} must not be NULL",
+                constraint_name=self.name,
+            )
+
+    def describe(self) -> str:
+        return f"NOT NULL {self.table_name}.{self.column_name}"
+
+
+class UniqueConstraint(Constraint):
+    """Uniqueness over a column list (backed by a unique index).
+
+    The owning :class:`~repro.engine.database.Database` creates a unique
+    B-tree index for each enforced UNIQUE/PK constraint; this class probes
+    it.  Rows containing NULL key parts are exempt, per SQL semantics.
+    """
+
+    kind = "unique"
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        column_names: Sequence[str],
+        mode: ConstraintMode = ConstraintMode.ENFORCED,
+    ) -> None:
+        super().__init__(name, table_name, mode)
+        if not column_names:
+            raise SchemaError(f"UNIQUE constraint {name!r} needs columns")
+        self.column_names = [c.lower() for c in column_names]
+        self.backing_index_name: Optional[str] = None
+
+    def _key_of(self, database: "Database", row: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
+        schema = database.table(self.table_name).schema
+        key = tuple(row[schema.position(c)] for c in self.column_names)
+        if any(part is None for part in key):
+            return None
+        return key
+
+    def check_insert(self, database: "Database", row: Tuple[Any, ...]) -> None:
+        key = self._key_of(database, row)
+        if key is None:
+            return
+        matches = database.lookup_key(self.table_name, self.column_names, key)
+        if matches:
+            raise ConstraintViolation(
+                f"duplicate key {key!r} for {self.kind.upper()} constraint "
+                f"{self.name!r} on {self.table_name}",
+                constraint_name=self.name,
+            )
+
+    def check_update(
+        self,
+        database: "Database",
+        old_row: Tuple[Any, ...],
+        new_row: Tuple[Any, ...],
+    ) -> None:
+        old_key = self._key_of(database, old_row)
+        new_key = self._key_of(database, new_row)
+        if new_key is None or new_key == old_key:
+            return
+        self.check_insert(database, new_row)
+
+    def verify_table(self, database: "Database") -> List[Tuple[Any, ...]]:
+        table = database.table(self.table_name)
+        seen: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+        violations: List[Tuple[Any, ...]] = []
+        for row in table.scan_rows():
+            key = self._key_of(database, row)
+            if key is None:
+                continue
+            if key in seen:
+                violations.append(row)
+            else:
+                seen[key] = row
+        return violations
+
+    def describe(self) -> str:
+        cols = ", ".join(self.column_names)
+        return f"UNIQUE {self.table_name}({cols})"
+
+
+class PrimaryKeyConstraint(UniqueConstraint):
+    """PRIMARY KEY: unique + all key columns NOT NULL."""
+
+    kind = "primary_key"
+
+    def check_insert(self, database: "Database", row: Tuple[Any, ...]) -> None:
+        schema = database.table(self.table_name).schema
+        for column_name in self.column_names:
+            if row[schema.position(column_name)] is None:
+                raise ConstraintViolation(
+                    f"PRIMARY KEY column {self.table_name}.{column_name} "
+                    f"must not be NULL",
+                    constraint_name=self.name,
+                )
+        super().check_insert(database, row)
+
+    def describe(self) -> str:
+        cols = ", ".join(self.column_names)
+        return f"PRIMARY KEY {self.table_name}({cols})"
+
+
+class ForeignKeyConstraint(Constraint):
+    """Referential integrity: child columns reference parent columns.
+
+    Enforced as RESTRICT on both sides: a child insert/update must find a
+    matching parent row, and a parent delete/update must not strand
+    children.  The constraint is attached to the *child* table; the
+    database additionally routes parent-side DML through
+    :meth:`check_parent_delete`.
+    """
+
+    kind = "foreign_key"
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        column_names: Sequence[str],
+        parent_table: str,
+        parent_columns: Sequence[str],
+        mode: ConstraintMode = ConstraintMode.ENFORCED,
+    ) -> None:
+        super().__init__(name, table_name, mode)
+        if len(column_names) != len(parent_columns) or not column_names:
+            raise SchemaError(
+                f"FOREIGN KEY {name!r}: child and parent column lists must "
+                f"be non-empty and the same length"
+            )
+        self.column_names = [c.lower() for c in column_names]
+        self.parent_table = parent_table.lower()
+        self.parent_columns = [c.lower() for c in parent_columns]
+
+    def _child_key(
+        self, database: "Database", row: Tuple[Any, ...]
+    ) -> Optional[Tuple[Any, ...]]:
+        schema = database.table(self.table_name).schema
+        key = tuple(row[schema.position(c)] for c in self.column_names)
+        if any(part is None for part in key):
+            return None
+        return key
+
+    def check_insert(self, database: "Database", row: Tuple[Any, ...]) -> None:
+        key = self._child_key(database, row)
+        if key is None:
+            return  # SQL: NULL FK parts satisfy the constraint
+        matches = database.lookup_key(self.parent_table, self.parent_columns, key)
+        if not matches:
+            raise ConstraintViolation(
+                f"FOREIGN KEY {self.name!r}: no parent row in "
+                f"{self.parent_table} for key {key!r}",
+                constraint_name=self.name,
+            )
+
+    def check_parent_delete(
+        self, database: "Database", parent_row: Tuple[Any, ...]
+    ) -> None:
+        """RESTRICT: reject deleting a parent row that has children."""
+        parent_schema = database.table(self.parent_table).schema
+        key = tuple(
+            parent_row[parent_schema.position(c)] for c in self.parent_columns
+        )
+        if any(part is None for part in key):
+            return
+        children = database.lookup_key(self.table_name, self.column_names, key)
+        if children:
+            raise ConstraintViolation(
+                f"FOREIGN KEY {self.name!r}: parent row {key!r} in "
+                f"{self.parent_table} still referenced by {self.table_name}",
+                constraint_name=self.name,
+            )
+
+    def describe(self) -> str:
+        child = ", ".join(self.column_names)
+        parent = ", ".join(self.parent_columns)
+        return (
+            f"FOREIGN KEY {self.table_name}({child}) REFERENCES "
+            f"{self.parent_table}({parent})"
+        )
+
+
+class CheckConstraint(Constraint):
+    """A row-level CHECK constraint.
+
+    Parameters
+    ----------
+    predicate:
+        Compiled predicate over a ``{column: value}`` dict returning SQL
+        three-valued logic (``None`` = UNKNOWN, which *satisfies* a CHECK).
+    expression:
+        The parsed SQL expression (opaque here; the rewrite engine pattern
+        matches on it).
+    sql_text:
+        The original condition text, for display and round-tripping.
+    """
+
+    kind = "check"
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        predicate: RowPredicate,
+        expression: Any = None,
+        sql_text: str = "",
+        mode: ConstraintMode = ConstraintMode.ENFORCED,
+    ) -> None:
+        super().__init__(name, table_name, mode)
+        self.predicate = predicate
+        self.expression = expression
+        self.sql_text = sql_text
+
+    def check_insert(self, database: "Database", row: Tuple[Any, ...]) -> None:
+        schema = database.table(self.table_name).schema
+        row_dict = dict(zip(schema.column_names(), row))
+        verdict = self.predicate(row_dict)
+        if verdict is False:
+            raise ConstraintViolation(
+                f"CHECK constraint {self.name!r} violated: {self.sql_text}",
+                constraint_name=self.name,
+            )
+
+    def describe(self) -> str:
+        return f"CHECK ({self.sql_text}) on {self.table_name}"

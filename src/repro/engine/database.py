@@ -1,0 +1,300 @@
+"""The database facade: DDL, DML, constraint enforcement and change events.
+
+:class:`Database` ties the storage pieces together:
+
+* all tables share one :class:`~repro.engine.page.IOCounters`, so a query's
+  total I/O is a single deterministic number;
+* every enforced constraint is checked on the DML paths (informational
+  constraints are skipped, per the paper's Section 1);
+* PK / UNIQUE constraints get a backing unique index automatically;
+* every successful change is published to registered *change observers* —
+  this is the hook the soft-constraint maintenance engine (Section 4.3) and
+  the exception-table (ASC-as-AST, Section 4.4) machinery subscribe to.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.constraints import (
+    Constraint,
+    ConstraintMode,
+    UniqueConstraint,
+)
+from repro.engine.index import BTreeIndex
+from repro.engine.page import IOCounters
+from repro.engine.row import RowId
+from repro.engine.schema import TableSchema
+from repro.engine.table import HeapTable
+
+
+class ChangeEvent(NamedTuple):
+    """A committed row change, published to observers after it happens."""
+
+    kind: str  # "insert" | "delete" | "update"
+    table_name: str
+    old_row: Optional[Tuple[Any, ...]]
+    new_row: Optional[Tuple[Any, ...]]
+
+
+ChangeObserver = Callable[[ChangeEvent], None]
+
+
+class Database:
+    """A complete single-process database instance."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.counters = IOCounters()
+        self._observers: List[ChangeObserver] = []
+        self._auto_index_sequence = 0
+
+    # ------------------------------------------------------------------- DDL
+
+    def create_table(
+        self,
+        schema: TableSchema,
+        constraints: Sequence[Constraint] = (),
+    ) -> HeapTable:
+        """Create a table and attach its constraints.
+
+        Enforced PRIMARY KEY / UNIQUE constraints get a backing unique
+        index; informational ones do not (nothing to check), though the
+        optimizer still sees them in the catalog.
+        """
+        table = HeapTable(schema, self.counters)
+        self.catalog.add_table(table)
+        for constraint in constraints:
+            self.add_constraint(constraint)
+        return table
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Attach a constraint, creating a backing index when needed."""
+        self.catalog.add_constraint(constraint)
+        needs_index = isinstance(constraint, UniqueConstraint) and (
+            constraint.mode is ConstraintMode.ENFORCED
+        )
+        if needs_index and constraint.backing_index_name is None:
+            existing = self.catalog.find_index(
+                constraint.table_name, constraint.column_names, prefix_ok=False
+            )
+            if existing is not None and existing.unique:
+                constraint.backing_index_name = existing.name
+            else:
+                self._auto_index_sequence += 1
+                index_name = (
+                    f"idx_{constraint.table_name}_"
+                    f"{constraint.kind}_{self._auto_index_sequence}"
+                )
+                index = self.create_index(
+                    index_name,
+                    constraint.table_name,
+                    constraint.column_names,
+                    unique=True,
+                )
+                constraint.backing_index_name = index.name
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        column_names: Sequence[str],
+        unique: bool = False,
+    ) -> BTreeIndex:
+        """Create an index and bulk-load it from the current table data."""
+        table = self.catalog.table(table_name)
+        index = BTreeIndex(
+            name, table.schema, column_names, unique=unique, counters=self.counters
+        )
+        entries = []
+        for row_id, row in table.scan():
+            key = index.key_of(row)
+            if key is not None:
+                entries.append((key, row_id))
+        index.rebuild(entries)
+        self.catalog.add_index(index)
+        return index
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    # -------------------------------------------------------------- accessors
+
+    def table(self, name: str) -> HeapTable:
+        return self.catalog.table(name)
+
+    def schema(self, table_name: str) -> TableSchema:
+        return self.catalog.table(table_name).schema
+
+    # ----------------------------------------------------------- change events
+
+    def add_observer(self, observer: ChangeObserver) -> None:
+        """Subscribe to committed row changes (soft-constraint upkeep)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: ChangeObserver) -> None:
+        self._observers.remove(observer)
+
+    def _publish(self, event: ChangeEvent) -> None:
+        for observer in self._observers:
+            observer(event)
+
+    # -------------------------------------------------------------------- DML
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> RowId:
+        """Insert one row, enforcing constraints and maintaining indexes."""
+        table = self.catalog.table(table_name)
+        row = table.schema.validate_row(values)
+        for constraint in self.catalog.constraints_on(table.name):
+            if not constraint.is_informational:
+                constraint.check_insert(self, row)
+        row_id = table.insert(row)
+        for index in self.catalog.indexes_on(table.name):
+            index.insert(row, row_id)
+        self._publish(ChangeEvent("insert", table.name, None, row))
+        return row_id
+
+    def insert_mapping(self, table_name: str, mapping: Dict[str, Any]) -> RowId:
+        """Insert from a ``{column: value}`` dict (missing columns → NULL)."""
+        table = self.catalog.table(table_name)
+        return self.insert(table_name, table.schema.row_from_mapping(mapping))
+
+    def insert_many(
+        self, table_name: str, rows: Sequence[Sequence[Any]]
+    ) -> List[RowId]:
+        return [self.insert(table_name, row) for row in rows]
+
+    def delete_row(self, table_name: str, row_id: RowId) -> Tuple[Any, ...]:
+        """Delete one row by RowId (RESTRICT semantics for referencing FKs)."""
+        table = self.catalog.table(table_name)
+        row = table.fetch(row_id)
+        for fk in self.catalog.foreign_keys_referencing(table.name):
+            if not fk.is_informational:
+                fk.check_parent_delete(self, row)
+        for constraint in self.catalog.constraints_on(table.name):
+            if not constraint.is_informational:
+                constraint.check_delete(self, row)
+        table.delete(row_id)
+        for index in self.catalog.indexes_on(table.name):
+            index.delete(row, row_id)
+        self._publish(ChangeEvent("delete", table.name, row, None))
+        return row
+
+    def update_row(
+        self, table_name: str, row_id: RowId, values: Sequence[Any]
+    ) -> RowId:
+        """Replace one row's image, enforcing constraints on the new image."""
+        table = self.catalog.table(table_name)
+        new_row = table.schema.validate_row(values)
+        old_row = table.fetch(row_id)
+        for constraint in self.catalog.constraints_on(table.name):
+            if not constraint.is_informational:
+                constraint.check_update(self, old_row, new_row)
+        # Parent-side restrict: if this table is referenced and the update
+        # changes referenced key columns, stranded children must block it.
+        for fk in self.catalog.foreign_keys_referencing(table.name):
+            if fk.is_informational:
+                continue
+            parent_schema = table.schema
+            old_key = tuple(
+                old_row[parent_schema.position(c)] for c in fk.parent_columns
+            )
+            new_key = tuple(
+                new_row[parent_schema.position(c)] for c in fk.parent_columns
+            )
+            if old_key != new_key:
+                fk.check_parent_delete(self, old_row)
+        new_id, _ = table.update(row_id, new_row)
+        for index in self.catalog.indexes_on(table.name):
+            index.update(old_row, row_id, new_row, new_id)
+        self._publish(ChangeEvent("update", table.name, old_row, new_row))
+        return new_id
+
+    def delete_where(
+        self, table_name: str, predicate: Callable[[Dict[str, Any]], Optional[bool]]
+    ) -> int:
+        """Delete every row satisfying ``predicate``; returns the count."""
+        table = self.catalog.table(table_name)
+        names = table.schema.column_names()
+        victims = [
+            row_id
+            for row_id, row in table.scan()
+            if predicate(dict(zip(names, row))) is True
+        ]
+        for row_id in victims:
+            self.delete_row(table_name, row_id)
+        return len(victims)
+
+    def update_where(
+        self,
+        table_name: str,
+        predicate: Callable[[Dict[str, Any]], Optional[bool]],
+        assign: Callable[[Dict[str, Any]], Dict[str, Any]],
+    ) -> int:
+        """Update every matching row via an assignment function."""
+        table = self.catalog.table(table_name)
+        names = table.schema.column_names()
+        targets: List[Tuple[RowId, Dict[str, Any]]] = []
+        for row_id, row in table.scan():
+            row_dict = dict(zip(names, row))
+            if predicate(row_dict) is True:
+                targets.append((row_id, row_dict))
+        for row_id, row_dict in targets:
+            new_dict = dict(row_dict)
+            new_dict.update(assign(row_dict))
+            self.update_row(
+                table_name, row_id, [new_dict[name] for name in names]
+            )
+        return len(targets)
+
+    # ----------------------------------------------------------------- lookups
+
+    def lookup_key(
+        self, table_name: str, column_names: Sequence[str], key: Sequence[Any]
+    ) -> List[RowId]:
+        """RowIds of rows whose named columns equal ``key``.
+
+        Routes through a matching index when one exists (counted as an
+        index probe), otherwise falls back to a counted scan — exactly the
+        cost asymmetry constraint checking has in a real engine.
+        """
+        index = self.catalog.find_index(table_name, column_names, prefix_ok=True)
+        if index is not None and index.column_names[: len(column_names)] == [
+            c.lower() for c in column_names
+        ]:
+            if len(index.column_names) == len(column_names):
+                return index.search(key)
+            return [
+                rid
+                for found_key, rid in index.range_scan(tuple(key), tuple(key))
+            ]
+        table = self.catalog.table(table_name)
+        positions = [table.schema.position(c) for c in column_names]
+        probe = tuple(key)
+        return [
+            row_id
+            for row_id, row in table.scan()
+            if tuple(row[p] for p in positions) == probe
+        ]
+
+    def fetch_rows(
+        self, table_name: str, row_ids: Sequence[RowId]
+    ) -> List[Tuple[Any, ...]]:
+        table = self.catalog.table(table_name)
+        return [table.fetch(row_id) for row_id in row_ids]
+
+    # -------------------------------------------------------------------- misc
+
+    def scan_dicts(self, table_name: str) -> Iterator[Dict[str, Any]]:
+        """Full scan yielding rows as dicts (convenience for tools/tests)."""
+        table = self.catalog.table(table_name)
+        names = table.schema.column_names()
+        for row in table.scan_rows():
+            yield dict(zip(names, row))
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
+
+    def __repr__(self) -> str:
+        return f"Database(tables={self.catalog.table_names()})"

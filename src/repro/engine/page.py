@@ -1,0 +1,185 @@
+"""Simulated disk pages and page-level I/O accounting.
+
+The engine does not persist bytes; it *models* a paged storage layout so the
+optimizer's cost estimates ("pages scanned") can be validated against real
+counters.  A :class:`Page` holds row tuples up to a byte budget computed from
+the schema's :meth:`~repro.engine.schema.TableSchema.row_size`.  A
+:class:`PageManager` tracks every logical read and write so benchmarks can
+report deterministic, machine-independent I/O numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import PageOverflowError
+
+PAGE_SIZE = 4096
+_PAGE_HEADER = 32
+
+
+class Page:
+    """One fixed-size page holding a list of row slots.
+
+    A slot is either a row tuple or ``None`` (a tombstone left by DELETE;
+    the slot is reused by a later INSERT when the row fits).
+    """
+
+    __slots__ = ("page_id", "slots", "used_bytes", "slot_sizes")
+
+    def __init__(self, page_id: int) -> None:
+        self.page_id = page_id
+        self.slots: List[Optional[Tuple[Any, ...]]] = []
+        self.slot_sizes: List[int] = []
+        self.used_bytes = _PAGE_HEADER
+
+    @property
+    def free_bytes(self) -> int:
+        return PAGE_SIZE - self.used_bytes
+
+    @property
+    def live_rows(self) -> int:
+        return sum(1 for slot in self.slots if slot is not None)
+
+    def can_fit(self, row_bytes: int) -> bool:
+        """Room for a row: fresh free space or a large-enough tombstone."""
+        if row_bytes <= self.free_bytes:
+            return True
+        return any(
+            slot is None and size >= row_bytes
+            for slot, size in zip(self.slots, self.slot_sizes)
+        )
+
+    def insert(self, row: Tuple[Any, ...], row_bytes: int) -> int:
+        """Place a row on this page, returning the slot number.
+
+        Reuses a tombstoned slot when one can hold the row; otherwise
+        appends a new slot.
+        """
+        if row_bytes > PAGE_SIZE - _PAGE_HEADER:
+            raise PageOverflowError(
+                f"row of {row_bytes} bytes exceeds page capacity"
+            )
+        for slot_no, slot in enumerate(self.slots):
+            if slot is None and self.slot_sizes[slot_no] >= row_bytes:
+                self.slots[slot_no] = row
+                # The slot keeps its original size: the simulated layout
+                # does not compact within a page.
+                return slot_no
+        if not self.can_fit(row_bytes):
+            raise PageOverflowError("page full")
+        self.slots.append(row)
+        self.slot_sizes.append(row_bytes)
+        self.used_bytes += row_bytes
+        return len(self.slots) - 1
+
+    def delete(self, slot_no: int) -> None:
+        """Tombstone a slot.  The space remains allocated until reuse."""
+        self.slots[slot_no] = None
+
+    def update(self, slot_no: int, row: Tuple[Any, ...], row_bytes: int) -> bool:
+        """Update a slot in place if the new image fits; returns success.
+
+        When the new image is larger than the slot, the caller must delete
+        here and re-insert elsewhere (the classic forwarding case, which we
+        model simply as delete+insert).
+        """
+        if row_bytes <= self.slot_sizes[slot_no]:
+            self.slots[slot_no] = row
+            return True
+        spare = self.free_bytes
+        growth = row_bytes - self.slot_sizes[slot_no]
+        if growth <= spare:
+            self.slots[slot_no] = row
+            self.slot_sizes[slot_no] = row_bytes
+            self.used_bytes += growth
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Page(id={self.page_id}, rows={self.live_rows}, "
+            f"used={self.used_bytes}/{PAGE_SIZE})"
+        )
+
+
+class IOCounters:
+    """Mutable counters of logical page I/O, shared via the page manager."""
+
+    __slots__ = ("page_reads", "page_writes", "rows_read", "rows_written")
+
+    def __init__(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.rows_read = 0
+        self.rows_written = 0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.rows_read = 0
+        self.rows_written = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "rows_read": self.rows_read,
+            "rows_written": self.rows_written,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IOCounters(reads={self.page_reads}, writes={self.page_writes}, "
+            f"rows_read={self.rows_read}, rows_written={self.rows_written})"
+        )
+
+
+class PageManager:
+    """Owns the pages of one table and counts every logical access.
+
+    The manager is deliberately simple: pages are append-ordered and a
+    free-space hint (the id of the last page known to have room) avoids
+    quadratic insert behaviour without simulating a full FSM.
+    """
+
+    def __init__(self, counters: Optional[IOCounters] = None) -> None:
+        self.pages: List[Page] = []
+        self.counters = counters if counters is not None else IOCounters()
+        self._insert_hint = 0
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    def allocate(self) -> Page:
+        page = Page(len(self.pages))
+        self.pages.append(page)
+        return page
+
+    def page_for_insert(self, row_bytes: int) -> Page:
+        """Find (or allocate) a page with room for ``row_bytes``."""
+        for page_id in range(self._insert_hint, len(self.pages)):
+            if self.pages[page_id].can_fit(row_bytes):
+                self._insert_hint = page_id
+                return self.pages[page_id]
+        page = self.allocate()
+        self._insert_hint = page.page_id
+        return page
+
+    # -- counted access -----------------------------------------------------
+
+    def read_page(self, page_id: int) -> Page:
+        """Read a page, counting one logical page read."""
+        self.counters.page_reads += 1
+        return self.pages[page_id]
+
+    def touch_write(self, count: int = 1) -> None:
+        """Record ``count`` logical page writes."""
+        self.counters.page_writes += count
+
+    def read_row(self, count: int = 1) -> None:
+        self.counters.rows_read += count
+
+    def wrote_row(self, count: int = 1) -> None:
+        self.counters.rows_written += count

@@ -1,0 +1,34 @@
+"""Row identifiers and row utilities.
+
+Rows themselves are plain tuples (positional, matching the table schema);
+a :class:`RowId` names a row's physical location (page, slot) exactly as a
+RID does in a disk-based engine, and is what secondary indexes point at.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple, Sequence, Tuple
+
+from repro.engine.schema import TableSchema
+
+
+class RowId(NamedTuple):
+    """Physical address of a row: (page number, slot number)."""
+
+    page_id: int
+    slot_no: int
+
+    def __repr__(self) -> str:
+        return f"RowId({self.page_id}:{self.slot_no})"
+
+
+def row_as_dict(schema: TableSchema, row: Sequence[Any]) -> Dict[str, Any]:
+    """Render a positional row as a ``{column: value}`` mapping."""
+    return dict(zip(schema.column_names(), row))
+
+
+def project_row(
+    row: Sequence[Any], positions: Sequence[int]
+) -> Tuple[Any, ...]:
+    """Extract the values at ``positions`` as a new tuple."""
+    return tuple(row[position] for position in positions)

@@ -1,0 +1,177 @@
+"""Table schemas: named, typed, ordered columns.
+
+A :class:`TableSchema` is immutable once constructed.  It provides fast
+column lookup by name, row validation against the column types, and the
+simulated on-page size of a row (used by the page manager).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.types import SqlType
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class Column:
+    """A single column: a name, a type, and nullability.
+
+    Nullability here is structural (declared in the DDL); the NOT NULL
+    *constraint object* in :mod:`repro.engine.constraints` enforces it and
+    lets it participate in the informational / soft-constraint machinery.
+    """
+
+    __slots__ = ("name", "type", "nullable")
+
+    def __init__(self, name: str, sql_type: SqlType, nullable: bool = True) -> None:
+        if not name:
+            raise SchemaError("column name must be non-empty")
+        self.name = name.lower()
+        self.type = sql_type
+        self.nullable = nullable
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.type == other.type
+            and self.nullable == other.nullable
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.type, self.nullable))
+
+    def __repr__(self) -> str:
+        null = "" if self.nullable else " NOT NULL"
+        return f"Column({self.name} {self.type}{null})"
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` objects.
+
+    Parameters
+    ----------
+    name:
+        Table name (stored lower-cased; SQL identifiers are case-insensitive).
+    columns:
+        The columns in declaration order.  Names must be unique.
+    """
+
+    __slots__ = ("name", "columns", "_index_by_name")
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name.lower()
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._index_by_name: Dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._index_by_name:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            self._index_by_name[column.name] = position
+
+    # -- lookup -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name.lower() in self._index_by_name
+
+    def column_names(self) -> List[str]:
+        """The column names in declaration order."""
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        try:
+            return self.columns[self._index_by_name[name.lower()]]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def position(self, name: str) -> int:
+        """The 0-based position of a column within the row layout."""
+        try:
+            return self._index_by_name[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    # -- row handling --------------------------------------------------------
+
+    def validate_row(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        """Validate and coerce a row of values against the column types.
+
+        Structural nullability (``NOT NULL`` in the column definition) is
+        checked here; declared NOT NULL *constraints* are checked separately
+        by the constraint manager so they can be marked informational.
+        """
+        if len(values) != len(self.columns):
+            raise TypeMismatchError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        coerced: List[Any] = []
+        for column, value in zip(self.columns, values):
+            checked = column.type.validate(value)
+            if checked is None and not column.nullable:
+                raise TypeMismatchError(
+                    f"column {self.name}.{column.name} is NOT NULL"
+                )
+            coerced.append(checked)
+        return tuple(coerced)
+
+    def row_from_mapping(self, mapping: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Build a positional row from a ``{column: value}`` mapping.
+
+        Missing columns default to NULL.  Unknown keys raise
+        :class:`~repro.errors.SchemaError`.
+        """
+        lowered = {key.lower(): value for key, value in mapping.items()}
+        unknown = set(lowered) - set(self._index_by_name)
+        if unknown:
+            raise SchemaError(
+                f"unknown column(s) {sorted(unknown)} for table {self.name!r}"
+            )
+        return self.validate_row(
+            [lowered.get(column.name) for column in self.columns]
+        )
+
+    def row_size(self, values: Sequence[Any]) -> int:
+        """Simulated on-page byte size of a row (incl. a 4-byte header)."""
+        size = 4
+        for column, value in zip(self.columns, values):
+            size += column.type.storage_size(value)
+        return size
+
+    # -- derivation -----------------------------------------------------------
+
+    def project(self, column_names: Iterable[str], new_name: Optional[str] = None) -> "TableSchema":
+        """A new schema containing only the named columns, in the given order."""
+        return TableSchema(
+            new_name or self.name,
+            [self.column(name) for name in column_names],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self.name == other.name and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.columns))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.type}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"

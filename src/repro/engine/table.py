@@ -1,0 +1,147 @@
+"""Heap tables: unordered row storage over simulated pages.
+
+A :class:`HeapTable` owns a :class:`~repro.engine.page.PageManager` and
+exposes insert/delete/update by :class:`~repro.engine.row.RowId`, plus a
+counted full scan.  Constraint checking and index maintenance live above
+this layer (in :mod:`repro.engine.database`); the heap is purely physical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.page import IOCounters, PageManager
+from repro.engine.row import RowId
+from repro.engine.schema import TableSchema
+from repro.errors import StorageError
+
+
+class HeapTable:
+    """Unordered heap of rows with page-level I/O accounting.
+
+    Parameters
+    ----------
+    schema:
+        The table's schema; rows are validated against it on insert.
+    counters:
+        Optional shared I/O counters (the database passes one set shared by
+        all tables so a query's total I/O is a single number).
+    """
+
+    def __init__(
+        self, schema: TableSchema, counters: Optional[IOCounters] = None
+    ) -> None:
+        self.schema = schema
+        self.pages = PageManager(counters)
+        self._row_count = 0
+
+    # -- size ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        """Number of live rows."""
+        return self._row_count
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages (the table's footprint on disk)."""
+        return self.pages.page_count
+
+    # -- DML ------------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> RowId:
+        """Validate, coerce and store one row; returns its new RowId."""
+        row = self.schema.validate_row(values)
+        row_bytes = self.schema.row_size(row)
+        page = self.pages.page_for_insert(row_bytes)
+        slot_no = page.insert(row, row_bytes)
+        self.pages.touch_write()
+        self.pages.wrote_row()
+        self._row_count += 1
+        return RowId(page.page_id, slot_no)
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> List[RowId]:
+        """Bulk insert; returns the RowIds in input order."""
+        return [self.insert(row) for row in rows]
+
+    def fetch(self, row_id: RowId) -> Tuple[Any, ...]:
+        """Fetch one row by RowId, counting one page read."""
+        page = self.pages.read_page(row_id.page_id)
+        row = page.slots[row_id.slot_no]
+        if row is None:
+            raise StorageError(f"{row_id} is deleted")
+        self.pages.read_row()
+        return row
+
+    def fetch_if_live(self, row_id: RowId) -> Optional[Tuple[Any, ...]]:
+        """Fetch a row, or None when the slot is tombstoned (counted read)."""
+        page = self.pages.read_page(row_id.page_id)
+        row = page.slots[row_id.slot_no]
+        if row is not None:
+            self.pages.read_row()
+        return row
+
+    def delete(self, row_id: RowId) -> Tuple[Any, ...]:
+        """Delete a row, returning its last image (for undo / index upkeep)."""
+        page = self.pages.read_page(row_id.page_id)
+        row = page.slots[row_id.slot_no]
+        if row is None:
+            raise StorageError(f"{row_id} already deleted")
+        page.delete(row_id.slot_no)
+        self.pages.touch_write()
+        self._row_count -= 1
+        return row
+
+    def update(self, row_id: RowId, values: Sequence[Any]) -> Tuple[RowId, Tuple[Any, ...]]:
+        """Replace a row's image.
+
+        Returns ``(new_row_id, old_image)``.  When the new image does not
+        fit in place the row moves (delete + insert), exactly as a
+        disk-based heap would forward it.
+        """
+        new_row = self.schema.validate_row(values)
+        row_bytes = self.schema.row_size(new_row)
+        page = self.pages.read_page(row_id.page_id)
+        old_row = page.slots[row_id.slot_no]
+        if old_row is None:
+            raise StorageError(f"{row_id} is deleted")
+        if page.update(row_id.slot_no, new_row, row_bytes):
+            self.pages.touch_write()
+            return row_id, old_row
+        page.delete(row_id.slot_no)
+        self.pages.touch_write()
+        self._row_count -= 1
+        new_id = self.insert(new_row)
+        return new_id, old_row
+
+    # -- scans -----------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[RowId, Tuple[Any, ...]]]:
+        """Full scan in physical order, counting each page read once."""
+        for page_id in range(self.pages.page_count):
+            page = self.pages.read_page(page_id)
+            for slot_no, row in enumerate(page.slots):
+                if row is not None:
+                    self.pages.read_row()
+                    yield RowId(page_id, slot_no), row
+
+    def scan_rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Full scan yielding just the row tuples."""
+        for _, row in self.scan():
+            yield row
+
+    def truncate(self) -> None:
+        """Drop all rows and pages (DDL-level operation; not undoable)."""
+        counters = self.pages.counters
+        self.pages = PageManager(counters)
+        self._row_count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HeapTable({self.schema.name}, rows={self._row_count}, "
+            f"pages={self.page_count})"
+        )

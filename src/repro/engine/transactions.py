@@ -1,0 +1,127 @@
+"""Minimal transactions: statement grouping with rollback via an undo log.
+
+The paper's concurrency discussion (Section 4.1) concerns what happens when
+one transaction *overturns* an ASC that another transaction's plan relied
+on.  To reproduce that story we need transactions only as units of change
+with abort/commit — not full ARIES.  A :class:`Transaction` wraps a
+:class:`~repro.engine.database.Database`, records undo entries for every
+change made through it, and replays them in reverse on rollback.
+
+Change events are published immediately (the soft-constraint manager is
+told about violations when they happen, matching the paper's synchronous
+maintenance); a rolled-back transaction publishes compensating events so
+observers stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.engine.row import RowId
+from repro.errors import TransactionError
+
+
+class _UndoEntry:
+    __slots__ = ("kind", "table_name", "row_id", "old_row")
+
+    def __init__(
+        self,
+        kind: str,
+        table_name: str,
+        row_id: RowId,
+        old_row: Optional[Tuple[Any, ...]],
+    ) -> None:
+        self.kind = kind
+        self.table_name = table_name
+        self.row_id = row_id
+        self.old_row = old_row
+
+
+class Transaction:
+    """A unit of work over one database.
+
+    Usage::
+
+        with Transaction(db) as txn:
+            txn.insert("t", [1, "x"])
+            txn.delete("t", some_row_id)
+        # commits on clean exit, rolls back on exception
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._undo: List[_UndoEntry] = []
+        self._state = "active"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        return self._state == "active"
+
+    def _require_active(self) -> None:
+        if self._state != "active":
+            raise TransactionError(f"transaction is {self._state}")
+
+    def commit(self) -> None:
+        self._require_active()
+        self._undo.clear()
+        self._state = "committed"
+
+    def rollback(self) -> None:
+        """Undo every change made through this transaction, newest first."""
+        self._require_active()
+        for entry in reversed(self._undo):
+            if entry.kind == "insert":
+                self.database.delete_row(entry.table_name, entry.row_id)
+            elif entry.kind == "delete":
+                assert entry.old_row is not None
+                self.database.insert(entry.table_name, entry.old_row)
+            else:  # update
+                assert entry.old_row is not None
+                self.database.update_row(
+                    entry.table_name, entry.row_id, entry.old_row
+                )
+        self._undo.clear()
+        self._state = "rolled_back"
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> None:
+        if not self.is_active:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    # -- DML ------------------------------------------------------------------
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> RowId:
+        self._require_active()
+        row_id = self.database.insert(table_name, values)
+        self._undo.append(_UndoEntry("insert", table_name.lower(), row_id, None))
+        return row_id
+
+    def insert_mapping(self, table_name: str, mapping: Dict[str, Any]) -> RowId:
+        self._require_active()
+        table = self.database.table(table_name)
+        return self.insert(table_name, table.schema.row_from_mapping(mapping))
+
+    def delete(self, table_name: str, row_id: RowId) -> Tuple[Any, ...]:
+        self._require_active()
+        old_row = self.database.delete_row(table_name, row_id)
+        self._undo.append(_UndoEntry("delete", table_name.lower(), row_id, old_row))
+        return old_row
+
+    def update(
+        self, table_name: str, row_id: RowId, values: Sequence[Any]
+    ) -> RowId:
+        self._require_active()
+        table = self.database.table(table_name)
+        old_row = table.fetch(row_id)
+        new_id = self.database.update_row(table_name, row_id, values)
+        self._undo.append(_UndoEntry("update", table_name.lower(), new_id, old_row))
+        return new_id

@@ -1,0 +1,215 @@
+"""SQL data types and value handling.
+
+The engine supports a small but complete set of scalar types: ``INTEGER``,
+``DOUBLE``, ``VARCHAR(n)``, ``BOOLEAN``, and ``DATE``.  SQL ``NULL`` is
+represented by Python ``None`` throughout the system.
+
+Dates are stored internally as *days since 1970-01-01* (plain ``int``), which
+makes date arithmetic, histogram bucketing, and linear-correlation mining on
+date columns uniform with numeric columns.  :func:`date_to_days` and
+:func:`days_to_date` convert to and from :class:`datetime.date`.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Optional
+
+from repro.errors import SchemaError, TypeMismatchError
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_days(value: datetime.date) -> int:
+    """Convert a :class:`datetime.date` to days since 1970-01-01."""
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> datetime.date:
+    """Convert days since 1970-01-01 back to a :class:`datetime.date`."""
+    return _EPOCH + datetime.timedelta(days=days)
+
+
+def parse_date_literal(text: str) -> int:
+    """Parse a ``'YYYY-MM-DD'`` literal into internal day-number form."""
+    try:
+        parsed = datetime.date.fromisoformat(text)
+    except ValueError as exc:
+        raise TypeMismatchError(f"invalid DATE literal {text!r}") from exc
+    return date_to_days(parsed)
+
+
+class SqlType:
+    """A SQL scalar type.
+
+    Instances are immutable and compare by ``kind`` (and length, for
+    VARCHAR).  Use the module-level singletons ``INTEGER``, ``DOUBLE``,
+    ``BOOLEAN``, ``DATE``, and the :func:`VARCHAR` factory.
+    """
+
+    __slots__ = ("kind", "length")
+
+    INTEGER_KIND = "INTEGER"
+    DOUBLE_KIND = "DOUBLE"
+    VARCHAR_KIND = "VARCHAR"
+    BOOLEAN_KIND = "BOOLEAN"
+    DATE_KIND = "DATE"
+
+    _KINDS = frozenset(
+        [INTEGER_KIND, DOUBLE_KIND, VARCHAR_KIND, BOOLEAN_KIND, DATE_KIND]
+    )
+
+    def __init__(self, kind: str, length: Optional[int] = None) -> None:
+        if kind not in self._KINDS:
+            raise SchemaError(f"unknown SQL type kind {kind!r}")
+        if kind == self.VARCHAR_KIND:
+            if length is None or length <= 0:
+                raise SchemaError("VARCHAR requires a positive length")
+        elif length is not None:
+            raise SchemaError(f"{kind} does not take a length")
+        self.kind = kind
+        self.length = length
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SqlType):
+            return NotImplemented
+        return self.kind == other.kind and self.length == other.length
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.length))
+
+    def __repr__(self) -> str:
+        if self.kind == self.VARCHAR_KIND:
+            return f"VARCHAR({self.length})"
+        return self.kind
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types that support arithmetic (INTEGER, DOUBLE, DATE).
+
+        DATE counts as numeric because it is stored as a day number and the
+        soft-constraint machinery (linear correlations, range statistics)
+        treats it as an ordered numeric domain.
+        """
+        return self.kind in (self.INTEGER_KIND, self.DOUBLE_KIND, self.DATE_KIND)
+
+    @property
+    def is_ordered(self) -> bool:
+        """True for types with a total order usable in range predicates.
+
+        Every supported type is totally ordered (booleans order as
+        ``False < True``), so range predicates and min/max statistics are
+        well defined on all columns.
+        """
+        return True
+
+    # -- value validation and coercion --------------------------------------
+
+    def validate(self, value: Any) -> Any:
+        """Validate ``value`` against this type, coercing where SQL would.
+
+        Returns the (possibly coerced) value.  ``None`` always validates:
+        nullability is a constraint, not a property of the type.
+
+        Raises
+        ------
+        TypeMismatchError
+            If the value cannot represent this type.
+        """
+        if value is None:
+            return None
+        if self.kind == self.INTEGER_KIND:
+            if isinstance(value, bool) or not isinstance(value, int):
+                if isinstance(value, float) and value.is_integer():
+                    return int(value)
+                raise TypeMismatchError(
+                    f"expected INTEGER, got {value!r} ({type(value).__name__})"
+                )
+            return value
+        if self.kind == self.DOUBLE_KIND:
+            if isinstance(value, bool):
+                raise TypeMismatchError(f"expected DOUBLE, got {value!r}")
+            if isinstance(value, (int, float)):
+                return float(value)
+            raise TypeMismatchError(
+                f"expected DOUBLE, got {value!r} ({type(value).__name__})"
+            )
+        if self.kind == self.VARCHAR_KIND:
+            if not isinstance(value, str):
+                raise TypeMismatchError(
+                    f"expected VARCHAR, got {value!r} ({type(value).__name__})"
+                )
+            assert self.length is not None
+            if len(value) > self.length:
+                raise TypeMismatchError(
+                    f"string of length {len(value)} exceeds VARCHAR({self.length})"
+                )
+            return value
+        if self.kind == self.BOOLEAN_KIND:
+            if isinstance(value, bool):
+                return value
+            raise TypeMismatchError(f"expected BOOLEAN, got {value!r}")
+        # DATE
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"expected DATE, got {value!r}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, datetime.date):
+            return date_to_days(value)
+        if isinstance(value, str):
+            return parse_date_literal(value)
+        raise TypeMismatchError(
+            f"expected DATE, got {value!r} ({type(value).__name__})"
+        )
+
+    def storage_size(self, value: Any) -> int:
+        """Bytes this value occupies on a page (simulated layout).
+
+        NULLs cost one byte (the null indicator); fixed-width types cost
+        their natural width plus the indicator; VARCHAR costs the string
+        length plus a two-byte length prefix plus the indicator.
+        """
+        if value is None:
+            return 1
+        if self.kind == self.INTEGER_KIND or self.kind == self.DATE_KIND:
+            return 1 + 4
+        if self.kind == self.DOUBLE_KIND:
+            return 1 + 8
+        if self.kind == self.BOOLEAN_KIND:
+            return 1 + 1
+        return 1 + 2 + len(value)
+
+
+INTEGER = SqlType(SqlType.INTEGER_KIND)
+DOUBLE = SqlType(SqlType.DOUBLE_KIND)
+BOOLEAN = SqlType(SqlType.BOOLEAN_KIND)
+DATE = SqlType(SqlType.DATE_KIND)
+
+
+def VARCHAR(length: int) -> SqlType:
+    """Create a ``VARCHAR(length)`` type."""
+    return SqlType(SqlType.VARCHAR_KIND, length)
+
+
+def type_from_name(name: str, length: Optional[int] = None) -> SqlType:
+    """Resolve a type name as written in SQL DDL to a :class:`SqlType`.
+
+    Accepts common synonyms: INT/INTEGER, FLOAT/DOUBLE/REAL, CHAR/VARCHAR,
+    BOOL/BOOLEAN.
+    """
+    upper = name.upper()
+    if upper in ("INT", "INTEGER", "BIGINT", "SMALLINT"):
+        return INTEGER
+    if upper in ("DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC"):
+        return DOUBLE
+    if upper in ("VARCHAR", "CHAR", "TEXT", "STRING"):
+        return VARCHAR(length if length is not None else 255)
+    if upper in ("BOOL", "BOOLEAN"):
+        return BOOLEAN
+    if upper == "DATE":
+        return DATE
+    raise SchemaError(f"unknown SQL type name {name!r}")

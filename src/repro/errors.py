@@ -1,0 +1,121 @@
+"""Exception hierarchy for the ``repro`` engine.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  The hierarchy mirrors the layers of
+the system: storage, SQL front end, catalog, constraints, optimizer, and
+executor.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class StorageError(ReproError):
+    """A problem in the storage layer (pages, heap tables, indexes)."""
+
+
+class PageOverflowError(StorageError):
+    """A row is too large to fit on a single page."""
+
+
+class SchemaError(ReproError):
+    """An invalid schema definition (duplicate columns, unknown types...)."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to its declared column type."""
+
+
+class CatalogError(ReproError):
+    """A catalog-level problem (duplicate table, unknown object...)."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An object with the given name already exists in the catalog."""
+
+
+class UnknownObjectError(CatalogError):
+    """The named table / index / constraint does not exist."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexError(SqlError):
+    """The SQL text could not be tokenized."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The token stream does not form a valid statement."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(SqlError):
+    """A name in the query could not be resolved against the catalog."""
+
+
+class ExpressionError(ReproError):
+    """An expression could not be evaluated (bad operand types, etc.)."""
+
+
+class ConstraintError(ReproError):
+    """Base class for integrity-constraint problems."""
+
+
+class ConstraintViolation(ConstraintError):
+    """A *hard* integrity constraint was violated; the statement is rejected.
+
+    Attributes
+    ----------
+    constraint_name:
+        Name of the violated constraint, when known.
+    """
+
+    def __init__(self, message: str, constraint_name: str = "") -> None:
+        super().__init__(message)
+        self.constraint_name = constraint_name
+
+
+class SoftConstraintError(ReproError):
+    """Base class for problems specific to the soft-constraint facility."""
+
+
+class SoftConstraintStateError(SoftConstraintError):
+    """An operation is illegal for the soft constraint's lifecycle state."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""
+
+
+class StalePlanError(ExecutionError):
+    """The plan relies on a soft constraint that has changed since compile.
+
+    Models the paper's Section 4.1 conflict: a transaction holding a plan
+    that used an ASC runs concurrently with one that overturned it.  The
+    holder must re-issue with a freshly compiled plan (as the paper's
+    behind-the-scenes re-issue does for deadlocks).
+    """
+
+    def __init__(self, message: str, stale_constraints: tuple = ()) -> None:
+        super().__init__(message)
+        self.stale_constraints = tuple(stale_constraints)
+
+
+class TransactionError(ReproError):
+    """Transaction misuse (commit twice, write outside a transaction...)."""

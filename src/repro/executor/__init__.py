@@ -1,0 +1,11 @@
+"""The runtime: an iterator-model interpreter for physical plans.
+
+Rows flow between operators as ``{qualified_name: value}`` dicts.  All
+page I/O is charged to the database's shared counters, so an
+:class:`~repro.executor.runtime.ExecutionResult` reports exactly the pages
+a plan touched — the number every benchmark compares across plans.
+"""
+
+from repro.executor.runtime import ExecutionResult, Executor, run_sql
+
+__all__ = ["ExecutionResult", "Executor", "run_sql"]

@@ -1,0 +1,75 @@
+"""Aggregate computation for the GROUP BY operator."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.errors import ExecutionError
+from repro.expr.eval import evaluate
+from repro.optimizer.logical import Aggregate
+
+RowDict = Dict[str, Any]
+
+
+class AggregateState:
+    """Accumulates one aggregate over one group (SQL NULL semantics).
+
+    NULL inputs are ignored by every aggregate; COUNT(*) counts rows.  An
+    empty group yields NULL for SUM/AVG/MIN/MAX and 0 for COUNT.
+    """
+
+    __slots__ = ("spec", "count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, spec: Aggregate) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total: Optional[float] = None
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen: Optional[Set[Any]] = set() if spec.distinct else None
+
+    def update(self, row: RowDict) -> None:
+        if self.spec.argument is None:  # COUNT(*)
+            self.count += 1
+            return
+        value = evaluate(self.spec.argument, row)
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.spec.function in ("sum", "avg"):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ExecutionError(
+                    f"{self.spec.function.upper()} over non-numeric "
+                    f"value {value!r}"
+                )
+            self.total = value if self.total is None else self.total + value
+        if self.spec.function == "min":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        if self.spec.function == "max":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self) -> Any:
+        function = self.spec.function
+        if function == "count":
+            return self.count
+        if function == "sum":
+            return self.total
+        if function == "avg":
+            if self.count == 0 or self.total is None:
+                return None
+            return self.total / self.count
+        if function == "min":
+            return self.minimum
+        if function == "max":
+            return self.maximum
+        raise ExecutionError(f"unknown aggregate {function!r}")
+
+
+def new_states(specs: List[Aggregate]) -> List[AggregateState]:
+    return [AggregateState(spec) for spec in specs]

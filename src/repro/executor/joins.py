@@ -1,0 +1,53 @@
+"""Join operators: hash join and (materialized-inner) nested loops."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from repro.expr.eval import evaluate
+from repro.optimizer.physical import HashJoin, NestedLoopJoin
+
+RowDict = Dict[str, Any]
+RowIterator = Iterator[RowDict]
+ChildRunner = Callable[[object], RowIterator]
+
+
+def run_nested_loop_join(
+    node: NestedLoopJoin, run_child: ChildRunner
+) -> RowIterator:
+    """Nested loops with the inner input materialized once.
+
+    Materializing mirrors the cost model (inner I/O paid once, CPU per
+    pair) and keeps correctness simple — our page counters would otherwise
+    charge repeated physical rescans that a real engine's buffer pool
+    would absorb.
+    """
+    inner_rows: List[RowDict] = list(run_child(node.right))
+    for left_row in run_child(node.left):
+        for right_row in inner_rows:
+            merged = {**left_row, **right_row}
+            if node.condition is None or evaluate(node.condition, merged) is True:
+                yield merged
+
+
+def run_hash_join(node: HashJoin, run_child: ChildRunner) -> RowIterator:
+    """Classic hash join: build on the right input, probe with the left.
+
+    NULL key components never match (SQL equality semantics).
+    """
+    build: Dict[Tuple[Any, ...], List[RowDict]] = {}
+    for right_row in run_child(node.right):
+        key = tuple(evaluate(expr, right_row) for expr in node.right_keys)
+        if any(part is None for part in key):
+            continue
+        build.setdefault(key, []).append(right_row)
+    if not build:
+        return  # empty build side: skip scanning the probe input entirely
+    for left_row in run_child(node.left):
+        key = tuple(evaluate(expr, left_row) for expr in node.left_keys)
+        if any(part is None for part in key):
+            continue
+        for right_row in build.get(key, ()):
+            merged = {**left_row, **right_row}
+            if node.residual is None or evaluate(node.residual, merged) is True:
+                yield merged

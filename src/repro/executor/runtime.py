@@ -1,0 +1,280 @@
+"""The plan interpreter and its execution metrics."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.errors import ExecutionError
+from repro.executor.aggregates import AggregateState, new_states
+from repro.executor.joins import run_hash_join, run_nested_loop_join
+from repro.executor.scans import run_index_scan, run_seq_scan
+from repro.executor.sorts import run_sort
+from repro.expr.eval import evaluate
+from repro.optimizer.physical import (
+    Distinct,
+    EmptyResult,
+    Extend,
+    Filter,
+    GroupBy,
+    HashJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    PhysicalNode,
+    PhysicalPlan,
+    Project,
+    SeqScan,
+    Sort,
+    UnionAll,
+)
+
+RowDict = Dict[str, Any]
+
+
+class ExecutionResult:
+    """Rows plus the I/O the plan actually performed."""
+
+    def __init__(
+        self,
+        columns: List[str],
+        rows: List[RowDict],
+        page_reads: int,
+        rows_read: int,
+    ) -> None:
+        self.columns = columns
+        self.rows = rows
+        self.page_reads = page_reads
+        self.rows_read = rows_read
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def tuples(self) -> List[Tuple[Any, ...]]:
+        """Rows as tuples in output-column order."""
+        return [
+            tuple(row[name] for name in self.columns) for row in self.rows
+        ]
+
+    def column(self, name: str) -> List[Any]:
+        return [row[name] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][self.columns[0]]
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult(rows={self.row_count}, "
+            f"page_reads={self.page_reads})"
+        )
+
+
+class Executor:
+    """Interprets physical plans against a database.
+
+    With a ``registry``, every execution first checks that the plan's soft
+    constraints are still in the state they were compiled against — the
+    guard for Section 4.1's conflict, where a plan compiled with an ASC is
+    executed after another transaction overturned it.  A stale plan raises
+    :class:`~repro.errors.StalePlanError`; the caller re-issues with a
+    fresh compile (see :meth:`repro.api.SoftDB.execute_plan`).
+    """
+
+    def __init__(self, database: Database, registry: Optional[Any] = None) -> None:
+        self.database = database
+        self.registry = registry
+
+    def execute(
+        self, plan: PhysicalPlan, instrument: bool = False
+    ) -> ExecutionResult:
+        """Run a plan.  With ``instrument``, every operator's actual output
+        row count is recorded on the node (``actual_rows``) so EXPLAIN
+        ANALYZE can print estimates next to actuals."""
+        self._guard_freshness(plan)
+        self._instrument = instrument
+        before_reads = self.database.counters.page_reads
+        before_rows = self.database.counters.rows_read
+        try:
+            rows = list(self._run_top(plan.root))
+        finally:
+            self._instrument = False
+        return ExecutionResult(
+            columns=plan.output_names,
+            rows=rows,
+            page_reads=self.database.counters.page_reads - before_reads,
+            rows_read=self.database.counters.rows_read - before_rows,
+        )
+
+    _instrument = False
+
+    def _run_top(self, node: PhysicalNode) -> Iterator[RowDict]:
+        if not self._instrument:
+            return self._run_raw(node)
+        return self._counted(node)
+
+    def _counted(self, node: PhysicalNode) -> Iterator[RowDict]:
+        count = 0
+        for row in self._run_raw(node):
+            count += 1
+            yield row
+        node.actual_rows = count
+
+    def _run(self, node: PhysicalNode) -> Iterator[RowDict]:
+        """Child dispatch used by operators: instrumented when enabled."""
+        if self._instrument:
+            return self._counted(node)
+        return self._run_raw(node)
+
+    def _guard_freshness(self, plan: PhysicalPlan) -> None:
+        if self.registry is None:
+            return
+        from repro.errors import StalePlanError
+        from repro.softcon.base import SCState
+
+        stale = []
+        for name, version in plan.sc_validity_snapshot.items():
+            try:
+                constraint = self.registry.get(name)
+            except Exception:  # noqa: BLE001 - dropped from the registry
+                stale.append(name)
+                continue
+            if (
+                constraint.state is not SCState.ACTIVE
+                or constraint.validity_version != version
+            ):
+                stale.append(name)
+        for name, version in plan.sc_value_snapshot.items():
+            try:
+                constraint = self.registry.get(name)
+            except Exception:  # noqa: BLE001
+                stale.append(name)
+                continue
+            if constraint.values_version != version:
+                stale.append(name)
+        if stale:
+            raise StalePlanError(
+                f"plan relies on changed soft constraint(s): "
+                f"{sorted(set(stale))}",
+                stale_constraints=tuple(sorted(set(stale))),
+            )
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _run_raw(self, node: PhysicalNode) -> Iterator[RowDict]:
+        if isinstance(node, EmptyResult):
+            return iter(())
+        if isinstance(node, SeqScan):
+            return run_seq_scan(self.database, node)
+        if isinstance(node, IndexScan):
+            return run_index_scan(self.database, node)
+        if isinstance(node, Filter):
+            return self._run_filter(node)
+        if isinstance(node, NestedLoopJoin):
+            return run_nested_loop_join(node, self._run)
+        if isinstance(node, HashJoin):
+            return run_hash_join(node, self._run)
+        if isinstance(node, GroupBy):
+            return self._run_group_by(node)
+        if isinstance(node, Extend):
+            return self._run_extend(node)
+        if isinstance(node, Sort):
+            return run_sort(node, self._run(node.child))
+        if isinstance(node, Project):
+            return self._run_project(node)
+        if isinstance(node, Distinct):
+            return self._run_distinct(node)
+        if isinstance(node, Limit):
+            return itertools.islice(self._run(node.child), node.count)
+        if isinstance(node, UnionAll):
+            return itertools.chain.from_iterable(
+                self._run(child) for child in node.inputs
+            )
+        raise ExecutionError(f"cannot execute {type(node).__name__}")
+
+    # -- operators ----------------------------------------------------------------
+
+    def _run_filter(self, node: Filter) -> Iterator[RowDict]:
+        for row in self._run(node.child):
+            if evaluate(node.predicate, row) is True:
+                yield row
+
+    def _run_extend(self, node: Extend) -> Iterator[RowDict]:
+        for row in self._run(node.child):
+            out = dict(row)
+            for output in node.outputs:
+                out[output.name] = evaluate(output.expression, row)
+            yield out
+
+    def _run_project(self, node: Project) -> Iterator[RowDict]:
+        for row in self._run(node.child):
+            yield {
+                name: row.get(source)
+                for name, source in zip(node.names, node.source_names)
+            }
+
+    def _run_distinct(self, node: Distinct) -> Iterator[RowDict]:
+        seen: set = set()
+        for row in self._run(node.child):
+            key = tuple(sorted(row.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def _run_group_by(self, node: GroupBy) -> Iterator[RowDict]:
+        groups: Dict[Tuple[Any, ...], Tuple[RowDict, List[AggregateState]]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in self._run(node.child):
+            key = tuple(evaluate(column, row) for column in node.keys)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (row, new_states(node.aggregates))
+                groups[key] = entry
+                order.append(key)
+            for state in entry[1]:
+                state.update(row)
+        if not groups and not node.keys:
+            # Scalar aggregation over an empty input: one all-default row.
+            empty: Dict[str, Any] = {}
+            for state in new_states(node.aggregates):
+                empty[state.spec.output_name] = state.result()
+            if node.having is None or evaluate(node.having, empty) is True:
+                yield empty
+            return
+        for key in order:
+            first_row, states = groups[key]
+            out: RowDict = {}
+            for column, value in zip(node.keys, key):
+                out[column.qualified] = value
+                out[column.column] = value
+            for column in node.carried:
+                value = evaluate(column, first_row)
+                out[column.qualified] = value
+                out[column.column] = value
+            for state in states:
+                out[state.spec.output_name] = state.result()
+            if node.having is None or evaluate(node.having, out) is True:
+                yield out
+
+
+def run_sql(
+    database: Database,
+    sql: str,
+    registry: Optional[object] = None,
+    optimizer: Optional[object] = None,
+) -> ExecutionResult:
+    """One-call convenience: optimize and execute a SELECT statement."""
+    from repro.optimizer.planner import Optimizer
+
+    if optimizer is None:
+        optimizer = Optimizer(database, registry)
+    plan = optimizer.optimize(sql)
+    return Executor(database).execute(plan)

@@ -1,0 +1,78 @@
+"""Scan operators: sequential and index scans."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.engine.database import Database
+from repro.expr.eval import evaluate
+from repro.optimizer.physical import IndexScan, SeqScan
+
+RowDict = Dict[str, Any]
+
+
+def qualified_row(
+    binding: str, column_names: Tuple[str, ...], row: Tuple[Any, ...]
+) -> RowDict:
+    """Materialize a storage row as a binding-qualified row dict."""
+    return {
+        f"{binding}.{name}": value for name, value in zip(column_names, row)
+    }
+
+
+def run_seq_scan(database: Database, node: SeqScan) -> Iterator[RowDict]:
+    table = database.table(node.table_name)
+    names = tuple(table.schema.column_names())
+    for row in table.scan_rows():
+        out = qualified_row(node.binding, names, row)
+        if node.predicate is None or evaluate(node.predicate, out) is True:
+            yield out
+
+
+def run_index_scan(database: Database, node: IndexScan) -> Iterator[RowDict]:
+    """Range scan the index, fetch each RID, apply the residual filter.
+
+    Row fetches go through a one-page buffer: consecutive RIDs on the same
+    heap page cost a single page read.  Over a clustered index this makes a
+    range scan touch each data page once (the behaviour the cost model
+    prices via the index's cluster ratio); over an unclustered one it
+    degrades to a read per row, as on a real system.
+    """
+    table = database.table(node.table_name)
+    index = database.catalog.index(node.index_name)
+    names = tuple(table.schema.column_names())
+    counters = table.pages.counters
+    buffered_page_id = None
+    for _key, row_id in index.range_scan(
+        low=_resolve_key(node.low),
+        high=_resolve_key(node.high),
+        low_inclusive=node.low_inclusive,
+        high_inclusive=node.high_inclusive,
+    ):
+        if row_id.page_id != buffered_page_id:
+            counters.page_reads += 1
+            buffered_page_id = row_id.page_id
+        row = table.pages.pages[row_id.page_id].slots[row_id.slot_no]
+        if row is None:
+            continue
+        counters.rows_read += 1
+        out = qualified_row(node.binding, names, row)
+        if node.predicate is None or evaluate(node.predicate, out) is True:
+            yield out
+
+
+def _resolve_key(key):
+    """Resolve runtime parameters in an index key at scan start.
+
+    A :class:`~repro.sql.ast.RuntimeParameter` reads its soft constraint's
+    *current* value (Section 4.2), so a plan cached before a min/max
+    widening still scans the correct, up-to-date range.
+    """
+    from repro.sql import ast
+
+    if key is None:
+        return None
+    return tuple(
+        part.current_value() if isinstance(part, ast.RuntimeParameter) else part
+        for part in key
+    )

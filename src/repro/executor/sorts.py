@@ -1,0 +1,43 @@
+"""Sorting with SQL NULL ordering (NULLs sort last ascending)."""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, Iterator, List
+
+from repro.expr.eval import evaluate
+from repro.optimizer.physical import Sort
+from repro.sql import ast
+
+RowDict = Dict[str, Any]
+
+
+@functools.total_ordering
+class _SortKey:
+    """Total-order wrapper: None sorts after every value (ASC)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return self.value < other.value
+
+
+def run_sort(node: Sort, rows: Iterator[RowDict]) -> Iterator[RowDict]:
+    """Materialize and sort; stable multi-key sort, last key first."""
+    materialized: List[RowDict] = list(rows)
+    for expression, ascending in reversed(node.order):
+        materialized.sort(
+            key=lambda row: _SortKey(evaluate(expression, row)),
+            reverse=not ascending,
+        )
+    return iter(materialized)

@@ -1,0 +1,24 @@
+"""Expression services: evaluation (SQL three-valued logic), predicate
+analysis (conjuncts, column ranges), interval arithmetic, and
+normalization.  These are shared by constraint checking, the rewrite
+engine, the cardinality estimator, and the executor.
+"""
+
+from repro.expr.eval import compile_predicate, evaluate
+from repro.expr.analysis import (
+    columns_in,
+    conjoin,
+    split_conjuncts,
+    tables_in,
+)
+from repro.expr.intervals import Interval
+
+__all__ = [
+    "Interval",
+    "columns_in",
+    "compile_predicate",
+    "conjoin",
+    "evaluate",
+    "split_conjuncts",
+    "tables_in",
+]

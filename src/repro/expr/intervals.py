@@ -1,0 +1,187 @@
+"""Closed/open interval arithmetic over ordered SQL values.
+
+Intervals describe the value range a predicate admits for one column.  The
+rewrite engine uses them to knock out union-all branches (paper Section 5),
+to trim ranges against join holes (Section 2, [8]), and the cardinality
+estimator uses them to measure predicate ranges against histograms.
+
+``None`` bounds mean unbounded.  An interval is *empty* when its bounds
+cross (or meet with an open end).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Interval:
+    """A (possibly unbounded, possibly empty) interval of ordered values."""
+
+    __slots__ = ("low", "high", "low_inclusive", "high_inclusive")
+
+    def __init__(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> None:
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive if low is not None else True
+        self.high_inclusive = high_inclusive if high is not None else True
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def unbounded(cls) -> "Interval":
+        return cls()
+
+    @classmethod
+    def point(cls, value: Any) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def at_least(cls, low: Any, inclusive: bool = True) -> "Interval":
+        return cls(low=low, low_inclusive=inclusive)
+
+    @classmethod
+    def at_most(cls, high: Any, inclusive: bool = True) -> "Interval":
+        return cls(high=high, high_inclusive=inclusive)
+
+    @classmethod
+    def empty(cls) -> "Interval":
+        interval = cls(low=1, high=0)
+        return interval
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        if self.low is None or self.high is None:
+            return False
+        if self.low > self.high:
+            return True
+        if self.low == self.high:
+            return not (self.low_inclusive and self.high_inclusive)
+        return False
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.low is None and self.high is None
+
+    @property
+    def is_point(self) -> bool:
+        return (
+            self.low is not None
+            and self.low == self.high
+            and self.low_inclusive
+            and self.high_inclusive
+        )
+
+    def contains(self, value: Any) -> bool:
+        """Whether a non-NULL value falls inside the interval."""
+        if value is None:
+            return False
+        if self.low is not None:
+            if value < self.low:
+                return False
+            if value == self.low and not self.low_inclusive:
+                return False
+        if self.high is not None:
+            if value > self.high:
+                return False
+            if value == self.high and not self.high_inclusive:
+                return False
+        return True
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether ``other`` lies entirely within this interval."""
+        if other.is_empty:
+            return True
+        if self.low is not None:
+            if other.low is None:
+                return False
+            if other.low < self.low:
+                return False
+            if (
+                other.low == self.low
+                and other.low_inclusive
+                and not self.low_inclusive
+            ):
+                return False
+        if self.high is not None:
+            if other.high is None:
+                return False
+            if other.high > self.high:
+                return False
+            if (
+                other.high == self.high
+                and other.high_inclusive
+                and not self.high_inclusive
+            ):
+                return False
+        return True
+
+    # -- combination ------------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The intersection of two intervals."""
+        low, low_inclusive = self.low, self.low_inclusive
+        if other.low is not None:
+            if low is None or other.low > low:
+                low, low_inclusive = other.low, other.low_inclusive
+            elif other.low == low:
+                low_inclusive = low_inclusive and other.low_inclusive
+        high, high_inclusive = self.high, self.high_inclusive
+        if other.high is not None:
+            if high is None or other.high < high:
+                high, high_inclusive = other.high, other.high_inclusive
+            elif other.high == high:
+                high_inclusive = high_inclusive and other.high_inclusive
+        return Interval(low, high, low_inclusive, high_inclusive)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one value."""
+        return not self.intersect(other).is_empty
+
+    def width(self) -> Optional[float]:
+        """Numeric width (high - low); None when unbounded or non-numeric."""
+        if self.low is None or self.high is None:
+            return None
+        if self.is_empty:
+            return 0.0
+        try:
+            return float(self.high) - float(self.low)
+        except (TypeError, ValueError):
+            return None
+
+    # -- identity -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_empty and other.is_empty:
+            return True
+        return (
+            self.low == other.low
+            and self.high == other.high
+            and self.low_inclusive == other.low_inclusive
+            and self.high_inclusive == other.high_inclusive
+        )
+
+    def __hash__(self) -> int:
+        if self.is_empty:
+            return hash("empty-interval")
+        return hash(
+            (self.low, self.high, self.low_inclusive, self.high_inclusive)
+        )
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "Interval(empty)"
+        left = "[" if self.low_inclusive else "("
+        right = "]" if self.high_inclusive else ")"
+        low = "-inf" if self.low is None else repr(self.low)
+        high = "+inf" if self.high is None else repr(self.high)
+        return f"Interval{left}{low}, {high}{right}"

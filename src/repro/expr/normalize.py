@@ -1,0 +1,170 @@
+"""Predicate normalization.
+
+The rewrite engine and estimator prefer predicates in a small normal form:
+
+* ``NOT`` pushed down to the leaves (De Morgan), with negatable leaf
+  predicates absorbed (``NOT a = b`` becomes ``a <> b``);
+* double negation removed;
+* constant sub-expressions folded;
+* optionally, ``BETWEEN`` expanded into its pair of range conjuncts.
+
+Normalization is purely syntactic and preserves SQL three-valued-logic
+semantics exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.expr.analysis import is_constant, constant_value
+from repro.sql import ast
+
+_NEGATED_COMPARISON = {
+    "=": "<>",
+    "<>": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def normalize(
+    expression: Optional[ast.Expression], expand_between: bool = False
+) -> Optional[ast.Expression]:
+    """Normalize a predicate (None passes through)."""
+    if expression is None:
+        return None
+    node = _push_not(expression, negate=False)
+    node = _fold_constants(node)
+    if expand_between:
+        node = _expand_between(node)
+    return node
+
+
+def _push_not(node: ast.Expression, negate: bool) -> ast.Expression:
+    if isinstance(node, ast.UnaryOp) and node.op == "not":
+        return _push_not(node.operand, not negate)
+    if isinstance(node, ast.BinaryOp):
+        if node.op == "and":
+            op = "or" if negate else "and"
+            return ast.BinaryOp(
+                op, _push_not(node.left, negate), _push_not(node.right, negate)
+            )
+        if node.op == "or":
+            op = "and" if negate else "or"
+            return ast.BinaryOp(
+                op, _push_not(node.left, negate), _push_not(node.right, negate)
+            )
+        if negate and node.op in _NEGATED_COMPARISON:
+            return ast.BinaryOp(
+                _NEGATED_COMPARISON[node.op], node.left, node.right
+            )
+        return ast.UnaryOp("not", node) if negate else node
+    if isinstance(node, ast.BetweenExpr):
+        if negate:
+            return ast.BetweenExpr(
+                node.operand, node.low, node.high, negated=not node.negated
+            )
+        return node
+    if isinstance(node, ast.InExpr):
+        if negate:
+            return ast.InExpr(node.operand, node.items, negated=not node.negated)
+        return node
+    if isinstance(node, ast.IsNullExpr):
+        if negate:
+            return ast.IsNullExpr(node.operand, negated=not node.negated)
+        return node
+    return ast.UnaryOp("not", node) if negate else node
+
+
+def _fold_constants(node: ast.Expression) -> ast.Expression:
+    if isinstance(node, (ast.Literal, ast.ColumnRef)):
+        return node
+    if isinstance(node, ast.UnaryOp):
+        operand = _fold_constants(node.operand)
+        folded = ast.UnaryOp(node.op, operand)
+        return _try_fold(folded)
+    if isinstance(node, ast.BinaryOp):
+        left = _fold_constants(node.left)
+        right = _fold_constants(node.right)
+        folded = ast.BinaryOp(node.op, left, right)
+        if node.op in ("and", "or"):
+            return _simplify_logic(folded)
+        return _try_fold(folded)
+    if isinstance(node, ast.BetweenExpr):
+        return ast.BetweenExpr(
+            _fold_constants(node.operand),
+            _fold_constants(node.low),
+            _fold_constants(node.high),
+            negated=node.negated,
+        )
+    if isinstance(node, ast.InExpr):
+        return ast.InExpr(
+            _fold_constants(node.operand),
+            tuple(_fold_constants(item) for item in node.items),
+            negated=node.negated,
+        )
+    if isinstance(node, ast.IsNullExpr):
+        return ast.IsNullExpr(_fold_constants(node.operand), negated=node.negated)
+    if isinstance(node, ast.FunctionCall):
+        return ast.FunctionCall(
+            node.name,
+            tuple(_fold_constants(arg) for arg in node.args),
+            distinct=node.distinct,
+            star=node.star,
+        )
+    return node
+
+
+def _try_fold(node: ast.Expression) -> ast.Expression:
+    """Fold a column-free arithmetic/comparison node into a Literal."""
+    if is_constant(node):
+        try:
+            return ast.Literal(constant_value(node))
+        except Exception:  # noqa: BLE001 - e.g. division by zero stays symbolic
+            return node
+    return node
+
+
+def _simplify_logic(node: ast.BinaryOp) -> ast.Expression:
+    """Shorten AND/OR with boolean literal operands (3VL-safe identities).
+
+    Only identities that hold under three-valued logic are applied:
+    ``TRUE AND x = x``, ``FALSE AND x = FALSE``, ``TRUE OR x = TRUE``,
+    ``FALSE OR x = x``.  NULL operands are left alone.
+    """
+    left, right = node.left, node.right
+    left_bool = left.value if isinstance(left, ast.Literal) and isinstance(left.value, bool) else None
+    right_bool = right.value if isinstance(right, ast.Literal) and isinstance(right.value, bool) else None
+    if node.op == "and":
+        if left_bool is True:
+            return right
+        if right_bool is True:
+            return left
+        if left_bool is False or right_bool is False:
+            return ast.Literal(False)
+    else:  # or
+        if left_bool is False:
+            return right
+        if right_bool is False:
+            return left
+        if left_bool is True or right_bool is True:
+            return ast.Literal(True)
+    return node
+
+
+def _expand_between(node: ast.Expression) -> ast.Expression:
+    if isinstance(node, ast.BetweenExpr) and not node.negated:
+        return ast.BinaryOp(
+            "and",
+            ast.BinaryOp(">=", node.operand, node.low),
+            ast.BinaryOp("<=", node.operand, node.high),
+        )
+    if isinstance(node, ast.BinaryOp) and node.op in ("and", "or"):
+        return ast.BinaryOp(
+            node.op, _expand_between(node.left), _expand_between(node.right)
+        )
+    if isinstance(node, ast.UnaryOp):
+        return ast.UnaryOp(node.op, _expand_between(node.operand))
+    return node

@@ -1,0 +1,16 @@
+"""Experiment harness: shared measurement and reporting utilities used by
+the ``benchmarks/`` suite and the examples."""
+
+from repro.harness.runner import (
+    PlanMeasurement,
+    compare_optimizers,
+    measure_query,
+)
+from repro.harness.reporting import format_table
+
+__all__ = [
+    "PlanMeasurement",
+    "compare_optimizers",
+    "format_table",
+    "measure_query",
+]

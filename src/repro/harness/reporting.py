@@ -1,0 +1,38 @@
+"""Plain-text table formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table (the form the benches print)."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for at, cell in enumerate(row):
+            widths[at] = max(widths[at], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(widths[at]) for at, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[at]) for at, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return f"{value:.3g}" if abs(value) < 0.01 or abs(value) >= 1e6 else f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,34 @@
+"""The query optimizer: rewrite engine + cost-based plan selection.
+
+Pipeline (mirroring the DB2 architecture the paper describes):
+
+1. the SQL statement is *bound* against the catalog into a logical
+   **query block** form (:mod:`repro.optimizer.builder`);
+2. the heuristic **rewrite engine** (:mod:`repro.optimizer.rewrite`)
+   applies semantics-preserving transformations driven by integrity
+   constraints, informational constraints, and *absolute* soft
+   constraints — plus estimation-only *twinned predicates* from
+   statistical soft constraints;
+3. the **cost-based optimizer** picks access paths and a join order using
+   the cardinality model (:mod:`repro.optimizer.cardinality`) and cost
+   model (:mod:`repro.optimizer.costmodel`), emitting a physical plan for
+   the executor.
+
+The :class:`~repro.optimizer.planner.Optimizer` facade runs all three and
+returns a :class:`~repro.optimizer.physical.PhysicalPlan` that records the
+rewrites applied and the soft constraints it depends on (for plan-cache
+invalidation, Section 4.1).
+"""
+
+from repro.optimizer.planner import Optimizer, OptimizerConfig, PlanCache
+from repro.optimizer.logical import QueryBlock, UnionPlan
+from repro.optimizer.explain import explain
+
+__all__ = [
+    "Optimizer",
+    "OptimizerConfig",
+    "PlanCache",
+    "QueryBlock",
+    "UnionPlan",
+    "explain",
+]

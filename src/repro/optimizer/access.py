@@ -1,0 +1,158 @@
+"""Access-path selection: sequential scan vs. index scan per table.
+
+For each base table in a block, the selector costs a sequential scan and
+one index-scan candidate per index whose leading column is constrained to
+an interval by the block's conjuncts (including any conjunct *introduced*
+by the rewrite engine — which is exactly how a linear-correlation ASC
+opens an index path, Section 2/[10]).  The cheapest wins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.engine.database import Database
+from repro.expr import analysis
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.costmodel import CostModel
+from repro.optimizer.logical import EstimationPredicate
+from repro.optimizer.physical import (
+    EmptyResult,
+    IndexScan,
+    PhysicalNode,
+    SeqScan,
+)
+from repro.sql import ast
+from repro.stats.selectivity import SelectivityEstimator
+
+
+class AccessPathSelector:
+    """Chooses the cheapest access path for one bound table."""
+
+    def __init__(
+        self,
+        database: Database,
+        estimator: CardinalityEstimator,
+        cost_model: CostModel,
+    ) -> None:
+        self.database = database
+        self.estimator = estimator
+        self.cost_model = cost_model
+
+    def best_scan(
+        self,
+        table_name: str,
+        binding: str,
+        conjuncts: Sequence[ast.Expression],
+        estimation_predicates: Sequence[EstimationPredicate] = (),
+    ) -> PhysicalNode:
+        """The cheapest scan producing this table's qualifying rows."""
+        if any(_is_constant_false(conjunct) for conjunct in conjuncts):
+            empty = EmptyResult(table_name, binding)
+            empty.estimated_rows = 0.0
+            empty.estimated_cost = 0.0
+            return empty
+        output_rows = self.estimator.scan_rows(
+            table_name, conjuncts, estimation_predicates
+        )
+        predicate = analysis.conjoin(list(conjuncts))
+        best: PhysicalNode = SeqScan(table_name, binding, predicate)
+        best.estimated_rows = output_rows
+        best.estimated_cost = self.cost_model.seq_scan_cost(
+            table_name, output_rows
+        )
+        for candidate in self._index_candidates(
+            table_name, binding, conjuncts, output_rows
+        ):
+            if candidate.estimated_cost < best.estimated_cost:
+                best = candidate
+        return best
+
+    def _index_candidates(
+        self,
+        table_name: str,
+        binding: str,
+        conjuncts: Sequence[ast.Expression],
+        output_rows: float,
+    ) -> List[IndexScan]:
+        candidates: List[IndexScan] = []
+        table_stats = self.estimator.table_stats(table_name)
+        selectivity = SelectivityEstimator(table_stats)
+        base_rows = self.estimator.base_rows(table_name)
+        for index in self.database.catalog.indexes_on(table_name):
+            lead_column = index.column_names[0]
+            interval = analysis.column_interval(
+                list(conjuncts), ast.ColumnRef(lead_column, binding)
+            )
+            if interval.is_unbounded:
+                continue
+            matching = base_rows * selectivity.interval_fraction(
+                lead_column, interval
+            )
+            # When a bound came from a runtime parameter (Section 4.2),
+            # put the parameter itself into the index key so the scan
+            # reads the constraint's current value at execution time.
+            low_parameter, high_parameter = _parameter_bounds(
+                conjuncts, lead_column, binding, interval
+            )
+            low_key = low_parameter if low_parameter is not None else interval.low
+            high_key = (
+                high_parameter if high_parameter is not None else interval.high
+            )
+            node = IndexScan(
+                table_name=table_name,
+                binding=binding,
+                index_name=index.name,
+                low=None if low_key is None else (low_key,),
+                high=None if high_key is None else (high_key,),
+                low_inclusive=interval.low_inclusive,
+                high_inclusive=interval.high_inclusive,
+                predicate=analysis.conjoin(list(conjuncts)),
+            )
+            node.estimated_rows = output_rows
+            node.estimated_cost = self.cost_model.index_scan_cost(
+                table_name, index.name, matching
+            )
+            candidates.append(node)
+        return candidates
+
+
+def _is_constant_false(conjunct: ast.Expression) -> bool:
+    """A conjunct the rewriter proved FALSE (or a constant that is)."""
+    if isinstance(conjunct, ast.Literal):
+        return conjunct.value is False
+    if analysis.is_constant(conjunct):
+        try:
+            return analysis.constant_value(conjunct) is False
+        except Exception:  # noqa: BLE001 - unevaluable constants stay live
+            return False
+    return False
+
+
+def _parameter_bounds(conjuncts, column: str, binding: str, interval):
+    """Runtime-parameter bounds on ``column`` matching the interval edges.
+
+    Finds conjuncts of the form ``col >= PARAM`` / ``col <= PARAM`` whose
+    parameter currently evaluates to the interval's corresponding bound —
+    i.e., the parameter is what produced that edge — and returns
+    (low_parameter, high_parameter), either possibly None.
+    """
+    low_parameter = None
+    high_parameter = None
+    wanted = ast.ColumnRef(column, binding)
+    for top in conjuncts:
+        for conjunct in analysis.split_conjuncts(top):
+            if not isinstance(conjunct, ast.BinaryOp):
+                continue
+            if not (
+                isinstance(conjunct.left, ast.ColumnRef)
+                and analysis.same_column(conjunct.left, wanted)
+                and isinstance(conjunct.right, ast.RuntimeParameter)
+            ):
+                continue
+            value = conjunct.right.current_value()
+            if conjunct.op == ">=" and value == interval.low:
+                low_parameter = conjunct.right
+            elif conjunct.op == "<=" and value == interval.high:
+                high_parameter = conjunct.right
+    return low_parameter, high_parameter

@@ -1,0 +1,46 @@
+"""EXPLAIN: render a physical plan with estimates and provenance."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.optimizer.physical import PhysicalNode, PhysicalPlan
+
+
+def explain(plan: PhysicalPlan) -> str:
+    """A multi-line EXPLAIN rendering of the plan.
+
+    Shows the operator tree with per-node row/cost estimates, then the
+    rewrites that fired, the soft constraints the plan depends on, and the
+    estimation-only twinned predicates the estimator consulted.
+    """
+    lines: List[str] = []
+    _render(plan.root, 0, lines)
+    if plan.rewrites_applied:
+        lines.append("rewrites:")
+        for entry in plan.rewrites_applied:
+            lines.append(f"  - {entry}")
+    if plan.sc_dependencies:
+        lines.append(
+            "depends on soft constraints: "
+            + ", ".join(sorted(plan.sc_dependencies))
+        )
+    if plan.estimation_notes:
+        lines.append("estimation-only predicates:")
+        for note in plan.estimation_notes:
+            lines.append(f"  - {note}")
+    return "\n".join(lines)
+
+
+def _render(node: PhysicalNode, depth: int, lines: List[str]) -> None:
+    indent = "  " * depth
+    actual = (
+        "" if node.actual_rows is None else f" actual={node.actual_rows}"
+    )
+    lines.append(
+        f"{indent}{node.describe()}  "
+        f"[rows~{node.estimated_rows:.1f} cost~{node.estimated_cost:.1f}"
+        f"{actual}]"
+    )
+    for child in node.children():
+        _render(child, depth + 1, lines)

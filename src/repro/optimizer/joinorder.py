@@ -1,0 +1,227 @@
+"""Join enumeration: dynamic programming over table subsets.
+
+Classic Selinger-style DP: plan every subset of the block's tables,
+combining disjoint sub-plans with the cheapest join method.  Equi-join
+conjuncts become hash joins; remaining cross-binding conjuncts become the
+join's residual condition (or a nested-loop condition when no equi-join
+connects the inputs).  Cartesian combinations are deferred until no
+connected combination exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import OptimizerError
+from repro.expr import analysis
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.costmodel import CostModel
+from repro.optimizer.logical import QueryBlock
+from repro.optimizer.physical import HashJoin, NestedLoopJoin, PhysicalNode
+from repro.sql import ast
+
+MAX_DP_TABLES = 10
+
+
+class JoinOrderOptimizer:
+    """Builds the cheapest join tree over a block's bound tables."""
+
+    def __init__(
+        self, estimator: CardinalityEstimator, cost_model: CostModel
+    ) -> None:
+        self.estimator = estimator
+        self.cost_model = cost_model
+
+    def best_join_tree(
+        self,
+        block: QueryBlock,
+        scans: Dict[str, PhysicalNode],
+    ) -> PhysicalNode:
+        """Combine per-binding scans into one join tree.
+
+        ``scans`` maps each binding to its chosen access path; its
+        ``estimated_rows`` already reflect single-binding predicates.
+        """
+        bindings = block.bindings()
+        if len(bindings) > MAX_DP_TABLES:
+            raise OptimizerError(
+                f"too many tables for DP join enumeration: {len(bindings)}"
+            )
+        if len(bindings) == 1:
+            return scans[bindings[0]]
+        binding_tables = self.estimator.block_binding_tables(block)
+        cross_predicates = [
+            conjunct
+            for conjunct in block.predicates
+            if len(analysis.tables_in(conjunct)) > 1
+        ]
+
+        best: Dict[frozenset, PhysicalNode] = {}
+        for binding in bindings:
+            best[frozenset([binding])] = scans[binding]
+
+        for size in range(2, len(bindings) + 1):
+            for subset_tuple in itertools.combinations(bindings, size):
+                subset = frozenset(subset_tuple)
+                plan = self._best_for_subset(
+                    subset, best, cross_predicates, binding_tables
+                )
+                if plan is not None:
+                    best[subset] = plan
+        result = best.get(frozenset(bindings))
+        if result is None:
+            raise OptimizerError("join enumeration failed to cover all tables")
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _best_for_subset(
+        self,
+        subset: frozenset,
+        best: Dict[frozenset, PhysicalNode],
+        cross_predicates: List[ast.Expression],
+        binding_tables: Dict[str, str],
+    ) -> Optional[PhysicalNode]:
+        candidates: List[PhysicalNode] = []
+        connected: List[PhysicalNode] = []
+        members = sorted(subset)
+        for split in range(1, 2 ** (len(members) - 1)):
+            left_set = frozenset(
+                member
+                for at, member in enumerate(members)
+                if split & (1 << at)
+            )
+            right_set = subset - left_set
+            left = best.get(left_set)
+            right = best.get(right_set)
+            if left is None or right is None:
+                continue
+            connecting = self._connecting_predicates(
+                cross_predicates, left_set, right_set, subset
+            )
+            node = self._join(
+                left, right, connecting, subset, cross_predicates, binding_tables
+            )
+            candidates.append(node)
+            if connecting:
+                connected.append(node)
+        pool = connected if connected else candidates
+        if not pool:
+            return None
+        # Standard Selinger heuristic: a plan containing fewer Cartesian
+        # products wins over a nominally cheaper one that gambles on a
+        # cross join (estimates under cross joins are the least reliable).
+        return min(
+            pool,
+            key=lambda node: (_cartesian_count(node), node.estimated_cost),
+        )
+
+    @staticmethod
+    def _connecting_predicates(
+        cross_predicates: Sequence[ast.Expression],
+        left_set: frozenset,
+        right_set: frozenset,
+        subset: frozenset,
+    ) -> List[ast.Expression]:
+        """Predicates spanning both sides, fully contained in the subset."""
+        connecting = []
+        for conjunct in cross_predicates:
+            tables = analysis.tables_in(conjunct)
+            if (
+                tables <= subset
+                and tables & left_set
+                and tables & right_set
+            ):
+                connecting.append(conjunct)
+        return connecting
+
+    def _join(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        connecting: List[ast.Expression],
+        subset: frozenset,
+        cross_predicates: Sequence[ast.Expression],
+        binding_tables: Dict[str, str],
+    ) -> PhysicalNode:
+        equi_pairs: List[Tuple[ast.Expression, ast.Expression]] = []
+        residual: List[ast.Expression] = []
+        left_bindings = _bindings_of(left)
+        for conjunct in connecting:
+            match = analysis.match_equijoin(conjunct)
+            if match is None:
+                residual.append(conjunct)
+                continue
+            first, second = match
+            if first.table in left_bindings:
+                equi_pairs.append((first, second))
+            else:
+                equi_pairs.append((second, first))
+        output_rows = self._subset_rows(
+            subset, left, right, connecting, binding_tables
+        )
+        if equi_pairs:
+            node: PhysicalNode = HashJoin(
+                left,
+                right,
+                left_keys=[pair[0] for pair in equi_pairs],
+                right_keys=[pair[1] for pair in equi_pairs],
+                residual=analysis.conjoin(residual),
+            )
+            node.estimated_cost = self.cost_model.hash_join_cost(
+                left.estimated_cost,
+                left.estimated_rows,
+                right.estimated_cost,
+                right.estimated_rows,
+            )
+        else:
+            node = NestedLoopJoin(
+                left, right, condition=analysis.conjoin(residual)
+            )
+            node.estimated_cost = self.cost_model.nested_loop_cost(
+                left.estimated_cost,
+                left.estimated_rows,
+                right.estimated_cost,
+                right.estimated_rows,
+            )
+        node.estimated_rows = output_rows
+        return node
+
+    def _subset_rows(
+        self,
+        subset: frozenset,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        connecting: Sequence[ast.Expression],
+        binding_tables: Dict[str, str],
+    ) -> float:
+        rows = left.estimated_rows * right.estimated_rows
+        for conjunct in connecting:
+            rows *= self.estimator.join_selectivity(conjunct, binding_tables)
+        return max(0.0, rows)
+
+
+def _cartesian_count(node: PhysicalNode) -> int:
+    """Number of condition-less nested-loop joins in a subtree."""
+    count = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, NestedLoopJoin) and current.condition is None:
+            count += 1
+        stack.extend(current.children())
+    return count
+
+
+def _bindings_of(node: PhysicalNode) -> Set[str]:
+    """The table bindings a physical subtree produces."""
+    found: Set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        binding = getattr(current, "binding", None)
+        if binding is not None:
+            found.add(binding)
+        stack.extend(current.children())
+    return found

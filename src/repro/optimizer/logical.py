@@ -1,0 +1,160 @@
+"""The logical representation: query blocks.
+
+A :class:`QueryBlock` is the bound, normalized form of one SELECT block:
+
+* ``tables`` — the base tables in scope, each under a *binding* (alias);
+* ``predicates`` — the WHERE clause and all JOIN ... ON conditions,
+  flattened into one conjunct pool with every column reference qualified
+  by its binding;
+* ``estimation_predicates`` — *twinned* predicates (paper Section 5.1):
+  marked for use by the optimizer's cardinality estimation ONLY and never
+  evaluated at runtime; each carries the confidence of the SSC that
+  produced it;
+* projection, grouping, ordering and limit clauses.
+
+This conjunct-pool form is what makes the paper's rewrites natural: join
+elimination removes a table and its join conjuncts, predicate introduction
+appends a conjunct, branch knockout drops a whole block from a
+:class:`UnionPlan`, and twinning appends to ``estimation_predicates``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.sql import ast
+
+
+@dataclass(eq=True)
+class BoundTable:
+    """A base table in a block's scope, under a binding name."""
+
+    table_name: str
+    binding: str
+
+    def __post_init__(self) -> None:
+        self.table_name = self.table_name.lower()
+        self.binding = self.binding.lower()
+
+
+@dataclass(eq=True)
+class EstimationPredicate:
+    """A twinned predicate: estimation-only, with its SSC's confidence.
+
+    ``source`` names the soft constraint (or rule) that introduced it, so
+    EXPLAIN can show where an estimate came from and E5 can toggle it.
+
+    ``linked_columns`` are the (bare) column names the source SC ties
+    together.  The estimator treats predicates over linked columns as
+    *perfectly correlated* rather than independent — the paper's
+    "reducing the range predicates on two columns to a pair of range
+    predicates on a single column".
+
+    ``fraction_override``, when set, makes the predicate a *selectivity
+    hint*: ``expression`` is one of the query's own conjuncts (typically a
+    difference predicate like ``end_date - start_date <= 5``) and the
+    estimator uses this fraction for it instead of a default constant —
+    the paper's closing Section 5.1 example, computed from the SC's
+    confidence points.
+    """
+
+    expression: ast.Expression
+    confidence: float
+    source: str = ""
+    linked_columns: Tuple[str, ...] = ()
+    fraction_override: Optional[float] = None
+
+
+@dataclass(eq=True)
+class OutputColumn:
+    """One projected output column: an expression and its output name."""
+
+    expression: ast.Expression
+    name: str
+
+
+@dataclass(eq=True)
+class Aggregate:
+    """One aggregate computation within a grouped block."""
+
+    function: str  # count | sum | avg | min | max
+    argument: Optional[ast.Expression]  # None for COUNT(*)
+    distinct: bool
+    output_name: str
+
+
+@dataclass
+class QueryBlock:
+    """A bound single-SELECT query block (inner joins only)."""
+
+    tables: List[BoundTable] = field(default_factory=list)
+    predicates: List[ast.Expression] = field(default_factory=list)
+    estimation_predicates: List[EstimationPredicate] = field(default_factory=list)
+    output: List[OutputColumn] = field(default_factory=list)
+    group_by: List[ast.Expression] = field(default_factory=list)
+    # Columns removed from GROUP BY by FD simplification: constant within
+    # each group, carried through by the group operator (first row wins).
+    group_carried: List[ast.ColumnRef] = field(default_factory=list)
+    aggregates: List[Aggregate] = field(default_factory=list)
+    having: Optional[ast.Expression] = None
+    order_by: List[Tuple[ast.Expression, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def is_grouped(self) -> bool:
+        return bool(self.group_by) or bool(self.aggregates)
+
+    def binding_of(self, table_name: str) -> Optional[str]:
+        """The (first) binding under which a base table appears."""
+        for bound in self.tables:
+            if bound.table_name == table_name.lower():
+                return bound.binding
+        return None
+
+    def bindings(self) -> List[str]:
+        return [bound.binding for bound in self.tables]
+
+    def table_for_binding(self, binding: str) -> Optional[str]:
+        for bound in self.tables:
+            if bound.binding == binding.lower():
+                return bound.table_name
+        return None
+
+    def copy(self) -> "QueryBlock":
+        """A structural copy safe for destructive rewrites."""
+        return QueryBlock(
+            tables=list(self.tables),
+            predicates=list(self.predicates),
+            estimation_predicates=list(self.estimation_predicates),
+            output=list(self.output),
+            group_by=list(self.group_by),
+            group_carried=list(self.group_carried),
+            aggregates=list(self.aggregates),
+            having=self.having,
+            order_by=list(self.order_by),
+            limit=self.limit,
+            distinct=self.distinct,
+        )
+
+
+@dataclass
+class UnionPlan:
+    """UNION ALL of query blocks, with optional outer ORDER BY / LIMIT."""
+
+    blocks: List[QueryBlock] = field(default_factory=list)
+    order_by: List[Tuple[ast.Expression, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    def copy(self) -> "UnionPlan":
+        return UnionPlan(
+            blocks=[block.copy() for block in self.blocks],
+            order_by=list(self.order_by),
+            limit=self.limit,
+        )
+
+
+LogicalPlan = Union[QueryBlock, UnionPlan]

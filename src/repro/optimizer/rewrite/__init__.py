@@ -1,0 +1,26 @@
+"""The heuristic query-rewrite engine.
+
+Rules (each in its own module), in application order:
+
+1. :mod:`branch_elimination` — knock out UNION ALL branches whose range
+   constraints contradict the query predicates (Section 5);
+2. :mod:`join_elimination` — drop joins over referential-integrity
+   constraints when the parent contributes nothing ([6], Section 2);
+3. :mod:`groupby_simplification` — shrink GROUP BY / ORDER BY keys using
+   keys and FD soft constraints ([29], Section 2);
+4. :mod:`ast_routing` — route through exception tables: ASC-as-AST
+   union-all plans (Section 4.4);
+5. :mod:`predicate_introduction` — introduce predicates from linear
+   correlation ASCs and min/max ASCs, and trim ranges against join holes
+   ([10], [8], Section 2);
+6. :mod:`twinning` — add estimation-only twinned predicates from SSCs for
+   the cardinality estimator (Section 5.1).
+
+All rules preserve query semantics; only rule 6 produces artifacts that
+are never executed.  Rules record which soft constraints they relied on so
+the resulting plan can be invalidated if one is overturned (Section 4.1).
+"""
+
+from repro.optimizer.rewrite.engine import RewriteContext, RewriteEngine
+
+__all__ = ["RewriteContext", "RewriteEngine"]

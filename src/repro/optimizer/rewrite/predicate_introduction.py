@@ -1,0 +1,377 @@
+"""Predicate introduction and range trimming (paper Section 2, [10], [8]).
+
+Three rewrites live here, all driven by ACTIVE *absolute* soft
+constraints:
+
+* **linear-correlation introduction** — an ASC ``a ~= k*b + c ± eps``
+  plus a query interval on ``b`` introduces
+  ``a BETWEEN ...`` which may open an index on ``a``;
+* **difference-bound introduction** — check-style ASCs like
+  ``ship_date <= order_date + 21`` introduce the implied range on the
+  other column (the paper's Section 4.4 example);
+* **join-hole range trimming** — for a query over a hole SC's join path,
+  the query's (a, b) rectangle is trimmed against the holes, shrinking
+  the ranges to scan;
+* **min/max abbreviation** — Sybase-style: query ranges are intersected
+  with the known min/max; an empty intersection turns the whole block
+  into a constant-FALSE scan.
+
+Every introduced conjunct is real (executed), so these fire only from
+constraints with ``usable_in_rewrite`` (ACTIVE and absolute).
+"""
+
+from __future__ import annotations
+
+from repro.expr import analysis
+from repro.expr.intervals import Interval
+from repro.optimizer.logical import LogicalPlan, QueryBlock
+from repro.optimizer.rewrite import derive
+from repro.optimizer.rewrite.engine import RewriteContext, map_blocks
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.holes import JoinHolesSC
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.minmax import MinMaxSC
+from repro.sql import ast
+
+
+def introduce_predicates(
+    plan: LogicalPlan, context: RewriteContext
+) -> LogicalPlan:
+    if not context.config.enable_predicate_introduction:
+        return plan
+    return map_blocks(plan, lambda block: _introduce_in_block(block, context))
+
+
+def _introduce_in_block(
+    block: QueryBlock, context: RewriteContext
+) -> QueryBlock:
+    if context.registry is None:
+        return block
+    for bound in block.tables:
+        for constraint in context.registry.rewrite_usable(bound.table_name):
+            if isinstance(constraint, LinearCorrelationSC):
+                _introduce_linear(block, bound.binding, constraint, context)
+            elif isinstance(constraint, CheckSoftConstraint):
+                _introduce_difference(block, bound.binding, constraint, context)
+            elif isinstance(constraint, MinMaxSC):
+                _abbreviate_minmax(block, bound.binding, constraint, context)
+    _trim_against_holes(block, context)
+    _introduce_join_linear(block, context)
+    return block
+
+
+def _worth_introducing(
+    context: RewriteContext,
+    table_name: str,
+    binding: str,
+    target_column: str,
+    block: QueryBlock,
+) -> bool:
+    """The DB2 heuristic: introduce only when it can open an access path.
+
+    The rewrite engine passes a single query to the cost-based optimizer,
+    so an introduced predicate must "virtually always" pay off ([6]).  We
+    require an index led by the target column, and that the query does
+    not already have an indexable interval on some indexed column of the
+    same binding.
+    """
+    if not context.config.introduce_only_with_index:
+        return True
+    catalog = context.database.catalog
+    target_index = catalog.find_index(table_name, [target_column])
+    if target_index is None:
+        return False
+    for index in catalog.indexes_on(table_name):
+        lead = index.column_names[0]
+        interval = analysis.column_interval(
+            block.predicates, ast.ColumnRef(lead, binding)
+        )
+        if not interval.is_unbounded:
+            return False  # an index path already exists
+    return True
+
+
+def _already_implied(
+    block: QueryBlock, binding: str, column: str, interval: Interval
+) -> bool:
+    existing = analysis.column_interval(
+        block.predicates, ast.ColumnRef(column, binding)
+    )
+    return interval.contains_interval(existing)
+
+
+def _append_interval_predicate(
+    block: QueryBlock,
+    binding: str,
+    column: str,
+    interval: Interval,
+    context: RewriteContext,
+    constraint_name: str,
+    rule_detail: str,
+) -> bool:
+    if interval.is_unbounded:
+        return False
+    if _already_implied(block, binding, column, interval):
+        return False
+    predicate = derive.interval_to_predicate(column, binding, interval)
+    if predicate is None:
+        return False
+    # Append as individual conjuncts so downstream interval extraction and
+    # access-path selection see each bound.
+    block.predicates.extend(analysis.split_conjuncts(predicate))
+    context.depend_on(constraint_name)
+    context.record("predicate_introduction", rule_detail)
+    return True
+
+
+def _introduce_linear(
+    block: QueryBlock,
+    binding: str,
+    constraint: LinearCorrelationSC,
+    context: RewriteContext,
+) -> None:
+    known = derive.known_intervals_for_binding(
+        block.predicates, binding, [constraint.column_b]
+    )
+    if constraint.column_b not in known:
+        return
+    if not _worth_introducing(
+        context, constraint.table_name, binding, constraint.column_a, block
+    ):
+        return
+    interval = constraint.predict_interval_for_b_range(
+        known[constraint.column_b]
+    )
+    _append_interval_predicate(
+        block,
+        binding,
+        constraint.column_a,
+        interval,
+        context,
+        constraint.name,
+        f"{constraint.name}: introduced range on "
+        f"{binding}.{constraint.column_a} from {binding}.{constraint.column_b}",
+    )
+
+
+def _introduce_difference(
+    block: QueryBlock,
+    binding: str,
+    constraint: CheckSoftConstraint,
+    context: RewriteContext,
+) -> None:
+    bounds = derive.difference_bounds(constraint.expression)
+    if not bounds:
+        return
+    columns = {bound.x for bound in bounds} | {bound.y for bound in bounds}
+    known = derive.known_intervals_for_binding(
+        block.predicates, binding, sorted(columns)
+    )
+    if not known:
+        return
+    for target in sorted(columns - set(known)):
+        if not _worth_introducing(
+            context, constraint.table_name, binding, target, block
+        ):
+            continue
+        interval = derive.derive_interval_from_bounds(bounds, target, known)
+        _append_interval_predicate(
+            block,
+            binding,
+            target,
+            interval,
+            context,
+            constraint.name,
+            f"{constraint.name}: introduced range on {binding}.{target}",
+        )
+
+
+def _abbreviate_minmax(
+    block: QueryBlock,
+    binding: str,
+    constraint: MinMaxSC,
+    context: RewriteContext,
+) -> None:
+    query_interval = analysis.column_interval(
+        block.predicates, ast.ColumnRef(constraint.column_name, binding)
+    )
+    if query_interval.is_unbounded:
+        return
+    intersected = query_interval.intersect(constraint.interval)
+    if intersected.is_empty:
+        block.predicates.append(ast.Literal(False))
+        context.depend_on(constraint.name)
+        context.record(
+            "predicate_introduction",
+            f"{constraint.name}: query range outside known min/max "
+            f"of {binding}.{constraint.column_name} — block is empty",
+        )
+        return
+    # Tighten a half-open query range using the known bounds (this is the
+    # Sybase-style abbreviation: a bounded range can use an index range
+    # scan on both ends).
+    if intersected != query_interval and (
+        query_interval.low is None or query_interval.high is None
+    ):
+        if context.config.enable_runtime_parameters:
+            # Section 4.2: parameterize the SC-contributed bound(s) so the
+            # plan reads the *current* min/max at execution time and
+            # survives widening repairs without invalidation.
+            reference = ast.ColumnRef(constraint.column_name, binding)
+            if query_interval.low is None and constraint.low is not None:
+                block.predicates.append(
+                    ast.BinaryOp(
+                        ">=",
+                        reference,
+                        ast.RuntimeParameter(constraint, "low"),
+                    )
+                )
+            if query_interval.high is None and constraint.high is not None:
+                block.predicates.append(
+                    ast.BinaryOp(
+                        "<=",
+                        reference,
+                        ast.RuntimeParameter(constraint, "high"),
+                    )
+                )
+            context.depend_on_validity(constraint.name)
+            context.record(
+                "predicate_introduction",
+                f"{constraint.name}: abbreviated range on "
+                f"{binding}.{constraint.column_name} (runtime parameters)",
+            )
+            return
+        _append_interval_predicate(
+            block,
+            binding,
+            constraint.column_name,
+            intersected,
+            context,
+            constraint.name,
+            f"{constraint.name}: abbreviated range on "
+            f"{binding}.{constraint.column_name}",
+        )
+
+
+def _trim_against_holes(block: QueryBlock, context: RewriteContext) -> None:
+    if context.registry is None or not context.config.enable_hole_trimming:
+        return
+    seen = set()
+    for constraint in context.registry.rewrite_usable():
+        if not isinstance(constraint, JoinHolesSC) or constraint.name in seen:
+            continue
+        seen.add(constraint.name)
+        one_binding = block.binding_of(constraint.table_one)
+        two_binding = block.binding_of(constraint.table_two)
+        if one_binding is None or two_binding is None:
+            continue
+        if not _join_path_present(block, constraint, one_binding, two_binding):
+            continue
+        a_reference = ast.ColumnRef(constraint.column_a, one_binding)
+        b_reference = ast.ColumnRef(constraint.column_b, two_binding)
+        a_range = analysis.column_interval(block.predicates, a_reference)
+        b_range = analysis.column_interval(block.predicates, b_reference)
+        if a_range.is_unbounded and b_range.is_unbounded:
+            continue
+        trimmed_a, trimmed_b = constraint.trim(a_range, b_range)
+        if trimmed_a != a_range:
+            _append_interval_predicate(
+                block,
+                one_binding,
+                constraint.column_a,
+                trimmed_a,
+                context,
+                constraint.name,
+                f"{constraint.name}: trimmed range on "
+                f"{one_binding}.{constraint.column_a}",
+            )
+        if trimmed_b != b_range:
+            _append_interval_predicate(
+                block,
+                two_binding,
+                constraint.column_b,
+                trimmed_b,
+                context,
+                constraint.name,
+                f"{constraint.name}: trimmed range on "
+                f"{two_binding}.{constraint.column_b}",
+            )
+
+
+def _introduce_join_linear(block: QueryBlock, context: RewriteContext) -> None:
+    """Introduce bands from inter-table linear correlations (Section 2:
+    correlations "across common join paths").
+
+    For a query over the SC's join path, a range on one side's column
+    implies the model's band on the other side's column — a predicate on
+    the *join result*, pushable to the other table's scan.
+    """
+    if context.registry is None:
+        return
+    from repro.softcon.joinlinear import JoinLinearSC
+
+    seen = set()
+    for constraint in context.registry.rewrite_usable():
+        if not isinstance(constraint, JoinLinearSC) or constraint.name in seen:
+            continue
+        seen.add(constraint.name)
+        one_binding = block.binding_of(constraint.table_one)
+        two_binding = block.binding_of(constraint.table_two)
+        if one_binding is None or two_binding is None:
+            continue
+        if not _join_path_present(block, constraint, one_binding, two_binding):
+            continue
+        b_range = analysis.column_interval(
+            block.predicates, ast.ColumnRef(constraint.column_b, two_binding)
+        )
+        if not b_range.is_unbounded:
+            _append_interval_predicate(
+                block,
+                one_binding,
+                constraint.column_a,
+                constraint.predict_a_interval(b_range),
+                context,
+                constraint.name,
+                f"{constraint.name}: introduced join-path band on "
+                f"{one_binding}.{constraint.column_a}",
+            )
+        a_range = analysis.column_interval(
+            block.predicates, ast.ColumnRef(constraint.column_a, one_binding)
+        )
+        if not a_range.is_unbounded:
+            _append_interval_predicate(
+                block,
+                two_binding,
+                constraint.column_b,
+                constraint.predict_b_interval(a_range),
+                context,
+                constraint.name,
+                f"{constraint.name}: introduced join-path band on "
+                f"{two_binding}.{constraint.column_b}",
+            )
+
+
+def _join_path_present(
+    block: QueryBlock,
+    constraint,
+    one_binding: str,
+    two_binding: str,
+) -> bool:
+    for conjunct in block.predicates:
+        pair = analysis.match_equijoin(conjunct)
+        if pair is None:
+            continue
+        left, right = pair
+        if (
+            left.table == one_binding
+            and left.column == constraint.join_column_one
+            and right.table == two_binding
+            and right.column == constraint.join_column_two
+        ) or (
+            right.table == one_binding
+            and right.column == constraint.join_column_one
+            and left.table == two_binding
+            and left.column == constraint.join_column_two
+        ):
+            return True
+    return False

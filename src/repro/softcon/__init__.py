@@ -1,0 +1,57 @@
+"""Soft constraints — the paper's primary contribution.
+
+A *soft constraint* (SC) is a syntactic statement equivalent to an
+integrity-constraint declaration that is **not** enforced as part of
+database integrity.  The paper splits SCs into:
+
+* **absolute soft constraints (ASCs)** — no violations in the current
+  database state; usable in query *rewrite* (semantics-preserving) as well
+  as in cost estimation;
+* **statistical soft constraints (SSCs)** — hold for some fraction of the
+  data (the *confidence*); usable only for *cardinality estimation*.
+
+This package provides the SC class hierarchy (check-style, linear
+correlation, join holes, functional dependencies, min/max), the registry
+that maintains SCs against database updates, maintenance policies
+(drop / repair / asynchronous repair), the currency (staleness) model, and
+exception tables (ASCs represented as automated summary tables,
+Section 4.4).
+"""
+
+from repro.softcon.base import SCState, SoftConstraint
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.holes import JoinHolesSC, Rectangle
+from repro.softcon.joinlinear import JoinLinearSC
+from repro.softcon.joinpath import JoinPathSpec
+from repro.softcon.fd import FunctionalDependencySC
+from repro.softcon.minmax import MinMaxSC
+from repro.softcon.registry import SoftConstraintRegistry
+from repro.softcon.maintenance import (
+    AsyncRepairPolicy,
+    DropPolicy,
+    MaintenancePolicy,
+    RepairPolicy,
+)
+from repro.softcon.exceptions_ast import ExceptionTable
+from repro.softcon.currency import CurrencyModel, project_margin_of_error
+
+__all__ = [
+    "AsyncRepairPolicy",
+    "CheckSoftConstraint",
+    "CurrencyModel",
+    "DropPolicy",
+    "ExceptionTable",
+    "FunctionalDependencySC",
+    "JoinHolesSC",
+    "JoinLinearSC",
+    "JoinPathSpec",
+    "LinearCorrelationSC",
+    "MaintenancePolicy",
+    "MinMaxSC",
+    "Rectangle",
+    "RepairPolicy",
+    "SCState",
+    "SoftConstraint",
+    "SoftConstraintRegistry",
+]

@@ -1,0 +1,182 @@
+"""Soft-constraint base class and lifecycle states.
+
+The lifecycle implements the paper's three-stage SC process (Section 3.2):
+*discovery* produces CANDIDATE constraints; *selection* promotes the useful
+ones (optionally through a PROBATION period in which they are maintained
+but not yet employed); ACTIVE constraints are used by the optimizer;
+*maintenance* may move a constraint to VIOLATED (an ASC contradicted by an
+update) and finally DROPPED.
+
+Confidence semantics (Section 3): an SC with confidence 1.0 over the
+current state is an **absolute** soft constraint (ASC) and may be used in
+semantics-preserving rewrites; an SC with confidence < 1.0 is a
+**statistical** soft constraint (SSC) and may only steer cardinality
+estimation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import SoftConstraintStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+
+class SCState(enum.Enum):
+    """Lifecycle state of a soft constraint."""
+
+    CANDIDATE = "candidate"
+    PROBATION = "probation"
+    ACTIVE = "active"
+    VIOLATED = "violated"
+    DROPPED = "dropped"
+
+
+_ALLOWED_TRANSITIONS = {
+    SCState.CANDIDATE: {SCState.PROBATION, SCState.ACTIVE, SCState.DROPPED},
+    SCState.PROBATION: {SCState.ACTIVE, SCState.DROPPED},
+    SCState.ACTIVE: {SCState.VIOLATED, SCState.DROPPED, SCState.ACTIVE},
+    SCState.VIOLATED: {SCState.ACTIVE, SCState.DROPPED},
+    SCState.DROPPED: set(),
+}
+
+
+class SoftConstraint:
+    """Base class for all soft-constraint kinds.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the registry.
+    confidence:
+        Fraction of rows satisfying the statement at the last verification
+        (1.0 = absolute).
+    state:
+        Lifecycle state; only ACTIVE constraints reach the optimizer.
+    updates_since_verified:
+        Maintained by the registry; feeds the currency model
+        (Section 3.3's margin-of-error discussion).
+    """
+
+    kind = "soft"
+
+    def __init__(self, name: str, confidence: float = 1.0) -> None:
+        if not 0.0 < confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1], got {confidence}"
+            )
+        self.name = name.lower()
+        self.confidence = confidence
+        self.state = SCState.CANDIDATE
+        self.updates_since_verified = 0
+        self.verified_epoch = 0
+        self.violation_count = 0
+        # Monotonic change counters for stale-plan detection (Section 4.1):
+        # validity_version bumps when the constraint stops being usable as
+        # compiled (overturn/demotion/drop); values_version additionally
+        # bumps when a repair changes the statement's concrete values.
+        self.validity_version = 0
+        self.values_version = 0
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_absolute(self) -> bool:
+        """ASC: consistent with the current state (confidence 1.0)."""
+        return self.confidence >= 1.0
+
+    @property
+    def is_statistical(self) -> bool:
+        """SSC: holds for only part of the data."""
+        return not self.is_absolute
+
+    @property
+    def usable_in_rewrite(self) -> bool:
+        """Only ACTIVE ASCs may drive semantics-preserving rewrites."""
+        return self.state is SCState.ACTIVE and self.is_absolute
+
+    @property
+    def usable_in_estimation(self) -> bool:
+        """ACTIVE SCs (absolute or statistical) may steer estimation."""
+        return self.state is SCState.ACTIVE
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def transition(self, new_state: SCState) -> None:
+        """Move to a new lifecycle state, validating the transition."""
+        if new_state not in _ALLOWED_TRANSITIONS[self.state]:
+            raise SoftConstraintStateError(
+                f"soft constraint {self.name!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    def activate(self) -> None:
+        self.transition(SCState.ACTIVE)
+
+    def drop(self) -> None:
+        self.transition(SCState.DROPPED)
+
+    # -- interface for subclasses ---------------------------------------------------
+
+    def table_names(self) -> List[str]:
+        """Tables this constraint speaks about (one, or two for holes)."""
+        raise NotImplementedError
+
+    def statement_sql(self) -> str:
+        """The constraint statement in SQL-ish text (for the catalog)."""
+        raise NotImplementedError
+
+    def row_satisfies(self, row: Dict[str, Any]) -> Optional[bool]:
+        """Whether one row of the (single) constrained table satisfies the
+        statement; ``None`` for UNKNOWN (which counts as satisfying, per
+        CHECK-constraint semantics).  Multi-table constraints override
+        :meth:`affected_by` / :meth:`verify` instead and raise here.
+        """
+        raise NotImplementedError
+
+    def affected_by(self, table_name: str) -> bool:
+        """Whether updates to ``table_name`` can invalidate the statement."""
+        return table_name.lower() in self.table_names()
+
+    def verify(self, database: "Database") -> Tuple[int, int]:
+        """Re-check the statement against the database.
+
+        Returns ``(violations, total_rows)`` and refreshes
+        :attr:`confidence`.  The default implementation scans the single
+        constrained table with :meth:`row_satisfies`.
+        """
+        (table_name,) = self.table_names()
+        table = database.table(table_name)
+        names = table.schema.column_names()
+        total = 0
+        violations = 0
+        for row in table.scan_rows():
+            total += 1
+            if self.row_satisfies(dict(zip(names, row))) is False:
+                violations += 1
+        self.record_verification(violations, total)
+        return violations, total
+
+    def record_verification(self, violations: int, total: int) -> None:
+        """Fold a verification result into confidence and bookkeeping."""
+        self.confidence = 1.0 if total == 0 else max(
+            1e-9, (total - violations) / total
+        )
+        self.violation_count = violations
+        self.updates_since_verified = 0
+
+    def describe(self) -> str:
+        if self.is_absolute:
+            flavor = "ASC"
+        else:
+            # Enough precision that a 99.99% SSC never displays as 100%.
+            pct = min(self.confidence * 100, 99.99)
+            flavor = f"SSC({pct:.2f}%)"
+        return f"[{flavor}/{self.state.value}] {self.name}: {self.statement_sql()}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} {self.state.value}>"

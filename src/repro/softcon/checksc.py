@@ -1,0 +1,70 @@
+"""Check-style soft constraints: an arbitrary row predicate over one table.
+
+This is the workhorse SC class: any statement expressible as a CHECK
+constraint can be held as a soft constraint instead (the paper's
+``late_shipments`` example is ``ship_date <= order_date + 21`` held at 99%
+confidence).  The expression is kept both as a parsed AST (for the rewrite
+engine and the twinning mechanism) and as a compiled predicate (for
+verification and synchronous maintenance).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.expr.eval import compile_predicate
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.sql.printer import sql_of
+from repro.softcon.base import SoftConstraint
+
+
+class CheckSoftConstraint(SoftConstraint):
+    """A soft row-level CHECK statement over one table.
+
+    Parameters
+    ----------
+    name:
+        Registry-unique name.
+    table_name:
+        The constrained table.
+    condition:
+        The statement, as SQL text or a parsed expression.
+    confidence:
+        Fraction of rows satisfying the statement (1.0 = absolute).
+    """
+
+    kind = "check"
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        condition: Union[str, ast.Expression],
+        confidence: float = 1.0,
+    ) -> None:
+        super().__init__(name, confidence)
+        self.table_name = table_name.lower()
+        if isinstance(condition, str):
+            self.expression = parse_expression(condition)
+        else:
+            self.expression = condition
+        self._predicate = compile_predicate(self.expression)
+
+    def table_names(self) -> List[str]:
+        return [self.table_name]
+
+    def statement_sql(self) -> str:
+        return f"CHECK ({sql_of(self.expression)}) ON {self.table_name}"
+
+    def row_satisfies(self, row: Dict[str, Any]) -> Optional[bool]:
+        verdict = self._predicate(row)
+        # CHECK semantics: UNKNOWN satisfies.
+        return True if verdict is None else verdict
+
+    # -- rewrite support -----------------------------------------------------
+
+    def negated_expression(self) -> ast.Expression:
+        """``NOT (condition)`` — the defining predicate of the exception
+        table when this ASC is represented as an AST (Section 4.4)."""
+        return ast.UnaryOp("not", self.expression)

@@ -1,0 +1,120 @@
+"""Shared machinery for inter-table soft constraints over a join path.
+
+Both join holes (:mod:`repro.softcon.holes`) and inter-table linear
+correlations (:mod:`repro.softcon.joinlinear`) characterize attribute
+pairs (one.a, two.b) over ``one ⋈ two``.  This module factors out the two
+operations they share: enumerating the join result's (a, b) pairs, and
+probing the pairs a single new row creates (the expensive synchronous
+maintenance step of Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+
+class JoinPathSpec:
+    """The join path and profiled attribute pair of an inter-table SC."""
+
+    __slots__ = (
+        "table_one",
+        "column_a",
+        "table_two",
+        "column_b",
+        "join_column_one",
+        "join_column_two",
+    )
+
+    def __init__(
+        self,
+        table_one: str,
+        column_a: str,
+        table_two: str,
+        column_b: str,
+        join_column_one: str,
+        join_column_two: str,
+    ) -> None:
+        self.table_one = table_one.lower()
+        self.column_a = column_a.lower()
+        self.table_two = table_two.lower()
+        self.column_b = column_b.lower()
+        self.join_column_one = join_column_one.lower()
+        self.join_column_two = join_column_two.lower()
+
+    def join_pairs(self, database: "Database") -> Iterable[Tuple[Any, Any]]:
+        """Yield (a, b) for every tuple of ``one ⋈ two`` (hash join)."""
+        one = database.table(self.table_one)
+        two = database.table(self.table_two)
+        a_position = one.schema.position(self.column_a)
+        join_one = one.schema.position(self.join_column_one)
+        b_position = two.schema.position(self.column_b)
+        join_two = two.schema.position(self.join_column_two)
+        build: Dict[Any, List[Any]] = {}
+        for row in two.scan_rows():
+            key = row[join_two]
+            if key is not None:
+                build.setdefault(key, []).append(row[b_position])
+        for row in one.scan_rows():
+            key = row[join_one]
+            if key is None:
+                continue
+            for b_value in build.get(key, ()):
+                yield row[a_position], b_value
+
+    def pairs_for_new_row(
+        self, database: "Database", table_name: str, row: Dict[str, Any]
+    ) -> List[Tuple[Any, Any]]:
+        """The (a, b) join pairs a freshly inserted row participates in.
+
+        Probes the *other* table through the join key — the join work that
+        makes absolute maintenance of inter-table SCs expensive.  Rows
+        with NULL join keys or NULL profiled attributes produce no pairs.
+        """
+        if table_name == self.table_one:
+            join_value = row.get(self.join_column_one)
+            a_value = row.get(self.column_a)
+            if join_value is None or a_value is None:
+                return []
+            mates = _mate_values(
+                database,
+                self.table_two,
+                self.join_column_two,
+                join_value,
+                self.column_b,
+            )
+            return [(a_value, b_value) for b_value in mates]
+        if table_name == self.table_two:
+            join_value = row.get(self.join_column_two)
+            b_value = row.get(self.column_b)
+            if join_value is None or b_value is None:
+                return []
+            mates = _mate_values(
+                database,
+                self.table_one,
+                self.join_column_one,
+                join_value,
+                self.column_a,
+            )
+            return [(a_value, b_value) for a_value in mates]
+        return []
+
+
+def _mate_values(
+    database: "Database",
+    table_name: str,
+    join_column: str,
+    join_value: Any,
+    wanted_column: str,
+) -> List[Any]:
+    matches = database.lookup_key(table_name, [join_column], [join_value])
+    table = database.table(table_name)
+    position = table.schema.position(wanted_column)
+    values = []
+    for row_id in matches:
+        row = table.fetch_if_live(row_id)
+        if row is not None and row[position] is not None:
+            values.append(row[position])
+    return values

@@ -1,0 +1,134 @@
+"""Linear-correlation soft constraints: ``A BETWEEN k*B + b - eps AND
+k*B + b + eps``.
+
+This is the SC class behind the paper's predicate-introduction example
+(Section 2, citing [10]): two numeric attributes of one table are related
+by a linear formula ``A = k*B + b`` within deviation ``eps``.  Given a
+query predicate ``B = x``, the rewriter may introduce
+
+    ``A BETWEEN k*x + b - eps AND k*x + b + eps``
+
+which can open an index-on-A access path.  The rewrite is only legal when
+the constraint is absolute (every row within ``eps``); at lower confidence
+the same interval still improves cardinality estimates (twinning).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.expr.intervals import Interval
+from repro.sql import ast
+from repro.softcon.base import SoftConstraint
+
+
+class LinearCorrelationSC(SoftConstraint):
+    """``a ~= slope * b + intercept`` within ``epsilon``, on one table.
+
+    Parameters
+    ----------
+    column_a:
+        The predicted column (the one a predicate can be *introduced* on).
+    column_b:
+        The predictor column (the one the query already constrains).
+    slope, intercept, epsilon:
+        The linear model; ``epsilon >= 0`` is the max absolute deviation
+        covered by ``confidence`` of the rows.
+    """
+
+    kind = "linear"
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        column_a: str,
+        column_b: str,
+        slope: float,
+        intercept: float,
+        epsilon: float,
+        confidence: float = 1.0,
+    ) -> None:
+        super().__init__(name, confidence)
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self.table_name = table_name.lower()
+        self.column_a = column_a.lower()
+        self.column_b = column_b.lower()
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+        self.epsilon = float(epsilon)
+
+    def table_names(self) -> List[str]:
+        return [self.table_name]
+
+    def statement_sql(self) -> str:
+        return (
+            f"CHECK ({self.column_a} BETWEEN {self.slope:g} * {self.column_b} "
+            f"+ {self.intercept:g} - {self.epsilon:g} AND {self.slope:g} * "
+            f"{self.column_b} + {self.intercept:g} + {self.epsilon:g}) "
+            f"ON {self.table_name}"
+        )
+
+    # -- the model ------------------------------------------------------------
+
+    def predict_interval(self, b_value: float) -> Interval:
+        """The interval of A admitted when ``B = b_value``."""
+        center = self.slope * b_value + self.intercept
+        return Interval(center - self.epsilon, center + self.epsilon)
+
+    def predict_interval_for_b_range(self, b_interval: Interval) -> Interval:
+        """The interval of A admitted when B lies in ``b_interval``.
+
+        For an unbounded B interval the A interval is unbounded on the
+        corresponding side(s), depending on the slope's sign.
+        """
+        if b_interval.is_empty:
+            return Interval.empty()
+        if b_interval.low is None or b_interval.high is None:
+            # A half-open B range bounds A on one side only, and which side
+            # depends on the slope's sign; staying unbounded is always
+            # sound, and half-open introduced ranges rarely help an index.
+            return Interval.unbounded()
+        corners = [
+            self.slope * float(b_interval.low) + self.intercept,
+            self.slope * float(b_interval.high) + self.intercept,
+        ]
+        return Interval(min(corners) - self.epsilon, max(corners) + self.epsilon)
+
+    def row_satisfies(self, row: Dict[str, Any]) -> Optional[bool]:
+        a_value = row.get(self.column_a)
+        b_value = row.get(self.column_b)
+        if a_value is None or b_value is None:
+            return True  # CHECK semantics: UNKNOWN satisfies
+        deviation = abs(float(a_value) - (self.slope * float(b_value) + self.intercept))
+        return deviation <= self.epsilon
+
+    # -- rewrite / twinning support ----------------------------------------------
+
+    def introduced_predicate(
+        self, b_expression: ast.Expression, qualifier: Optional[str] = None
+    ) -> ast.BetweenExpr:
+        """Build ``A BETWEEN k*b_expr + b - eps AND k*b_expr + b + eps``.
+
+        ``b_expression`` is whatever the query compared B with (typically a
+        literal).  ``qualifier`` optionally qualifies the introduced column
+        reference with the query's table binding.
+        """
+        center = ast.BinaryOp(
+            "+",
+            ast.BinaryOp("*", ast.Literal(self.slope), b_expression),
+            ast.Literal(self.intercept),
+        )
+        low = ast.BinaryOp("-", center, ast.Literal(self.epsilon))
+        high = ast.BinaryOp("+", center, ast.Literal(self.epsilon))
+        column = ast.ColumnRef(self.column_a, qualifier)
+        return ast.BetweenExpr(column, low, high)
+
+    def residual(self, row: Dict[str, Any]) -> Optional[float]:
+        """Signed deviation of a row from the model (None on NULLs)."""
+        a_value = row.get(self.column_a)
+        b_value = row.get(self.column_b)
+        if a_value is None or b_value is None:
+            return None
+        return float(a_value) - (self.slope * float(b_value) + self.intercept)

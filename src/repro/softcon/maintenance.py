@@ -1,0 +1,164 @@
+"""Maintenance policies for soft constraints (paper Section 4.3).
+
+When an update violates an ACTIVE absolute soft constraint, the registry
+applies the constraint's maintenance policy:
+
+* :class:`DropPolicy` — "the maintenance policy of last resort": overturn
+  the ASC (state VIOLATED), invalidating every dependent cached plan.
+* :class:`RepairPolicy` — *synchronous repair* where the constraint class
+  supports a cheap one: min/max bounds widen, linear correlations widen
+  their deviation, join holes are split around the violating point (the
+  suboptimal-but-sound repair the paper describes), and plain check SCs
+  are demoted to statistical (their confidence absorbs the violation).
+* :class:`AsyncRepairPolicy` — overturn now, queue the constraint for a
+  full re-verification later (``run_pending``), which reinstates it with a
+  freshly-measured confidence or drops it below a threshold.
+
+Every policy action is counted so E8 can report maintenance overhead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.softcon.base import SCState, SoftConstraint
+from repro.softcon.holes import JoinHolesSC
+from repro.softcon.joinlinear import JoinLinearSC
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.minmax import MinMaxSC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+    from repro.softcon.registry import SoftConstraintRegistry
+
+
+class MaintenancePolicy:
+    """Base policy: what to do when an ACTIVE ASC is violated."""
+
+    name = "abstract"
+
+    def on_violation(
+        self,
+        registry: "SoftConstraintRegistry",
+        constraint: SoftConstraint,
+        violating_row: Optional[dict],
+    ) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class DropPolicy(MaintenancePolicy):
+    """Overturn the constraint; dependent plans are invalidated."""
+
+    name = "drop"
+
+    def on_violation(
+        self,
+        registry: "SoftConstraintRegistry",
+        constraint: SoftConstraint,
+        violating_row: Optional[dict],
+    ) -> None:
+        registry.overturn(constraint)
+
+
+class RepairPolicy(MaintenancePolicy):
+    """Synchronous, class-specific repair; falls back to demotion/drop.
+
+    Repairs keep the constraint ACTIVE: the *validity* dependency channel
+    does not fire, so plans that rely only on the constraint holding
+    (runtime-parameterized ranges, FD simplification) survive.  The
+    *values* channel does fire — a widened bound or split hole changes the
+    statement, and any plan that inlined the old values must be dropped
+    (it would silently lose rows).  A generic check SC has no widening
+    form, so it is demoted to a statistical SC instead, invalidating both
+    channels.
+    """
+
+    name = "repair"
+
+    def on_violation(
+        self,
+        registry: "SoftConstraintRegistry",
+        constraint: SoftConstraint,
+        violating_row: Optional[dict],
+    ) -> None:
+        registry.repairs_performed += 1
+        if isinstance(constraint, MinMaxSC) and violating_row is not None:
+            constraint.widen_to(violating_row.get(constraint.column_name))
+            # The statement changed: plans that inlined the old bounds
+            # would silently drop the new row.
+            registry.statement_changed(constraint)
+            return
+        if isinstance(constraint, LinearCorrelationSC) and violating_row is not None:
+            residual = constraint.residual(violating_row)
+            if residual is not None:
+                constraint.epsilon = max(constraint.epsilon, abs(residual))
+                registry.statement_changed(constraint)
+                return
+        if isinstance(constraint, JoinHolesSC) and violating_row is not None:
+            a_value = violating_row.get("__a__")
+            b_value = violating_row.get("__b__")
+            for hole in constraint.holes_hit_by(a_value, b_value):
+                constraint.split_hole(hole, a_value, b_value)
+            registry.statement_changed(constraint)
+            return
+        if isinstance(constraint, JoinLinearSC) and violating_row is not None:
+            constraint.widen_to_pair(
+                violating_row.get("__a__"), violating_row.get("__b__")
+            )
+            registry.statement_changed(constraint)
+            return
+        # No cheap repair: demote to statistical (check SCs, FDs).
+        registry.demote(constraint)
+
+
+class AsyncRepairPolicy(MaintenancePolicy):
+    """Overturn now; queue for asynchronous re-verification.
+
+    ``run_pending`` is the "light-load period" job: it re-verifies each
+    queued constraint against the database.  Constraints that verify clean
+    are reinstated as ASCs; partially-violated ones come back as SSCs with
+    the measured confidence, unless below ``drop_threshold``.
+    """
+
+    name = "async_repair"
+
+    def __init__(self, drop_threshold: float = 0.5) -> None:
+        self.drop_threshold = drop_threshold
+        self.queue: List[SoftConstraint] = []
+
+    def on_violation(
+        self,
+        registry: "SoftConstraintRegistry",
+        constraint: SoftConstraint,
+        violating_row: Optional[dict],
+    ) -> None:
+        registry.overturn(constraint)
+        if constraint not in self.queue:
+            self.queue.append(constraint)
+
+    def run_pending(
+        self, registry: "SoftConstraintRegistry", database: "Database"
+    ) -> List[Tuple[str, str]]:
+        """Process the repair queue; returns (name, outcome) pairs."""
+        outcomes: List[Tuple[str, str]] = []
+        pending, self.queue = self.queue, []
+        for constraint in pending:
+            if constraint.state is SCState.DROPPED:
+                outcomes.append((constraint.name, "already-dropped"))
+                continue
+            violations, total = constraint.verify(database)
+            registry.async_repairs_run += 1
+            if violations == 0:
+                constraint.transition(SCState.ACTIVE)
+                outcomes.append((constraint.name, "reinstated"))
+            elif constraint.confidence >= self.drop_threshold:
+                constraint.transition(SCState.ACTIVE)
+                outcomes.append((constraint.name, "demoted"))
+            else:
+                constraint.transition(SCState.DROPPED)
+                outcomes.append((constraint.name, "dropped"))
+            registry.refresh_currency(constraint, database)
+        return outcomes

@@ -1,0 +1,436 @@
+"""The soft-constraint registry: catalog of SCs and their maintenance.
+
+The registry is the runtime heart of the paper's facility.  It:
+
+* stores soft constraints by name and exposes the two views the optimizer
+  needs — *rewrite-usable* (ACTIVE ASCs) and *estimation-usable* (ACTIVE
+  SCs of any confidence);
+* subscribes to the database's change events and performs **synchronous
+  checking of ACTIVE ASCs** (SSCs are never checked at update time —
+  Section 3's "SSCs do not have to be checked at update");
+* applies the configured :class:`~repro.softcon.maintenance.MaintenancePolicy`
+  when an ASC is violated;
+* fires the catalog's plan-invalidation hooks when an ASC is overturned or
+  demoted (Section 4.1: "every pre-compiled query plan that employs a
+  violated ASC in its plan must be dropped");
+* tracks per-constraint currency (updates since verification) for the
+  margin-of-error model of Section 3.3.
+
+All checking work is counted in :attr:`checks_performed` /
+:attr:`check_rows_probed` so E8 can report maintenance overhead per
+update for hard ICs vs. informational vs. ASC vs. SSC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.database import ChangeEvent, Database
+from repro.errors import DuplicateObjectError, UnknownObjectError
+from repro.softcon.base import SCState, SoftConstraint
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.currency import CurrencyModel
+from repro.softcon.fd import FunctionalDependencySC
+from repro.softcon.holes import JoinHolesSC
+from repro.softcon.joinlinear import JoinLinearSC
+from repro.softcon.joinpath import JoinPathSpec
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.maintenance import DropPolicy, MaintenancePolicy
+from repro.softcon.minmax import MinMaxSC
+
+
+class SoftConstraintRegistry:
+    """Holds the database's soft constraints and maintains them."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._constraints: Dict[str, SoftConstraint] = {}
+        self._policies: Dict[str, MaintenancePolicy] = {}
+        self._currency: Dict[str, CurrencyModel] = {}
+        self._default_policy: MaintenancePolicy = DropPolicy()
+        # Probation assessment (Section 3.2): how often the optimizer
+        # *would* have used each PROBATION constraint.
+        self.probation_uses: Dict[str, int] = {}
+        # Instrumentation for E8.
+        self.checks_performed = 0
+        self.check_rows_probed = 0
+        self.violations_seen = 0
+        self.overturn_events = 0
+        self.repairs_performed = 0
+        self.async_repairs_run = 0
+        database.add_observer(self._on_change)
+
+    # ------------------------------------------------------------ registration
+
+    def register(
+        self,
+        constraint: SoftConstraint,
+        policy: Optional[MaintenancePolicy] = None,
+        activate: bool = False,
+    ) -> SoftConstraint:
+        """Add a constraint (as CANDIDATE unless ``activate``)."""
+        if constraint.name in self._constraints:
+            raise DuplicateObjectError(
+                f"soft constraint {constraint.name!r} already registered"
+            )
+        for table_name in constraint.table_names():
+            if not self.database.catalog.has_table(table_name):
+                raise UnknownObjectError(
+                    f"soft constraint {constraint.name!r} references unknown "
+                    f"table {table_name!r}"
+                )
+        self._constraints[constraint.name] = constraint
+        if policy is not None:
+            self._policies[constraint.name] = policy
+        self.refresh_currency(constraint, self.database)
+        if activate:
+            self.activate(constraint.name)
+        return constraint
+
+    def get(self, name: str) -> SoftConstraint:
+        try:
+            return self._constraints[name.lower()]
+        except KeyError:
+            raise UnknownObjectError(
+                f"unknown soft constraint {name!r}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._constraints)
+
+    def all(self) -> List[SoftConstraint]:
+        return list(self._constraints.values())
+
+    def policy_for(self, constraint: SoftConstraint) -> MaintenancePolicy:
+        return self._policies.get(constraint.name, self._default_policy)
+
+    def set_default_policy(self, policy: MaintenancePolicy) -> None:
+        self._default_policy = policy
+
+    # ------------------------------------------------------------- lifecycle
+
+    def activate(self, name: str, verify_first: bool = False) -> SoftConstraint:
+        """Promote a constraint to ACTIVE (optionally verifying first).
+
+        Verification refreshes the confidence; a constraint claimed
+        absolute that fails verification is activated as a statistical SC
+        with the measured confidence instead (never silently wrong).
+        """
+        constraint = self.get(name)
+        if verify_first:
+            constraint.verify(self.database)
+            self.refresh_currency(constraint, self.database)
+        if constraint.state is not SCState.ACTIVE:
+            constraint.transition(SCState.ACTIVE)
+        return constraint
+
+    def overturn(self, constraint: SoftConstraint) -> None:
+        """Mark an ASC violated and invalidate dependent plans."""
+        if constraint.state is SCState.ACTIVE:
+            constraint.transition(SCState.VIOLATED)
+        constraint.validity_version += 1
+        constraint.values_version += 1
+        self.overturn_events += 1
+        self.database.catalog.fire_invalidation(
+            f"softconstraint:{constraint.name}"
+        )
+        self.database.catalog.fire_invalidation(
+            f"softconstraint-values:{constraint.name}"
+        )
+
+    def statement_changed(self, constraint: SoftConstraint) -> None:
+        """A repair altered the constraint's statement (e.g. widened
+        bounds): plans that inlined the old values must be dropped, but
+        plans depending only on the constraint's *validity* survive."""
+        constraint.values_version += 1
+        self.database.catalog.fire_invalidation(
+            f"softconstraint-values:{constraint.name}"
+        )
+
+    def demote(self, constraint: SoftConstraint) -> None:
+        """Absorb a violation into confidence: the ASC becomes an SSC.
+
+        Rewrite-dependent plans are invalidated (the statement is no
+        longer absolute); the constraint stays ACTIVE for estimation.
+        """
+        currency = self._currency.get(constraint.name)
+        rows = currency.row_count if currency else 0
+        total = max(1, rows + 1)
+        satisfied = constraint.confidence * rows
+        constraint.confidence = max(1e-9, min(satisfied / total, 1.0 - 1e-9))
+        constraint.validity_version += 1
+        constraint.values_version += 1
+        self.database.catalog.fire_invalidation(
+            f"softconstraint:{constraint.name}"
+        )
+        self.database.catalog.fire_invalidation(
+            f"softconstraint-values:{constraint.name}"
+        )
+
+    # ------------------------------------------------------------- probation
+
+    def hold_in_probation(self, name: str) -> SoftConstraint:
+        """Move a CANDIDATE to PROBATION: maintained and assessed, but not
+        yet employed by the optimizer (Section 3.2)."""
+        constraint = self.get(name)
+        constraint.transition(SCState.PROBATION)
+        return constraint
+
+    def probation_names(self) -> List[str]:
+        return sorted(
+            sc.name
+            for sc in self._constraints.values()
+            if sc.state is SCState.PROBATION
+        )
+
+    def record_probation_use(self, name: str) -> None:
+        """The optimizer reports a query the probation SC would have
+        helped (shadow-mode assessment)."""
+        self.probation_uses[name.lower()] = (
+            self.probation_uses.get(name.lower(), 0) + 1
+        )
+
+    def probation_report(self) -> List[Tuple[str, int]]:
+        """(name, would-have-used count) for every PROBATION constraint."""
+        return [
+            (name, self.probation_uses.get(name, 0))
+            for name in self.probation_names()
+        ]
+
+    def promote_ready(self, min_uses: int = 1) -> List[str]:
+        """Activate probation constraints that proved useful; returns them."""
+        promoted = []
+        for name in self.probation_names():
+            if self.probation_uses.get(name, 0) >= min_uses:
+                self.get(name).transition(SCState.ACTIVE)
+                promoted.append(name)
+        return promoted
+
+    def probation_shadow(self) -> "ProbationShadowView":
+        """A registry view where PROBATION constraints count as ACTIVE,
+        used by the optimizer's shadow pass to assess their utility."""
+        return ProbationShadowView(self)
+
+    def drop(self, name: str) -> None:
+        constraint = self.get(name)
+        constraint.transition(SCState.DROPPED)
+        constraint.validity_version += 1
+        constraint.values_version += 1
+        self.database.catalog.fire_invalidation(f"softconstraint:{name.lower()}")
+        self.database.catalog.fire_invalidation(
+            f"softconstraint-values:{name.lower()}"
+        )
+
+    # ------------------------------------------------------------ optimizer views
+
+    def rewrite_usable(self, table_name: Optional[str] = None) -> List[SoftConstraint]:
+        """ACTIVE ASCs (optionally restricted to one table)."""
+        return [
+            sc
+            for sc in self._constraints.values()
+            if sc.usable_in_rewrite
+            and (table_name is None or sc.affected_by(table_name))
+        ]
+
+    def estimation_usable(
+        self, table_name: Optional[str] = None
+    ) -> List[SoftConstraint]:
+        """ACTIVE SCs of any confidence (optionally for one table)."""
+        return [
+            sc
+            for sc in self._constraints.values()
+            if sc.usable_in_estimation
+            and (table_name is None or sc.affected_by(table_name))
+        ]
+
+    # -------------------------------------------------------------- currency
+
+    def refresh_currency(
+        self, constraint: SoftConstraint, database: Database
+    ) -> None:
+        rows = sum(
+            database.table(t).row_count for t in constraint.table_names()
+        )
+        model = self._currency.get(constraint.name)
+        if model is None:
+            self._currency[constraint.name] = CurrencyModel(rows)
+        else:
+            model.reset(rows)
+
+    def currency(self, name: str) -> CurrencyModel:
+        model = self._currency.get(name.lower())
+        if model is None:
+            raise UnknownObjectError(f"no currency model for {name!r}")
+        return model
+
+    def effective_confidence(self, constraint: SoftConstraint) -> float:
+        """Stated confidence minus the staleness margin (lower bound).
+
+        This is what the cautious estimator should use for an SSC that has
+        not been re-verified recently.
+        """
+        model = self._currency.get(constraint.name)
+        if model is None:
+            return constraint.confidence
+        return model.confidence_bounds(constraint.confidence)[0]
+
+    # ------------------------------------------------------------ change events
+
+    def _on_change(self, event: ChangeEvent) -> None:
+        for constraint in list(self._constraints.values()):
+            if constraint.state not in (SCState.ACTIVE, SCState.PROBATION):
+                continue
+            if not constraint.affected_by(event.table_name):
+                continue
+            constraint.updates_since_verified += 1
+            model = self._currency.get(constraint.name)
+            if model is not None:
+                model.record_update()
+            if constraint.state is SCState.PROBATION:
+                continue  # probation: inexpensively maintained, not checked
+            if not constraint.is_absolute:
+                continue  # SSCs are never checked at update time
+            violating_row = self._synchronous_check(constraint, event)
+            if violating_row is not None:
+                self.violations_seen += 1
+                self.policy_for(constraint).on_violation(
+                    self, constraint, violating_row
+                )
+
+    def _synchronous_check(
+        self, constraint: SoftConstraint, event: ChangeEvent
+    ) -> Optional[Dict[str, Any]]:
+        """Check one event against one ACTIVE ASC.
+
+        Returns the violating row (as a dict) or None.  Deletions cannot
+        introduce violations for any supported constraint class, so only
+        the *new* row of an insert/update is examined.
+        """
+        if event.new_row is None:
+            return None
+        self.checks_performed += 1
+        schema = self.database.table(event.table_name).schema
+        row = dict(zip(schema.column_names(), event.new_row))
+        if isinstance(constraint, (CheckSoftConstraint, MinMaxSC, LinearCorrelationSC)):
+            self.check_rows_probed += 1
+            if constraint.row_satisfies(row) is False:
+                return row
+            return None
+        if isinstance(constraint, FunctionalDependencySC):
+            self.check_rows_probed += 1
+            if constraint.row_conflicts(self.database, row):
+                return row
+            return None
+        if isinstance(constraint, JoinHolesSC):
+            spec = JoinPathSpec(
+                constraint.table_one,
+                constraint.column_a,
+                constraint.table_two,
+                constraint.column_b,
+                constraint.join_column_one,
+                constraint.join_column_two,
+            )
+            return self._check_join_pairs(
+                spec,
+                event.table_name,
+                row,
+                lambda a, b: not constraint.point_in_hole(a, b),
+            )
+        if isinstance(constraint, JoinLinearSC):
+            return self._check_join_pairs(
+                constraint.path,
+                event.table_name,
+                row,
+                constraint.pair_satisfies,
+                # Report the worst deviation so a widening repair covers
+                # every pair the new row created, not just the first.
+                rank=lambda a, b: abs(constraint.pair_residual(a, b) or 0.0),
+            )
+        # Unknown class: be conservative — full verify.
+        violations, _ = constraint.verify(self.database)
+        return row if violations else None
+
+    def _check_join_pairs(
+        self,
+        spec: JoinPathSpec,
+        table_name: str,
+        row: Dict[str, Any],
+        pair_satisfies,
+        rank=None,
+    ) -> Optional[Dict[str, Any]]:
+        """Probe whether a new row creates a violating join pair.
+
+        Joining the new row to the other table is the expensive
+        synchronous maintenance the paper calls out for inter-table SCs
+        (Section 4.3).  Returns a violating (a, b) pair — the worst one
+        under ``rank`` when given, so a single widening repair covers all
+        of the new row's violations.
+        """
+        pairs = spec.pairs_for_new_row(self.database, table_name, row)
+        self.check_rows_probed += len(pairs)
+        violating = [
+            (a_value, b_value)
+            for a_value, b_value in pairs
+            if not pair_satisfies(a_value, b_value)
+        ]
+        if not violating:
+            return None
+        if rank is not None:
+            a_value, b_value = max(violating, key=lambda pair: rank(*pair))
+        else:
+            a_value, b_value = violating[0]
+        return {"__a__": a_value, "__b__": b_value}
+
+    # --------------------------------------------------------------- reporting
+
+    def instrumentation(self) -> Dict[str, int]:
+        return {
+            "checks_performed": self.checks_performed,
+            "check_rows_probed": self.check_rows_probed,
+            "violations_seen": self.violations_seen,
+            "overturn_events": self.overturn_events,
+            "repairs_performed": self.repairs_performed,
+            "async_repairs_run": self.async_repairs_run,
+        }
+
+    def describe_all(self) -> List[str]:
+        return [sc.describe() for sc in self._constraints.values()]
+
+
+class ProbationShadowView:
+    """A read-only registry view that treats PROBATION SCs as ACTIVE.
+
+    The optimizer runs its rewrite pipeline once against this view (the
+    "shadow pass") and compares the soft constraints used against the real
+    pass: the difference is exactly the probation constraints that would
+    have fired — the utility evidence Section 3.2's probationary period
+    collects without ever employing the constraint for real.
+    """
+
+    def __init__(self, registry: SoftConstraintRegistry) -> None:
+        self._registry = registry
+
+    def _usable(self, constraint: SoftConstraint) -> bool:
+        return constraint.state in (SCState.ACTIVE, SCState.PROBATION)
+
+    def rewrite_usable(self, table_name: Optional[str] = None) -> List[SoftConstraint]:
+        return [
+            sc
+            for sc in self._registry.all()
+            if self._usable(sc)
+            and sc.is_absolute
+            and (table_name is None or sc.affected_by(table_name))
+        ]
+
+    def estimation_usable(
+        self, table_name: Optional[str] = None
+    ) -> List[SoftConstraint]:
+        return [
+            sc
+            for sc in self._registry.all()
+            if self._usable(sc)
+            and (table_name is None or sc.affected_by(table_name))
+        ]
+
+    def effective_confidence(self, constraint: SoftConstraint) -> float:
+        return self._registry.effective_confidence(constraint)

@@ -1,0 +1,12 @@
+"""SQL front end: lexer, parser, statement/expression AST, and printer.
+
+The dialect is a compact subset of SQL-92 plus DB2's ``CREATE SUMMARY
+TABLE`` (for ASTs) and the ``NOT ENFORCED`` constraint attribute (for
+informational constraints), which are what the paper's machinery needs.
+"""
+
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_expression, parse_statement
+from repro.sql.printer import sql_of
+
+__all__ = ["parse_expression", "parse_statement", "sql_of", "tokenize"]

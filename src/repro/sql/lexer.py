@@ -1,0 +1,146 @@
+"""Hand-written SQL lexer.
+
+Produces a list of :class:`~repro.sql.tokens.Token` ending with an EOF
+token.  Supports ``--`` line comments and ``/* ... */`` block comments,
+single-quoted strings with ``''`` escaping, and double-quoted delimited
+identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.sql.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INTEGER_LIT,
+    KEYWORD,
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    OPERATOR,
+    PUNCT,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    STRING_LIT,
+    Token,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL ``text``; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    at = 0
+    length = len(text)
+    while at < length:
+        ch = text[at]
+        # -- whitespace and comments ------------------------------------
+        if ch.isspace():
+            at += 1
+            continue
+        if ch == "-" and text.startswith("--", at):
+            newline = text.find("\n", at)
+            at = length if newline < 0 else newline + 1
+            continue
+        if ch == "/" and text.startswith("/*", at):
+            end = text.find("*/", at + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", at)
+            at = end + 2
+            continue
+        # -- string literal ------------------------------------------------
+        if ch == "'":
+            start = at
+            value, at = _lex_string(text, at)
+            tokens.append(Token(STRING_LIT, value, value, start))
+            continue
+        # -- delimited identifier -------------------------------------------
+        if ch == '"':
+            end = text.find('"', at + 1)
+            if end < 0:
+                raise LexError("unterminated delimited identifier", at)
+            word = text[at + 1 : end]
+            tokens.append(Token(IDENT, word.lower(), word, at))
+            at = end + 1
+            continue
+        # -- number ---------------------------------------------------------
+        if ch.isdigit() or (ch == "." and at + 1 < length and text[at + 1].isdigit()):
+            token, at = _lex_number(text, at)
+            tokens.append(token)
+            continue
+        # -- identifier / keyword ---------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = at
+            while at < length and (text[at].isalnum() or text[at] == "_"):
+                at += 1
+            word = text[start:at]
+            lowered = word.lower()
+            kind = KEYWORD if lowered in KEYWORDS else IDENT
+            tokens.append(Token(kind, lowered, word, start))
+            continue
+        # -- operators & punctuation -------------------------------------------
+        two = text[at : at + 2]
+        if two in MULTI_CHAR_OPERATORS:
+            tokens.append(Token(OPERATOR, two, two, at))
+            at += 2
+            continue
+        if ch in SINGLE_CHAR_OPERATORS:
+            tokens.append(Token(OPERATOR, ch, ch, at))
+            at += 1
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(PUNCT, ch, ch, at))
+            at += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", at)
+    tokens.append(Token(EOF, None, "", length))
+    return tokens
+
+
+def _lex_string(text: str, start: int) -> tuple:
+    """Lex a single-quoted string with '' escapes; returns (value, next)."""
+    parts: List[str] = []
+    at = start + 1
+    length = len(text)
+    while at < length:
+        ch = text[at]
+        if ch == "'":
+            if at + 1 < length and text[at + 1] == "'":
+                parts.append("'")
+                at += 2
+                continue
+            return "".join(parts), at + 1
+        parts.append(ch)
+        at += 1
+    raise LexError("unterminated string literal", start)
+
+
+def _lex_number(text: str, start: int) -> tuple:
+    """Lex an integer or float literal; returns (Token, next)."""
+    at = start
+    length = len(text)
+    saw_dot = False
+    saw_exp = False
+    while at < length:
+        ch = text[at]
+        if ch.isdigit():
+            at += 1
+        elif ch == "." and not saw_dot and not saw_exp:
+            saw_dot = True
+            at += 1
+        elif ch in "eE" and not saw_exp and at > start:
+            nxt = text[at + 1 : at + 2]
+            if nxt.isdigit() or (
+                nxt in "+-" and text[at + 2 : at + 3].isdigit()
+            ):
+                saw_exp = True
+                at += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    spelling = text[start:at]
+    if saw_dot or saw_exp:
+        return Token(FLOAT_LIT, float(spelling), spelling, start), at
+    return Token(INTEGER_LIT, int(spelling), spelling, start), at

@@ -1,0 +1,684 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Entry points: :func:`parse_statement` for a full statement and
+:func:`parse_expression` for a bare scalar/boolean expression (used when
+compiling CHECK constraint text and soft-constraint statements).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.engine.types import parse_date_literal
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INTEGER_LIT,
+    KEYWORD,
+    OPERATOR,
+    PUNCT,
+    STRING_LIT,
+    Token,
+)
+
+# Keywords that may also appear as ordinary identifiers (column/table
+# names) when the grammar position demands a name.
+_NONRESERVED = frozenset(
+    ["count", "sum", "avg", "min", "max", "abs", "date", "key", "index",
+     "summary", "view", "check", "set", "all", "asc", "desc", "left",
+     "right", "year", "month"]
+)
+
+_COMPARISONS = frozenset(["=", "<>", "!=", "<", "<=", ">", ">="])
+_AGG_NAMES = ast.FunctionCall.AGGREGATES | frozenset(["abs"])
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.statement()
+    parser.accept_punct(";")
+    parser.expect_eof()
+    return statement
+
+
+def parse_expression(sql: str) -> ast.Expression:
+    """Parse a bare expression, e.g. a CHECK condition."""
+    parser = _Parser(tokenize(sql))
+    expression = parser.expression()
+    parser.expect_eof()
+    return expression
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._at = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._at]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._at]
+        if token.kind != EOF:
+            self._at += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        where = f" near {token.text!r}" if token.text else " at end of input"
+        return ParseError(message + where, token.position)
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        if self.current.is_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *words: str) -> Token:
+        token = self.accept_keyword(*words)
+        if token is None:
+            raise self.error(f"expected {'/'.join(w.upper() for w in words)}")
+        return token
+
+    def accept_punct(self, punct: str) -> Optional[Token]:
+        if self.current.kind == PUNCT and self.current.value == punct:
+            return self.advance()
+        return None
+
+    def expect_punct(self, punct: str) -> Token:
+        token = self.accept_punct(punct)
+        if token is None:
+            raise self.error(f"expected {punct!r}")
+        return token
+
+    def accept_operator(self, *ops: str) -> Optional[Token]:
+        if self.current.kind == OPERATOR and self.current.value in ops:
+            return self.advance()
+        return None
+
+    def expect_eof(self) -> None:
+        if self.current.kind != EOF:
+            raise self.error("unexpected trailing input")
+
+    def identifier(self) -> str:
+        """An identifier, allowing the non-reserved keyword set."""
+        token = self.current
+        if token.kind == IDENT:
+            return self.advance().value
+        if token.kind == KEYWORD and token.value in _NONRESERVED:
+            return self.advance().value
+        raise self.error("expected identifier")
+
+    # ------------------------------------------------------------ statements
+
+    def statement(self) -> ast.Statement:
+        token = self.current
+        if token.is_keyword("select") or (
+            token.kind == PUNCT and token.value == "("
+        ):
+            return self.select_or_union()
+        if token.is_keyword("create"):
+            return self.create_statement()
+        if token.is_keyword("insert"):
+            return self.insert_statement()
+        if token.is_keyword("delete"):
+            return self.delete_statement()
+        if token.is_keyword("update"):
+            return self.update_statement()
+        if token.is_keyword("drop"):
+            return self.drop_statement()
+        raise self.error("expected a statement")
+
+    # -- SELECT / UNION ALL ------------------------------------------------
+
+    def select_or_union(self) -> Union[ast.SelectStatement, ast.UnionAll]:
+        if self.accept_punct("("):
+            first = self.select_statement(allow_tail=True)
+            self.expect_punct(")")
+        else:
+            first = self.select_statement(allow_tail=True)
+        branches = [first]
+        while self.accept_keyword("union"):
+            self.expect_keyword("all")
+            if self.accept_punct("("):
+                branch = self.select_statement(allow_tail=True)
+                self.expect_punct(")")
+            else:
+                branch = self.select_statement(allow_tail=False)
+            branches.append(branch)
+        if len(branches) == 1:
+            return first
+        union = ast.UnionAll(branches=branches)
+        union.order_by = self.order_by_clause()
+        union.limit = self.limit_clause()
+        return union
+
+    def select_statement(self, allow_tail: bool = True) -> ast.SelectStatement:
+        self.expect_keyword("select")
+        statement = ast.SelectStatement()
+        statement.distinct = self.accept_keyword("distinct") is not None
+        statement.select_items = self.select_items()
+        if self.accept_keyword("from"):
+            statement.from_clause = self.from_clause()
+        if self.accept_keyword("where"):
+            statement.where = self.expression()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            statement.group_by = self.expression_list()
+            if self.accept_keyword("having"):
+                statement.having = self.expression()
+        if allow_tail:
+            statement.order_by = self.order_by_clause()
+            statement.limit = self.limit_clause()
+        return statement
+
+    def select_items(self) -> List[ast.SelectItem]:
+        items = [self.select_item()]
+        while self.accept_punct(","):
+            items.append(self.select_item())
+        return items
+
+    def select_item(self) -> ast.SelectItem:
+        if self.current.kind == OPERATOR and self.current.value == "*":
+            self.advance()
+            return ast.SelectItem(star=True)
+        # "t.*" needs two tokens of lookahead
+        if self.current.kind in (IDENT, KEYWORD):
+            nxt = self._tokens[self._at + 1 : self._at + 3]
+            if (
+                len(nxt) == 2
+                and nxt[0].kind == PUNCT
+                and nxt[0].value == "."
+                and nxt[1].kind == OPERATOR
+                and nxt[1].value == "*"
+            ):
+                table = self.identifier()
+                self.expect_punct(".")
+                self.advance()  # the *
+                return ast.SelectItem(star=True, star_table=table)
+        expression = self.expression()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.identifier()
+        elif self.current.kind == IDENT:
+            alias = self.advance().value
+        return ast.SelectItem(expression=expression, alias=alias)
+
+    def from_clause(self) -> List[Union[ast.TableRef, ast.Join]]:
+        refs = [self.table_expression()]
+        while self.accept_punct(","):
+            refs.append(self.table_expression())
+        return refs
+
+    def table_expression(self) -> Union[ast.TableRef, ast.Join]:
+        left: Union[ast.TableRef, ast.Join] = self.table_primary()
+        while True:
+            kind = None
+            if self.accept_keyword("inner"):
+                kind = "inner"
+                self.expect_keyword("join")
+            elif self.accept_keyword("cross"):
+                kind = "cross"
+                self.expect_keyword("join")
+            elif self.accept_keyword("left"):
+                kind = "left"
+                self.accept_keyword("outer")
+                self.expect_keyword("join")
+            elif self.accept_keyword("join"):
+                kind = "inner"
+            if kind is None:
+                return left
+            right = self.table_primary()
+            condition = None
+            if kind != "cross":
+                self.expect_keyword("on")
+                condition = self.expression()
+            left = ast.Join(kind=kind, left=left, right=right, condition=condition)
+
+    def table_primary(self) -> ast.TableRef:
+        name = self.identifier()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.identifier()
+        elif self.current.kind == IDENT:
+            alias = self.advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    def order_by_clause(self) -> List[ast.OrderItem]:
+        if not self.accept_keyword("order"):
+            return []
+        self.expect_keyword("by")
+        items = [self.order_item()]
+        while self.accept_punct(","):
+            items.append(self.order_item())
+        return items
+
+    def order_item(self) -> ast.OrderItem:
+        expression = self.expression()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return ast.OrderItem(expression=expression, ascending=ascending)
+
+    def limit_clause(self) -> Optional[int]:
+        if not self.accept_keyword("limit"):
+            return None
+        token = self.current
+        if token.kind != INTEGER_LIT:
+            raise self.error("expected integer after LIMIT")
+        self.advance()
+        return token.value
+
+    # -- CREATE ----------------------------------------------------------------
+
+    def create_statement(self) -> ast.Statement:
+        self.expect_keyword("create")
+        if self.accept_keyword("summary"):
+            self.expect_keyword("table")
+            return self.create_summary_table()
+        if self.accept_keyword("unique"):
+            self.expect_keyword("index")
+            return self.create_index(unique=True)
+        if self.accept_keyword("index"):
+            return self.create_index(unique=False)
+        self.expect_keyword("table")
+        return self.create_table()
+
+    def create_table(self) -> ast.CreateTable:
+        name = self.identifier()
+        self.expect_punct("(")
+        node = ast.CreateTable(name=name)
+        while True:
+            if self.current.is_keyword(
+                "primary", "unique", "foreign", "check", "constraint"
+            ) and not self._looks_like_column_def():
+                node.constraints.append(self.table_constraint())
+            else:
+                column, inline = self.column_def()
+                node.columns.append(column)
+                node.constraints.extend(inline)
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return node
+
+    def _looks_like_column_def(self) -> bool:
+        """Disambiguate e.g. a column named ``check`` from a CHECK clause."""
+        token = self.current
+        if token.kind != KEYWORD or token.value not in _NONRESERVED:
+            return False
+        nxt = self._tokens[self._at + 1]
+        return nxt.kind in (IDENT, KEYWORD) and not nxt.is_keyword("key")
+
+    def column_def(self) -> Tuple[ast.ColumnDef, List[ast.ConstraintDef]]:
+        name = self.identifier()
+        type_token = self.current
+        if type_token.kind not in (KEYWORD, IDENT):
+            raise self.error("expected a type name")
+        self.advance()
+        length = None
+        if self.accept_punct("("):
+            size_token = self.current
+            if size_token.kind != INTEGER_LIT:
+                raise self.error("expected a length")
+            self.advance()
+            length = size_token.value
+            self.expect_punct(")")
+        column = ast.ColumnDef(
+            name=name, type_name=type_token.value, length=length
+        )
+        inline: List[ast.ConstraintDef] = []
+        while True:
+            if self.accept_keyword("not"):
+                if self.accept_keyword("null"):
+                    column.not_null = True
+                    continue
+                if self.accept_keyword("enforced"):
+                    # NOT ENFORCED trailing a previous inline constraint
+                    if inline:
+                        _set_enforced(inline[-1], False)
+                        continue
+                    raise self.error("NOT ENFORCED without a constraint")
+                raise self.error("expected NULL or ENFORCED after NOT")
+            if self.accept_keyword("primary"):
+                self.expect_keyword("key")
+                column.primary_key = True
+                inline.append(ast.PrimaryKeyDef(columns=[column.name]))
+                continue
+            if self.accept_keyword("unique"):
+                inline.append(ast.UniqueDef(columns=[column.name]))
+                continue
+            if self.accept_keyword("references"):
+                parent = self.identifier()
+                parent_columns: List[str] = []
+                if self.accept_punct("("):
+                    parent_columns = self.identifier_list()
+                    self.expect_punct(")")
+                inline.append(
+                    ast.ForeignKeyDef(
+                        columns=[column.name],
+                        parent_table=parent,
+                        parent_columns=parent_columns,
+                    )
+                )
+                continue
+            if self.current.is_keyword("check"):
+                inline.append(self.check_clause())
+                continue
+            if self.accept_keyword("enforced"):
+                if inline:
+                    _set_enforced(inline[-1], True)
+                    continue
+                raise self.error("ENFORCED without a constraint")
+            break
+        return column, inline
+
+    def table_constraint(self) -> ast.ConstraintDef:
+        name = None
+        if self.accept_keyword("constraint"):
+            name = self.identifier()
+        if self.accept_keyword("primary"):
+            self.expect_keyword("key")
+            self.expect_punct("(")
+            columns = self.identifier_list()
+            self.expect_punct(")")
+            definition: ast.ConstraintDef = ast.PrimaryKeyDef(
+                columns=columns, name=name
+            )
+        elif self.accept_keyword("unique"):
+            self.expect_punct("(")
+            columns = self.identifier_list()
+            self.expect_punct(")")
+            definition = ast.UniqueDef(columns=columns, name=name)
+        elif self.accept_keyword("foreign"):
+            self.expect_keyword("key")
+            self.expect_punct("(")
+            columns = self.identifier_list()
+            self.expect_punct(")")
+            self.expect_keyword("references")
+            parent = self.identifier()
+            parent_columns: List[str] = []
+            if self.accept_punct("("):
+                parent_columns = self.identifier_list()
+                self.expect_punct(")")
+            definition = ast.ForeignKeyDef(
+                columns=columns,
+                parent_table=parent,
+                parent_columns=parent_columns,
+                name=name,
+            )
+        elif self.current.is_keyword("check"):
+            definition = self.check_clause()
+            definition.name = name
+        else:
+            raise self.error("expected a table constraint")
+        self.enforcement_suffix(definition)
+        return definition
+
+    def check_clause(self) -> ast.CheckDef:
+        self.expect_keyword("check")
+        self.expect_punct("(")
+        start = self.current.position
+        expression = self.expression()
+        end = self.current.position
+        self.expect_punct(")")
+        # Reconstruct the original text span for catalog display.
+        sql_text = _source_slice(self._tokens, start, end)
+        return ast.CheckDef(expression=expression, sql_text=sql_text)
+
+    def enforcement_suffix(self, definition: ast.ConstraintDef) -> None:
+        if self.accept_keyword("not"):
+            self.expect_keyword("enforced")
+            _set_enforced(definition, False)
+        elif self.accept_keyword("enforced"):
+            _set_enforced(definition, True)
+
+    def create_index(self, unique: bool) -> ast.CreateIndex:
+        name = self.identifier()
+        self.expect_keyword("on")
+        table = self.identifier()
+        self.expect_punct("(")
+        columns = self.identifier_list()
+        self.expect_punct(")")
+        return ast.CreateIndex(
+            name=name, table=table, columns=columns, unique=unique
+        )
+
+    def create_summary_table(self) -> ast.CreateSummaryTable:
+        name = self.identifier()
+        self.expect_keyword("as")
+        self.expect_punct("(")
+        select = self.select_statement(allow_tail=False)
+        self.expect_punct(")")
+        return ast.CreateSummaryTable(name=name, select=select)
+
+    def drop_statement(self) -> ast.DropTable:
+        self.expect_keyword("drop")
+        self.expect_keyword("table")
+        return ast.DropTable(name=self.identifier())
+
+    # -- DML ----------------------------------------------------------------------
+
+    def insert_statement(self) -> ast.Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.identifier()
+        columns: List[str] = []
+        if self.accept_punct("("):
+            columns = self.identifier_list()
+            self.expect_punct(")")
+        self.expect_keyword("values")
+        rows: List[List[ast.Expression]] = []
+        while True:
+            self.expect_punct("(")
+            rows.append(self.expression_list())
+            self.expect_punct(")")
+            if not self.accept_punct(","):
+                break
+        return ast.Insert(table=table, columns=columns, rows=rows)
+
+    def delete_statement(self) -> ast.Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.identifier()
+        where = None
+        if self.accept_keyword("where"):
+            where = self.expression()
+        return ast.Delete(table=table, where=where)
+
+    def update_statement(self) -> ast.Update:
+        self.expect_keyword("update")
+        table = self.identifier()
+        self.expect_keyword("set")
+        assignments: List[Tuple[str, ast.Expression]] = []
+        while True:
+            column = self.identifier()
+            if self.accept_operator("=") is None:
+                raise self.error("expected '=' in SET")
+            assignments.append((column, self.expression()))
+            if not self.accept_punct(","):
+                break
+        where = None
+        if self.accept_keyword("where"):
+            where = self.expression()
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    # ------------------------------------------------------------ expressions
+
+    def expression_list(self) -> List[ast.Expression]:
+        items = [self.expression()]
+        while self.accept_punct(","):
+            items.append(self.expression())
+        return items
+
+    def identifier_list(self) -> List[str]:
+        items = [self.identifier()]
+        while self.accept_punct(","):
+            items.append(self.identifier())
+        return items
+
+    def expression(self) -> ast.Expression:
+        return self.or_expression()
+
+    def or_expression(self) -> ast.Expression:
+        left = self.and_expression()
+        while self.accept_keyword("or"):
+            left = ast.BinaryOp("or", left, self.and_expression())
+        return left
+
+    def and_expression(self) -> ast.Expression:
+        left = self.not_expression()
+        while self.accept_keyword("and"):
+            left = ast.BinaryOp("and", left, self.not_expression())
+        return left
+
+    def not_expression(self) -> ast.Expression:
+        if self.accept_keyword("not"):
+            return ast.UnaryOp("not", self.not_expression())
+        return self.predicate()
+
+    def predicate(self) -> ast.Expression:
+        left = self.additive()
+        token = self.accept_operator(*_COMPARISONS)
+        if token is not None:
+            op = "<>" if token.value == "!=" else token.value
+            return ast.BinaryOp(op, left, self.additive())
+        negated = False
+        if self.current.is_keyword("not"):
+            nxt = self._tokens[self._at + 1]
+            if nxt.is_keyword("between", "in", "like"):
+                self.advance()
+                negated = True
+        if self.accept_keyword("between"):
+            low = self.additive()
+            self.expect_keyword("and")
+            high = self.additive()
+            return ast.BetweenExpr(left, low, high, negated=negated)
+        if self.accept_keyword("in"):
+            self.expect_punct("(")
+            items = tuple(self.expression_list())
+            self.expect_punct(")")
+            return ast.InExpr(left, items, negated=negated)
+        if self.accept_keyword("like"):
+            pattern = self.additive()
+            node: ast.Expression = ast.BinaryOp("like", left, pattern)
+            if negated:
+                node = ast.UnaryOp("not", node)
+            return node
+        if self.accept_keyword("is"):
+            is_negated = self.accept_keyword("not") is not None
+            self.expect_keyword("null")
+            return ast.IsNullExpr(left, negated=is_negated)
+        return left
+
+    def additive(self) -> ast.Expression:
+        left = self.multiplicative()
+        while True:
+            token = self.accept_operator("+", "-")
+            if token is None:
+                return left
+            left = ast.BinaryOp(token.value, left, self.multiplicative())
+
+    def multiplicative(self) -> ast.Expression:
+        left = self.unary()
+        while True:
+            token = self.accept_operator("*", "/", "%")
+            if token is None:
+                return left
+            left = ast.BinaryOp(token.value, left, self.unary())
+
+    def unary(self) -> ast.Expression:
+        if self.accept_operator("-"):
+            return ast.UnaryOp("-", self.unary())
+        if self.accept_operator("+"):
+            return self.unary()
+        return self.primary()
+
+    def primary(self) -> ast.Expression:
+        token = self.current
+        if token.kind == INTEGER_LIT or token.kind == FLOAT_LIT:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == STRING_LIT:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("null"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("date"):
+            nxt = self._tokens[self._at + 1]
+            if nxt.kind == STRING_LIT:
+                self.advance()
+                self.advance()
+                return ast.Literal(parse_date_literal(nxt.value), is_date=True)
+        if self.accept_punct("("):
+            expression = self.expression()
+            self.expect_punct(")")
+            return expression
+        if token.kind in (IDENT, KEYWORD):
+            # function call?
+            nxt = self._tokens[self._at + 1]
+            is_function = (
+                nxt.kind == PUNCT
+                and nxt.value == "("
+                and (token.kind == IDENT or token.value in _AGG_NAMES)
+            )
+            if is_function:
+                return self.function_call()
+            return self.column_reference()
+        raise self.error("expected an expression")
+
+    def function_call(self) -> ast.FunctionCall:
+        name = self.advance().value
+        self.expect_punct("(")
+        if self.current.kind == OPERATOR and self.current.value == "*":
+            self.advance()
+            self.expect_punct(")")
+            return ast.FunctionCall(name=name, star=True)
+        distinct = self.accept_keyword("distinct") is not None
+        args: List[ast.Expression] = []
+        if not (self.current.kind == PUNCT and self.current.value == ")"):
+            args = self.expression_list()
+        self.expect_punct(")")
+        return ast.FunctionCall(name=name, args=tuple(args), distinct=distinct)
+
+    def column_reference(self) -> ast.ColumnRef:
+        first = self.identifier()
+        if self.accept_punct("."):
+            second = self.identifier()
+            return ast.ColumnRef(column=second, table=first)
+        return ast.ColumnRef(column=first)
+
+
+def _set_enforced(definition: ast.ConstraintDef, enforced: bool) -> None:
+    definition.enforced = enforced
+
+
+def _source_slice(tokens: List[Token], start: int, end: int) -> str:
+    """Reassemble the token texts covering [start, end) for display."""
+    parts: List[str] = []
+    for token in tokens:
+        if token.position < start or token.kind == EOF:
+            continue
+        if token.position >= end:
+            break
+        text = token.text
+        if token.kind == STRING_LIT:
+            text = "'" + text.replace("'", "''") + "'"
+        parts.append(text)
+    return " ".join(parts)

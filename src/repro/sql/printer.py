@@ -1,0 +1,280 @@
+"""Render AST nodes back to SQL text.
+
+Used by EXPLAIN output, catalog listings, and round-trip tests
+(``parse(sql_of(parse(text)))`` must equal ``parse(text)``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.engine.types import days_to_date
+from repro.sql import ast
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4, "<>": 4, "<": 4, "<=": 4, ">": 4, ">=": 4, "like": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+def sql_of(node: Union[ast.Node, ast.Expression]) -> str:
+    """Render any statement or expression node as SQL text."""
+    method = _DISPATCH.get(type(node))
+    if method is None:
+        raise TypeError(f"cannot print {type(node).__name__}")
+    return method(node)
+
+
+# ----------------------------------------------------------- expressions
+
+
+def _literal(node: ast.Literal) -> str:
+    value = node.value
+    if value is None:
+        return "NULL"
+    if node.is_date and isinstance(value, int):
+        return f"DATE '{days_to_date(value).isoformat()}'"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+def _column(node: ast.ColumnRef) -> str:
+    return node.qualified
+
+
+def _runtime_parameter(node: ast.RuntimeParameter) -> str:
+    return repr(node)  # PARAM(name.attribute) — EXPLAIN-only, not parseable
+
+
+def _wrap(child: ast.Expression, parent_precedence: int) -> str:
+    text = sql_of(child)
+    if isinstance(child, ast.BinaryOp):
+        if _PRECEDENCE.get(child.op, 7) < parent_precedence:
+            return f"({text})"
+    return text
+
+
+def _binary(node: ast.BinaryOp) -> str:
+    precedence = _PRECEDENCE.get(node.op, 7)
+    op = node.op.upper() if node.op in ("and", "or", "like") else node.op
+    left = _wrap(node.left, precedence)
+    right = _wrap(node.right, precedence + 1)
+    return f"{left} {op} {right}"
+
+
+def _unary(node: ast.UnaryOp) -> str:
+    if node.op == "not":
+        inner = sql_of(node.operand)
+        if isinstance(node.operand, ast.BinaryOp):
+            inner = f"({inner})"
+        return f"NOT {inner}"
+    return f"-{_wrap(node.operand, 7)}"
+
+
+def _between(node: ast.BetweenExpr) -> str:
+    maybe_not = "NOT " if node.negated else ""
+    return (
+        f"{_wrap(node.operand, 5)} {maybe_not}BETWEEN "
+        f"{_wrap(node.low, 5)} AND {_wrap(node.high, 5)}"
+    )
+
+
+def _in(node: ast.InExpr) -> str:
+    maybe_not = "NOT " if node.negated else ""
+    items = ", ".join(sql_of(item) for item in node.items)
+    return f"{_wrap(node.operand, 5)} {maybe_not}IN ({items})"
+
+
+def _is_null(node: ast.IsNullExpr) -> str:
+    maybe_not = "NOT " if node.negated else ""
+    return f"{_wrap(node.operand, 5)} IS {maybe_not}NULL"
+
+
+def _function(node: ast.FunctionCall) -> str:
+    if node.star:
+        return f"{node.name.upper()}(*)"
+    distinct = "DISTINCT " if node.distinct else ""
+    args = ", ".join(sql_of(arg) for arg in node.args)
+    return f"{node.name.upper()}({distinct}{args})"
+
+
+# ------------------------------------------------------------- statements
+
+
+def _select_item(item: ast.SelectItem) -> str:
+    if item.star:
+        return f"{item.star_table}.*" if item.star_table else "*"
+    assert item.expression is not None
+    text = sql_of(item.expression)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def _table_ref(ref: ast.TableRef) -> str:
+    if ref.alias:
+        return f"{ref.name} AS {ref.alias}"
+    return ref.name
+
+
+def _join(node: ast.Join) -> str:
+    left = _from_item(node.left)
+    right = _from_item(node.right)
+    if node.kind == "cross":
+        return f"{left} CROSS JOIN {right}"
+    keyword = {"inner": "INNER JOIN", "left": "LEFT JOIN"}[node.kind]
+    return f"{left} {keyword} {right} ON {sql_of(node.condition)}"
+
+
+def _from_item(item: Union[ast.TableRef, ast.Join]) -> str:
+    if isinstance(item, ast.TableRef):
+        return _table_ref(item)
+    return _join(item)
+
+
+def _select(node: ast.SelectStatement) -> str:
+    parts = ["SELECT"]
+    if node.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item(item) for item in node.select_items))
+    if node.from_clause:
+        parts.append("FROM")
+        parts.append(", ".join(_from_item(item) for item in node.from_clause))
+    if node.where is not None:
+        parts.append("WHERE")
+        parts.append(sql_of(node.where))
+    if node.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(sql_of(e) for e in node.group_by))
+    if node.having is not None:
+        parts.append("HAVING")
+        parts.append(sql_of(node.having))
+    if node.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_order_item(i) for i in node.order_by))
+    if node.limit is not None:
+        parts.append(f"LIMIT {node.limit}")
+    return " ".join(parts)
+
+
+def _order_item(item: ast.OrderItem) -> str:
+    suffix = "" if item.ascending else " DESC"
+    return sql_of(item.expression) + suffix
+
+
+def _union(node: ast.UnionAll) -> str:
+    body = " UNION ALL ".join(f"({_select(b)})" for b in node.branches)
+    if node.order_by:
+        body += " ORDER BY " + ", ".join(_order_item(i) for i in node.order_by)
+    if node.limit is not None:
+        body += f" LIMIT {node.limit}"
+    return body
+
+
+def _create_table(node: ast.CreateTable) -> str:
+    pieces = []
+    for column in node.columns:
+        text = f"{column.name} {column.type_name.upper()}"
+        if column.length is not None:
+            text += f"({column.length})"
+        if column.not_null:
+            text += " NOT NULL"
+        if column.primary_key:
+            text += " PRIMARY KEY"
+        pieces.append(text)
+    inline_pk_columns = {c.name for c in node.columns if c.primary_key}
+    for definition in node.constraints:
+        if (
+            isinstance(definition, ast.PrimaryKeyDef)
+            and definition.name is None
+            and definition.columns
+            and set(definition.columns) <= inline_pk_columns
+        ):
+            continue  # already printed inline with its column
+        pieces.append(_constraint_def(definition))
+    return f"CREATE TABLE {node.name} ({', '.join(pieces)})"
+
+
+def _constraint_def(definition: ast.ConstraintDef) -> str:
+    prefix = f"CONSTRAINT {definition.name} " if definition.name else ""
+    suffix = "" if definition.enforced else " NOT ENFORCED"
+    if isinstance(definition, ast.PrimaryKeyDef):
+        # Inline single-column PKs are already printed with the column.
+        body = f"PRIMARY KEY ({', '.join(definition.columns)})"
+    elif isinstance(definition, ast.UniqueDef):
+        body = f"UNIQUE ({', '.join(definition.columns)})"
+    elif isinstance(definition, ast.ForeignKeyDef):
+        body = (
+            f"FOREIGN KEY ({', '.join(definition.columns)}) REFERENCES "
+            f"{definition.parent_table}"
+        )
+        if definition.parent_columns:
+            body += f" ({', '.join(definition.parent_columns)})"
+    else:
+        assert isinstance(definition, ast.CheckDef)
+        body = f"CHECK ({sql_of(definition.expression)})"
+    return prefix + body + suffix
+
+
+def _create_index(node: ast.CreateIndex) -> str:
+    unique = "UNIQUE " if node.unique else ""
+    return (
+        f"CREATE {unique}INDEX {node.name} ON {node.table} "
+        f"({', '.join(node.columns)})"
+    )
+
+
+def _create_summary(node: ast.CreateSummaryTable) -> str:
+    return f"CREATE SUMMARY TABLE {node.name} AS ({_select(node.select)})"
+
+
+def _drop_table(node: ast.DropTable) -> str:
+    return f"DROP TABLE {node.name}"
+
+
+def _insert(node: ast.Insert) -> str:
+    columns = f" ({', '.join(node.columns)})" if node.columns else ""
+    rows = ", ".join(
+        "(" + ", ".join(sql_of(value) for value in row) + ")"
+        for row in node.rows
+    )
+    return f"INSERT INTO {node.table}{columns} VALUES {rows}"
+
+
+def _delete(node: ast.Delete) -> str:
+    where = f" WHERE {sql_of(node.where)}" if node.where is not None else ""
+    return f"DELETE FROM {node.table}{where}"
+
+
+def _update(node: ast.Update) -> str:
+    sets = ", ".join(f"{c} = {sql_of(e)}" for c, e in node.assignments)
+    where = f" WHERE {sql_of(node.where)}" if node.where is not None else ""
+    return f"UPDATE {node.table} SET {sets}{where}"
+
+
+_DISPATCH = {
+    ast.Literal: _literal,
+    ast.ColumnRef: _column,
+    ast.RuntimeParameter: _runtime_parameter,
+    ast.BinaryOp: _binary,
+    ast.UnaryOp: _unary,
+    ast.BetweenExpr: _between,
+    ast.InExpr: _in,
+    ast.IsNullExpr: _is_null,
+    ast.FunctionCall: _function,
+    ast.SelectStatement: _select,
+    ast.UnionAll: _union,
+    ast.CreateTable: _create_table,
+    ast.CreateIndex: _create_index,
+    ast.CreateSummaryTable: _create_summary,
+    ast.DropTable: _drop_table,
+    ast.Insert: _insert,
+    ast.Delete: _delete,
+    ast.Update: _update,
+}

@@ -1,0 +1,56 @@
+"""Token kinds and the token type used by the lexer and parser."""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+# Token kinds
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+INTEGER_LIT = "INTEGER"
+FLOAT_LIT = "FLOAT"
+STRING_LIT = "STRING"
+OPERATOR = "OPERATOR"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+# Reserved words of the dialect.  Identifiers matching these (case
+# insensitively) lex as KEYWORD tokens.
+KEYWORDS = frozenset(
+    """
+    select distinct from where group by having order asc desc limit
+    union all and or not between in is null like exists
+    as on inner left right outer join cross
+    create table index unique primary key foreign references check
+    constraint enforced summary view materialized
+    insert into values delete update set drop
+    true false date integer int bigint smallint double float real
+    decimal numeric varchar char text string bool boolean
+    count sum avg min max abs
+    """.split()
+)
+
+MULTI_CHAR_OPERATORS = ("<=", ">=", "<>", "!=")
+SINGLE_CHAR_OPERATORS = ("=", "<", ">", "+", "-", "*", "/", "%")
+PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+class Token(NamedTuple):
+    """One lexical token.
+
+    ``value`` holds the canonical form: lower-cased text for keywords and
+    identifiers, the decoded string for string literals, and Python
+    numbers for numeric literals.  ``text`` preserves the original
+    spelling; ``position`` is the character offset for error messages.
+    """
+
+    kind: str
+    value: Any
+    text: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == KEYWORD and self.value in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"

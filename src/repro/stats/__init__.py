@@ -1,0 +1,31 @@
+"""Catalog statistics: RUNSTATS collection, histograms, frequent values,
+and selectivity estimation — the raw material of cardinality estimation
+(paper Section 5: "Commercial database systems like DB2 keep various
+statistics of the data within columns ... the number of distinct values,
+high and low values, frequency and histogram statistics").
+"""
+
+from repro.stats.histogram import EquiDepthHistogram
+from repro.stats.frequent import FrequentValues
+from repro.stats.runstats import (
+    ColumnStats,
+    TableStats,
+    VirtualColumnStats,
+    runstats,
+    runstats_virtual,
+)
+from repro.stats.selectivity import SelectivityEstimator
+from repro.stats.errors import q_error, relative_error
+
+__all__ = [
+    "ColumnStats",
+    "EquiDepthHistogram",
+    "FrequentValues",
+    "SelectivityEstimator",
+    "TableStats",
+    "VirtualColumnStats",
+    "q_error",
+    "relative_error",
+    "runstats",
+    "runstats_virtual",
+]

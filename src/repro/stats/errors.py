@@ -1,0 +1,20 @@
+"""Estimation-error metrics used by the cardinality experiments (E5).
+
+The *q-error* is the standard metric for cardinality estimation quality:
+``max(est/actual, actual/est)`` with both sides clamped to at least 1 row.
+A q-error of 1.0 is a perfect estimate.
+"""
+
+from __future__ import annotations
+
+
+def q_error(estimate: float, actual: float) -> float:
+    """Multiplicative estimation error, >= 1.0 (1.0 is perfect)."""
+    est = max(1.0, float(estimate))
+    act = max(1.0, float(actual))
+    return max(est / act, act / est)
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """Signed relative error ``(est - actual) / max(actual, 1)``."""
+    return (float(estimate) - float(actual)) / max(float(actual), 1.0)

@@ -1,0 +1,66 @@
+"""Frequent-value (most-common-value) statistics.
+
+DB2-style frequency statistics: the top-k most frequent values of a column
+with their counts.  Equality selectivity on a tracked value uses its exact
+frequency; untracked values spread the remaining rows over the remaining
+distinct values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class FrequentValues:
+    """Top-k value frequencies of one column."""
+
+    def __init__(
+        self,
+        entries: List[Tuple[Any, int]],
+        total_count: int,
+        total_distinct: int,
+    ) -> None:
+        self.entries = entries
+        self.total_count = total_count
+        self.total_distinct = total_distinct
+        self._by_value: Dict[Any, int] = dict(entries)
+
+    @classmethod
+    def build(
+        cls, values: Sequence[Any], k: int = 10
+    ) -> Optional["FrequentValues"]:
+        """Collect top-k frequencies from non-NULL values (None if empty)."""
+        if not values:
+            return None
+        counts = Counter(values)
+        top = counts.most_common(k)
+        return cls(top, len(values), len(counts))
+
+    @property
+    def tracked_count(self) -> int:
+        return sum(count for _, count in self.entries)
+
+    def frequency_of(self, value: Any) -> Optional[int]:
+        """Exact count when tracked, else None."""
+        return self._by_value.get(value)
+
+    def equality_fraction(self, value: Any) -> float:
+        """Estimated fraction of (non-NULL) rows equal to ``value``."""
+        if self.total_count == 0:
+            return 0.0
+        tracked = self.frequency_of(value)
+        if tracked is not None:
+            return tracked / self.total_count
+        remaining_rows = self.total_count - self.tracked_count
+        remaining_distinct = self.total_distinct - len(self.entries)
+        if remaining_distinct <= 0 or remaining_rows <= 0:
+            return 0.0
+        return (remaining_rows / remaining_distinct) / self.total_count
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{v!r}:{c}" for v, c in self.entries[:3])
+        return (
+            f"FrequentValues(top={len(self.entries)} [{preview}...], "
+            f"rows={self.total_count}, distinct={self.total_distinct})"
+        )

@@ -1,0 +1,143 @@
+"""Equi-depth histograms over ordered column values.
+
+An equi-depth (equi-height) histogram splits the sorted non-NULL values of
+a column into buckets holding roughly equal row counts.  Range selectivity
+is estimated by summing fully-covered buckets and linearly interpolating in
+partially-covered ones — the standard assumption of uniformity within a
+bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Optional, Sequence
+
+from repro.expr.intervals import Interval
+
+
+class Bucket:
+    """One histogram bucket: values in (low, high], with ``high`` included.
+
+    The first bucket also includes its low bound.  ``distinct`` is the
+    number of distinct values observed in the bucket (used for equality
+    estimates inside a bucket).
+    """
+
+    __slots__ = ("low", "high", "count", "distinct")
+
+    def __init__(self, low: Any, high: Any, count: int, distinct: int) -> None:
+        self.low = low
+        self.high = high
+        self.count = count
+        self.distinct = distinct
+
+    def __repr__(self) -> str:
+        return f"Bucket({self.low!r}..{self.high!r}, n={self.count}, d={self.distinct})"
+
+
+class EquiDepthHistogram:
+    """Equi-depth histogram built from a sample or full column scan."""
+
+    def __init__(self, buckets: List[Bucket], total_count: int) -> None:
+        self.buckets = buckets
+        self.total_count = total_count
+        self._highs = [bucket.high for bucket in buckets]
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, values: Sequence[Any], num_buckets: int = 20
+    ) -> Optional["EquiDepthHistogram"]:
+        """Build from non-NULL values; returns None for an empty column.
+
+        ``values`` need not be sorted; NULLs must already be filtered out.
+        """
+        if not values:
+            return None
+        ordered = sorted(values)
+        total = len(ordered)
+        num_buckets = max(1, min(num_buckets, total))
+        target = total / num_buckets
+        buckets: List[Bucket] = []
+        start = 0
+        for bucket_no in range(num_buckets):
+            end = round((bucket_no + 1) * target)
+            end = min(max(end, start + 1), total)
+            # Extend to include all duplicates of the boundary value so a
+            # value never straddles two buckets.
+            while end < total and ordered[end] == ordered[end - 1]:
+                end += 1
+            if start >= total:
+                break
+            chunk = ordered[start:end]
+            distinct = 1
+            for left, right in zip(chunk, chunk[1:]):
+                if left != right:
+                    distinct += 1
+            buckets.append(Bucket(chunk[0], chunk[-1], len(chunk), distinct))
+            start = end
+        return cls(buckets, total)
+
+    # -- estimation ----------------------------------------------------------
+
+    @property
+    def low(self) -> Any:
+        return self.buckets[0].low
+
+    @property
+    def high(self) -> Any:
+        return self.buckets[-1].high
+
+    def equality_fraction(self, value: Any) -> float:
+        """Estimated fraction of (non-NULL) rows equal to ``value``."""
+        bucket = self._bucket_for(value)
+        if bucket is None:
+            return 0.0
+        share = bucket.count / max(1, bucket.distinct)
+        return share / self.total_count
+
+    def range_fraction(self, interval: Interval) -> float:
+        """Estimated fraction of (non-NULL) rows inside ``interval``."""
+        if interval.is_empty or self.total_count == 0:
+            return 0.0
+        covered = 0.0
+        for bucket in self.buckets:
+            covered += self._bucket_overlap(bucket, interval)
+        return min(1.0, covered / self.total_count)
+
+    def _bucket_for(self, value: Any) -> Optional[Bucket]:
+        if value is None or not self.buckets:
+            return None
+        if value < self.buckets[0].low or value > self.buckets[-1].high:
+            return None
+        at = bisect.bisect_left(self._highs, value)
+        if at >= len(self.buckets):
+            return None
+        return self.buckets[at]
+
+    def _bucket_overlap(self, bucket: Bucket, interval: Interval) -> float:
+        """Estimated number of the bucket's rows falling in ``interval``."""
+        bucket_interval = Interval(bucket.low, bucket.high)
+        if not bucket_interval.overlaps(interval):
+            return 0.0
+        if interval.contains_interval(bucket_interval):
+            return float(bucket.count)
+        clipped = bucket_interval.intersect(interval)
+        width = bucket_interval.width()
+        clipped_width = clipped.width()
+        if not width or clipped_width is None:
+            # Single-valued bucket or non-numeric domain: all-or-nothing on
+            # the bucket midpoint.
+            return float(bucket.count) if clipped.contains(bucket.low) else 0.0
+        fraction = max(0.0, min(1.0, clipped_width / width))
+        if fraction == 0.0 and not clipped.is_empty:
+            # A point overlap inside the bucket: one distinct value's share.
+            fraction = 1.0 / max(1, bucket.distinct)
+        return bucket.count * fraction
+
+    def __repr__(self) -> str:
+        return (
+            f"EquiDepthHistogram(buckets={len(self.buckets)}, "
+            f"rows={self.total_count}, range={self.low!r}..{self.high!r})"
+        )

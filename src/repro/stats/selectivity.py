@@ -1,0 +1,253 @@
+"""Single-table selectivity estimation from catalog statistics.
+
+:class:`SelectivityEstimator` answers "what fraction of this table's rows
+satisfy this predicate?" using the column statistics collected by RUNSTATS:
+frequent values for equality on tracked values, histograms for ranges, and
+distinct counts otherwise.  Predicates over columns the estimator has no
+statistics for fall back to the classic System-R default constants.
+
+Conjunctions multiply selectivities — the *independence assumption* whose
+failure on correlated columns is exactly what the paper's statistical soft
+constraints repair (Section 5.1).  The SSC-aware combination lives in
+:mod:`repro.optimizer.cardinality`; this module is deliberately SSC-blind
+so experiments can compare the two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.expr import analysis
+from repro.expr.intervals import Interval
+from repro.sql import ast
+from repro.stats.runstats import ColumnStats, TableStats
+
+DEFAULT_EQUALITY_SELECTIVITY = 0.04
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_OTHER_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.1
+
+
+class SelectivityEstimator:
+    """Estimates predicate selectivity against one table's statistics."""
+
+    def __init__(self, stats: Optional[TableStats]) -> None:
+        self.stats = stats
+
+    # -- public API --------------------------------------------------------
+
+    def selectivity(self, expression: Optional[ast.Expression]) -> float:
+        """Fraction of rows satisfying ``expression`` (1.0 for None)."""
+        if expression is None:
+            return 1.0
+        return self._estimate(expression)
+
+    def interval_fraction(
+        self, column_name: str, interval: Interval
+    ) -> float:
+        """Fraction of rows whose column value lies in ``interval``."""
+        column = self._column(column_name)
+        if column is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        if interval.is_empty:
+            return 0.0
+        if interval.is_unbounded:
+            return 1.0 - column.null_fraction
+        if interval.is_point:
+            return self._equality(column, interval.low)
+        if column.histogram is not None:
+            fraction = column.histogram.range_fraction(interval)
+            return fraction * (1.0 - column.null_fraction)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _estimate(self, node: ast.Expression) -> float:
+        if isinstance(node, ast.BinaryOp):
+            if node.op == "and":
+                return self._estimate(node.left) * self._estimate(node.right)
+            if node.op == "or":
+                left = self._estimate(node.left)
+                right = self._estimate(node.right)
+                return min(1.0, left + right - left * right)
+            if node.op == "like":
+                return DEFAULT_LIKE_SELECTIVITY
+            return self._comparison(node)
+        if isinstance(node, ast.UnaryOp) and node.op == "not":
+            return max(0.0, 1.0 - self._estimate(node.operand))
+        if isinstance(node, ast.BetweenExpr):
+            return self._between(node)
+        if isinstance(node, ast.InExpr):
+            return self._in_list(node)
+        if isinstance(node, ast.IsNullExpr):
+            return self._is_null(node)
+        if isinstance(node, ast.Literal):
+            if node.value is True:
+                return 1.0
+            if node.value in (False, None):
+                return 0.0
+        return DEFAULT_OTHER_SELECTIVITY
+
+    # -- leaf predicates ---------------------------------------------------------
+
+    def _comparison(self, node: ast.BinaryOp) -> float:
+        match = analysis.match_column_comparison(node)
+        if match is None:
+            virtual = self._virtual_comparison(node)
+            if virtual is not None:
+                return virtual
+            return DEFAULT_OTHER_SELECTIVITY
+        column = self._column(match.column.column)
+        if column is None or match.value is None:
+            return (
+                DEFAULT_EQUALITY_SELECTIVITY
+                if match.op == "="
+                else DEFAULT_RANGE_SELECTIVITY
+            )
+        if match.op == "=":
+            return self._equality(column, match.value)
+        if match.op == "<>":
+            return max(0.0, (1.0 - column.null_fraction) - self._equality(column, match.value))
+        interval = analysis.interval_of_predicate(node, match.column)
+        if interval is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        return self.interval_fraction(match.column.column, interval)
+
+    def _between(self, node: ast.BetweenExpr) -> float:
+        # Match structurally (match_column_between rejects negated forms;
+        # here the negation is handled explicitly below).
+        if not (
+            isinstance(node.operand, ast.ColumnRef)
+            and analysis.is_constant(node.low)
+            and analysis.is_constant(node.high)
+        ):
+            virtual = self._virtual_between(node)
+            if virtual is not None:
+                return virtual
+            return DEFAULT_RANGE_SELECTIVITY
+        column_ref = node.operand
+        low = analysis.constant_value(node.low)
+        high = analysis.constant_value(node.high)
+        fraction = self.interval_fraction(
+            column_ref.column, Interval(low, high)
+        )
+        if node.negated:
+            column = self._column(column_ref.column)
+            non_null = 1.0 if column is None else 1.0 - column.null_fraction
+            return max(0.0, non_null - fraction)
+        return fraction
+
+    def _in_list(self, node: ast.InExpr) -> float:
+        match = analysis.match_column_in(node)
+        if match is None:
+            return DEFAULT_OTHER_SELECTIVITY
+        column_ref, values = match
+        column = self._column(column_ref.column)
+        if column is None:
+            total = DEFAULT_EQUALITY_SELECTIVITY * len(values)
+        else:
+            total = sum(
+                self._equality(column, value)
+                for value in values
+                if value is not None
+            )
+        total = min(1.0, total)
+        if node.negated:
+            non_null = 1.0 if column is None else 1.0 - column.null_fraction
+            return max(0.0, non_null - total)
+        return total
+
+    def _is_null(self, node: ast.IsNullExpr) -> float:
+        if not isinstance(node.operand, ast.ColumnRef):
+            return DEFAULT_OTHER_SELECTIVITY
+        column = self._column(node.operand.column)
+        if column is None:
+            return DEFAULT_OTHER_SELECTIVITY
+        fraction = column.null_fraction
+        return 1.0 - fraction if node.negated else fraction
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _column(self, name: str) -> Optional[ColumnStats]:
+        if self.stats is None:
+            return None
+        return self.stats.column(name)
+
+    def _equality(self, column: ColumnStats, value: object) -> float:
+        if column.row_count == 0:
+            return 0.0
+        if column.low is not None and column.high is not None:
+            try:
+                if value < column.low or value > column.high:  # type: ignore[operator]
+                    return 0.0
+            except TypeError:
+                pass
+        non_null_share = 1.0 - column.null_fraction
+        if column.frequent is not None:
+            return column.frequent.equality_fraction(value) * non_null_share
+        if column.histogram is not None:
+            return column.histogram.equality_fraction(value) * non_null_share
+        if column.distinct_count > 0:
+            return non_null_share / column.distinct_count
+        return DEFAULT_EQUALITY_SELECTIVITY
+
+    # -- virtual columns (paper Section 5.1, second mechanism) ---------------
+
+    def _find_virtual(self, lhs: ast.Expression):
+        """The virtual column whose defining expression matches ``lhs``."""
+        if self.stats is None or not getattr(self.stats, "virtual", None):
+            return None
+        bare = analysis.strip_qualifiers(lhs)
+        for virtual in self.stats.virtual.values():
+            if virtual.expression == bare:
+                return virtual
+        return None
+
+    def _virtual_comparison(self, node: ast.BinaryOp) -> Optional[float]:
+        """Estimate ``<derived-expr> op const`` from virtual-column stats."""
+        match = analysis.match_expression_comparison(node)
+        if match is None:
+            return None
+        lhs, op, value = match
+        virtual = self._find_virtual(lhs)
+        if virtual is None or value is None:
+            return None
+        non_null = 1.0 - virtual.null_fraction
+        if op == "=":
+            if virtual.histogram is None:
+                return None
+            return virtual.histogram.equality_fraction(value) * non_null
+        if op == "<>":
+            if virtual.histogram is None:
+                return None
+            return max(
+                0.0,
+                non_null
+                - virtual.histogram.equality_fraction(value) * non_null,
+            )
+        interval = {
+            "<": Interval.at_most(value, inclusive=False),
+            "<=": Interval.at_most(value),
+            ">": Interval.at_least(value, inclusive=False),
+            ">=": Interval.at_least(value),
+        }.get(op)
+        if interval is None or virtual.histogram is None:
+            return None
+        return virtual.histogram.range_fraction(interval) * non_null
+
+    def _virtual_between(self, node: ast.BetweenExpr) -> Optional[float]:
+        if not (
+            analysis.is_constant(node.low) and analysis.is_constant(node.high)
+        ):
+            return None
+        virtual = self._find_virtual(node.operand)
+        if virtual is None or virtual.histogram is None:
+            return None
+        low = analysis.constant_value(node.low)
+        high = analysis.constant_value(node.high)
+        non_null = 1.0 - virtual.null_fraction
+        fraction = virtual.histogram.range_fraction(Interval(low, high))
+        fraction *= non_null
+        if node.negated:
+            return max(0.0, non_null - fraction)
+        return fraction

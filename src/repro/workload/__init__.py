@@ -1,0 +1,38 @@
+"""Deterministic synthetic workloads for the examples and benchmarks.
+
+The paper evaluated inside DB2 on TPC-D / APB-1 / customer databases we do
+not have; per the substitution rule these generators plant the *data
+characteristics* each technique keys on — correlation tightness, exception
+rates, join holes, functional dependencies, range partitions — under
+explicit seeds, so every experiment is reproducible bit-for-bit.
+"""
+
+from repro.workload.datagen import DataGenerator
+from repro.workload.schemas import (
+    build_correlated_table,
+    build_denormalized_orders,
+    build_join_hole_scenario,
+    build_join_linear_scenario,
+    build_monthly_union_scenario,
+    build_project_table,
+    build_purchase_scenario,
+    build_star_schema,
+)
+from repro.workload.queries import (
+    correlated_workload,
+    star_workload,
+)
+
+__all__ = [
+    "DataGenerator",
+    "build_correlated_table",
+    "build_denormalized_orders",
+    "build_join_hole_scenario",
+    "build_join_linear_scenario",
+    "build_monthly_union_scenario",
+    "build_project_table",
+    "build_purchase_scenario",
+    "build_star_schema",
+    "correlated_workload",
+    "star_workload",
+]

@@ -1,0 +1,63 @@
+"""Workload query sets for the scenarios (used by selection and benches)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.discovery.workload_model import Workload
+from repro.workload.schemas import YEAR_START
+
+
+def correlated_workload(
+    probe_values: Optional[List[float]] = None,
+) -> Workload:
+    """Point queries on ``meas.b`` — the pattern the linear SC serves."""
+    if probe_values is None:
+        probe_values = [100.0, 250.0, 500.0, 750.0, 900.0]
+    workload = Workload()
+    for value in probe_values:
+        workload.add(f"SELECT id, a FROM meas WHERE b = {value}", frequency=4.0)
+    workload.add("SELECT id FROM meas WHERE b BETWEEN 400.0 AND 420.0", 2.0)
+    workload.add("SELECT count(*) AS n FROM meas WHERE a > 1500.0", 1.0)
+    return workload
+
+
+def star_workload() -> Workload:
+    """Fact-only aggregations that join to dimensions out of habit."""
+    workload = Workload()
+    workload.add(
+        "SELECT s.id, s.amount FROM sales s, customer c "
+        "WHERE s.customer_id = c.id AND s.amount > 400.0",
+        frequency=5.0,
+    )
+    workload.add(
+        "SELECT s.customer_id, sum(s.amount) AS total FROM sales s, "
+        "product p WHERE s.product_id = p.id GROUP BY s.customer_id",
+        frequency=3.0,
+    )
+    workload.add(
+        "SELECT c.segment, sum(s.amount) AS total FROM sales s, customer c "
+        "WHERE s.customer_id = c.id GROUP BY c.segment",
+        frequency=2.0,
+    )
+    return workload
+
+
+def monthly_union_sql(
+    table_names: List[str],
+    day_low: int,
+    day_high: int,
+    columns: str = "id, day, amount",
+) -> str:
+    """The UNION ALL view query with a day-range predicate on every branch."""
+    branches = [
+        f"(SELECT {columns} FROM {name} "
+        f"WHERE day BETWEEN {day_low} AND {day_high})"
+        for name in table_names
+    ]
+    return " UNION ALL ".join(branches)
+
+
+def first_quarter_range() -> Tuple[int, int]:
+    """Day bounds of Jan-Mar in the 30-day-month calendar of E3."""
+    return YEAR_START, YEAR_START + 3 * 30 - 1

@@ -1,0 +1,362 @@
+"""Scenario builders: populated SoftDB instances for each experiment.
+
+Each builder plants exactly the data characteristic its experiment keys
+on and returns a ready :class:`~repro.api.SoftDB` (statistics collected,
+indexes built).  Bulk loading goes through the storage API rather than
+SQL INSERT parsing for speed; both paths enforce the same constraints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.api import SoftDB
+from repro.workload.datagen import DataGenerator
+
+YEAR_START = 10957  # 2000-01-01 as days since epoch
+SHIP_WINDOW_DAYS = 21
+
+
+def build_correlated_table(
+    rows: int = 20000,
+    slope: float = 3.0,
+    intercept: float = 10.0,
+    noise: float = 5.0,
+    seed: int = 0,
+    with_index: bool = True,
+) -> SoftDB:
+    """E1: one table ``meas(id, a, b)`` with ``a ~= slope*b + intercept``.
+
+    ``noise`` is the half-width of the uniform deviation, i.e. the true
+    100% epsilon of the planted linear correlation.  An index exists on
+    ``a`` but not on ``b`` — the asymmetry predicate introduction exploits.
+    """
+    db = SoftDB()
+    db.execute("CREATE TABLE meas (id INT PRIMARY KEY, a DOUBLE, b DOUBLE)")
+    generator = DataGenerator(seed)
+    batch = []
+    for row_id in range(rows):
+        a, b = generator.linear_pair(slope, intercept, noise)
+        batch.append((row_id, a, b))
+    db.database.insert_many("meas", batch)
+    if with_index:
+        db.execute("CREATE INDEX idx_meas_a ON meas (a)")
+    db.runstats_all()
+    return db
+
+
+def build_star_schema(
+    facts: int = 20000,
+    customers: int = 500,
+    products: int = 200,
+    seed: int = 0,
+    informational_fks: bool = True,
+) -> SoftDB:
+    """E2: a small star schema with loader-guaranteed referential integrity.
+
+    The fact table's foreign keys are declared ``NOT ENFORCED``
+    (informational) by default — the data-warehouse pattern the paper
+    motivates: the loader already guarantees integrity, the optimizer
+    still gets the constraint.
+    """
+    db = SoftDB()
+    enforcement = "NOT ENFORCED" if informational_fks else "ENFORCED"
+    db.execute(
+        "CREATE TABLE customer (id INT PRIMARY KEY, name VARCHAR(20), "
+        "segment INT)"
+    )
+    db.execute(
+        "CREATE TABLE product (id INT PRIMARY KEY, name VARCHAR(20), "
+        "category INT)"
+    )
+    db.execute(
+        f"CREATE TABLE sales (id INT PRIMARY KEY, "
+        f"customer_id INT NOT NULL, product_id INT NOT NULL, "
+        f"quantity INT, amount DOUBLE, "
+        f"CONSTRAINT fk_cust FOREIGN KEY (customer_id) REFERENCES "
+        f"customer (id) {enforcement}, "
+        f"CONSTRAINT fk_prod FOREIGN KEY (product_id) REFERENCES "
+        f"product (id) {enforcement})"
+    )
+    generator = DataGenerator(seed)
+    db.database.insert_many(
+        "customer",
+        [
+            (n, generator.string_code("cust", n), generator.integer(0, 4))
+            for n in range(customers)
+        ],
+    )
+    db.database.insert_many(
+        "product",
+        [
+            (n, generator.string_code("prod", n), generator.integer(0, 9))
+            for n in range(products)
+        ],
+    )
+    batch = []
+    for row_id in range(facts):
+        batch.append(
+            (
+                row_id,
+                generator.skewed_category(customers),
+                generator.skewed_category(products),
+                generator.integer(1, 10),
+                round(generator.uniform(1.0, 500.0), 2),
+            )
+        )
+    db.database.insert_many("sales", batch)
+    db.runstats_all()
+    return db
+
+
+def build_monthly_union_scenario(
+    months: int = 12,
+    rows_per_month: int = 2000,
+    seed: int = 0,
+    declare_checks: bool = True,
+) -> Tuple[SoftDB, List[str]]:
+    """E3: monthly partition tables under a UNION ALL view.
+
+    Each month ``m`` holds ``day`` values in ``[first_day(m),
+    last_day(m)]`` over a 30-day-month year.  With ``declare_checks`` the
+    partitioning is a hard CHECK constraint; without, the range can be
+    *mined* into check soft constraints (the paper's discovery story).
+
+    Returns (db, table_names).
+    """
+    db = SoftDB()
+    generator = DataGenerator(seed)
+    table_names = []
+    for month in range(months):
+        low = YEAR_START + month * 30
+        high = low + 29
+        name = f"sales_m{month + 1:02d}"
+        table_names.append(name)
+        check = f", CHECK (day BETWEEN {low} AND {high})" if declare_checks else ""
+        db.execute(
+            f"CREATE TABLE {name} (id INT, day INT, amount DOUBLE{check})"
+        )
+        batch = [
+            (
+                month * rows_per_month + n,
+                generator.integer(low, high),
+                round(generator.uniform(1.0, 100.0), 2),
+            )
+            for n in range(rows_per_month)
+        ]
+        db.database.insert_many(name, batch)
+    db.runstats_all()
+    return db, table_names
+
+
+def build_join_hole_scenario(
+    rows_per_table: int = 4000,
+    regions: int = 50,
+    seed: int = 0,
+) -> SoftDB:
+    """E4: two tables joined on ``region_id`` with a planted 2-D hole.
+
+    Regions split into two classes correlated with the profiled
+    attributes: class-0 regions have ``orders.lead_time`` in [0, 25] (any
+    ``deliveries.distance``); class-1 regions have lead_time in [25, 50]
+    but distance only in [0, 25].  The join result therefore has a hole at
+    ``lead_time x distance = [25, 50] x [25, 50]``.
+    """
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, region_id INT, "
+        "lead_time DOUBLE)"
+    )
+    db.execute(
+        "CREATE TABLE deliveries (id INT PRIMARY KEY, region_id INT, "
+        "distance DOUBLE)"
+    )
+    generator = DataGenerator(seed)
+    order_rows = []
+    delivery_rows = []
+    for n in range(rows_per_table):
+        region = generator.integer(0, regions - 1)
+        class_one = region >= regions // 2
+        if class_one:
+            lead_time = generator.uniform(25.0, 50.0)
+        else:
+            lead_time = generator.uniform(0.0, 25.0)
+        order_rows.append((n, region, lead_time))
+        region = generator.integer(0, regions - 1)
+        class_one = region >= regions // 2
+        if class_one:
+            distance = generator.uniform(0.0, 25.0)
+        else:
+            distance = generator.uniform(0.0, 50.0)
+        delivery_rows.append((n, region, distance))
+    # Orders are kept clustered on lead_time (their processing order), so
+    # the lead_time index offers cheap range scans — the access path the
+    # hole-trimmed ranges exploit.
+    order_rows.sort(key=lambda row: row[2])
+    db.database.insert_many("orders", order_rows)
+    db.database.insert_many("deliveries", delivery_rows)
+    db.execute("CREATE INDEX idx_orders_region ON orders (region_id)")
+    db.execute("CREATE INDEX idx_orders_lead ON orders (lead_time)")
+    db.runstats_all()
+    return db
+
+
+def build_join_linear_scenario(
+    rows_per_table: int = 3000,
+    regions: int = 100,
+    noise: float = 1.0,
+    seed: int = 0,
+) -> SoftDB:
+    """E1-extension: a linear correlation that only exists *across a join*.
+
+    Each region has a base size; shipment weights cluster around it and
+    freight costs around ``3 * base + 50``, so over
+    ``shipments ⋈ freight`` (on region) the pair (cost, weight) is
+    tightly linear — while neither table alone contains both columns.
+    An index exists on ``freight.cost``.
+    """
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE shipments (id INT PRIMARY KEY, region_id INT, "
+        "weight DOUBLE)"
+    )
+    db.execute(
+        "CREATE TABLE freight (id INT PRIMARY KEY, region_id INT, "
+        "cost DOUBLE)"
+    )
+    generator = DataGenerator(seed)
+    base = {r: generator.uniform(10.0, 500.0) for r in range(regions)}
+    shipment_rows = []
+    freight_rows = []
+    for n in range(rows_per_table):
+        region = generator.integer(0, regions - 1)
+        shipment_rows.append(
+            (n, region, base[region] + generator.uniform(-noise, noise))
+        )
+        region = generator.integer(0, regions - 1)
+        freight_rows.append(
+            (
+                n,
+                region,
+                3.0 * base[region] + 50.0 + generator.uniform(-noise, noise),
+            )
+        )
+    freight_rows.sort(key=lambda row: row[2])  # clustered on cost
+    db.database.insert_many("shipments", shipment_rows)
+    db.database.insert_many("freight", freight_rows)
+    db.execute("CREATE INDEX idx_freight_cost ON freight (cost)")
+    db.runstats_all()
+    return db
+
+
+def build_project_table(
+    rows: int = 10000,
+    long_fraction: float = 0.1,
+    short_max: int = 30,
+    seed: int = 0,
+) -> SoftDB:
+    """E5: the paper's project table with correlated start/end dates.
+
+    ``1 - long_fraction`` of projects last at most ``short_max`` days —
+    the "90% of projects last no longer than a month" SSC of Section 5.1.
+    """
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE project (id INT PRIMARY KEY, start_date DATE, "
+        "end_date DATE)"
+    )
+    generator = DataGenerator(seed)
+    batch = []
+    for row_id in range(rows):
+        start = generator.day_in_year(YEAR_START, 3 * 365)
+        duration = generator.duration_days(
+            short_max=short_max, long_fraction=long_fraction
+        )
+        batch.append((row_id, start, start + duration))
+    db.database.insert_many("project", batch)
+    db.runstats_all()
+    return db
+
+
+def build_purchase_scenario(
+    rows: int = 20000,
+    exception_rate: float = 0.01,
+    seed: int = 0,
+) -> SoftDB:
+    """E6: the ``purchase`` table of Section 4.4.
+
+    Ships happen within ``SHIP_WINDOW_DAYS`` of the order for all but
+    ``exception_rate`` of the rows (the late shipments).  An index exists
+    on ``order_date`` but not ``ship_date`` — the asymmetry the
+    exception-AST union plan exploits.
+    """
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE purchase (id INT PRIMARY KEY, order_date DATE, "
+        "ship_date DATE, amount DOUBLE)"
+    )
+    generator = DataGenerator(seed)
+    batch = []
+    for row_id in range(rows):
+        order_day = generator.day_in_year(YEAR_START, 2 * 365)
+        if generator.bernoulli(exception_rate):
+            ship_day = order_day + generator.integer(
+                SHIP_WINDOW_DAYS + 1, SHIP_WINDOW_DAYS + 120
+            )
+        else:
+            ship_day = order_day + generator.integer(0, SHIP_WINDOW_DAYS)
+        batch.append(
+            (row_id, order_day, ship_day, round(generator.uniform(5, 500), 2))
+        )
+    # Orders arrive in date order, as in any real order-entry system, so
+    # the heap is clustered on order_date — which is what makes the
+    # introduced order_date range an attractive index path.
+    batch.sort(key=lambda row: row[1])
+    db.database.insert_many("purchase", batch)
+    db.execute("CREATE INDEX idx_purchase_od ON purchase (order_date)")
+    db.runstats_all()
+    return db
+
+
+def build_denormalized_orders(
+    rows: int = 10000,
+    cities: int = 100,
+    states: int = 10,
+    seed: int = 0,
+) -> SoftDB:
+    """E7: a denormalized order table with embedded FDs.
+
+    ``city_id -> state_id`` (each city lies in one state) and
+    ``customer_id -> (city_id, state_id)`` (each customer has one
+    address) hold by construction but are *not* declared — the situation
+    [29] targets with discovered FD information.
+    """
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer_id INT, "
+        "city_id INT, state_id INT, amount DOUBLE)"
+    )
+    generator = DataGenerator(seed)
+    city_state = {
+        city: city % states for city in range(cities)
+    }
+    customer_city = {
+        customer: generator.integer(0, cities - 1)
+        for customer in range(rows // 10)
+    }
+    batch = []
+    for row_id in range(rows):
+        customer = generator.integer(0, len(customer_city) - 1)
+        city = customer_city[customer]
+        batch.append(
+            (
+                row_id,
+                customer,
+                city,
+                city_state[city],
+                round(generator.uniform(1, 1000), 2),
+            )
+        )
+    db.database.insert_many("orders", batch)
+    db.runstats_all()
+    return db

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SoftDB
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DATE, DOUBLE, INTEGER, VARCHAR
+
+
+@pytest.fixture
+def empty_database() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def people_database() -> Database:
+    """A tiny two-table database used across engine tests."""
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "person",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("name", VARCHAR(30)),
+                Column("age", INTEGER),
+                Column("city_id", INTEGER),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "city",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("name", VARCHAR(30)),
+            ],
+        )
+    )
+    database.insert_many(
+        "city", [(1, "toronto"), (2, "ottawa"), (3, "montreal")]
+    )
+    database.insert_many(
+        "person",
+        [
+            (1, "ann", 34, 1),
+            (2, "bob", 28, 1),
+            (3, "cat", 45, 2),
+            (4, "dan", None, 3),
+            (5, "eve", 39, None),
+        ],
+    )
+    return database
+
+
+@pytest.fixture
+def softdb() -> SoftDB:
+    """An empty SoftDB session."""
+    return SoftDB()
+
+
+@pytest.fixture
+def sales_softdb() -> SoftDB:
+    """A populated SoftDB with a small sales table and statistics."""
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE sale (id INT PRIMARY KEY, day INT, amount DOUBLE, "
+        "region VARCHAR(10))"
+    )
+    rows = []
+    regions = ["east", "west", "north", "south"]
+    for n in range(200):
+        rows.append((n, n % 50, float(n % 37) + 0.5, regions[n % 4]))
+    db.database.insert_many("sale", rows)
+    db.runstats_all()
+    return db

@@ -1,0 +1,130 @@
+"""Tests for the FD miner."""
+
+import pytest
+
+from repro.discovery.fd_miner import FDMiner, mine_functional_dependencies
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INTEGER
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("city", INTEGER),
+                Column("state", INTEGER),
+                Column("zip", INTEGER),
+                Column("rand", INTEGER),
+            ],
+        )
+    )
+    rows = []
+    for n in range(200):
+        city = n % 20
+        state = city % 5
+        zip_code = n % 40  # zip -> city (two zips per city)
+        rows.append((city, state, zip_code, n))
+    db.insert_many("t", rows)
+    return db
+
+
+class TestExactMining:
+    def test_planted_fd_found(self, database):
+        miner = FDMiner(max_determinants=1, max_g3_error=0.0)
+        candidates = miner.mine(database, "t")
+        found = {(c.determinants, c.dependent) for c in candidates}
+        assert (("city",), "state") in found
+        assert (("zip",), "city") in found
+        assert (("zip",), "state") in found  # transitive, also exact
+
+    def test_key_determines_everything(self, database):
+        miner = FDMiner(max_determinants=1, max_g3_error=0.0)
+        candidates = miner.mine(database, "t")
+        rand_dependents = {
+            c.dependent for c in candidates if c.determinants == ("rand",)
+        }
+        assert rand_dependents == {"city", "state", "zip"}
+
+    def test_non_fd_rejected(self, database):
+        miner = FDMiner(max_determinants=1, max_g3_error=0.0)
+        candidates = miner.mine(database, "t")
+        assert not any(
+            c.determinants == ("state",) and c.dependent == "city"
+            for c in candidates
+        )
+
+    def test_pruning_skips_supersets(self, database):
+        miner = FDMiner(max_determinants=2, max_g3_error=0.0)
+        candidates = miner.mine(database, "t")
+        # city -> state is exact at level 1, so (city, X) -> state must be
+        # pruned at level 2.
+        assert not any(
+            len(c.determinants) == 2
+            and "city" in c.determinants
+            and c.dependent == "state"
+            for c in candidates
+        )
+
+
+class TestApproximateMining:
+    def test_g3_scoring(self, database):
+        # Corrupt one row of the city->state FD.
+        database.insert("t", [0, 99, 0, 999])
+        miner = FDMiner(max_determinants=1, max_g3_error=0.05)
+        candidates = miner.mine(database, "t")
+        candidate = next(
+            c
+            for c in candidates
+            if c.determinants == ("city",) and c.dependent == "state"
+        )
+        assert not candidate.is_exact
+        assert candidate.g3_error == pytest.approx(1 / 201)
+        assert candidate.confidence == pytest.approx(200 / 201)
+
+    def test_threshold_excludes_weak_fds(self, database):
+        for n in range(50):  # heavy corruption
+            database.insert("t", [0, 100 + n, 0, 1000 + n])
+        miner = FDMiner(max_determinants=1, max_g3_error=0.01)
+        candidates = miner.mine(database, "t", columns=["city", "state"])
+        assert not any(
+            c.determinants == ("city",) and c.dependent == "state"
+            for c in candidates
+        )
+
+    def test_null_determinants_ignored(self, database):
+        database.insert("t", [None, 1, 1, 1])
+        miner = FDMiner(max_determinants=1, max_g3_error=0.0)
+        candidates = miner.mine(database, "t", columns=["city", "state"])
+        assert any(
+            c.determinants == ("city",) and c.dependent == "state"
+            for c in candidates
+        )
+
+
+class TestWrapping:
+    def test_soft_constraints_merged_by_lhs(self, database):
+        constraints = mine_functional_dependencies(
+            database, "t", columns=["city", "state", "zip"], max_g3_error=0.0
+        )
+        by_name = {c.name: c for c in constraints}
+        zip_fd = by_name["fd_t_zip"]
+        assert set(zip_fd.dependents) == {"city", "state"}
+
+    def test_wrapped_constraints_verify(self, database):
+        constraints = mine_functional_dependencies(
+            database, "t", columns=["city", "state"], max_g3_error=0.0
+        )
+        for constraint in constraints:
+            violations, _ = constraint.verify(database)
+            assert violations == 0
+
+    def test_empty_table(self):
+        db = Database()
+        db.create_table(
+            TableSchema("e", [Column("a", INTEGER), Column("b", INTEGER)])
+        )
+        assert mine_functional_dependencies(db, "e") != []  # vacuously exact

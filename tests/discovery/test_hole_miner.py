@@ -1,0 +1,138 @@
+"""Tests for the join-hole miner."""
+
+import numpy as np
+import pytest
+
+from repro.discovery.hole_miner import (
+    HoleMiner,
+    maximal_empty_rectangles,
+    mine_join_holes,
+)
+from repro.workload.datagen import DataGenerator
+from repro.workload.schemas import build_join_hole_scenario
+
+
+class TestGridAlgorithm:
+    def test_single_empty_cell(self):
+        occupied = np.ones((3, 3), dtype=bool)
+        occupied[1, 1] = False
+        holes = maximal_empty_rectangles(occupied)
+        assert len(holes) == 1
+        hole = holes[0]
+        assert (hole.row_lo, hole.row_hi, hole.col_lo, hole.col_hi) == (
+            1, 1, 1, 1,
+        )
+
+    def test_empty_grid_is_one_rectangle(self):
+        occupied = np.zeros((4, 4), dtype=bool)
+        holes = maximal_empty_rectangles(occupied)
+        assert len(holes) == 1
+        assert holes[0].cell_count == 16
+
+    def test_full_grid_has_no_holes(self):
+        occupied = np.ones((4, 4), dtype=bool)
+        assert maximal_empty_rectangles(occupied) == []
+
+    def test_l_shape_produces_two_maximal_rectangles(self):
+        # Occupied in the top-right corner only.
+        occupied = np.zeros((2, 2), dtype=bool)
+        occupied[0, 1] = True
+        holes = maximal_empty_rectangles(occupied)
+        shapes = {
+            (h.row_lo, h.row_hi, h.col_lo, h.col_hi) for h in holes
+        }
+        assert shapes == {(0, 1, 0, 0), (1, 1, 0, 1)}
+
+    def test_all_results_are_empty_and_maximal(self):
+        rng = np.random.default_rng(3)
+        occupied = rng.random((12, 12)) < 0.3
+        holes = maximal_empty_rectangles(occupied)
+        for hole in holes:
+            block = occupied[
+                hole.row_lo : hole.row_hi + 1, hole.col_lo : hole.col_hi + 1
+            ]
+            assert not block.any()
+        # No hole contains another.
+        for first in holes:
+            for second in holes:
+                if first is second:
+                    continue
+                contains = (
+                    first.row_lo <= second.row_lo
+                    and first.row_hi >= second.row_hi
+                    and first.col_lo <= second.col_lo
+                    and first.col_hi >= second.col_hi
+                )
+                assert not contains
+
+
+class TestHolesFromPairs:
+    def test_planted_hole_recovered(self):
+        generator = DataGenerator(2)
+        pairs = []
+        for _ in range(3000):
+            if generator.bernoulli(0.5):
+                pairs.append((generator.uniform(0, 25), generator.uniform(0, 50)))
+            else:
+                pairs.append((generator.uniform(25, 50), generator.uniform(0, 25)))
+        holes = HoleMiner(grid_size=16).holes_from_pairs(pairs)
+        assert holes
+        biggest = holes[0]
+        assert biggest.a_low == pytest.approx(25.0, abs=4.0)
+        assert biggest.b_low == pytest.approx(25.0, abs=4.0)
+        assert biggest.area() > 300
+
+    def test_holes_are_sound(self):
+        generator = DataGenerator(5)
+        pairs = [
+            (generator.uniform(0, 100), generator.uniform(0, 100))
+            for _ in range(500)
+        ]
+        holes = HoleMiner(grid_size=12).holes_from_pairs(pairs)
+        for hole in holes:
+            for a, b in pairs:
+                assert not hole.contains_point(a, b)
+
+    def test_empty_input(self):
+        assert HoleMiner().holes_from_pairs([]) == []
+
+    def test_degenerate_range(self):
+        pairs = [(1.0, 1.0)] * 10
+        assert HoleMiner().holes_from_pairs(pairs) == []
+
+    def test_max_holes_cap(self):
+        generator = DataGenerator(7)
+        pairs = [
+            (generator.uniform(0, 100), generator.uniform(0, 100))
+            for _ in range(200)
+        ]
+        holes = HoleMiner(grid_size=16, max_holes=3).holes_from_pairs(pairs)
+        assert len(holes) <= 3
+
+
+class TestEndToEnd:
+    def test_mined_constraint_verifies_clean(self):
+        db = build_join_hole_scenario(rows_per_table=1500, seed=4)
+        constraint = mine_join_holes(
+            db.database,
+            "orders", "lead_time",
+            "deliveries", "distance",
+            "region_id", "region_id",
+            grid_size=16,
+        )
+        assert constraint.holes
+        violations, total = constraint.verify(db.database)
+        assert violations == 0
+        assert total > 0
+
+    def test_mined_holes_cover_planted_region(self):
+        db = build_join_hole_scenario(rows_per_table=2500, seed=4)
+        constraint = mine_join_holes(
+            db.database,
+            "orders", "lead_time",
+            "deliveries", "distance",
+            "region_id", "region_id",
+            grid_size=16,
+        )
+        # The centre of the planted hole must be covered.
+        assert constraint.point_in_hole(40.0, 40.0)

@@ -1,0 +1,112 @@
+"""Tests for the linear-correlation miner."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DOUBLE, INTEGER
+from repro.discovery.linear_miner import LinearMiner, mine_linear_correlations
+from repro.workload.datagen import DataGenerator
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", INTEGER),
+                Column("a", DOUBLE),
+                Column("b", DOUBLE),
+                Column("noise", DOUBLE),
+            ],
+        )
+    )
+    generator = DataGenerator(11)
+    for n in range(500):
+        a, b = generator.linear_pair(2.0, 5.0, 1.0)
+        db.insert("t", [n, a, b, generator.uniform(0, 1000)])
+    return db
+
+
+class TestFit:
+    def test_recovers_planted_model(self, database):
+        miner = LinearMiner()
+        candidates = miner.mine_table(database, "t", [("a", "b")])
+        asc = next(c for c in candidates if c.is_absolute)
+        assert asc.slope == pytest.approx(2.0, abs=0.05)
+        assert asc.intercept == pytest.approx(5.0, abs=1.0)
+        assert asc.epsilon <= 1.2
+
+    def test_asc_candidate_verifies_clean(self, database):
+        candidates = mine_linear_correlations(database, "t", [("a", "b")])
+        asc = next(c for c in candidates if c.is_absolute)
+        violations, _ = asc.verify(database)
+        assert violations == 0
+
+    def test_ssc_epsilon_tighter_than_asc(self, database):
+        candidates = mine_linear_correlations(
+            database, "t", [("a", "b")], confidence_levels=(1.0, 0.9)
+        )
+        by_confidence = {c.confidence: c for c in candidates}
+        assert by_confidence[0.9].epsilon < by_confidence[1.0].epsilon
+
+    def test_ssc_confidence_roughly_holds(self, database):
+        candidates = mine_linear_correlations(
+            database, "t", [("a", "b")], confidence_levels=(1.0, 0.9)
+        )
+        ssc = next(c for c in candidates if c.confidence == 0.9)
+        violations, total = ssc.verify(database)
+        # ~10% of rows fall outside the 90%-quantile band.
+        assert violations / total == pytest.approx(0.1, abs=0.03)
+
+    def test_uncorrelated_pair_rejected_by_threshold(self, database):
+        candidates = mine_linear_correlations(
+            database, "t", [("a", "noise")], max_band_selectivity=0.25
+        )
+        assert candidates == []
+
+    def test_selectivity_threshold_is_a_knob(self, database):
+        # With the threshold wide open even the noise pair is reported.
+        candidates = mine_linear_correlations(
+            database, "t", [("a", "noise")], max_band_selectivity=10.0
+        )
+        assert candidates  # the ablation case for E1
+
+
+class TestSearchControl:
+    def test_default_searches_numeric_permutations(self, database):
+        miner = LinearMiner(min_rows=10)
+        candidates = miner.mine_table(database, "t")
+        names = {c.name for c in candidates}
+        assert any("lin_t_a_b" in name for name in names)
+
+    def test_min_rows_guard(self):
+        db = Database()
+        db.create_table(
+            TableSchema("s", [Column("a", DOUBLE), Column("b", DOUBLE)])
+        )
+        db.insert("s", [1.0, 1.0])
+        assert mine_linear_correlations(db, "s", [("a", "b")]) == []
+
+    def test_constant_b_rejected(self):
+        db = Database()
+        db.create_table(
+            TableSchema("s", [Column("a", DOUBLE), Column("b", DOUBLE)])
+        )
+        for n in range(50):
+            db.insert("s", [float(n), 7.0])
+        assert mine_linear_correlations(db, "s", [("a", "b")]) == []
+
+    def test_nulls_skipped(self, database):
+        database.insert("t", [9999, None, 5.0, 0.0])
+        candidates = mine_linear_correlations(database, "t", [("a", "b")])
+        assert candidates  # NULL rows do not break mining
+
+    def test_fit_pair_reports_r_squared(self):
+        miner = LinearMiner()
+        a_values = [2.0 * n for n in range(100)]
+        b_values = [float(n) for n in range(100)]
+        fit = miner.fit_pair(a_values, b_values)
+        assert fit.r_squared == pytest.approx(1.0)

@@ -1,0 +1,196 @@
+"""Tests for the range miner, workload model, and selection engine."""
+
+import pytest
+
+from repro.discovery.range_miner import mine_min_max, mine_range_checks
+from repro.discovery.selection import SelectionEngine
+from repro.discovery.workload_model import Workload, WorkloadQuery
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INTEGER
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.fd import FunctionalDependencySC
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.minmax import MinMaxSC
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema("t", [Column("a", INTEGER), Column("b", INTEGER)])
+    )
+    db.insert_many("t", [(n, n * 2) for n in range(10, 30)])
+    db.create_table(
+        TableSchema("part1", [Column("day", INTEGER)])
+    )
+    db.create_table(
+        TableSchema("part2", [Column("day", INTEGER)])
+    )
+    db.insert_many("part1", [(d,) for d in range(0, 30)])
+    db.insert_many("part2", [(d,) for d in range(30, 60)])
+    return db
+
+
+class TestRangeMiner:
+    def test_min_max_found(self, database):
+        (candidate,) = mine_min_max(database, "t", ["a"])
+        assert candidate.low == 10 and candidate.high == 29
+        violations, _ = candidate.verify(database)
+        assert violations == 0
+
+    def test_all_columns_by_default(self, database):
+        candidates = mine_min_max(database, "t")
+        assert {c.column_name for c in candidates} == {"a", "b"}
+
+    def test_empty_column_skipped(self, database):
+        database.create_table(TableSchema("e", [Column("x", INTEGER)]))
+        assert mine_min_max(database, "e") == []
+
+    def test_range_checks_per_partition(self, database):
+        constraints = mine_range_checks(database, ["part1", "part2"], "day")
+        assert len(constraints) == 2
+        for constraint in constraints:
+            violations, _ = constraint.verify(database)
+            assert violations == 0
+
+    def test_range_checks_partition_bounds_disjoint(self, database):
+        first, second = mine_range_checks(database, ["part1", "part2"], "day")
+        from repro.expr.analysis import column_interval
+        from repro.sql import ast
+
+        interval1 = column_interval([first.expression], ast.ColumnRef("day"))
+        interval2 = column_interval([second.expression], ast.ColumnRef("day"))
+        assert not interval1.overlaps(interval2)
+
+
+class TestWorkloadModel:
+    def test_predicate_classification(self):
+        query = WorkloadQuery(
+            "SELECT * FROM t WHERE a = 5 AND b BETWEEN 1 AND 9", 2.0
+        )
+        assert ("t", "a") in query.equality_columns
+        assert ("t", "b") in query.range_columns
+
+    def test_join_extraction(self):
+        query = WorkloadQuery(
+            "SELECT * FROM t, u WHERE t.a = u.b AND t.a > 3"
+        )
+        assert len(query.join_pairs) == 1
+
+    def test_explicit_join_syntax_extracted(self):
+        query = WorkloadQuery(
+            "SELECT * FROM t JOIN u ON t.a = u.b"
+        )
+        assert len(query.join_pairs) == 1
+
+    def test_group_by_extraction(self):
+        query = WorkloadQuery(
+            "SELECT a, count(*) AS n FROM t GROUP BY a ORDER BY a"
+        )
+        assert ("t", "a") in query.group_by_columns
+        assert ("t", "a") in query.order_by_columns
+
+    def test_frequency_aggregation(self):
+        workload = Workload.from_sql(
+            [("SELECT * FROM t WHERE a = 1", 3.0), "SELECT * FROM t WHERE a < 5"]
+        )
+        assert workload.predicate_frequency("t", "a") == 4.0
+        assert workload.equality_frequency("t", "a") == 3.0
+        assert workload.range_frequency("t", "a") == 1.0
+
+    def test_join_frequency_order_free(self):
+        workload = Workload.from_sql(["SELECT * FROM t, u WHERE u.b = t.a"])
+        assert workload.join_frequency("t", "a", "u", "b") == 1.0
+        assert workload.join_frequency("u", "b", "t", "a") == 1.0
+
+    def test_grouping_frequency(self):
+        workload = Workload.from_sql(
+            ["SELECT a, b, count(*) AS n FROM t GROUP BY a, b"]
+        )
+        assert workload.grouping_frequency("t", ["a", "b"]) == 1.0
+        assert workload.grouping_frequency("t", ["a", "b", "c"]) == 0.0
+
+    def test_common_column_pairs(self):
+        workload = Workload.from_sql(
+            [
+                ("SELECT * FROM t WHERE a = 1 AND b = 2", 5.0),
+                "SELECT * FROM t WHERE a = 1 AND c = 3",
+            ]
+        )
+        pairs = workload.common_column_pairs("t", minimum_frequency=2.0)
+        assert pairs == [("a", "b")]
+
+    def test_non_select_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadQuery("DELETE FROM t")
+
+
+class TestSelectionEngine:
+    @pytest.fixture
+    def workload(self) -> Workload:
+        return Workload.from_sql(
+            [
+                ("SELECT * FROM t WHERE b = 4", 10.0),
+                ("SELECT a, b, count(*) AS n FROM t GROUP BY a, b", 2.0),
+            ]
+        )
+
+    def test_linear_scored_by_b_predicates(self, database, workload):
+        linear = LinearCorrelationSC("lin", "t", "a", "b", 0.5, 0.0, 1.0)
+        score = SelectionEngine().score(linear, workload, database)
+        assert score.matched_frequency == 10.0
+        assert score.benefit > 0
+
+    def test_index_presence_raises_helpfulness(self, database, workload):
+        linear = LinearCorrelationSC("lin", "t", "a", "b", 0.5, 0.0, 1.0)
+        engine = SelectionEngine()
+        without_index = engine.score(linear, workload, database).benefit
+        database.create_index("ix_a", "t", ["a"])
+        with_index = engine.score(linear, workload, database).benefit
+        assert with_index > without_index
+
+    def test_ssc_has_no_maintenance_cost(self, database, workload):
+        ssc = LinearCorrelationSC(
+            "lin9", "t", "a", "b", 0.5, 0.0, 1.0, confidence=0.9
+        )
+        score = SelectionEngine().score(ssc, workload, database)
+        assert score.maintenance_cost == 0.0
+
+    def test_asc_pays_maintenance(self, database, workload):
+        asc = MinMaxSC("mm", "t", "b", 0, 100)
+        score = SelectionEngine(update_weight=1.0).score(asc, workload, database)
+        assert score.maintenance_cost > 0
+
+    def test_fd_scored_by_grouping(self, database, workload):
+        fd = FunctionalDependencySC("fd", "t", ["a"], ["b"])
+        score = SelectionEngine().score(fd, workload, database)
+        assert score.matched_frequency == 2.0
+
+    def test_rank_orders_by_net_utility(self, database, workload):
+        candidates = [
+            MinMaxSC("mm", "t", "b", 0, 100),
+            LinearCorrelationSC("lin", "t", "a", "b", 0.5, 0.0, 1.0),
+        ]
+        ranked = SelectionEngine().rank(candidates, workload, database)
+        assert ranked[0].net_utility >= ranked[1].net_utility
+
+    def test_select_splits_activate_and_probation(self, database, workload):
+        candidates = [
+            LinearCorrelationSC("lin", "t", "a", "b", 0.5, 0.0, 1.0),
+            CheckSoftConstraint("never", "t", "a > -999999"),
+        ]
+        activate, probation = SelectionEngine().select(
+            candidates, workload, database, keep=2, activation_threshold=1.0
+        )
+        assert candidates[0] in activate
+
+    def test_keep_limits_total(self, database, workload):
+        candidates = [
+            LinearCorrelationSC(f"lin{n}", "t", "a", "b", 0.5, 0.0, 1.0)
+            for n in range(5)
+        ]
+        activate, probation = SelectionEngine().select(
+            candidates, workload, database, keep=2
+        )
+        assert len(activate) + len(probation) <= 2

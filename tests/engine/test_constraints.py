@@ -1,0 +1,212 @@
+"""Tests for integrity constraints and enforcement modes."""
+
+import pytest
+
+from repro.engine.constraints import (
+    CheckConstraint,
+    ConstraintMode,
+    ForeignKeyConstraint,
+    NotNullConstraint,
+    PrimaryKeyConstraint,
+    UniqueConstraint,
+)
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INTEGER, VARCHAR
+from repro.errors import ConstraintViolation
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    # The id column is structurally nullable so the PRIMARY KEY constraint
+    # (not row validation) is what rejects NULL keys.
+    db.create_table(
+        TableSchema(
+            "parent",
+            [Column("id", INTEGER), Column("name", VARCHAR(10))],
+        ),
+        [PrimaryKeyConstraint("parent_pk", "parent", ["id"])],
+    )
+    db.create_table(
+        TableSchema(
+            "child",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("parent_id", INTEGER),
+            ],
+        ),
+        [
+            ForeignKeyConstraint(
+                "child_fk", "child", ["parent_id"], "parent", ["id"]
+            )
+        ],
+    )
+    db.insert("parent", [1, "a"])
+    db.insert("parent", [2, "b"])
+    return db
+
+
+class TestPrimaryKey:
+    def test_duplicate_rejected(self, database):
+        with pytest.raises(ConstraintViolation):
+            database.insert("parent", [1, "dup"])
+
+    def test_null_key_rejected(self, database):
+        with pytest.raises(ConstraintViolation):
+            database.insert("parent", [None, "x"])
+
+    def test_backing_index_created(self, database):
+        constraint = database.catalog.constraint("parent", "parent_pk")
+        assert constraint.backing_index_name is not None
+        index = database.catalog.index(constraint.backing_index_name)
+        assert index.unique
+
+    def test_update_to_duplicate_rejected(self, database):
+        (rid,) = database.lookup_key("parent", ["id"], [2])
+        with pytest.raises(ConstraintViolation):
+            database.update_row("parent", rid, [1, "b"])
+
+    def test_update_same_key_allowed(self, database):
+        (rid,) = database.lookup_key("parent", ["id"], [2])
+        database.update_row("parent", rid, [2, "b2"])
+
+
+class TestUnique:
+    def test_nulls_exempt(self):
+        db = Database()
+        db.create_table(
+            TableSchema("t", [Column("u", INTEGER)]),
+            [UniqueConstraint("t_u", "t", ["u"])],
+        )
+        db.insert("t", [None])
+        db.insert("t", [None])  # multiple NULLs allowed
+        db.insert("t", [1])
+        with pytest.raises(ConstraintViolation):
+            db.insert("t", [1])
+
+    def test_verify_table_finds_duplicates(self):
+        db = Database()
+        db.create_table(TableSchema("t", [Column("u", INTEGER)]))
+        db.insert_many("t", [[1], [2], [1]])
+        constraint = UniqueConstraint("late", "t", ["u"])
+        assert len(constraint.verify_table(db)) == 1
+
+
+class TestForeignKey:
+    def test_orphan_insert_rejected(self, database):
+        with pytest.raises(ConstraintViolation):
+            database.insert("child", [1, 99])
+
+    def test_valid_insert(self, database):
+        database.insert("child", [1, 1])
+
+    def test_null_fk_allowed(self, database):
+        database.insert("child", [1, None])
+
+    def test_parent_delete_restricted(self, database):
+        database.insert("child", [1, 1])
+        (rid,) = database.lookup_key("parent", ["id"], [1])
+        with pytest.raises(ConstraintViolation):
+            database.delete_row("parent", rid)
+
+    def test_childless_parent_deletable(self, database):
+        (rid,) = database.lookup_key("parent", ["id"], [2])
+        database.delete_row("parent", rid)
+
+    def test_parent_key_update_restricted(self, database):
+        database.insert("child", [1, 1])
+        (rid,) = database.lookup_key("parent", ["id"], [1])
+        with pytest.raises(ConstraintViolation):
+            database.update_row("parent", rid, [7, "a"])
+
+
+class TestInformationalMode:
+    def test_informational_fk_not_checked(self, database):
+        database.catalog.drop_constraint("child", "child_fk")
+        database.catalog.add_constraint(
+            ForeignKeyConstraint(
+                "child_fk2",
+                "child",
+                ["parent_id"],
+                "parent",
+                ["id"],
+                mode=ConstraintMode.INFORMATIONAL,
+            )
+        )
+        database.insert("child", [1, 999])  # orphan accepted: trusted
+
+    def test_informational_unique_gets_no_index(self):
+        db = Database()
+        db.create_table(
+            TableSchema("t", [Column("u", INTEGER)]),
+            [
+                UniqueConstraint(
+                    "t_u", "t", ["u"], mode=ConstraintMode.INFORMATIONAL
+                )
+            ],
+        )
+        db.insert("t", [1])
+        db.insert("t", [1])  # trusted, not checked
+        assert db.catalog.indexes_on("t") == []
+
+    def test_informational_flag(self):
+        constraint = NotNullConstraint(
+            "nn", "t", "c", mode=ConstraintMode.INFORMATIONAL
+        )
+        assert constraint.is_informational
+
+
+class TestCheckConstraint:
+    def make_db(self, mode=ConstraintMode.ENFORCED):
+        db = Database()
+        db.create_table(
+            TableSchema("t", [Column("a", INTEGER), Column("b", INTEGER)]),
+            [
+                CheckConstraint(
+                    "positive",
+                    "t",
+                    predicate=lambda row: None
+                    if row["a"] is None
+                    else row["a"] > 0,
+                    sql_text="a > 0",
+                    mode=mode,
+                )
+            ],
+        )
+        return db
+
+    def test_violation_rejected(self):
+        db = self.make_db()
+        with pytest.raises(ConstraintViolation):
+            db.insert("t", [-1, 0])
+
+    def test_satisfying_row_accepted(self):
+        db = self.make_db()
+        db.insert("t", [5, 0])
+
+    def test_unknown_satisfies(self):
+        db = self.make_db()
+        db.insert("t", [None, 0])  # NULL -> UNKNOWN -> passes
+
+    def test_informational_check_skipped(self):
+        db = self.make_db(mode=ConstraintMode.INFORMATIONAL)
+        db.insert("t", [-1, 0])
+
+    def test_verify_table(self):
+        db = self.make_db(mode=ConstraintMode.INFORMATIONAL)
+        db.insert_many("t", [[-1, 0], [2, 0], [-3, 0]])
+        constraint = db.catalog.constraint("t", "positive")
+        assert len(constraint.verify_table(db)) == 2
+
+
+class TestNotNull:
+    def test_enforced(self):
+        db = Database()
+        db.create_table(
+            TableSchema("t", [Column("a", INTEGER)]),
+            [NotNullConstraint("t_a_nn", "t", "a")],
+        )
+        with pytest.raises(ConstraintViolation):
+            db.insert("t", [None])
+        db.insert("t", [1])

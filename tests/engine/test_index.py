@@ -1,0 +1,154 @@
+"""Tests for B-tree indexes."""
+
+import pytest
+
+from repro.engine.index import ENTRIES_PER_LEAF, BTreeIndex
+from repro.engine.row import RowId
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INTEGER, VARCHAR
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def schema() -> TableSchema:
+    return TableSchema(
+        "t",
+        [Column("id", INTEGER), Column("k", INTEGER), Column("s", VARCHAR(10))],
+    )
+
+
+@pytest.fixture
+def index(schema) -> BTreeIndex:
+    return BTreeIndex("ix", schema, ["k"])
+
+
+def rid(n: int) -> RowId:
+    return RowId(n // 10, n % 10)
+
+
+class TestMaintenance:
+    def test_insert_and_search(self, index):
+        index.insert((1, 50, "a"), rid(1))
+        index.insert((2, 30, "b"), rid(2))
+        assert index.search([50]) == [rid(1)]
+        assert index.search([99]) == []
+
+    def test_duplicates_allowed_when_not_unique(self, index):
+        index.insert((1, 5, "a"), rid(1))
+        index.insert((2, 5, "b"), rid(2))
+        assert set(index.search([5])) == {rid(1), rid(2)}
+
+    def test_unique_rejects_duplicates(self, schema):
+        unique = BTreeIndex("u", schema, ["k"], unique=True)
+        unique.insert((1, 5, "a"), rid(1))
+        with pytest.raises(StorageError):
+            unique.insert((2, 5, "b"), rid(2))
+
+    def test_null_keys_not_indexed(self, index):
+        index.insert((1, None, "a"), rid(1))
+        assert len(index) == 0
+
+    def test_delete(self, index):
+        index.insert((1, 5, "a"), rid(1))
+        index.delete((1, 5, "a"), rid(1))
+        assert index.search([5]) == []
+
+    def test_delete_specific_rid_among_duplicates(self, index):
+        index.insert((1, 5, "a"), rid(1))
+        index.insert((2, 5, "b"), rid(2))
+        index.delete((1, 5, "a"), rid(1))
+        assert index.search([5]) == [rid(2)]
+
+    def test_delete_missing_raises(self, index):
+        with pytest.raises(StorageError):
+            index.delete((1, 5, "a"), rid(1))
+
+    def test_update_moves_entry(self, index):
+        index.insert((1, 5, "a"), rid(1))
+        index.update((1, 5, "a"), rid(1), (1, 9, "a"), rid(1))
+        assert index.search([5]) == []
+        assert index.search([9]) == [rid(1)]
+
+    def test_rebuild_bulk_load(self, index):
+        entries = [((n,), rid(n)) for n in range(100, 0, -1)]
+        index.rebuild(entries)
+        assert len(index) == 100
+        assert index.min_key() == (1,)
+        assert index.max_key() == (100,)
+
+    def test_rebuild_unique_detects_duplicates(self, schema):
+        unique = BTreeIndex("u", schema, ["k"], unique=True)
+        with pytest.raises(StorageError):
+            unique.rebuild([((1,), rid(1)), ((1,), rid(2))])
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def loaded(self, index):
+        for n in range(100):
+            index.insert((n, n, "s"), rid(n))
+        return index
+
+    def test_closed_range(self, loaded):
+        keys = [key[0] for key, _ in loaded.range_scan((10,), (15,))]
+        assert keys == [10, 11, 12, 13, 14, 15]
+
+    def test_open_bounds(self, loaded):
+        keys = [
+            key[0]
+            for key, _ in loaded.range_scan(
+                (10,), (15,), low_inclusive=False, high_inclusive=False
+            )
+        ]
+        assert keys == [11, 12, 13, 14]
+
+    def test_unbounded_low(self, loaded):
+        keys = [key[0] for key, _ in loaded.range_scan(None, (3,))]
+        assert keys == [0, 1, 2, 3]
+
+    def test_unbounded_high(self, loaded):
+        keys = [key[0] for key, _ in loaded.range_scan((97,), None)]
+        assert keys == [97, 98, 99]
+
+    def test_empty_range(self, loaded):
+        assert list(loaded.range_scan((50,), (40,))) == []
+
+
+class TestCompositeKeys:
+    def test_prefix_search(self, schema):
+        index = BTreeIndex("c", schema, ["k", "id"])
+        index.insert((1, 5, "a"), rid(1))
+        index.insert((2, 5, "b"), rid(2))
+        index.insert((3, 6, "c"), rid(3))
+        found = [r for _, r in index.range_scan((5,), (5,))]
+        assert set(found) == {rid(1), rid(2)}
+
+    def test_full_key_search(self, schema):
+        index = BTreeIndex("c", schema, ["k", "id"])
+        index.insert((1, 5, "a"), rid(1))
+        index.insert((2, 5, "b"), rid(2))
+        assert index.search([5, 2]) == [rid(2)]
+
+
+class TestIOAccounting:
+    def test_probe_charges_height(self, index):
+        index.insert((1, 5, "a"), rid(1))
+        before = index.counters.page_reads
+        index.search([5])
+        assert index.counters.page_reads == before + index.height
+
+    def test_large_range_charges_extra_leaves(self, index):
+        for n in range(ENTRIES_PER_LEAF * 3):
+            index.insert((n, n, "s"), rid(n % 1000))
+        before = index.counters.page_reads
+        list(index.range_scan(None, None))
+        charged = index.counters.page_reads - before
+        assert charged >= index.leaf_pages - 1
+
+    def test_geometry(self, index):
+        assert index.leaf_pages == 1
+        assert index.height == 1
+        for n in range(ENTRIES_PER_LEAF + 1):
+            index.insert((n, n, "s"), rid(n % 1000))
+        assert index.leaf_pages == 2
+        assert index.height == 2

@@ -1,0 +1,109 @@
+"""Tests for simulated pages and I/O accounting."""
+
+import pytest
+
+from repro.engine.page import PAGE_SIZE, IOCounters, Page, PageManager
+from repro.errors import PageOverflowError
+
+
+class TestPage:
+    def test_insert_returns_slots_in_order(self):
+        page = Page(0)
+        assert page.insert(("a",), 10) == 0
+        assert page.insert(("b",), 10) == 1
+        assert page.live_rows == 2
+
+    def test_free_space_decreases(self):
+        page = Page(0)
+        before = page.free_bytes
+        page.insert(("a",), 100)
+        assert page.free_bytes == before - 100
+
+    def test_overflow_rejected(self):
+        page = Page(0)
+        with pytest.raises(PageOverflowError):
+            page.insert(("x",), PAGE_SIZE)
+
+    def test_page_fills_up(self):
+        page = Page(0)
+        row_bytes = 1000
+        while page.can_fit(row_bytes):
+            page.insert(("r",), row_bytes)
+        with pytest.raises(PageOverflowError):
+            page.insert(("r",), row_bytes)
+
+    def test_delete_tombstones(self):
+        page = Page(0)
+        slot = page.insert(("a",), 50)
+        page.delete(slot)
+        assert page.live_rows == 0
+        assert page.slots[slot] is None
+
+    def test_tombstone_reused_when_fits(self):
+        page = Page(0)
+        slot = page.insert(("big",), 100)
+        page.delete(slot)
+        assert page.insert(("small",), 40) == slot
+
+    def test_tombstone_not_reused_when_too_small(self):
+        page = Page(0)
+        slot = page.insert(("small",), 40)
+        page.delete(slot)
+        assert page.insert(("big",), 100) != slot
+
+    def test_update_in_place_when_smaller(self):
+        page = Page(0)
+        slot = page.insert(("aaaa",), 100)
+        assert page.update(slot, ("b",), 50) is True
+        assert page.slots[slot] == ("b",)
+
+    def test_update_grows_within_free_space(self):
+        page = Page(0)
+        slot = page.insert(("a",), 50)
+        assert page.update(slot, ("bigger",), 80) is True
+
+    def test_update_fails_when_page_full(self):
+        page = Page(0)
+        row_bytes = (PAGE_SIZE - 32) // 2
+        slot = page.insert(("a",), row_bytes)
+        page.insert(("b",), row_bytes)
+        assert page.update(slot, ("c",), row_bytes + 100) is False
+
+
+class TestPageManager:
+    def test_allocates_on_demand(self):
+        manager = PageManager()
+        assert manager.page_count == 0
+        manager.page_for_insert(100)
+        assert manager.page_count == 1
+
+    def test_reuses_page_with_room(self):
+        manager = PageManager()
+        first = manager.page_for_insert(100)
+        first.insert(("x",), 100)
+        second = manager.page_for_insert(100)
+        assert second.page_id == first.page_id
+
+    def test_allocates_when_full(self):
+        manager = PageManager()
+        page = manager.page_for_insert(PAGE_SIZE - 32)
+        page.insert(("x",), PAGE_SIZE - 32)
+        next_page = manager.page_for_insert(PAGE_SIZE - 32)
+        assert next_page.page_id != page.page_id
+
+    def test_read_counts(self):
+        counters = IOCounters()
+        manager = PageManager(counters)
+        manager.allocate()
+        manager.read_page(0)
+        manager.read_page(0)
+        assert counters.page_reads == 2
+
+    def test_counters_snapshot_and_reset(self):
+        counters = IOCounters()
+        counters.page_reads = 5
+        counters.rows_written = 2
+        snap = counters.snapshot()
+        assert snap["page_reads"] == 5
+        counters.reset()
+        assert counters.page_reads == 0

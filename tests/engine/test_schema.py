@@ -1,0 +1,111 @@
+"""Tests for table schemas."""
+
+import pytest
+
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DOUBLE, INTEGER, VARCHAR
+from repro.errors import SchemaError, TypeMismatchError
+
+
+@pytest.fixture
+def schema() -> TableSchema:
+    return TableSchema(
+        "emp",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("name", VARCHAR(20)),
+            Column("salary", DOUBLE),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_names_lowercased(self):
+        schema = TableSchema("T", [Column("A", INTEGER)])
+        assert schema.name == "t"
+        assert schema.columns[0].name == "a"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", INTEGER), Column("A", DOUBLE)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("", [Column("a", INTEGER)])
+        with pytest.raises(SchemaError):
+            Column("", INTEGER)
+
+
+class TestLookup:
+    def test_contains_is_case_insensitive(self, schema):
+        assert "ID" in schema
+        assert "missing" not in schema
+
+    def test_position(self, schema):
+        assert schema.position("salary") == 2
+
+    def test_column_lookup(self, schema):
+        assert schema.column("name").type == VARCHAR(20)
+
+    def test_unknown_column_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.position("bonus")
+
+    def test_iteration_order(self, schema):
+        assert schema.column_names() == ["id", "name", "salary"]
+        assert len(schema) == 3
+
+
+class TestRowValidation:
+    def test_valid_row_coerced(self, schema):
+        row = schema.validate_row([1, "ann", 10])
+        assert row == (1, "ann", 10.0)
+        assert isinstance(row[2], float)
+
+    def test_wrong_arity(self, schema):
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row([1, "ann"])
+
+    def test_not_null_enforced_structurally(self, schema):
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row([None, "ann", 1.0])
+
+    def test_nullable_columns_accept_none(self, schema):
+        row = schema.validate_row([1, None, None])
+        assert row == (1, None, None)
+
+    def test_row_from_mapping_defaults_missing_to_null(self, schema):
+        row = schema.row_from_mapping({"id": 9})
+        assert row == (9, None, None)
+
+    def test_row_from_mapping_rejects_unknown_keys(self, schema):
+        with pytest.raises(SchemaError):
+            schema.row_from_mapping({"id": 1, "bonus": 5})
+
+
+class TestDerivation:
+    def test_project(self, schema):
+        projected = schema.project(["salary", "id"], "narrow")
+        assert projected.name == "narrow"
+        assert projected.column_names() == ["salary", "id"]
+
+    def test_row_size_grows_with_strings(self, schema):
+        small = schema.row_size((1, "a", 1.0))
+        large = schema.row_size((1, "a" * 15, 1.0))
+        assert large == small + 14
+
+    def test_equality(self, schema):
+        twin = TableSchema(
+            "emp",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("name", VARCHAR(20)),
+                Column("salary", DOUBLE),
+            ],
+        )
+        assert schema == twin
+        assert hash(schema) == hash(twin)

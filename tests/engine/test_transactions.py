@@ -1,0 +1,70 @@
+"""Tests for transactions and rollback."""
+
+import pytest
+
+from repro.engine.transactions import Transaction
+from repro.errors import TransactionError
+
+
+class TestCommitRollback:
+    def test_commit_keeps_changes(self, people_database):
+        with Transaction(people_database) as txn:
+            txn.insert("city", [9, "hamilton"])
+        assert people_database.table("city").row_count == 4
+
+    def test_rollback_undoes_insert(self, people_database):
+        txn = Transaction(people_database)
+        txn.insert("city", [9, "hamilton"])
+        txn.rollback()
+        assert people_database.table("city").row_count == 3
+
+    def test_rollback_undoes_delete(self, people_database):
+        txn = Transaction(people_database)
+        (rid,) = people_database.lookup_key("city", ["id"], [2])
+        txn.delete("city", rid)
+        txn.rollback()
+        names = {row["name"] for row in people_database.scan_dicts("city")}
+        assert "ottawa" in names
+
+    def test_rollback_undoes_update(self, people_database):
+        txn = Transaction(people_database)
+        (rid,) = people_database.lookup_key("city", ["id"], [1])
+        txn.update("city", rid, [1, "tdot"])
+        txn.rollback()
+        names = {row["name"] for row in people_database.scan_dicts("city")}
+        assert "toronto" in names and "tdot" not in names
+
+    def test_rollback_is_lifo(self, people_database):
+        txn = Transaction(people_database)
+        rid = txn.insert("city", [9, "a"])
+        txn.update("city", rid, [9, "b"])
+        txn.delete("city", rid)
+        txn.rollback()
+        assert people_database.table("city").row_count == 3
+
+    def test_exception_in_context_rolls_back(self, people_database):
+        with pytest.raises(RuntimeError):
+            with Transaction(people_database) as txn:
+                txn.insert("city", [9, "x"])
+                raise RuntimeError("boom")
+        assert people_database.table("city").row_count == 3
+
+
+class TestStateMachine:
+    def test_commit_twice_rejected(self, people_database):
+        txn = Transaction(people_database)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_write_after_commit_rejected(self, people_database):
+        txn = Transaction(people_database)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.insert("city", [9, "x"])
+
+    def test_rollback_after_commit_rejected(self, people_database):
+        txn = Transaction(people_database)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.rollback()

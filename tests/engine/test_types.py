@@ -1,0 +1,154 @@
+"""Tests for SQL types and value validation."""
+
+import datetime
+
+import pytest
+
+from repro.engine.types import (
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    SqlType,
+    VARCHAR,
+    date_to_days,
+    days_to_date,
+    parse_date_literal,
+    type_from_name,
+)
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class TestTypeIdentity:
+    def test_singletons_equal_fresh_instances(self):
+        assert INTEGER == SqlType(SqlType.INTEGER_KIND)
+        assert VARCHAR(10) == SqlType(SqlType.VARCHAR_KIND, 10)
+
+    def test_varchar_length_distinguishes(self):
+        assert VARCHAR(10) != VARCHAR(20)
+
+    def test_types_are_hashable(self):
+        assert len({INTEGER, DOUBLE, BOOLEAN, DATE, VARCHAR(5)}) == 5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            SqlType("BLOB")
+
+    def test_varchar_requires_length(self):
+        with pytest.raises(SchemaError):
+            SqlType(SqlType.VARCHAR_KIND)
+
+    def test_non_varchar_rejects_length(self):
+        with pytest.raises(SchemaError):
+            SqlType(SqlType.INTEGER_KIND, 5)
+
+    def test_repr(self):
+        assert repr(VARCHAR(12)) == "VARCHAR(12)"
+        assert repr(INTEGER) == "INTEGER"
+
+
+class TestValidation:
+    def test_null_validates_for_every_type(self):
+        for sql_type in (INTEGER, DOUBLE, BOOLEAN, DATE, VARCHAR(3)):
+            assert sql_type.validate(None) is None
+
+    def test_integer_accepts_int(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_integer_accepts_integral_float(self):
+        assert INTEGER.validate(42.0) == 42
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(42.5)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True)
+
+    def test_double_coerces_int(self):
+        value = DOUBLE.validate(7)
+        assert value == 7.0
+        assert isinstance(value, float)
+
+    def test_double_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            DOUBLE.validate("x")
+
+    def test_varchar_enforces_length(self):
+        assert VARCHAR(3).validate("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            VARCHAR(3).validate("abcd")
+
+    def test_varchar_rejects_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            VARCHAR(10).validate(5)
+
+    def test_boolean(self):
+        assert BOOLEAN.validate(True) is True
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.validate(1)
+
+    def test_date_accepts_day_number(self):
+        assert DATE.validate(10957) == 10957
+
+    def test_date_accepts_python_date(self):
+        assert DATE.validate(datetime.date(2000, 1, 1)) == 10957
+
+    def test_date_accepts_iso_string(self):
+        assert DATE.validate("2000-01-01") == 10957
+
+    def test_date_rejects_garbage_string(self):
+        with pytest.raises(TypeMismatchError):
+            DATE.validate("not-a-date")
+
+
+class TestDateConversion:
+    def test_round_trip(self):
+        day = date_to_days(datetime.date(2024, 2, 29))
+        assert days_to_date(day) == datetime.date(2024, 2, 29)
+
+    def test_epoch_is_zero(self):
+        assert date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_parse_literal(self):
+        assert parse_date_literal("1970-01-02") == 1
+
+    def test_parse_literal_rejects_bad_format(self):
+        with pytest.raises(TypeMismatchError):
+            parse_date_literal("01/02/1970")
+
+
+class TestStorageSize:
+    def test_null_costs_one_byte(self):
+        assert INTEGER.storage_size(None) == 1
+
+    def test_integer_width(self):
+        assert INTEGER.storage_size(5) == 5
+
+    def test_double_width(self):
+        assert DOUBLE.storage_size(5.0) == 9
+
+    def test_varchar_width_depends_on_value(self):
+        assert VARCHAR(100).storage_size("abc") == 1 + 2 + 3
+
+
+class TestTypeNames:
+    def test_synonyms(self):
+        assert type_from_name("int") == INTEGER
+        assert type_from_name("BIGINT") == INTEGER
+        assert type_from_name("float") == DOUBLE
+        assert type_from_name("bool") == BOOLEAN
+        assert type_from_name("date") == DATE
+
+    def test_varchar_default_length(self):
+        assert type_from_name("varchar") == VARCHAR(255)
+        assert type_from_name("char", 7) == VARCHAR(7)
+
+    def test_unknown_name(self):
+        with pytest.raises(SchemaError):
+            type_from_name("geometry")
+
+    def test_numeric_property(self):
+        assert INTEGER.is_numeric and DOUBLE.is_numeric and DATE.is_numeric
+        assert not VARCHAR(5).is_numeric and not BOOLEAN.is_numeric

@@ -1,0 +1,217 @@
+"""End-to-end SQL execution tests through the full pipeline."""
+
+import pytest
+
+from repro.api import SoftDB
+
+
+@pytest.fixture
+def db() -> SoftDB:
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE emp (id INT PRIMARY KEY, name VARCHAR(20), "
+        "dept VARCHAR(10), salary DOUBLE, manager_id INT)"
+    )
+    db.execute(
+        "INSERT INTO emp VALUES "
+        "(1, 'ann', 'eng', 120.0, NULL), "
+        "(2, 'bob', 'eng', 100.0, 1), "
+        "(3, 'cat', 'ops', 90.0, 1), "
+        "(4, 'dan', 'ops', 80.0, 3), "
+        "(5, 'eve', 'eng', 110.0, 1), "
+        "(6, 'fay', 'hr', NULL, 1)"
+    )
+    db.runstats_all()
+    return db
+
+
+class TestSelection:
+    def test_filter_and_project(self, db):
+        rows = db.query("SELECT name FROM emp WHERE salary > 100.0")
+        assert {row["name"] for row in rows} == {"ann", "eve"}
+
+    def test_null_filtered_out_by_comparison(self, db):
+        rows = db.query("SELECT name FROM emp WHERE salary < 1000.0")
+        assert "fay" not in {row["name"] for row in rows}
+
+    def test_is_null(self, db):
+        rows = db.query("SELECT name FROM emp WHERE salary IS NULL")
+        assert [row["name"] for row in rows] == ["fay"]
+
+    def test_computed_output_column(self, db):
+        rows = db.query(
+            "SELECT name, salary * 1.1 AS raised FROM emp WHERE id = 2"
+        )
+        assert rows[0]["raised"] == pytest.approx(110.0)
+
+    def test_between_and_in(self, db):
+        rows = db.query(
+            "SELECT id FROM emp WHERE salary BETWEEN 90.0 AND 110.0 "
+            "AND dept IN ('eng', 'ops')"
+        )
+        assert sorted(row["id"] for row in rows) == [2, 3, 5]
+
+    def test_like(self, db):
+        rows = db.query("SELECT name FROM emp WHERE name LIKE '%a%'")
+        assert {row["name"] for row in rows} == {"ann", "cat", "dan", "fay"}
+
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT dept FROM emp")
+        assert len(rows) == 3
+
+    def test_order_by_limit(self, db):
+        rows = db.query(
+            "SELECT name FROM emp WHERE salary IS NOT NULL "
+            "ORDER BY salary DESC LIMIT 2"
+        )
+        assert [row["name"] for row in rows] == ["ann", "eve"]
+
+    def test_order_by_nulls_last_ascending(self, db):
+        rows = db.query("SELECT name FROM emp ORDER BY salary")
+        assert rows[-1]["name"] == "fay"
+
+
+class TestJoins:
+    def test_self_join(self, db):
+        rows = db.query(
+            "SELECT e.name, m.name AS boss FROM emp e, emp m "
+            "WHERE e.manager_id = m.id"
+        )
+        bosses = {row["name"]: row["boss"] for row in rows}
+        assert bosses["bob"] == "ann" and bosses["dan"] == "cat"
+
+    def test_null_join_keys_never_match(self, db):
+        rows = db.query(
+            "SELECT e.id FROM emp e, emp m WHERE e.manager_id = m.id"
+        )
+        assert 1 not in {row["id"] for row in rows}  # ann has NULL manager
+
+    def test_join_with_residual_predicate(self, db):
+        rows = db.query(
+            "SELECT e.name FROM emp e, emp m "
+            "WHERE e.manager_id = m.id AND e.salary < m.salary"
+        )
+        # Everyone earns less than their manager; fay's NULL salary makes
+        # the residual UNKNOWN, so she is filtered out.
+        assert {row["name"] for row in rows} == {"bob", "cat", "dan", "eve"}
+
+    def test_theta_join(self, db):
+        rows = db.query(
+            "SELECT e.id AS low, m.id AS high FROM emp e, emp m "
+            "WHERE e.id < m.id AND e.id = 1 AND m.id = 2"
+        )
+        assert rows == [{"low": 1, "high": 2}]
+
+
+class TestAggregation:
+    def test_group_by_with_aggregates(self, db):
+        rows = db.query(
+            "SELECT dept, count(*) AS n, avg(salary) AS mean FROM emp "
+            "GROUP BY dept ORDER BY dept"
+        )
+        assert rows[0] == {"dept": "eng", "n": 3, "mean": pytest.approx(110.0)}
+        assert rows[1]["mean"] is None  # hr: all-NULL salaries
+
+    def test_count_ignores_nulls_sum_too(self, db):
+        rows = db.query(
+            "SELECT count(salary) AS c, sum(salary) AS s FROM emp"
+        )
+        assert rows[0]["c"] == 5
+        assert rows[0]["s"] == pytest.approx(500.0)
+
+    def test_count_star_counts_rows(self, db):
+        assert db.query("SELECT count(*) AS n FROM emp")[0]["n"] == 6
+
+    def test_min_max(self, db):
+        row = db.query(
+            "SELECT min(salary) AS lo, max(salary) AS hi FROM emp"
+        )[0]
+        assert (row["lo"], row["hi"]) == (80.0, 120.0)
+
+    def test_count_distinct(self, db):
+        row = db.query("SELECT count(DISTINCT dept) AS n FROM emp")[0]
+        assert row["n"] == 3
+
+    def test_having(self, db):
+        rows = db.query(
+            "SELECT dept, count(*) AS n FROM emp GROUP BY dept "
+            "HAVING count(*) >= 2"
+        )
+        assert {row["dept"] for row in rows} == {"eng", "ops"}
+
+    def test_scalar_aggregate_on_empty_input(self, db):
+        row = db.query(
+            "SELECT count(*) AS n, sum(salary) AS s FROM emp WHERE id > 999"
+        )[0]
+        assert row["n"] == 0 and row["s"] is None
+
+    def test_group_by_on_empty_input_yields_no_groups(self, db):
+        rows = db.query(
+            "SELECT dept, count(*) AS n FROM emp WHERE id > 999 GROUP BY dept"
+        )
+        assert rows == []
+
+    def test_order_by_aggregate(self, db):
+        rows = db.query(
+            "SELECT dept, count(*) AS n FROM emp GROUP BY dept ORDER BY n DESC"
+        )
+        assert rows[0]["dept"] == "eng"
+
+
+class TestUnionAll:
+    def test_union_concatenates(self, db):
+        rows = db.query(
+            "SELECT id FROM emp WHERE dept = 'eng' "
+            "UNION ALL SELECT id FROM emp WHERE dept = 'ops'"
+        )
+        assert len(rows) == 5
+
+    def test_union_keeps_duplicates(self, db):
+        rows = db.query(
+            "SELECT id FROM emp WHERE id = 1 "
+            "UNION ALL SELECT id FROM emp WHERE id = 1"
+        )
+        assert len(rows) == 2
+
+    def test_union_order_by_and_limit(self, db):
+        rows = db.query(
+            "(SELECT id FROM emp WHERE dept = 'eng') "
+            "UNION ALL (SELECT id FROM emp WHERE dept = 'ops') "
+            "ORDER BY id DESC LIMIT 2"
+        )
+        assert [row["id"] for row in rows] == [5, 4]
+
+    def test_union_renames_positionally(self, db):
+        rows = db.query(
+            "SELECT id AS x FROM emp WHERE id = 1 "
+            "UNION ALL SELECT manager_id FROM emp WHERE id = 2"
+        )
+        assert sorted(row["x"] for row in rows) == [1, 1]
+
+
+class TestDML:
+    def test_insert_returns_count(self, db):
+        assert db.execute("INSERT INTO emp VALUES (7, 'gil', 'hr', 70.0, 6)") == 1
+
+    def test_update_with_expression(self, db):
+        changed = db.execute(
+            "UPDATE emp SET salary = salary + 10.0 WHERE dept = 'eng'"
+        )
+        assert changed == 3
+        rows = db.query("SELECT salary FROM emp WHERE id = 1")
+        assert rows[0]["salary"] == pytest.approx(130.0)
+
+    def test_delete_where(self, db):
+        assert db.execute("DELETE FROM emp WHERE dept = 'hr'") == 1
+        assert db.query("SELECT count(*) AS n FROM emp")[0]["n"] == 5
+
+    def test_insert_with_column_list(self, db):
+        db.execute("INSERT INTO emp (id, name) VALUES (8, 'hal')")
+        row = db.query("SELECT dept, salary FROM emp WHERE id = 8")[0]
+        assert row == {"dept": None, "salary": None}
+
+    def test_constraint_enforced_through_sql(self, db):
+        from repro.errors import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO emp VALUES (1, 'dup', 'x', 0.0, NULL)")

@@ -1,0 +1,174 @@
+"""Tests for predicate analysis."""
+
+import pytest
+
+from repro.expr import analysis
+from repro.expr.intervals import Interval
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+
+
+def parse(text):
+    return parse_expression(text)
+
+
+class TestConjuncts:
+    def test_split_flattens_nested_ands(self):
+        conjuncts = analysis.split_conjuncts(parse("a = 1 AND b = 2 AND c = 3"))
+        assert len(conjuncts) == 3
+
+    def test_split_none(self):
+        assert analysis.split_conjuncts(None) == []
+
+    def test_or_not_split(self):
+        assert len(analysis.split_conjuncts(parse("a = 1 OR b = 2"))) == 1
+
+    def test_conjoin_round_trip(self):
+        original = parse("a = 1 AND b = 2")
+        rebuilt = analysis.conjoin(analysis.split_conjuncts(original))
+        assert rebuilt == original
+
+    def test_conjoin_empty_is_none(self):
+        assert analysis.conjoin([]) is None
+
+
+class TestColumnExtraction:
+    def test_columns_in(self):
+        columns = analysis.columns_in(parse("t.a + b * 2 > c"))
+        names = {c.qualified for c in columns}
+        assert names == {"t.a", "b", "c"}
+
+    def test_columns_in_all_node_kinds(self):
+        text = "a BETWEEN b AND c AND d IN (e, 1) AND f IS NULL AND abs(g) > 0"
+        names = {c.column for c in analysis.columns_in(parse(text))}
+        assert names == {"a", "b", "c", "d", "e", "f", "g"}
+
+    def test_tables_in(self):
+        assert analysis.tables_in(parse("t.a = u.b AND c = 1")) == {"t", "u"}
+
+    def test_is_constant(self):
+        assert analysis.is_constant(parse("1 + 2 * 3"))
+        assert not analysis.is_constant(parse("a + 1"))
+
+    def test_aggregates_not_constant(self):
+        assert not analysis.is_constant(parse("count(*)"))
+        assert analysis.contains_aggregate(parse("1 + count(*)"))
+
+    def test_constant_value(self):
+        assert analysis.constant_value(parse("2 + 3")) == 5
+
+
+class TestMatchers:
+    def test_column_comparison(self):
+        match = analysis.match_column_comparison(parse("a >= 5"))
+        assert match.column.column == "a"
+        assert match.op == ">=" and match.value == 5
+
+    def test_flipped_comparison(self):
+        match = analysis.match_column_comparison(parse("5 < a"))
+        assert match.op == ">" and match.value == 5
+
+    def test_comparison_with_expression_constant(self):
+        match = analysis.match_column_comparison(parse("a = 2 + 3"))
+        assert match.value == 5
+
+    def test_two_column_comparison_no_match(self):
+        assert analysis.match_column_comparison(parse("a = b")) is None
+
+    def test_between_matcher(self):
+        column, low, high = analysis.match_column_between(
+            parse("a BETWEEN 1 AND 10")
+        )
+        assert column.column == "a" and (low, high) == (1, 10)
+
+    def test_negated_between_no_match(self):
+        assert analysis.match_column_between(parse("a NOT BETWEEN 1 AND 2")) is None
+
+    def test_in_matcher(self):
+        column, values = analysis.match_column_in(parse("a IN (3, 1, 2)"))
+        assert values == [3, 1, 2]
+
+    def test_equijoin_matcher(self):
+        pair = analysis.match_equijoin(parse("t.a = u.b"))
+        assert pair[0].qualified == "t.a" and pair[1].qualified == "u.b"
+
+    def test_same_table_equality_is_not_join(self):
+        assert analysis.match_equijoin(parse("t.a = t.b")) is None
+
+    def test_unqualified_equality_is_not_join(self):
+        assert analysis.match_equijoin(parse("a = b")) is None
+
+
+class TestColumnInterval:
+    def column(self, name="a", table=None):
+        return ast.ColumnRef(name, table)
+
+    def test_equality_gives_point(self):
+        interval = analysis.column_interval([parse("a = 5")], self.column())
+        assert interval.is_point and interval.low == 5
+
+    def test_range_conjunction_intersects(self):
+        conjuncts = [parse("a >= 2"), parse("a < 10")]
+        interval = analysis.column_interval(conjuncts, self.column())
+        assert interval == Interval(2, 10, high_inclusive=False)
+
+    def test_between_contributes(self):
+        interval = analysis.column_interval(
+            [parse("a BETWEEN 3 AND 7")], self.column()
+        )
+        assert interval == Interval(3, 7)
+
+    def test_contradiction_is_empty(self):
+        conjuncts = [parse("a > 10"), parse("a < 5")]
+        assert analysis.column_interval(conjuncts, self.column()).is_empty
+
+    def test_other_columns_ignored(self):
+        conjuncts = [parse("b = 9"), parse("a <= 4")]
+        interval = analysis.column_interval(conjuncts, self.column())
+        assert interval == Interval.at_most(4)
+
+    def test_in_list_gives_bounding_range(self):
+        interval = analysis.column_interval([parse("a IN (7, 2, 5)")], self.column())
+        assert interval == Interval(2, 7)
+
+    def test_qualifier_tolerance(self):
+        conjuncts = [parse("t.a = 5")]
+        assert analysis.column_interval(conjuncts, self.column("a")).is_point
+        assert analysis.column_interval(
+            conjuncts, self.column("a", "t")
+        ).is_point
+        assert analysis.column_interval(
+            conjuncts, self.column("a", "u")
+        ).is_unbounded
+
+    def test_inequality_contributes_nothing(self):
+        interval = analysis.column_interval([parse("a <> 5")], self.column())
+        assert interval.is_unbounded
+
+
+class TestSubstitution:
+    def test_substitute_bare_column(self):
+        result = analysis.substitute_columns(
+            parse("a + b"), {"a": ast.ColumnRef("a", "t")}
+        )
+        assert analysis.tables_in(result) == {"t"}
+
+    def test_substitute_with_literal(self):
+        result = analysis.substitute_columns(
+            parse("a > 5"), {"a": ast.Literal(10)}
+        )
+        assert analysis.is_constant(result)
+        assert analysis.constant_value(result) is True
+
+    def test_qualified_key_preferred(self):
+        expression = parse("t.a")
+        result = analysis.substitute_columns(
+            expression, {"t.a": ast.Literal(1), "a": ast.Literal(2)}
+        )
+        assert result == ast.Literal(1)
+
+    def test_substitution_covers_all_node_kinds(self):
+        text = "a BETWEEN 1 AND b AND a IN (b, 2) AND a IS NULL AND abs(a) > 0"
+        mapping = {"a": ast.ColumnRef("a", "x"), "b": ast.ColumnRef("b", "x")}
+        result = analysis.substitute_columns(parse(text), mapping)
+        assert analysis.tables_in(result) == {"x"}

@@ -1,0 +1,166 @@
+"""Tests for expression evaluation with three-valued logic."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr.eval import compile_predicate, evaluate
+from repro.sql.parser import parse_expression
+
+
+def ev(text, row=None):
+    return evaluate(parse_expression(text), row or {})
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("10 - 4") == 6
+        assert ev("7 % 3") == 1
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert ev("7 / 2") == 3
+        assert ev("-7 / 2") == -3
+
+    def test_float_division(self):
+        assert ev("7.0 / 2") == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExpressionError):
+            ev("1 / 0")
+
+    def test_null_propagates(self):
+        assert ev("1 + NULL") is None
+        assert ev("-a", {"a": None}) is None
+
+    def test_unary_minus(self):
+        assert ev("-(3 + 4)") == -7
+
+    def test_arithmetic_on_strings_rejected(self):
+        with pytest.raises(ExpressionError):
+            ev("'a' + 1")
+
+
+class TestComparisons:
+    def test_numeric(self):
+        assert ev("3 < 4") is True
+        assert ev("3 >= 4") is False
+        assert ev("3 <> 4") is True
+
+    def test_mixed_int_float(self):
+        assert ev("3 = 3.0") is True
+
+    def test_strings(self):
+        assert ev("'abc' < 'abd'") is True
+
+    def test_incomparable_types_rejected(self):
+        with pytest.raises(ExpressionError):
+            ev("'abc' < 3")
+
+    def test_null_comparison_is_unknown(self):
+        assert ev("a = 1", {"a": None}) is None
+        assert ev("NULL = NULL") is None
+
+
+class TestLogic:
+    def test_kleene_and(self):
+        assert ev("TRUE AND NULL") is None
+        assert ev("FALSE AND NULL") is False
+        assert ev("TRUE AND TRUE") is True
+
+    def test_kleene_or(self):
+        assert ev("TRUE OR NULL") is True
+        assert ev("FALSE OR NULL") is None
+        assert ev("FALSE OR FALSE") is False
+
+    def test_not_unknown(self):
+        assert ev("NOT (a = 1)", {"a": None}) is None
+
+    def test_short_circuit_avoids_errors(self):
+        # FALSE AND <error> must not evaluate the right side.
+        assert ev("1 = 2 AND 1 / 0 = 1") is False
+        assert ev("1 = 1 OR 1 / 0 = 1") is True
+
+
+class TestPredicates:
+    def test_between(self):
+        assert ev("5 BETWEEN 1 AND 10") is True
+        assert ev("11 BETWEEN 1 AND 10") is False
+        assert ev("5 NOT BETWEEN 1 AND 10") is False
+
+    def test_between_with_null_operand(self):
+        assert ev("a BETWEEN 1 AND 10", {"a": None}) is None
+
+    def test_between_with_null_bound(self):
+        assert ev("5 BETWEEN NULL AND 10") is None
+        assert ev("11 BETWEEN NULL AND 10") is False  # already above high
+
+    def test_in(self):
+        assert ev("2 IN (1, 2, 3)") is True
+        assert ev("9 IN (1, 2, 3)") is False
+        assert ev("9 NOT IN (1, 2, 3)") is True
+
+    def test_in_with_null_member_is_unknown_on_miss(self):
+        assert ev("9 IN (1, NULL)") is None
+        assert ev("1 IN (1, NULL)") is True
+
+    def test_is_null(self):
+        assert ev("a IS NULL", {"a": None}) is True
+        assert ev("a IS NOT NULL", {"a": None}) is False
+        assert ev("a IS NULL", {"a": 3}) is False
+
+    def test_like(self):
+        assert ev("'hello' LIKE 'h%'") is True
+        assert ev("'hello' LIKE 'h_llo'") is True
+        assert ev("'hello' LIKE 'x%'") is False
+        assert ev("name NOT LIKE 'h%'", {"name": "hello"}) is False
+
+    def test_like_null(self):
+        assert ev("a LIKE 'x%'", {"a": None}) is None
+
+
+class TestColumnResolution:
+    def test_bare_column(self):
+        assert ev("a + 1", {"a": 4}) == 5
+
+    def test_qualified_column(self):
+        assert ev("t.a", {"t.a": 7}) == 7
+
+    def test_unqualified_falls_back_to_unique_suffix(self):
+        assert ev("a", {"t.a": 7}) == 7
+
+    def test_ambiguous_suffix_rejected(self):
+        with pytest.raises(ExpressionError):
+            ev("a", {"t.a": 1, "u.a": 2})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ExpressionError):
+            ev("missing", {"a": 1})
+
+
+class TestFunctions:
+    def test_abs(self):
+        assert ev("abs(-4)") == 4
+
+    def test_abs_null(self):
+        assert ev("abs(a)", {"a": None}) is None
+
+    def test_aggregate_outside_group_rejected(self):
+        with pytest.raises(ExpressionError):
+            ev("count(*)")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            ev("frobnicate(1)")
+
+
+class TestCompilePredicate:
+    def test_returns_three_valued(self):
+        predicate = compile_predicate(parse_expression("a > 5"))
+        assert predicate({"a": 6}) is True
+        assert predicate({"a": 4}) is False
+        assert predicate({"a": None}) is None
+
+    def test_non_boolean_result_rejected(self):
+        predicate = compile_predicate(parse_expression("a + 1"))
+        with pytest.raises(ExpressionError):
+            predicate({"a": 1})

@@ -1,0 +1,110 @@
+"""Tests for interval arithmetic."""
+
+import pytest
+
+from repro.expr.intervals import Interval
+
+
+class TestConstruction:
+    def test_unbounded(self):
+        interval = Interval.unbounded()
+        assert interval.is_unbounded and not interval.is_empty
+
+    def test_point(self):
+        interval = Interval.point(5)
+        assert interval.is_point and interval.contains(5)
+
+    def test_empty(self):
+        assert Interval.empty().is_empty
+
+    def test_crossed_bounds_are_empty(self):
+        assert Interval(10, 5).is_empty
+
+    def test_open_point_is_empty(self):
+        assert Interval(5, 5, low_inclusive=False).is_empty
+        assert not Interval(5, 5).is_empty
+
+
+class TestContains:
+    def test_closed_bounds(self):
+        interval = Interval(1, 10)
+        assert interval.contains(1) and interval.contains(10)
+        assert not interval.contains(0) and not interval.contains(11)
+
+    def test_open_bounds(self):
+        interval = Interval(1, 10, low_inclusive=False, high_inclusive=False)
+        assert not interval.contains(1) and not interval.contains(10)
+        assert interval.contains(2)
+
+    def test_half_unbounded(self):
+        assert Interval.at_least(5).contains(1000000)
+        assert not Interval.at_least(5).contains(4)
+        assert Interval.at_most(5).contains(-1000000)
+
+    def test_none_never_contained(self):
+        assert not Interval.unbounded().contains(None)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 8))
+        assert Interval(0, 10).contains_interval(Interval(0, 10))
+        assert not Interval(0, 10).contains_interval(Interval(2, 12))
+        assert not Interval(0, 10).contains_interval(Interval.unbounded())
+        assert Interval.unbounded().contains_interval(Interval(0, 10))
+
+    def test_contains_interval_open_edge(self):
+        open_low = Interval(0, 10, low_inclusive=False)
+        assert not open_low.contains_interval(Interval(0, 5))
+        assert open_low.contains_interval(Interval(1, 5))
+
+    def test_empty_contained_everywhere(self):
+        assert Interval(5, 5, low_inclusive=False).is_empty
+        assert Interval(0, 1).contains_interval(Interval.empty())
+
+
+class TestIntersect:
+    def test_overlap(self):
+        result = Interval(0, 10).intersect(Interval(5, 15))
+        assert result == Interval(5, 10)
+
+    def test_disjoint_is_empty(self):
+        assert Interval(0, 4).intersect(Interval(5, 10)).is_empty
+
+    def test_touching_closed_is_point(self):
+        result = Interval(0, 5).intersect(Interval(5, 10))
+        assert result.is_point and result.low == 5
+
+    def test_touching_open_is_empty(self):
+        result = Interval(0, 5, high_inclusive=False).intersect(Interval(5, 10))
+        assert result.is_empty
+
+    def test_with_unbounded(self):
+        assert Interval(1, 2).intersect(Interval.unbounded()) == Interval(1, 2)
+
+    def test_inclusivity_tightens_on_shared_bound(self):
+        result = Interval(0, 5).intersect(Interval(0, 5, low_inclusive=False))
+        assert not result.low_inclusive
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+        assert not Interval(0, 5).overlaps(Interval(6, 9))
+
+
+class TestMisc:
+    def test_width(self):
+        assert Interval(2, 7).width() == 5.0
+        assert Interval.at_least(2).width() is None
+        assert Interval.unbounded().width() is None
+
+    def test_equality_of_empties(self):
+        assert Interval(10, 5) == Interval(3, 2)
+        assert hash(Interval(10, 5)) == hash(Interval(3, 2))
+
+    def test_repr(self):
+        assert "Interval" in repr(Interval(1, 2))
+        assert "empty" in repr(Interval.empty())
+
+    def test_string_intervals(self):
+        interval = Interval("apple", "mango")
+        assert interval.contains("cherry")
+        assert not interval.contains("zebra")
+        assert interval.width() is None

@@ -1,0 +1,102 @@
+"""Tests for predicate normalization."""
+
+import pytest
+
+from repro.expr.eval import evaluate
+from repro.expr.normalize import normalize
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.sql.printer import sql_of
+
+
+def norm(text, **kwargs):
+    return normalize(parse_expression(text), **kwargs)
+
+
+class TestNotPushing:
+    def test_de_morgan_and(self):
+        assert sql_of(norm("NOT (a = 1 AND b = 2)")) == "a <> 1 OR b <> 2"
+
+    def test_de_morgan_or(self):
+        assert sql_of(norm("NOT (a = 1 OR b = 2)")) == "a <> 1 AND b <> 2"
+
+    def test_double_negation(self):
+        assert sql_of(norm("NOT (NOT (a = 1))")) == "a = 1"
+
+    def test_comparison_negation(self):
+        assert sql_of(norm("NOT a < 5")) == "a >= 5"
+        assert sql_of(norm("NOT a >= 5")) == "a < 5"
+
+    def test_not_between_flips_flag(self):
+        result = norm("NOT (a BETWEEN 1 AND 2)")
+        assert isinstance(result, ast.BetweenExpr) and result.negated
+
+    def test_not_in_flips_flag(self):
+        result = norm("NOT (a IN (1, 2))")
+        assert isinstance(result, ast.InExpr) and result.negated
+
+    def test_not_is_null(self):
+        result = norm("NOT (a IS NULL)")
+        assert isinstance(result, ast.IsNullExpr) and result.negated
+
+    def test_none_passes_through(self):
+        assert normalize(None) is None
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        assert norm("a > 2 + 3") == parse_expression("a > 5")
+
+    def test_true_and_simplifies(self):
+        assert norm("TRUE AND a = 1") == parse_expression("a = 1")
+
+    def test_false_and_annihilates(self):
+        assert norm("FALSE AND a = 1") == ast.Literal(False)
+
+    def test_true_or_annihilates(self):
+        assert norm("a = 1 OR TRUE") == ast.Literal(True)
+
+    def test_false_or_simplifies(self):
+        assert norm("FALSE OR a = 1") == parse_expression("a = 1")
+
+    def test_division_by_zero_left_symbolic(self):
+        # Must not raise at normalize time.
+        result = norm("a = 1 / 0")
+        assert isinstance(result, ast.BinaryOp)
+
+
+class TestBetweenExpansion:
+    def test_expanded(self):
+        result = norm("a BETWEEN 1 AND 10", expand_between=True)
+        assert sql_of(result) == "a >= 1 AND a <= 10"
+
+    def test_negated_not_expanded(self):
+        result = norm("a NOT BETWEEN 1 AND 10", expand_between=True)
+        assert isinstance(result, ast.BetweenExpr)
+
+
+class TestSemanticsPreserved:
+    """Normalization must agree with direct evaluation on all inputs."""
+
+    CASES = [
+        "NOT (a = 1 AND b = 2)",
+        "NOT (a < 3 OR b >= 2)",
+        "NOT (a BETWEEN 1 AND 5)",
+        "NOT (a IN (1, 2))",
+        "NOT (a IS NULL)",
+        "NOT NOT a = 1",
+        "a BETWEEN 1 AND 5 AND NOT b = 2",
+    ]
+    VALUES = [None, 0, 1, 2, 3, 5, 6]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_equivalence(self, text):
+        original = parse_expression(text)
+        normalized = normalize(original, expand_between=True)
+        for a in self.VALUES:
+            for b in self.VALUES:
+                row = {"a": a, "b": b}
+                assert evaluate(original, row) == evaluate(normalized, row), (
+                    text,
+                    row,
+                )

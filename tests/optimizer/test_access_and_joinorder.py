@@ -1,0 +1,142 @@
+"""Tests for access-path selection and join enumeration."""
+
+import pytest
+
+from repro.optimizer.access import AccessPathSelector
+from repro.optimizer.builder import build_logical_plan
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.costmodel import CostModel
+from repro.optimizer.joinorder import JoinOrderOptimizer
+from repro.optimizer.physical import HashJoin, IndexScan, NestedLoopJoin, SeqScan
+from repro.sql.parser import parse_expression, parse_statement
+from repro.workload.schemas import build_star_schema
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return build_star_schema(facts=5000, customers=100, products=50, seed=3)
+
+
+def selector(db):
+    estimator = CardinalityEstimator(db.database)
+    return AccessPathSelector(db.database, estimator, CostModel(db.database))
+
+
+class TestAccessPaths:
+    def test_no_predicate_uses_seq_scan(self, star_db):
+        scan = selector(star_db).best_scan("sales", "s", [])
+        assert isinstance(scan, SeqScan)
+
+    def test_selective_point_predicate_uses_pk_index(self, star_db):
+        conjuncts = [parse_expression("s.id = 17")]
+        scan = selector(star_db).best_scan("sales", "s", conjuncts)
+        assert isinstance(scan, IndexScan)
+        assert scan.low == (17,) and scan.high == (17,)
+
+    def test_wide_range_prefers_seq_scan(self, star_db):
+        conjuncts = [parse_expression("s.id >= 0")]
+        scan = selector(star_db).best_scan("sales", "s", conjuncts)
+        assert isinstance(scan, SeqScan)
+
+    def test_narrow_range_prefers_index(self, star_db):
+        conjuncts = [parse_expression("s.id BETWEEN 10 AND 20")]
+        scan = selector(star_db).best_scan("sales", "s", conjuncts)
+        assert isinstance(scan, IndexScan)
+
+    def test_predicate_on_unindexed_column_seq_scans(self, star_db):
+        conjuncts = [parse_expression("s.amount = 3.5")]
+        scan = selector(star_db).best_scan("sales", "s", conjuncts)
+        assert isinstance(scan, SeqScan)
+
+    def test_index_scan_keeps_residual_filter(self, star_db):
+        conjuncts = [
+            parse_expression("s.id = 17"),
+            parse_expression("s.amount > 100.0"),
+        ]
+        scan = selector(star_db).best_scan("sales", "s", conjuncts)
+        assert isinstance(scan, IndexScan)
+        assert scan.predicate is not None
+
+    def test_estimates_attached(self, star_db):
+        scan = selector(star_db).best_scan(
+            "sales", "s", [parse_expression("s.id = 17")]
+        )
+        assert scan.estimated_rows > 0
+        assert scan.estimated_cost > 0
+
+
+class TestJoinOrder:
+    def build_plan(self, db, sql):
+        block = build_logical_plan(db.database, parse_statement(sql))
+        estimator = CardinalityEstimator(db.database)
+        cost_model = CostModel(db.database)
+        select = AccessPathSelector(db.database, estimator, cost_model)
+        scans = {
+            bound.binding: select.best_scan(
+                bound.table_name,
+                bound.binding,
+                estimator.single_binding_conjuncts(block, bound.binding),
+            )
+            for bound in block.tables
+        }
+        return JoinOrderOptimizer(estimator, cost_model).best_join_tree(
+            block, scans
+        )
+
+    def test_single_table_passthrough(self, star_db):
+        tree = self.build_plan(star_db, "SELECT id FROM customer")
+        assert isinstance(tree, (SeqScan, IndexScan))
+
+    def test_equijoin_becomes_hash_join(self, star_db):
+        tree = self.build_plan(
+            star_db,
+            "SELECT s.id FROM sales s, customer c WHERE s.customer_id = c.id",
+        )
+        assert isinstance(tree, HashJoin)
+
+    def test_theta_join_becomes_nested_loop(self, star_db):
+        tree = self.build_plan(
+            star_db,
+            "SELECT s.id FROM sales s, customer c "
+            "WHERE s.customer_id < c.id AND s.id < 3 AND c.id < 3",
+        )
+        assert isinstance(tree, NestedLoopJoin)
+
+    def test_three_way_join_covers_all_tables(self, star_db):
+        tree = self.build_plan(
+            star_db,
+            "SELECT s.id FROM sales s, customer c, product p "
+            "WHERE s.customer_id = c.id AND s.product_id = p.id",
+        )
+        from repro.optimizer.joinorder import _bindings_of
+
+        assert _bindings_of(tree) == {"s", "c", "p"}
+
+    def test_connected_join_preferred_over_cartesian(self, star_db):
+        tree = self.build_plan(
+            star_db,
+            "SELECT s.id FROM sales s, customer c, product p "
+            "WHERE s.customer_id = c.id AND s.product_id = p.id",
+        )
+        # The top join and every join below it must carry a condition.
+        def no_cartesian(node):
+            if isinstance(node, NestedLoopJoin):
+                assert node.condition is not None
+            for child in node.children():
+                no_cartesian(child)
+
+        no_cartesian(tree)
+
+    def test_pure_cross_join_still_planned(self, star_db):
+        tree = self.build_plan(
+            star_db,
+            "SELECT c.id FROM customer c, product p",
+        )
+        assert isinstance(tree, NestedLoopJoin)
+
+    def test_join_estimates_monotone(self, star_db):
+        tree = self.build_plan(
+            star_db,
+            "SELECT s.id FROM sales s, customer c WHERE s.customer_id = c.id",
+        )
+        assert tree.estimated_rows == pytest.approx(5000, rel=0.5)

@@ -1,0 +1,215 @@
+"""Tests for binding SQL into logical query blocks."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.optimizer.builder import build_logical_plan
+from repro.optimizer.logical import QueryBlock, UnionPlan
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+def build(database, sql):
+    return build_logical_plan(database, parse_statement(sql))
+
+
+class TestBindingBasics:
+    def test_single_table(self, people_database):
+        block = build(people_database, "SELECT id FROM person")
+        assert isinstance(block, QueryBlock)
+        assert [t.table_name for t in block.tables] == ["person"]
+        assert block.output[0].name == "id"
+
+    def test_unqualified_columns_qualified(self, people_database):
+        block = build(people_database, "SELECT id FROM person WHERE age > 30")
+        (conjunct,) = block.predicates
+        assert isinstance(conjunct.left, ast.ColumnRef)
+        assert conjunct.left.table == "person"
+
+    def test_alias_binding(self, people_database):
+        block = build(people_database, "SELECT p.id FROM person p")
+        assert block.tables[0].binding == "p"
+        assert block.output[0].expression.table == "p"
+
+    def test_unknown_table(self, people_database):
+        with pytest.raises(Exception):
+            build(people_database, "SELECT x FROM ghost")
+
+    def test_unknown_column(self, people_database):
+        with pytest.raises(BindError):
+            build(people_database, "SELECT wrong FROM person")
+
+    def test_ambiguous_column(self, people_database):
+        with pytest.raises(BindError):
+            build(people_database, "SELECT id FROM person, city")
+
+    def test_ambiguity_resolved_by_qualifier(self, people_database):
+        block = build(
+            people_database, "SELECT person.id FROM person, city"
+        )
+        assert block.output[0].expression.table == "person"
+
+    def test_duplicate_binding_rejected(self, people_database):
+        with pytest.raises(BindError):
+            build(people_database, "SELECT 1 AS one FROM person, person")
+
+    def test_self_join_with_aliases(self, people_database):
+        block = build(
+            people_database,
+            "SELECT a.id FROM person a, person b WHERE a.id = b.id",
+        )
+        assert len(block.tables) == 2
+
+    def test_no_from_rejected(self, people_database):
+        with pytest.raises(BindError):
+            build(people_database, "SELECT 1 AS one")
+
+
+class TestPredicatePooling:
+    def test_where_conjuncts_flattened(self, people_database):
+        block = build(
+            people_database,
+            "SELECT id FROM person WHERE age > 30 AND city_id = 1 AND id < 9",
+        )
+        assert len(block.predicates) == 3
+
+    def test_join_on_conditions_pooled(self, people_database):
+        block = build(
+            people_database,
+            "SELECT p.id FROM person p JOIN city c ON p.city_id = c.id "
+            "WHERE p.age > 30",
+        )
+        assert len(block.predicates) == 2
+
+    def test_left_join_rejected(self, people_database):
+        with pytest.raises(BindError):
+            build(
+                people_database,
+                "SELECT p.id FROM person p LEFT JOIN city c "
+                "ON p.city_id = c.id",
+            )
+
+    def test_where_normalized(self, people_database):
+        block = build(
+            people_database,
+            "SELECT id FROM person WHERE NOT (age < 30 OR age > 40)",
+        )
+        assert len(block.predicates) == 2  # pushed NOT -> two conjuncts
+
+
+class TestStarExpansion:
+    def test_bare_star(self, people_database):
+        block = build(people_database, "SELECT * FROM city")
+        assert [o.name for o in block.output] == ["id", "name"]
+
+    def test_qualified_star(self, people_database):
+        block = build(
+            people_database, "SELECT c.* FROM person p, city c"
+        )
+        assert [o.name for o in block.output] == ["id", "name"]
+
+    def test_star_over_join_uniquifies_names(self, people_database):
+        block = build(people_database, "SELECT * FROM person, city")
+        names = [o.name for o in block.output]
+        assert len(names) == len(set(names))
+        assert "id" in names and "id_2" in names
+
+
+class TestGrouping:
+    def test_aggregates_extracted(self, people_database):
+        block = build(
+            people_database,
+            "SELECT city_id, count(*) AS n, avg(age) AS a FROM person "
+            "GROUP BY city_id",
+        )
+        assert [a.function for a in block.aggregates] == ["count", "avg"]
+        assert block.aggregates[0].output_name == "n"
+
+    def test_scalar_aggregate_without_group_by(self, people_database):
+        block = build(people_database, "SELECT count(*) AS n FROM person")
+        assert block.is_grouped and block.group_by == []
+
+    def test_non_key_output_rejected(self, people_database):
+        with pytest.raises(BindError):
+            build(
+                people_database,
+                "SELECT name, count(*) AS n FROM person GROUP BY city_id",
+            )
+
+    def test_nested_aggregate_rejected(self, people_database):
+        with pytest.raises(BindError):
+            build(
+                people_database,
+                "SELECT count(*) + 1 AS n FROM person",
+            )
+
+    def test_having_rewritten_to_aggregate_ref(self, people_database):
+        block = build(
+            people_database,
+            "SELECT city_id, count(*) AS n FROM person GROUP BY city_id "
+            "HAVING count(*) > 1",
+        )
+        assert isinstance(block.having.left, ast.ColumnRef)
+        assert block.having.left.column == "n"
+
+    def test_having_adds_hidden_aggregate(self, people_database):
+        block = build(
+            people_database,
+            "SELECT city_id FROM person GROUP BY city_id "
+            "HAVING avg(age) > 30",
+        )
+        hidden = [a for a in block.aggregates if a.function == "avg"]
+        assert len(hidden) == 1
+
+    def test_having_without_group_by_is_syntax_error(self, people_database):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            build(people_database, "SELECT id FROM person HAVING id > 1")
+
+    def test_non_column_group_key_rejected(self, people_database):
+        with pytest.raises(BindError):
+            build(
+                people_database,
+                "SELECT count(*) AS n FROM person GROUP BY age + 1",
+            )
+
+
+class TestTail:
+    def test_order_by_output_alias(self, people_database):
+        block = build(
+            people_database,
+            "SELECT age AS years FROM person ORDER BY years",
+        )
+        (expression, ascending) = block.order_by[0]
+        assert expression == ast.ColumnRef("years")
+
+    def test_order_by_table_column(self, people_database):
+        block = build(
+            people_database, "SELECT id FROM person ORDER BY age DESC"
+        )
+        expression, ascending = block.order_by[0]
+        assert expression.table == "person" and not ascending
+
+    def test_limit_and_distinct(self, people_database):
+        block = build(
+            people_database, "SELECT DISTINCT city_id FROM person LIMIT 2"
+        )
+        assert block.distinct and block.limit == 2
+
+
+class TestUnion:
+    def test_union_produces_union_plan(self, people_database):
+        plan = build(
+            people_database,
+            "SELECT id FROM person UNION ALL SELECT id FROM city",
+        )
+        assert isinstance(plan, UnionPlan)
+        assert len(plan.blocks) == 2
+
+    def test_union_width_mismatch_rejected(self, people_database):
+        with pytest.raises(BindError):
+            build(
+                people_database,
+                "SELECT id, age FROM person UNION ALL SELECT id FROM city",
+            )

@@ -1,0 +1,90 @@
+"""Tests for difference-predicate selectivity hints (paper §5.1, closing
+example: projects completed in 5 days, ``end_date - start_date <= 5``)."""
+
+import pytest
+
+from repro.optimizer.planner import Optimizer, OptimizerConfig
+from repro.optimizer.rewrite.twinning import _interpolate_fraction
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.stats.errors import q_error
+from repro.workload.schemas import build_project_table
+
+QUERY = "SELECT id FROM project WHERE end_date - start_date <= 5"
+COUNT = "SELECT count(*) AS n FROM project WHERE end_date - start_date <= 5"
+
+
+@pytest.fixture(scope="module")
+def project_db():
+    db = build_project_table(rows=8000, long_fraction=0.1, seed=91)
+    for days, name in ((10, "d10"), (30, "d30"), (60, "d60")):
+        sc = CheckSoftConstraint(
+            name, "project", f"end_date <= start_date + {days}",
+            confidence=0.5,
+        )
+        db.add_soft_constraint(sc, verify_first=True)
+    return db
+
+
+class TestInterpolation:
+    POINTS = [(10.0, 0.3), (30.0, 0.9), (60.0, 0.95)]
+
+    def test_exact_point(self):
+        assert _interpolate_fraction(30.0, self.POINTS) == pytest.approx(0.9)
+
+    def test_between_points(self):
+        assert _interpolate_fraction(20.0, self.POINTS) == pytest.approx(0.6)
+
+    def test_below_smallest_goes_through_origin(self):
+        assert _interpolate_fraction(5.0, self.POINTS) == pytest.approx(0.15)
+
+    def test_above_largest_clamps(self):
+        assert _interpolate_fraction(100.0, self.POINTS) == pytest.approx(0.95)
+
+    def test_single_point(self):
+        assert _interpolate_fraction(15.0, [(30.0, 0.9)]) == pytest.approx(0.45)
+
+    def test_nonpositive_smallest_bound(self):
+        assert _interpolate_fraction(-5.0, [(0.0, 0.2), (10.0, 0.8)]) == (
+            pytest.approx(0.2)
+        )
+
+    def test_result_clamped_to_unit(self):
+        assert 0.0 <= _interpolate_fraction(1000.0, [(1.0, 1.5)]) <= 1.0
+
+
+class TestEndToEnd:
+    def test_hint_attached_with_note(self, project_db):
+        plan = project_db.plan(QUERY)
+        assert any("difference hint" in n for n in plan.estimation_notes)
+
+    def test_estimate_beats_default(self, project_db):
+        actual = project_db.query(COUNT)[0]["n"]
+        hinted = project_db.plan(QUERY).estimated_rows
+        plain = Optimizer(
+            project_db.database, None, OptimizerConfig()
+        ).optimize(QUERY).estimated_rows
+        assert q_error(hinted, actual) < 1.3
+        assert q_error(hinted, actual) < q_error(plain, actual)
+
+    def test_answers_unchanged(self, project_db):
+        from repro.harness.runner import compare_optimizers
+
+        enabled, disabled = compare_optimizers(project_db, QUERY)
+        assert enabled.row_count == disabled.row_count
+
+    def test_reversed_spelling_also_recognized(self, project_db):
+        plan = project_db.plan(
+            "SELECT id FROM project WHERE end_date <= start_date + 5"
+        )
+        assert any("difference hint" in n for n in plan.estimation_notes)
+
+    def test_unrelated_difference_not_hinted(self, project_db):
+        plan = project_db.plan(
+            "SELECT id FROM project WHERE id - start_date <= 5"
+        )
+        assert not any("difference hint" in n for n in plan.estimation_notes)
+
+    def test_no_hints_without_constraints(self):
+        db = build_project_table(rows=500, seed=92)
+        plan = db.plan(QUERY)
+        assert plan.estimation_notes == []

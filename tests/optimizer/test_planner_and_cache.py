@@ -1,0 +1,121 @@
+"""Tests for the optimizer facade, EXPLAIN, and the plan cache."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.explain import explain
+from repro.optimizer.planner import Optimizer, OptimizerConfig, PlanCache
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.maintenance import DropPolicy
+
+
+class TestOptimizeBasics:
+    def test_accepts_sql_text(self, sales_softdb):
+        plan = sales_softdb.optimizer.optimize("SELECT id FROM sale")
+        assert plan.output_names == ["id"]
+
+    def test_accepts_parsed_statement(self, sales_softdb):
+        from repro.sql.parser import parse_statement
+
+        statement = parse_statement("SELECT id FROM sale")
+        plan = sales_softdb.optimizer.optimize(statement)
+        assert plan.output_names == ["id"]
+
+    def test_rejects_dml(self, sales_softdb):
+        with pytest.raises(OptimizerError):
+            sales_softdb.optimizer.optimize("DELETE FROM sale")
+
+    def test_estimates_populated(self, sales_softdb):
+        plan = sales_softdb.optimizer.optimize(
+            "SELECT id FROM sale WHERE day = 7"
+        )
+        assert plan.estimated_rows > 0
+        assert plan.estimated_cost > 0
+
+    def test_explain_renders_tree_and_provenance(self, sales_softdb):
+        text = sales_softdb.explain(
+            "SELECT region, count(*) AS n FROM sale WHERE day < 10 "
+            "GROUP BY region ORDER BY n DESC LIMIT 2"
+        )
+        assert "GroupBy" in text
+        assert "Sort" in text
+        assert "Limit" in text
+        assert "rows~" in text
+
+    def test_union_compilation(self, sales_softdb):
+        plan = sales_softdb.optimizer.optimize(
+            "SELECT id FROM sale WHERE day = 1 "
+            "UNION ALL SELECT id FROM sale WHERE day = 2"
+        )
+        from repro.optimizer.physical import UnionAll
+
+        assert isinstance(plan.root, UnionAll)
+
+
+class TestPlanCache:
+    def test_hit_returns_same_object(self, sales_softdb):
+        cache = PlanCache(sales_softdb.optimizer)
+        first = cache.get_plan("SELECT id FROM sale")
+        second = cache.get_plan("SELECT id FROM sale")
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_invalidation_on_sc_overturn(self, sales_softdb):
+        sc = CheckSoftConstraint("day_cap", "sale", "day <= 49")
+        sales_softdb.add_soft_constraint(sc, policy=DropPolicy())
+        # Force a plan that depends on the SC (min/max style knockout on
+        # an out-of-range query uses it via branch logic; simplest: depend
+        # through twinning/introduction is fiddly here, so register the
+        # dependency path via a real query below).
+        cache = PlanCache(sales_softdb.optimizer)
+        plan = cache.get_plan("SELECT id FROM sale WHERE day = 7")
+        # Manually register a dependency to exercise the eviction path.
+        plan.sc_dependencies.add("day_cap")
+        sales_softdb.database.catalog.on_invalidate(
+            "softconstraint:day_cap",
+            lambda _dep: cache._evict("SELECT id FROM sale WHERE day = 7"),
+        )
+        sales_softdb.execute("INSERT INTO sale VALUES (9999, 99, 1.0, 'east')")
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+
+    def test_automatic_dependency_registration(self):
+        """End to end: a plan using an ASC is evicted when it overturns."""
+        from repro.workload.schemas import build_correlated_table
+        from repro.discovery.linear_miner import mine_linear_correlations
+
+        db = build_correlated_table(rows=1500, noise=5.0, seed=5)
+        (asc,) = mine_linear_correlations(
+            db.database, "meas", [("a", "b")], confidence_levels=(1.0,)
+        )
+        db.add_soft_constraint(asc, policy=DropPolicy(), verify_first=True)
+        cache = PlanCache(db.optimizer)
+        plan = cache.get_plan("SELECT id FROM meas WHERE b = 500.0")
+        assert asc.name in plan.sc_dependencies
+        assert len(cache) == 1
+        # An insert far off the correlation line overturns the ASC...
+        db.execute("INSERT INTO meas VALUES (99999, 0.0, 500.0)")
+        # ...and the dependent plan is gone.
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+        # Recompiling yields a plan without the (now overturned) rewrite.
+        fresh = cache.get_plan("SELECT id FROM meas WHERE b = 500.0")
+        assert asc.name not in fresh.sc_dependencies
+
+    def test_clear(self, sales_softdb):
+        cache = PlanCache(sales_softdb.optimizer)
+        cache.get_plan("SELECT id FROM sale")
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestConfigSwitches:
+    def test_all_switches_independent(self, sales_softdb):
+        config = OptimizerConfig(
+            enable_twinning=False, enable_join_elimination=False
+        )
+        optimizer = Optimizer(
+            sales_softdb.database, sales_softdb.registry, config
+        )
+        plan = optimizer.optimize("SELECT id FROM sale")
+        assert plan.rewrites_applied == []

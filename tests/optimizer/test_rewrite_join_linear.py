@@ -1,0 +1,135 @@
+"""Tests for join-path linear correlations in rewrite and twinning."""
+
+import pytest
+
+from repro.discovery.linear_miner import mine_join_linear_correlation
+from repro.harness.runner import compare_optimizers
+from repro.optimizer.physical import IndexScan
+from repro.workload.schemas import build_join_linear_scenario
+
+QUERY = (
+    "SELECT s.id FROM shipments s, freight f "
+    "WHERE s.region_id = f.region_id AND s.weight BETWEEN 100.0 AND 110.0"
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    db = build_join_linear_scenario(rows_per_table=3000, seed=65)
+    candidates = mine_join_linear_correlation(
+        db.database,
+        "freight", "cost", "shipments", "weight",
+        "region_id", "region_id",
+        confidence_levels=(1.0,),
+    )
+    db.add_soft_constraint(candidates[0], verify_first=True)
+    return db, candidates[0]
+
+
+class TestIntroduction:
+    def test_band_introduced_on_other_table(self, scenario):
+        db, asc = scenario
+        plan = db.plan(QUERY)
+        fired = [
+            r for r in plan.rewrites_applied if "join-path band" in r
+        ]
+        assert fired
+        assert asc.name in plan.sc_dependencies
+
+    def test_band_opens_index_on_freight(self, scenario):
+        db, _ = scenario
+        plan = db.plan(QUERY)
+        scans = _collect(plan.root, IndexScan)
+        assert any(s.index_name == "idx_freight_cost" for s in scans)
+
+    def test_answers_identical_fewer_pages(self, scenario):
+        db, _ = scenario
+        enabled, disabled = compare_optimizers(db, QUERY)
+        assert enabled.row_count == disabled.row_count
+        assert enabled.page_reads < disabled.page_reads
+
+    def test_reverse_direction_also_derives(self, scenario):
+        db, _ = scenario
+        plan = db.plan(
+            "SELECT s.id FROM shipments s, freight f "
+            "WHERE s.region_id = f.region_id "
+            "AND f.cost BETWEEN 350.0 AND 380.0"
+        )
+        fired = [
+            r
+            for r in plan.rewrites_applied
+            if "join-path band" in r and ".weight" in r
+        ]
+        assert fired
+
+    def test_no_introduction_without_join_path(self, scenario):
+        db, _ = scenario
+        plan = db.plan(
+            "SELECT s.id FROM shipments s WHERE s.weight BETWEEN 100.0 AND 110.0"
+        )
+        assert not any("join-path band" in r for r in plan.rewrites_applied)
+
+    def test_no_introduction_without_range(self, scenario):
+        db, _ = scenario
+        plan = db.plan(
+            "SELECT s.id FROM shipments s, freight f "
+            "WHERE s.region_id = f.region_id"
+        )
+        assert not any("join-path band" in r for r in plan.rewrites_applied)
+
+
+class TestTwinning:
+    def test_ssc_twins_for_estimation_only(self):
+        db = build_join_linear_scenario(rows_per_table=1500, seed=66)
+        candidates = mine_join_linear_correlation(
+            db.database,
+            "freight", "cost", "shipments", "weight",
+            "region_id", "region_id",
+            confidence_levels=(0.9,),
+        )
+        ssc = next(c for c in candidates if c.confidence == 0.9)
+        db.add_soft_constraint(ssc, verify_first=True)
+        assert ssc.is_statistical
+        sql = (
+            "SELECT s.id FROM shipments s, freight f "
+            "WHERE s.region_id = f.region_id "
+            "AND s.weight BETWEEN 100.0 AND 110.0 AND f.cost > 0.0"
+        )
+        plan = db.plan(sql)
+        # No real rewrite (SSC), but a twinned estimation predicate.
+        assert not any("join-path band" in r for r in plan.rewrites_applied)
+        assert any("cost" in note for note in plan.estimation_notes)
+        # Answers untouched.
+        enabled, disabled = compare_optimizers(db, sql)
+        assert enabled.row_count == disabled.row_count
+
+
+class TestSelection:
+    def test_scored_by_join_and_predicate_frequency(self, scenario):
+        from repro.discovery import SelectionEngine, Workload
+
+        db, asc = scenario
+        workload = Workload.from_sql([(QUERY, 8.0)])
+        score = SelectionEngine().score(asc, workload, db.database)
+        assert score.matched_frequency == 8.0
+        assert score.benefit > 0
+
+    def test_unjoined_workload_scores_zero(self, scenario):
+        from repro.discovery import SelectionEngine, Workload
+
+        db, asc = scenario
+        workload = Workload.from_sql(
+            ["SELECT id FROM shipments WHERE weight > 10.0"]
+        )
+        score = SelectionEngine().score(asc, workload, db.database)
+        assert score.matched_frequency == 0.0
+
+
+def _collect(root, node_type):
+    found, stack = [], [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, node_type):
+            found.append(node)
+        stack.extend(node.children())
+    return found

@@ -1,0 +1,110 @@
+"""Property-based tests on storage-engine invariants.
+
+A random DML sequence applied to a heap + index must keep: the live-row
+multiset equal to a Python-dict model, the index consistent with the heap,
+and all min/max soft constraints maintained by widening still absolute.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INTEGER
+from repro.softcon.maintenance import RepairPolicy
+from repro.softcon.minmax import MinMaxSC
+from repro.softcon.registry import SoftConstraintRegistry
+
+
+@st.composite
+def dml_scripts(draw):
+    """A list of operations: ('insert', k, v) / ('delete', i) / ('update', i, v)."""
+    operations = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("insert"),
+                    st.integers(0, 50),
+                    st.integers(-100, 100),
+                ),
+                st.tuples(st.just("delete"), st.integers(0, 30)),
+                st.tuples(
+                    st.just("update"), st.integers(0, 30), st.integers(-100, 100)
+                ),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return operations
+
+
+def apply_script(operations):
+    database = Database()
+    database.create_table(
+        TableSchema("t", [Column("k", INTEGER), Column("v", INTEGER)])
+    )
+    database.create_index("ix", "t", ["k"])
+    model = {}  # row_id -> (k, v)
+    live_ids = []
+    for operation in operations:
+        if operation[0] == "insert":
+            _, k, v = operation
+            rid = database.insert("t", [k, v])
+            model[rid] = (k, v)
+            live_ids.append(rid)
+        elif operation[0] == "delete" and live_ids:
+            victim = live_ids[operation[1] % len(live_ids)]
+            database.delete_row("t", victim)
+            del model[victim]
+            live_ids.remove(victim)
+        elif operation[0] == "update" and live_ids:
+            _, pick, v = operation
+            victim = live_ids[pick % len(live_ids)]
+            k_old, _ = model[victim]
+            new_id = database.update_row("t", victim, [k_old, v])
+            del model[victim]
+            live_ids.remove(victim)
+            model[new_id] = (k_old, v)
+            live_ids.append(new_id)
+    return database, model
+
+
+@given(dml_scripts())
+@settings(max_examples=100)
+def test_heap_matches_model(operations):
+    database, model = apply_script(operations)
+    heap_rows = sorted(database.table("t").scan_rows())
+    assert heap_rows == sorted(model.values())
+    assert database.table("t").row_count == len(model)
+
+
+@given(dml_scripts())
+@settings(max_examples=100)
+def test_index_consistent_with_heap(operations):
+    database, model = apply_script(operations)
+    index = database.catalog.index("ix")
+    index_pairs = sorted(
+        (key[0], rid) for key, rid in index.range_scan(None, None)
+    )
+    heap_pairs = sorted(
+        (row[0], rid) for rid, row in database.table("t").scan()
+    )
+    assert index_pairs == heap_pairs
+
+
+@given(dml_scripts())
+@settings(max_examples=60)
+def test_minmax_with_repair_stays_absolute(operations):
+    database = Database()
+    database.create_table(
+        TableSchema("t", [Column("k", INTEGER), Column("v", INTEGER)])
+    )
+    registry = SoftConstraintRegistry(database)
+    constraint = MinMaxSC("mm", "t", "v", 0, 0)
+    registry.register(constraint, policy=RepairPolicy(), activate=True)
+    for operation in operations:
+        if operation[0] == "insert":
+            database.insert("t", [operation[1], operation[2]])
+    violations, _ = constraint.verify(database)
+    assert violations == 0  # widening repair keeps it absolute

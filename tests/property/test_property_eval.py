@@ -1,0 +1,87 @@
+"""Property-based tests for expression evaluation and normalization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.eval import evaluate
+from repro.expr.normalize import normalize
+from repro.expr import analysis
+from repro.sql import ast
+
+values = st.one_of(st.none(), st.integers(min_value=-20, max_value=20))
+
+
+@st.composite
+def predicates(draw, depth=0):
+    """Random boolean expressions over columns a, b, c."""
+    if depth >= 3:
+        kind = draw(st.sampled_from(["cmp", "between", "in", "isnull"]))
+    else:
+        kind = draw(
+            st.sampled_from(
+                ["cmp", "between", "in", "isnull", "and", "or", "not"]
+            )
+        )
+    column = lambda: ast.ColumnRef(draw(st.sampled_from(["a", "b", "c"])))
+    literal = lambda: ast.Literal(draw(st.integers(-20, 20)))
+    if kind == "cmp":
+        op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+        return ast.BinaryOp(op, column(), literal())
+    if kind == "between":
+        return ast.BetweenExpr(
+            column(), literal(), literal(), negated=draw(st.booleans())
+        )
+    if kind == "in":
+        items = tuple(
+            ast.Literal(v)
+            for v in draw(st.lists(st.integers(-20, 20), min_size=1, max_size=4))
+        )
+        return ast.InExpr(column(), items, negated=draw(st.booleans()))
+    if kind == "isnull":
+        return ast.IsNullExpr(column(), negated=draw(st.booleans()))
+    if kind == "not":
+        return ast.UnaryOp("not", draw(predicates(depth + 1)))
+    left = draw(predicates(depth + 1))
+    right = draw(predicates(depth + 1))
+    return ast.BinaryOp(kind, left, right)
+
+
+rows = st.fixed_dictionaries({"a": values, "b": values, "c": values})
+
+
+@given(predicates(), rows)
+@settings(max_examples=300)
+def test_normalization_preserves_semantics(expression, row):
+    """normalize() must be a semantic no-op under three-valued logic."""
+    normalized = normalize(expression, expand_between=True)
+    assert evaluate(expression, row) == evaluate(normalized, row)
+
+
+@given(predicates(), rows)
+@settings(max_examples=200)
+def test_evaluation_is_three_valued(expression, row):
+    assert evaluate(expression, row) in (True, False, None)
+
+
+@given(predicates(), rows)
+@settings(max_examples=200)
+def test_split_conjoin_round_trip(expression, row):
+    conjuncts = analysis.split_conjuncts(expression)
+    rebuilt = analysis.conjoin(conjuncts)
+    assert evaluate(rebuilt, row) == evaluate(expression, row)
+
+
+@given(predicates(), rows)
+@settings(max_examples=200)
+def test_column_interval_is_sound(expression, row):
+    """If a row satisfies a conjunction, each column's value lies in the
+    interval the analyzer derives for it — the soundness property branch
+    knockout and range trimming rely on."""
+    conjuncts = analysis.split_conjuncts(expression)
+    if evaluate(expression, row) is not True:
+        return
+    for name, value in row.items():
+        if value is None:
+            continue
+        interval = analysis.column_interval(conjuncts, ast.ColumnRef(name))
+        assert interval.contains(value)

@@ -1,0 +1,106 @@
+"""Property-based tests: hole trimming soundness and histogram bounds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.hole_miner import HoleMiner
+from repro.expr.intervals import Interval
+from repro.softcon.holes import JoinHolesSC, Rectangle
+from repro.stats.histogram import EquiDepthHistogram
+
+coordinates = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rectangles(draw):
+    a_low = draw(coordinates)
+    a_high = draw(coordinates)
+    b_low = draw(coordinates)
+    b_high = draw(coordinates)
+    if a_low > a_high:
+        a_low, a_high = a_high, a_low
+    if b_low > b_high:
+        b_low, b_high = b_high, b_low
+    return Rectangle(a_low, a_high, b_low, b_high)
+
+
+@st.composite
+def query_boxes(draw):
+    low = draw(coordinates)
+    high = draw(coordinates)
+    if low > high:
+        low, high = high, low
+    return Interval(low, high)
+
+
+@given(
+    st.lists(rectangles(), min_size=1, max_size=4),
+    query_boxes(),
+    query_boxes(),
+    st.lists(st.tuples(coordinates, coordinates), min_size=1, max_size=30),
+)
+@settings(max_examples=200)
+def test_trimming_never_loses_non_hole_points(holes, a_range, b_range, points):
+    """Any point inside the query box but outside every hole must survive
+    trimming — the invariant that makes hole-based rewrites exact."""
+    constraint = JoinHolesSC(
+        "h", "one", "a", "two", "b", "j", "j", holes=holes
+    )
+    trimmed_a, trimmed_b = constraint.trim(a_range, b_range)
+    for a, b in points:
+        inside_query = a_range.contains(a) and b_range.contains(b)
+        in_hole = constraint.point_in_hole(a, b)
+        if inside_query and not in_hole:
+            assert trimmed_a.contains(a) and trimmed_b.contains(b)
+
+
+@given(
+    st.lists(st.tuples(coordinates, coordinates), min_size=1, max_size=120),
+    st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=100)
+def test_mined_holes_always_sound(points, grid):
+    holes = HoleMiner(grid_size=grid, min_cells=1).holes_from_pairs(points)
+    for hole in holes:
+        for a, b in points:
+            assert not hole.contains_point(a, b)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=300),
+    st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=150)
+def test_histogram_invariants(values, buckets):
+    histogram = EquiDepthHistogram.build(values, buckets)
+    assert histogram is not None
+    # Counts partition the input.
+    assert sum(b.count for b in histogram.buckets) == len(values)
+    # Bucket bounds are ordered and non-overlapping.
+    for first, second in zip(histogram.buckets, histogram.buckets[1:]):
+        assert first.high <= second.low
+    # Full-range fraction is 1; equality fractions are within [0, 1].
+    full = Interval(min(values), max(values))
+    assert 0.99 <= histogram.range_fraction(full) <= 1.0
+    for probe in values[:10]:
+        assert 0.0 <= histogram.equality_fraction(probe) <= 1.0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=5, max_size=200),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=150)
+def test_histogram_range_estimate_bounded_error(values, low, high):
+    """Estimated range fraction within 0.35 absolute of the truth for any
+    interval (coarse histograms cannot do better in the worst case, but
+    must never be wildly off)."""
+    if low > high:
+        low, high = high, low
+    histogram = EquiDepthHistogram.build(values, 10)
+    estimate = histogram.range_fraction(Interval(low, high))
+    actual = sum(1 for v in values if low <= v <= high) / len(values)
+    assert abs(estimate - actual) <= 0.35

@@ -1,0 +1,76 @@
+"""Property-based tests for interval arithmetic (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.intervals import Interval
+
+values = st.integers(min_value=-50, max_value=50)
+maybe_values = st.one_of(st.none(), values)
+booleans = st.booleans()
+
+
+def intervals():
+    return st.builds(
+        Interval,
+        low=maybe_values,
+        high=maybe_values,
+        low_inclusive=booleans,
+        high_inclusive=booleans,
+    )
+
+
+@given(intervals(), intervals(), values)
+def test_intersection_membership(first, second, point):
+    """x ∈ A∩B iff x ∈ A and x ∈ B."""
+    intersection = first.intersect(second)
+    assert intersection.contains(point) == (
+        first.contains(point) and second.contains(point)
+    )
+
+
+@given(intervals(), intervals())
+def test_intersection_commutes(first, second):
+    assert first.intersect(second) == second.intersect(first)
+
+
+@given(intervals())
+def test_intersection_idempotent(interval):
+    assert interval.intersect(interval) == interval
+
+
+@given(intervals(), intervals(), intervals())
+def test_intersection_associative(a, b, c):
+    left = a.intersect(b).intersect(c)
+    right = a.intersect(b.intersect(c))
+    assert left == right
+
+
+@given(intervals())
+def test_unbounded_is_identity(interval):
+    assert interval.intersect(Interval.unbounded()) == interval
+
+
+@given(intervals(), intervals())
+def test_overlaps_iff_nonempty_intersection(first, second):
+    assert first.overlaps(second) == (not first.intersect(second).is_empty)
+
+
+@given(intervals(), intervals(), values)
+def test_containment_transfers_membership(outer, inner, point):
+    if outer.contains_interval(inner) and inner.contains(point):
+        assert outer.contains(point)
+
+
+@given(intervals())
+def test_empty_interval_contains_nothing(interval):
+    if interval.is_empty:
+        for candidate in range(-60, 61, 10):
+            assert not interval.contains(candidate)
+
+
+@given(values, values)
+def test_point_interval(first, second):
+    point = Interval.point(first)
+    assert point.contains(first)
+    assert point.contains(second) == (first == second)

@@ -1,0 +1,104 @@
+"""Property-based end-to-end rewrite correctness.
+
+The single most important invariant of the whole system: for any query in
+a generated family, the fully-rewritten plan and the rewrite-free plan
+return exactly the same answers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.linear_miner import mine_linear_correlations
+from repro.harness.runner import compare_optimizers
+from repro.workload.queries import monthly_union_sql
+from repro.workload.schemas import (
+    YEAR_START,
+    build_correlated_table,
+    build_monthly_union_scenario,
+    build_purchase_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def corr_db():
+    db = build_correlated_table(rows=2500, noise=4.0, seed=31)
+    (asc,) = mine_linear_correlations(
+        db.database, "meas", [("a", "b")], confidence_levels=(1.0,)
+    )
+    db.add_soft_constraint(asc, verify_first=True)
+    return db
+
+
+@pytest.fixture(scope="module")
+def union_db():
+    return build_monthly_union_scenario(
+        months=6, rows_per_month=250, seed=32, declare_checks=True
+    )
+
+
+@pytest.fixture(scope="module")
+def purchase_db():
+    db = build_purchase_scenario(rows=3000, exception_rate=0.02, seed=33)
+    db.execute(
+        "CREATE SUMMARY TABLE late AS (SELECT * FROM purchase "
+        "WHERE ship_date > order_date + 21 OR ship_date < order_date)"
+    )
+    return db
+
+
+class TestPredicateIntroductionNeverChangesAnswers:
+    @given(b_value=st.floats(min_value=0, max_value=1000, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_point_queries(self, corr_db, b_value):
+        compare_optimizers(
+            corr_db, f"SELECT id, a FROM meas WHERE b = {b_value!r}"
+        )
+
+    @given(
+        low=st.floats(min_value=0, max_value=900, allow_nan=False),
+        width=st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_range_queries(self, corr_db, low, width):
+        compare_optimizers(
+            corr_db,
+            f"SELECT id FROM meas WHERE b BETWEEN {low!r} AND {low + width!r}",
+        )
+
+
+class TestBranchKnockoutNeverChangesAnswers:
+    @given(
+        low=st.integers(min_value=-20, max_value=200),
+        width=st.integers(min_value=0, max_value=120),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_range_over_union(self, union_db, low, width):
+        db, tables = union_db
+        sql = monthly_union_sql(
+            tables, YEAR_START + low, YEAR_START + low + width
+        )
+        compare_optimizers(db, sql)
+
+
+class TestAstRoutingNeverChangesAnswers:
+    @given(day=st.integers(min_value=0, max_value=800))
+    @settings(max_examples=25, deadline=None)
+    def test_ship_date_probes(self, purchase_db, day):
+        compare_optimizers(
+            purchase_db,
+            f"SELECT id, amount FROM purchase WHERE ship_date = {YEAR_START + day}",
+        )
+
+    @given(
+        day=st.integers(min_value=0, max_value=700),
+        width=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ship_date_ranges(self, purchase_db, day, width):
+        low = YEAR_START + day
+        compare_optimizers(
+            purchase_db,
+            f"SELECT id FROM purchase WHERE ship_date BETWEEN {low} "
+            f"AND {low + width}",
+        )

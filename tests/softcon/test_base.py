@@ -1,0 +1,95 @@
+"""Tests for the soft-constraint base class and lifecycle."""
+
+import pytest
+
+from repro.errors import SoftConstraintStateError
+from repro.softcon.base import SCState, SoftConstraint
+from repro.softcon.checksc import CheckSoftConstraint
+
+
+def make_sc(confidence=1.0) -> CheckSoftConstraint:
+    return CheckSoftConstraint("sc", "t", "a > 0", confidence=confidence)
+
+
+class TestClassification:
+    def test_full_confidence_is_absolute(self):
+        sc = make_sc(1.0)
+        assert sc.is_absolute and not sc.is_statistical
+
+    def test_partial_confidence_is_statistical(self):
+        sc = make_sc(0.9)
+        assert sc.is_statistical and not sc.is_absolute
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            make_sc(0.0)
+        with pytest.raises(ValueError):
+            make_sc(1.5)
+
+    def test_rewrite_usability_requires_active_and_absolute(self):
+        sc = make_sc(1.0)
+        assert not sc.usable_in_rewrite  # still CANDIDATE
+        sc.activate()
+        assert sc.usable_in_rewrite
+
+    def test_ssc_never_rewrite_usable(self):
+        sc = make_sc(0.9)
+        sc.activate()
+        assert not sc.usable_in_rewrite
+        assert sc.usable_in_estimation
+
+    def test_asc_also_estimation_usable(self):
+        sc = make_sc(1.0)
+        sc.activate()
+        assert sc.usable_in_estimation
+
+
+class TestLifecycle:
+    def test_candidate_to_active(self):
+        sc = make_sc()
+        sc.activate()
+        assert sc.state is SCState.ACTIVE
+
+    def test_candidate_through_probation(self):
+        sc = make_sc()
+        sc.transition(SCState.PROBATION)
+        sc.transition(SCState.ACTIVE)
+        assert sc.state is SCState.ACTIVE
+
+    def test_active_to_violated_to_reinstated(self):
+        sc = make_sc()
+        sc.activate()
+        sc.transition(SCState.VIOLATED)
+        assert not sc.usable_in_rewrite
+        sc.transition(SCState.ACTIVE)
+        assert sc.usable_in_rewrite
+
+    def test_dropped_is_terminal(self):
+        sc = make_sc()
+        sc.drop()
+        with pytest.raises(SoftConstraintStateError):
+            sc.activate()
+
+    def test_illegal_transition_rejected(self):
+        sc = make_sc()
+        with pytest.raises(SoftConstraintStateError):
+            sc.transition(SCState.VIOLATED)  # candidate cannot be violated
+
+
+class TestVerificationBookkeeping:
+    def test_record_verification_updates_confidence(self):
+        sc = make_sc()
+        sc.updates_since_verified = 7
+        sc.record_verification(violations=10, total=100)
+        assert sc.confidence == pytest.approx(0.9)
+        assert sc.violation_count == 10
+        assert sc.updates_since_verified == 0
+
+    def test_empty_table_verifies_clean(self):
+        sc = make_sc()
+        sc.record_verification(0, 0)
+        assert sc.confidence == 1.0
+
+    def test_describe_mentions_flavor(self):
+        assert "ASC" in make_sc(1.0).describe()
+        assert "SSC" in make_sc(0.8).describe()

@@ -1,0 +1,81 @@
+"""Tests for check-style soft constraints."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DATE, INTEGER
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "purchase",
+            [
+                Column("id", INTEGER),
+                Column("order_date", DATE),
+                Column("ship_date", DATE),
+            ],
+        )
+    )
+    for n in range(100):
+        # Rows 0..89 ship within 21 days; 90..99 are late.
+        delay = 5 if n < 90 else 60
+        db.insert("purchase", [n, 1000 + n, 1000 + n + delay])
+    return db
+
+
+class TestRowSemantics:
+    def test_satisfying_row(self):
+        sc = CheckSoftConstraint("sc", "t", "a > 0")
+        assert sc.row_satisfies({"a": 5}) is True
+
+    def test_violating_row(self):
+        sc = CheckSoftConstraint("sc", "t", "a > 0")
+        assert sc.row_satisfies({"a": -1}) is False
+
+    def test_unknown_counts_as_satisfying(self):
+        sc = CheckSoftConstraint("sc", "t", "a > 0")
+        assert sc.row_satisfies({"a": None}) is True
+
+    def test_accepts_prebuilt_expression(self):
+        expression = parse_expression("a <= b")
+        sc = CheckSoftConstraint("sc", "t", expression)
+        assert sc.expression is expression
+
+    def test_statement_sql_mentions_table(self):
+        sc = CheckSoftConstraint("sc", "purchase", "a > 0")
+        assert "purchase" in sc.statement_sql()
+
+
+class TestVerify:
+    def test_counts_violations(self, database):
+        sc = CheckSoftConstraint(
+            "ship_soon", "purchase", "ship_date <= order_date + 21"
+        )
+        violations, total = sc.verify(database)
+        assert (violations, total) == (10, 100)
+        assert sc.confidence == pytest.approx(0.9)
+
+    def test_clean_constraint_is_absolute(self, database):
+        sc = CheckSoftConstraint(
+            "ordered", "purchase", "ship_date >= order_date"
+        )
+        violations, _ = sc.verify(database)
+        assert violations == 0
+        assert sc.is_absolute
+
+    def test_negated_expression_helper(self):
+        sc = CheckSoftConstraint("sc", "t", "a > 0")
+        negated = sc.negated_expression()
+        assert isinstance(negated, ast.UnaryOp) and negated.op == "not"
+
+    def test_table_names(self):
+        sc = CheckSoftConstraint("sc", "T1", "a > 0")
+        assert sc.table_names() == ["t1"]
+        assert sc.affected_by("t1") and not sc.affected_by("t2")

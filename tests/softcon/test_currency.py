@@ -1,0 +1,61 @@
+"""Tests for the currency (staleness) model — the paper's Section 3.3
+margin-of-error arithmetic."""
+
+import pytest
+
+from repro.softcon.currency import CurrencyModel, project_margin_of_error
+
+
+class TestProjection:
+    def test_papers_example(self):
+        """1M rows, 1000 updates/day: ~3% margin within a month."""
+        margin = project_margin_of_error(1_000_000, 1000, 30)
+        assert margin == pytest.approx(0.03)
+
+    def test_papers_example_few_days(self):
+        margin = project_margin_of_error(1_000_000, 1000, 3)
+        assert margin == pytest.approx(0.003)
+
+    def test_clamped_to_one(self):
+        assert project_margin_of_error(100, 1000, 10) == 1.0
+
+    def test_empty_table(self):
+        assert project_margin_of_error(0, 10, 1) == 1.0
+
+
+class TestCurrencyModel:
+    def test_fresh_model_has_no_margin(self):
+        model = CurrencyModel(1000)
+        assert model.margin_of_error == 0.0
+
+    def test_margin_grows_with_updates(self):
+        model = CurrencyModel(1000)
+        model.record_update(10)
+        assert model.margin_of_error == pytest.approx(0.01)
+        model.record_update(90)
+        assert model.margin_of_error == pytest.approx(0.1)
+
+    def test_reset_clears(self):
+        model = CurrencyModel(1000)
+        model.record_update(500)
+        model.reset(2000)
+        assert model.margin_of_error == 0.0
+        assert model.row_count == 2000
+
+    def test_confidence_bounds(self):
+        model = CurrencyModel(100)
+        model.record_update(5)
+        low, high = model.confidence_bounds(0.9)
+        assert low == pytest.approx(0.85)
+        assert high == pytest.approx(0.95)
+
+    def test_bounds_clamped(self):
+        model = CurrencyModel(10)
+        model.record_update(20)
+        low, high = model.confidence_bounds(0.9)
+        assert low == 0.0 and high == 1.0
+
+    def test_zero_row_table_with_updates(self):
+        model = CurrencyModel(0)
+        model.record_update()
+        assert model.margin_of_error == 1.0

@@ -1,0 +1,118 @@
+"""Tests for exception tables (ASCs as ASTs, Section 4.4)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DATE, INTEGER
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.exceptions_ast import ExceptionTable
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "purchase",
+            [
+                Column("id", INTEGER),
+                Column("order_date", DATE),
+                Column("ship_date", DATE),
+            ],
+        )
+    )
+    for n in range(50):
+        delay = 60 if n % 10 == 0 else 5  # 5 late shipments
+        db.insert("purchase", [n, 1000, 1000 + delay])
+    return db
+
+
+@pytest.fixture
+def constraint() -> CheckSoftConstraint:
+    return CheckSoftConstraint(
+        "ship_soon", "purchase", "ship_date <= order_date + 21"
+    )
+
+
+class TestPopulation:
+    def test_initial_exceptions_materialized(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        assert exceptions.exception_count == 5
+        assert exceptions.exception_rate == pytest.approx(0.1)
+
+    def test_registered_as_summary_table(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        assert database.catalog.summary_table(exceptions.name) is exceptions
+
+    def test_custom_name(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint, name="late")
+        assert exceptions.name == "late"
+        assert database.catalog.has_table("late")
+
+    def test_schema_matches_base(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        base = database.table("purchase").schema
+        materialized = database.table(exceptions.name).schema
+        assert materialized.column_names() == base.column_names()
+
+
+class TestIncrementalMaintenance:
+    def test_violating_insert_lands_in_exceptions(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        database.insert("purchase", [99, 1000, 2000])
+        assert exceptions.exception_count == 6
+
+    def test_conforming_insert_ignored(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        database.insert("purchase", [99, 1000, 1001])
+        assert exceptions.exception_count == 5
+
+    def test_delete_removes_exception(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        (rid,) = database.lookup_key("purchase", ["id"], [0])  # a late one
+        database.delete_row("purchase", rid)
+        assert exceptions.exception_count == 4
+
+    def test_update_moving_into_violation(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        (rid,) = database.lookup_key("purchase", ["id"], [1])
+        database.update_row("purchase", rid, [1, 1000, 2000])
+        assert exceptions.exception_count == 6
+
+    def test_update_moving_out_of_violation(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        (rid,) = database.lookup_key("purchase", ["id"], [0])
+        database.update_row("purchase", rid, [0, 1000, 1001])
+        assert exceptions.exception_count == 4
+
+    def test_exceptions_are_exact_partition(self, database, constraint):
+        """base = conforming ∪ exceptions, disjointly — the invariant that
+        makes the UNION ALL plan exact."""
+        exceptions = ExceptionTable(database, constraint)
+        database.insert("purchase", [99, 1000, 2000])
+        database.insert("purchase", [100, 1000, 1005])
+        base_rows = set(database.table("purchase").scan_rows())
+        exception_rows = set(database.table(exceptions.name).scan_rows())
+        names = database.table("purchase").schema.column_names()
+        conforming = {
+            row
+            for row in base_rows
+            if constraint.row_satisfies(dict(zip(names, row))) is not False
+        }
+        assert exception_rows <= base_rows
+        assert conforming | exception_rows == base_rows
+        assert not (conforming & exception_rows)
+
+
+class TestRefresh:
+    def test_refresh_rebuilds(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        database.table(exceptions.name).truncate()
+        assert exceptions.exception_count == 0
+        exceptions.refresh()
+        assert exceptions.exception_count == 5
+
+    def test_definition_sql_mentions_constraint(self, database, constraint):
+        exceptions = ExceptionTable(database, constraint)
+        assert "purchase" in exceptions.definition_sql()

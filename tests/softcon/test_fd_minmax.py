@@ -1,0 +1,111 @@
+"""Tests for FD and min/max soft constraints."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INTEGER, VARCHAR
+from repro.expr.intervals import Interval
+from repro.softcon.fd import FunctionalDependencySC
+from repro.softcon.minmax import MinMaxSC
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "addr",
+            [
+                Column("id", INTEGER),
+                Column("city", VARCHAR(10)),
+                Column("state", VARCHAR(10)),
+            ],
+        )
+    )
+    db.insert_many(
+        "addr",
+        [
+            (1, "toronto", "on"),
+            (2, "toronto", "on"),
+            (3, "ottawa", "on"),
+            (4, "montreal", "qc"),
+        ],
+    )
+    return db
+
+
+class TestFunctionalDependency:
+    def test_clean_fd_verifies(self, database):
+        fd = FunctionalDependencySC("fd", "addr", ["city"], ["state"])
+        violations, total = fd.verify(database)
+        assert violations == 0 and total == 4
+
+    def test_violated_fd_counts(self, database):
+        database.insert("addr", [5, "toronto", "qc"])
+        fd = FunctionalDependencySC("fd", "addr", ["city"], ["state"])
+        violations, _ = fd.verify(database)
+        assert violations == 1
+        assert fd.confidence == pytest.approx(4 / 5)
+
+    def test_null_determinants_skipped(self, database):
+        database.insert("addr", [5, None, "xx"])
+        fd = FunctionalDependencySC("fd", "addr", ["city"], ["state"])
+        violations, _ = fd.verify(database)
+        assert violations == 0
+
+    def test_row_conflicts_probe(self, database):
+        fd = FunctionalDependencySC("fd", "addr", ["city"], ["state"])
+        assert fd.row_conflicts(database, {"city": "toronto", "state": "qc"})
+        assert not fd.row_conflicts(
+            database, {"city": "toronto", "state": "on"}
+        )
+        assert not fd.row_conflicts(database, {"city": "halifax", "state": "ns"})
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependencySC("fd", "t", ["a"], ["a"])
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependencySC("fd", "t", [], ["a"])
+
+    def test_statement_sql(self):
+        fd = FunctionalDependencySC("fd", "t", ["a", "b"], ["c"])
+        assert "(a, b) -> (c)" in fd.statement_sql()
+
+
+class TestMinMax:
+    def test_row_satisfies(self):
+        sc = MinMaxSC("mm", "t", "x", 0, 100)
+        assert sc.row_satisfies({"x": 50}) is True
+        assert sc.row_satisfies({"x": 101}) is False
+        assert sc.row_satisfies({"x": None}) is True
+
+    def test_interval(self):
+        sc = MinMaxSC("mm", "t", "x", 0, 100)
+        assert sc.interval == Interval(0, 100)
+
+    def test_widen_to(self):
+        sc = MinMaxSC("mm", "t", "x", 0, 100)
+        assert sc.widen_to(150) is True
+        assert sc.high == 150
+        assert sc.widen_to(50) is False  # already inside
+
+    def test_widen_low_side(self):
+        sc = MinMaxSC("mm", "t", "x", 0, 100)
+        sc.widen_to(-5)
+        assert sc.low == -5
+
+    def test_widen_ignores_null(self):
+        sc = MinMaxSC("mm", "t", "x", 0, 100)
+        assert sc.widen_to(None) is False
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxSC("mm", "t", "x", 10, 0)
+
+    def test_verify(self, database):
+        sc = MinMaxSC("mm", "addr", "id", 1, 3)
+        violations, total = sc.verify(database)
+        assert violations == 1 and total == 4  # id=4 outside

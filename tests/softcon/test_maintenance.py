@@ -1,0 +1,150 @@
+"""Tests for maintenance policies: drop, repair, async repair."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DOUBLE, INTEGER
+from repro.softcon.base import SCState
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.holes import JoinHolesSC, Rectangle
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.maintenance import (
+    AsyncRepairPolicy,
+    DropPolicy,
+    RepairPolicy,
+)
+from repro.softcon.minmax import MinMaxSC
+from repro.softcon.registry import SoftConstraintRegistry
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema("t", [Column("a", DOUBLE), Column("b", DOUBLE)])
+    )
+    for n in range(10):
+        db.insert("t", [float(n), 2.0 * n])
+    return db
+
+
+@pytest.fixture
+def registry(database) -> SoftConstraintRegistry:
+    return SoftConstraintRegistry(database)
+
+
+class TestDropPolicy:
+    def test_violation_overturns(self, database, registry):
+        sc = MinMaxSC("mm", "t", "a", 0.0, 9.0)
+        registry.register(sc, policy=DropPolicy(), activate=True)
+        database.insert("t", [99.0, 0.0])
+        assert sc.state is SCState.VIOLATED
+
+
+class TestRepairPolicy:
+    def test_minmax_widens_and_stays_active(self, database, registry):
+        sc = MinMaxSC("mm", "t", "a", 0.0, 9.0)
+        registry.register(sc, policy=RepairPolicy(), activate=True)
+        database.insert("t", [99.0, 0.0])
+        assert sc.state is SCState.ACTIVE
+        assert sc.high == 99.0
+        assert registry.repairs_performed == 1
+
+    def test_repaired_minmax_still_absolute(self, database, registry):
+        sc = MinMaxSC("mm", "t", "a", 0.0, 9.0)
+        registry.register(sc, policy=RepairPolicy(), activate=True)
+        database.insert("t", [99.0, 0.0])
+        violations, _ = sc.verify(database)
+        assert violations == 0
+
+    def test_linear_epsilon_widens(self, database, registry):
+        sc = LinearCorrelationSC("lin", "t", "b", "a", 2.0, 0.0, 0.1)
+        registry.register(sc, policy=RepairPolicy(), activate=True)
+        database.insert("t", [1.0, 7.0])  # residual = 7 - 2 = 5
+        assert sc.state is SCState.ACTIVE
+        assert sc.epsilon == pytest.approx(5.0)
+
+    def test_hole_split_on_violation(self, database, registry):
+        database.create_table(
+            TableSchema("one", [Column("j", INTEGER), Column("x", DOUBLE)])
+        )
+        database.create_table(
+            TableSchema("two", [Column("j", INTEGER), Column("y", DOUBLE)])
+        )
+        database.insert("two", [1, 30.0])
+        sc = JoinHolesSC(
+            "holes", "one", "x", "two", "y", "j", "j",
+            holes=[Rectangle(25.0, 50.0, 25.0, 50.0)],
+        )
+        registry.register(sc, policy=RepairPolicy(), activate=True)
+        database.insert("one", [1, 30.0])
+        assert sc.state is SCState.ACTIVE
+        assert not sc.point_in_hole(30.0, 30.0)
+        assert len(sc.holes) > 1  # split into fragments
+
+    def test_check_sc_demoted(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=RepairPolicy(), activate=True)
+        database.insert("t", [-1.0, 0.0])
+        assert sc.state is SCState.ACTIVE
+        assert sc.is_statistical  # absorbed the violation into confidence
+
+
+class TestAsyncRepairPolicy:
+    def test_violation_queues_and_overturns(self, database, registry):
+        policy = AsyncRepairPolicy()
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=policy, activate=True)
+        database.insert("t", [-1.0, 0.0])
+        assert sc.state is SCState.VIOLATED
+        assert sc in policy.queue
+
+    def test_run_pending_reinstates_clean(self, database, registry):
+        policy = AsyncRepairPolicy()
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=policy, activate=True)
+        database.insert("t", [-1.0, 0.0])
+        # Remove the offending row before the async pass runs.
+        (rid,) = database.lookup_key("t", ["a"], [-1.0])
+        database.delete_row("t", rid)
+        outcomes = policy.run_pending(registry, database)
+        assert outcomes == [("pos", "reinstated")]
+        assert sc.state is SCState.ACTIVE and sc.is_absolute
+
+    def test_run_pending_demotes_partial(self, database, registry):
+        policy = AsyncRepairPolicy(drop_threshold=0.5)
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=policy, activate=True)
+        database.insert("t", [-1.0, 0.0])
+        outcomes = policy.run_pending(registry, database)
+        assert outcomes == [("pos", "demoted")]
+        assert sc.state is SCState.ACTIVE
+        assert sc.confidence == pytest.approx(10 / 11)
+
+    def test_run_pending_drops_hopeless(self, database, registry):
+        policy = AsyncRepairPolicy(drop_threshold=0.99)
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=policy, activate=True)
+        database.insert("t", [-1.0, 0.0])
+        outcomes = policy.run_pending(registry, database)
+        assert outcomes == [("pos", "dropped")]
+        assert sc.state is SCState.DROPPED
+
+    def test_queue_drained_after_run(self, database, registry):
+        policy = AsyncRepairPolicy()
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=policy, activate=True)
+        database.insert("t", [-1.0, 0.0])
+        policy.run_pending(registry, database)
+        assert policy.queue == []
+
+    def test_no_duplicate_queue_entries(self, database, registry):
+        policy = AsyncRepairPolicy()
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=policy, activate=True)
+        database.insert("t", [-1.0, 0.0])
+        # SC is now VIOLATED, so no further checks fire; but even direct
+        # double-reporting must not duplicate the queue entry.
+        policy.on_violation(registry, sc, None)
+        assert policy.queue.count(sc) == 1

@@ -1,0 +1,210 @@
+"""Tests for the soft-constraint registry and synchronous maintenance."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DOUBLE, INTEGER
+from repro.errors import DuplicateObjectError, UnknownObjectError
+from repro.softcon.base import SCState
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.fd import FunctionalDependencySC
+from repro.softcon.holes import JoinHolesSC, Rectangle
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.maintenance import DropPolicy, RepairPolicy
+from repro.softcon.minmax import MinMaxSC
+from repro.softcon.registry import SoftConstraintRegistry
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema("t", [Column("a", INTEGER), Column("b", INTEGER)])
+    )
+    for n in range(20):
+        db.insert("t", [n, 2 * n])
+    return db
+
+
+@pytest.fixture
+def registry(database) -> SoftConstraintRegistry:
+    return SoftConstraintRegistry(database)
+
+
+class TestRegistration:
+    def test_register_and_get(self, registry):
+        sc = CheckSoftConstraint("sc1", "t", "a >= 0")
+        registry.register(sc)
+        assert registry.get("sc1") is sc
+        assert registry.names() == ["sc1"]
+
+    def test_duplicate_rejected(self, registry):
+        registry.register(CheckSoftConstraint("sc1", "t", "a >= 0"))
+        with pytest.raises(DuplicateObjectError):
+            registry.register(CheckSoftConstraint("sc1", "t", "a > 5"))
+
+    def test_unknown_table_rejected(self, registry):
+        with pytest.raises(UnknownObjectError):
+            registry.register(CheckSoftConstraint("sc", "ghost", "a > 0"))
+
+    def test_unknown_name_raises(self, registry):
+        with pytest.raises(UnknownObjectError):
+            registry.get("nope")
+
+    def test_activate_with_verify_measures_confidence(self, registry):
+        sc = CheckSoftConstraint("sc", "t", "a < 10")  # half the rows fail
+        registry.register(sc)
+        registry.activate("sc", verify_first=True)
+        assert sc.state is SCState.ACTIVE
+        assert sc.confidence == pytest.approx(0.5)
+        assert sc.is_statistical  # honest demotion of a false "ASC"
+
+
+class TestOptimizerViews:
+    def test_rewrite_usable_excludes_sscs(self, registry):
+        asc = CheckSoftConstraint("asc", "t", "a >= 0")
+        ssc = CheckSoftConstraint("ssc", "t", "a >= 5", confidence=0.75)
+        registry.register(asc, activate=True)
+        registry.register(ssc, activate=True)
+        assert registry.rewrite_usable("t") == [asc]
+        assert set(registry.estimation_usable("t")) == {asc, ssc}
+
+    def test_candidates_invisible(self, registry):
+        registry.register(CheckSoftConstraint("sc", "t", "a >= 0"))
+        assert registry.rewrite_usable("t") == []
+        assert registry.estimation_usable("t") == []
+
+    def test_table_filter(self, database, registry):
+        database.create_table(TableSchema("u", [Column("x", INTEGER)]))
+        registry.register(
+            CheckSoftConstraint("sc_u", "u", "x > 0"), activate=True
+        )
+        assert registry.rewrite_usable("t") == []
+        assert len(registry.rewrite_usable()) == 1
+
+
+class TestSynchronousMaintenance:
+    def test_asc_checked_on_insert(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=DropPolicy(), activate=True)
+        database.insert("t", [-1, 0])
+        assert sc.state is SCState.VIOLATED
+        assert registry.violations_seen == 1
+
+    def test_ssc_never_checked(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0", confidence=0.9)
+        registry.register(sc, activate=True)
+        database.insert("t", [-1, 0])
+        assert sc.state is SCState.ACTIVE
+        assert registry.checks_performed == 0
+
+    def test_candidate_not_checked(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc)
+        database.insert("t", [-1, 0])
+        assert registry.checks_performed == 0
+
+    def test_delete_cannot_violate(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, activate=True)
+        rid = database.lookup_key("t", ["a"], [3])[0]
+        database.delete_row("t", rid)
+        assert sc.state is SCState.ACTIVE
+
+    def test_update_new_image_checked(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=DropPolicy(), activate=True)
+        rid = database.lookup_key("t", ["a"], [3])[0]
+        database.update_row("t", rid, [-3, 0])
+        assert sc.state is SCState.VIOLATED
+
+    def test_unrelated_table_not_checked(self, database, registry):
+        database.create_table(TableSchema("u", [Column("x", INTEGER)]))
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, activate=True)
+        database.insert("u", [-1])
+        assert registry.checks_performed == 0
+
+    def test_fd_conflict_detected(self, database, registry):
+        fd = FunctionalDependencySC("fd", "t", ["a"], ["b"])
+        registry.register(fd, policy=DropPolicy(), activate=True)
+        database.insert("t", [3, 999])  # a=3 already maps to b=6
+        assert fd.state is SCState.VIOLATED
+
+    def test_hole_violation_detected(self, database, registry):
+        database.create_table(
+            TableSchema("one", [Column("j", INTEGER), Column("a", DOUBLE)])
+        )
+        database.create_table(
+            TableSchema("two", [Column("j", INTEGER), Column("b", DOUBLE)])
+        )
+        database.insert("two", [1, 30.0])
+        sc = JoinHolesSC(
+            "holes", "one", "a", "two", "b", "j", "j",
+            holes=[Rectangle(25.0, 50.0, 25.0, 50.0)],
+        )
+        registry.register(sc, policy=DropPolicy(), activate=True)
+        database.insert("one", [1, 30.0])  # forms a pair inside the hole
+        assert sc.state is SCState.VIOLATED
+
+
+class TestOverturnAndDemote:
+    def test_overturn_fires_invalidation(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, activate=True)
+        fired = []
+        database.catalog.on_invalidate("softconstraint:pos", fired.append)
+        database.insert("t", [-1, 0])
+        assert fired == ["softconstraint:pos"]
+        assert registry.overturn_events == 1
+
+    def test_demote_lowers_confidence(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, activate=True)
+        registry.demote(sc)
+        assert sc.is_statistical
+        assert sc.state is SCState.ACTIVE
+
+    def test_drop_by_name(self, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, activate=True)
+        registry.drop("pos")
+        assert sc.state is SCState.DROPPED
+
+
+class TestCurrencyTracking:
+    def test_updates_counted(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0", confidence=0.9)
+        registry.register(sc, activate=True)
+        for n in range(5):
+            database.insert("t", [100 + n, 0])
+        model = registry.currency("pos")
+        assert model.updates_seen == 5
+        assert model.margin_of_error == pytest.approx(5 / 20)
+
+    def test_effective_confidence_degrades(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0", confidence=0.9)
+        registry.register(sc, activate=True)
+        assert registry.effective_confidence(sc) == pytest.approx(0.9)
+        for n in range(4):
+            database.insert("t", [100 + n, 0])
+        assert registry.effective_confidence(sc) == pytest.approx(0.9 - 4 / 20)
+
+    def test_refresh_resets(self, database, registry):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0", confidence=0.9)
+        registry.register(sc, activate=True)
+        database.insert("t", [100, 0])
+        registry.refresh_currency(sc, database)
+        assert registry.currency("pos").updates_seen == 0
+
+    def test_instrumentation_snapshot(self, registry):
+        snapshot = registry.instrumentation()
+        assert set(snapshot) == {
+            "checks_performed",
+            "check_rows_probed",
+            "violations_seen",
+            "overturn_events",
+            "repairs_performed",
+            "async_repairs_run",
+        }

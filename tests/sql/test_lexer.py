@@ -1,0 +1,121 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INTEGER_LIT,
+    KEYWORD,
+    OPERATOR,
+    PUNCT,
+    STRING_LIT,
+)
+
+
+def kinds(sql):
+    return [token.kind for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == EOF
+
+    def test_keywords_case_insensitive(self):
+        assert values("SELECT Select select") == ["select"] * 3
+        assert kinds("select")[0] == KEYWORD
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].kind == IDENT
+        assert tokens[0].value == "mytable"
+        assert tokens[0].text == "MyTable"
+
+    def test_underscore_identifiers(self):
+        assert tokenize("ship_date")[0].value == "ship_date"
+
+    def test_delimited_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].kind == IDENT
+        assert tokens[0].value == "weird name"
+
+    def test_unterminated_delimited_identifier(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind == INTEGER_LIT and token.value == 42
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.kind == FLOAT_LIT and token.value == 3.25
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_scientific_notation(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_number_then_dot_identifier_not_confused(self):
+        tokens = tokenize("1.5.x")
+        assert tokens[0].value == 1.5
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind == STRING_LIT and token.value == "hello"
+
+    def test_quote_escaping(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_string_position_is_opening_quote(self):
+        tokens = tokenize("x = 'abc'")
+        assert tokens[2].position == 4
+
+
+class TestOperatorsAndComments:
+    def test_multi_char_operators(self):
+        assert values("a <= b >= c <> d != e") == [
+            "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e",
+        ]
+
+    def test_punctuation(self):
+        tokens = tokenize("f(a, b.c);")
+        assert [t.value for t in tokens[:-1]] == [
+            "f", "(", "a", ",", "b", ".", "c", ")", ";",
+        ]
+        assert tokens[1].kind == PUNCT
+
+    def test_line_comment(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_minus_is_operator_not_comment(self):
+        assert values("a - b") == ["a", "-", "b"]

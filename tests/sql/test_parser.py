@@ -1,0 +1,295 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_statement
+
+
+class TestSelectBasics:
+    def test_select_star(self):
+        statement = parse_statement("SELECT * FROM t")
+        assert isinstance(statement, ast.SelectStatement)
+        assert statement.select_items[0].star
+        assert statement.from_clause == [ast.TableRef("t")]
+
+    def test_qualified_star(self):
+        statement = parse_statement("SELECT t.* FROM t")
+        item = statement.select_items[0]
+        assert item.star and item.star_table == "t"
+
+    def test_aliases(self):
+        statement = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert statement.select_items[0].alias == "x"
+        assert statement.select_items[1].alias == "y"
+        assert statement.from_clause[0].alias == "u"
+
+    def test_where(self):
+        statement = parse_statement("SELECT a FROM t WHERE a > 5")
+        assert isinstance(statement.where, ast.BinaryOp)
+        assert statement.where.op == ">"
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_order_by_and_limit(self):
+        statement = parse_statement(
+            "SELECT a FROM t ORDER BY a DESC, b LIMIT 10"
+        )
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+        assert statement.limit == 10
+
+    def test_group_by_having(self):
+        statement = parse_statement(
+            "SELECT a, count(*) AS n FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert len(statement.group_by) == 1
+        assert isinstance(statement.having, ast.BinaryOp)
+
+    def test_missing_from_allows_parse_error_later(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT FROM t")
+
+
+class TestJoins:
+    def test_comma_join(self):
+        statement = parse_statement("SELECT * FROM a, b WHERE a.x = b.y")
+        assert len(statement.from_clause) == 2
+
+    def test_inner_join_on(self):
+        statement = parse_statement(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.y"
+        )
+        join = statement.from_clause[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "inner"
+        assert isinstance(join.condition, ast.BinaryOp)
+
+    def test_bare_join_means_inner(self):
+        join = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.y"
+        ).from_clause[0]
+        assert join.kind == "inner"
+
+    def test_cross_join(self):
+        join = parse_statement("SELECT * FROM a CROSS JOIN b").from_clause[0]
+        assert join.kind == "cross" and join.condition is None
+
+    def test_left_join_parses(self):
+        join = parse_statement(
+            "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y"
+        ).from_clause[0]
+        assert join.kind == "left"
+
+    def test_chained_joins(self):
+        join = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        ).from_clause[0]
+        assert isinstance(join.left, ast.Join)
+
+
+class TestUnionAll:
+    def test_two_branches(self):
+        statement = parse_statement(
+            "SELECT a FROM t UNION ALL SELECT a FROM u"
+        )
+        assert isinstance(statement, ast.UnionAll)
+        assert len(statement.branches) == 2
+
+    def test_parenthesized_branches(self):
+        statement = parse_statement(
+            "(SELECT a FROM t) UNION ALL (SELECT a FROM u) "
+            "UNION ALL (SELECT a FROM v)"
+        )
+        assert len(statement.branches) == 3
+
+    def test_union_requires_all(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM t UNION SELECT a FROM u")
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_precedence_logic(self):
+        expression = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expression.op == "or"
+        assert expression.right.op == "and"
+
+    def test_parentheses_override(self):
+        expression = parse_expression("(1 + 2) * 3")
+        assert expression.op == "*"
+        assert expression.left.op == "+"
+
+    def test_not(self):
+        expression = parse_expression("NOT a = 1")
+        assert isinstance(expression, ast.UnaryOp) and expression.op == "not"
+
+    def test_between(self):
+        expression = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expression, ast.BetweenExpr)
+        assert not expression.negated
+
+    def test_not_between(self):
+        expression = parse_expression("a NOT BETWEEN 1 AND 10")
+        assert expression.negated
+
+    def test_between_binds_tighter_than_and(self):
+        expression = parse_expression("a BETWEEN 1 AND 10 AND b = 2")
+        assert expression.op == "and"
+        assert isinstance(expression.left, ast.BetweenExpr)
+
+    def test_in_list(self):
+        expression = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expression, ast.InExpr)
+        assert len(expression.items) == 3
+
+    def test_is_null_variants(self):
+        assert not parse_expression("a IS NULL").negated
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_like(self):
+        expression = parse_expression("name LIKE 'a%'")
+        assert expression.op == "like"
+
+    def test_date_literal(self):
+        expression = parse_expression("DATE '2000-01-01'")
+        assert isinstance(expression, ast.Literal)
+        assert expression.is_date and expression.value == 10957
+
+    def test_date_column_not_literal(self):
+        expression = parse_expression("date > 5")
+        assert isinstance(expression.left, ast.ColumnRef)
+        assert expression.left.column == "date"
+
+    def test_unary_minus(self):
+        expression = parse_expression("-a + 3")
+        assert expression.op == "+"
+        assert isinstance(expression.left, ast.UnaryOp)
+
+    def test_function_call(self):
+        expression = parse_expression("abs(a - b)")
+        assert isinstance(expression, ast.FunctionCall)
+        assert expression.name == "abs"
+
+    def test_count_star(self):
+        expression = parse_expression("count(*)")
+        assert expression.star
+
+    def test_count_distinct(self):
+        expression = parse_expression("count(DISTINCT a)")
+        assert expression.distinct
+
+    def test_qualified_column(self):
+        expression = parse_expression("t.a")
+        assert expression == ast.ColumnRef("a", "t")
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("NULL").value is None
+
+
+class TestDDL:
+    def test_create_table_columns(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a INT NOT NULL, b VARCHAR(10), c DOUBLE)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0].not_null
+        assert statement.columns[1].length == 10
+
+    def test_inline_primary_key(self):
+        statement = parse_statement("CREATE TABLE t (a INT PRIMARY KEY)")
+        assert statement.columns[0].primary_key
+        assert any(
+            isinstance(c, ast.PrimaryKeyDef) for c in statement.constraints
+        )
+
+    def test_table_level_constraints(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a INT, b INT, "
+            "CONSTRAINT pk PRIMARY KEY (a), UNIQUE (b), "
+            "CONSTRAINT fk FOREIGN KEY (b) REFERENCES p (x), "
+            "CHECK (a > 0))"
+        )
+        kinds = [type(c).__name__ for c in statement.constraints]
+        assert kinds == [
+            "PrimaryKeyDef", "UniqueDef", "ForeignKeyDef", "CheckDef",
+        ]
+        assert statement.constraints[0].name == "pk"
+
+    def test_not_enforced(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a INT, "
+            "CONSTRAINT fk FOREIGN KEY (a) REFERENCES p (x) NOT ENFORCED)"
+        )
+        assert statement.constraints[0].enforced is False
+
+    def test_inline_references(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a INT REFERENCES p (x))"
+        )
+        fk = statement.constraints[0]
+        assert isinstance(fk, ast.ForeignKeyDef)
+        assert fk.parent_table == "p" and fk.parent_columns == ["x"]
+
+    def test_create_index(self):
+        statement = parse_statement("CREATE UNIQUE INDEX ix ON t (a, b)")
+        assert statement.unique and statement.columns == ["a", "b"]
+
+    def test_create_summary_table(self):
+        statement = parse_statement(
+            "CREATE SUMMARY TABLE late AS "
+            "(SELECT * FROM purchase WHERE ship_date > order_date + 21)"
+        )
+        assert isinstance(statement, ast.CreateSummaryTable)
+        assert statement.select.from_clause[0].name == "purchase"
+
+    def test_drop_table(self):
+        assert parse_statement("DROP TABLE t").name == "t"
+
+
+class TestDML:
+    def test_insert_multi_row(self):
+        statement = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+        )
+        assert statement.columns == ["a", "b"]
+        assert len(statement.rows) == 2
+
+    def test_insert_without_columns(self):
+        statement = parse_statement("INSERT INTO t VALUES (1, 2)")
+        assert statement.columns == []
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a = 1")
+        assert statement.where is not None
+
+    def test_delete_all(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+    def test_update(self):
+        statement = parse_statement(
+            "UPDATE t SET a = a + 1, b = 'x' WHERE a < 5"
+        )
+        assert statement.assignments[0][0] == "a"
+        assert len(statement.assignments) == 2
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM t where x = 1 garbage garbage")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_statement("SELECT FROM")
+        assert "near" in str(info.value)
+
+    def test_semicolon_allowed(self):
+        parse_statement("SELECT a FROM t;")

@@ -1,0 +1,85 @@
+"""Tests for the SQL printer, including parse/print round-trips."""
+
+import pytest
+
+from repro.sql.parser import parse_expression, parse_statement
+from repro.sql.printer import sql_of
+
+ROUND_TRIP_STATEMENTS = [
+    "SELECT * FROM t",
+    "SELECT a, b AS x FROM t WHERE a > 5 AND b <= 3",
+    "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3",
+    "SELECT t.a, u.b FROM t INNER JOIN u ON t.id = u.id",
+    "SELECT a FROM t CROSS JOIN u",
+    "SELECT a, count(*) AS n FROM t GROUP BY a HAVING count(*) > 1",
+    "(SELECT a FROM t) UNION ALL (SELECT a FROM u)",
+    "SELECT a FROM t WHERE b BETWEEN 1 AND 10",
+    "SELECT a FROM t WHERE b IN (1, 2, 3) AND c IS NOT NULL",
+    "SELECT a FROM t WHERE name LIKE 'x%'",
+    "SELECT a FROM t WHERE d = DATE '1999-12-15'",
+    "CREATE TABLE t (a INT NOT NULL, b VARCHAR(10), CHECK (a > 0))",
+    "CREATE UNIQUE INDEX ix ON t (a, b)",
+    "CREATE SUMMARY TABLE s AS (SELECT * FROM t WHERE a > 5)",
+    "INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, NULL)",
+    "DELETE FROM t WHERE a = 1",
+    "UPDATE t SET a = a + 1 WHERE b < 5",
+    "DROP TABLE t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+def test_statement_round_trip(sql):
+    """parse(print(parse(sql))) must equal parse(sql)."""
+    first = parse_statement(sql)
+    printed = sql_of(first)
+    second = parse_statement(printed)
+    assert first == second, printed
+
+
+ROUND_TRIP_EXPRESSIONS = [
+    "a + b * c",
+    "(a + b) * c",
+    "a - b - c",
+    "NOT (a = 1 AND b = 2)",
+    "a BETWEEN b + 1 AND b + 10",
+    "a NOT IN (1, 2)",
+    "-a",
+    "abs(a - b) <= 5",
+    "a = 1 OR b = 2 AND c = 3",
+    "(a = 1 OR b = 2) AND c = 3",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_EXPRESSIONS)
+def test_expression_round_trip(text):
+    first = parse_expression(text)
+    second = parse_expression(sql_of(first))
+    assert first == second, sql_of(first)
+
+
+class TestRendering:
+    def test_date_literal_rendering(self):
+        expression = parse_expression("DATE '2001-05-21'")
+        assert sql_of(expression) == "DATE '2001-05-21'"
+
+    def test_string_escaping(self):
+        expression = parse_expression("name = 'it''s'")
+        assert "''" in sql_of(expression)
+
+    def test_parentheses_only_where_needed(self):
+        expression = parse_expression("(a + b) * c")
+        assert sql_of(expression) == "(a + b) * c"
+        expression = parse_expression("a + b * c")
+        assert sql_of(expression) == "a + b * c"
+
+    def test_inline_pk_not_duplicated(self):
+        statement = parse_statement("CREATE TABLE t (a INT PRIMARY KEY)")
+        printed = sql_of(statement)
+        assert printed.count("PRIMARY KEY") == 1
+
+    def test_not_enforced_suffix(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a INT, CONSTRAINT fk FOREIGN KEY (a) "
+            "REFERENCES p (x) NOT ENFORCED)"
+        )
+        assert "NOT ENFORCED" in sql_of(statement)

@@ -1,0 +1,29 @@
+"""Tests for estimation-error metrics."""
+
+import pytest
+
+from repro.stats.errors import q_error, relative_error
+
+
+class TestQError:
+    def test_perfect_estimate(self):
+        assert q_error(100, 100) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(10, 100) == q_error(100, 10) == 10.0
+
+    def test_clamps_small_values(self):
+        assert q_error(0, 0) == 1.0
+        assert q_error(0.001, 1) == 1.0
+
+    def test_never_below_one(self):
+        assert q_error(3, 4) >= 1.0
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(150, 100) == pytest.approx(0.5)
+        assert relative_error(50, 100) == pytest.approx(-0.5)
+
+    def test_zero_actual_clamped(self):
+        assert relative_error(5, 0) == pytest.approx(5.0)

@@ -1,0 +1,41 @@
+"""Tests for frequent-value statistics."""
+
+import pytest
+
+from repro.stats.frequent import FrequentValues
+
+
+class TestBuild:
+    def test_empty_returns_none(self):
+        assert FrequentValues.build([]) is None
+
+    def test_top_k_selected(self):
+        values = ["a"] * 50 + ["b"] * 30 + ["c"] * 20 + list("defgh")
+        frequent = FrequentValues.build(values, k=3)
+        assert [entry[0] for entry in frequent.entries] == ["a", "b", "c"]
+
+    def test_counts_exact(self):
+        frequent = FrequentValues.build([1, 1, 1, 2, 2, 3], k=2)
+        assert frequent.frequency_of(1) == 3
+        assert frequent.frequency_of(2) == 2
+        assert frequent.frequency_of(3) is None
+
+    def test_distinct_count(self):
+        frequent = FrequentValues.build([1, 1, 2, 3], k=1)
+        assert frequent.total_distinct == 3
+
+
+class TestEqualityFraction:
+    def test_tracked_value_exact(self):
+        frequent = FrequentValues.build([1] * 80 + [2] * 20, k=2)
+        assert frequent.equality_fraction(1) == pytest.approx(0.8)
+
+    def test_untracked_value_spreads_remainder(self):
+        values = [1] * 90 + [2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
+        frequent = FrequentValues.build(values, k=1)
+        # 10 untracked rows over 10 untracked distincts: 1 row each.
+        assert frequent.equality_fraction(5) == pytest.approx(0.01)
+
+    def test_unseen_value_when_all_tracked(self):
+        frequent = FrequentValues.build([1, 1, 2], k=5)
+        assert frequent.equality_fraction(99) == 0.0

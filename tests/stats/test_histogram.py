@@ -1,0 +1,93 @@
+"""Tests for equi-depth histograms."""
+
+import pytest
+
+from repro.expr.intervals import Interval
+from repro.stats.histogram import EquiDepthHistogram
+
+
+class TestConstruction:
+    def test_empty_returns_none(self):
+        assert EquiDepthHistogram.build([]) is None
+
+    def test_bucket_counts_sum_to_total(self):
+        histogram = EquiDepthHistogram.build(list(range(100)), 10)
+        assert sum(b.count for b in histogram.buckets) == 100
+
+    def test_buckets_roughly_equal_depth(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)), 10)
+        counts = [b.count for b in histogram.buckets]
+        assert max(counts) - min(counts) <= 2
+
+    def test_duplicates_do_not_straddle_buckets(self):
+        values = [5] * 50 + list(range(100))
+        histogram = EquiDepthHistogram.build(values, 10)
+        owners = [
+            b for b in histogram.buckets if b.low <= 5 <= b.high and b.count
+        ]
+        # The value 5 is fully inside whichever bucket covers it.
+        covering = [b for b in owners if b.low <= 5 <= b.high]
+        assert sum(1 for b in covering if 5 >= b.low and 5 <= b.high) >= 1
+        total_fives = sum(
+            b.count for b in histogram.buckets if b.low <= 5 <= b.high
+        )
+        assert total_fives >= 50
+
+    def test_fewer_values_than_buckets(self):
+        histogram = EquiDepthHistogram.build([1, 2, 3], 10)
+        assert histogram.total_count == 3
+
+    def test_single_value_column(self):
+        histogram = EquiDepthHistogram.build([7] * 10, 4)
+        assert histogram.low == 7 and histogram.high == 7
+
+
+class TestEqualityFraction:
+    def test_uniform_distribution(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)), 20)
+        fraction = histogram.equality_fraction(500)
+        assert fraction == pytest.approx(1 / 1000, rel=0.5)
+
+    def test_out_of_range_is_zero(self):
+        histogram = EquiDepthHistogram.build(list(range(100)), 10)
+        assert histogram.equality_fraction(-5) == 0.0
+        assert histogram.equality_fraction(200) == 0.0
+
+    def test_heavy_hitter(self):
+        values = [1] * 900 + list(range(2, 102))
+        histogram = EquiDepthHistogram.build(values, 10)
+        assert histogram.equality_fraction(1) > 0.5
+
+
+class TestRangeFraction:
+    @pytest.fixture
+    def uniform(self):
+        return EquiDepthHistogram.build(list(range(1000)), 20)
+
+    def test_full_range_is_one(self, uniform):
+        assert uniform.range_fraction(Interval(0, 999)) == pytest.approx(1.0)
+
+    def test_half_range(self, uniform):
+        fraction = uniform.range_fraction(Interval(0, 499))
+        assert fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_narrow_range(self, uniform):
+        fraction = uniform.range_fraction(Interval(100, 110))
+        assert fraction == pytest.approx(0.011, abs=0.01)
+
+    def test_empty_interval(self, uniform):
+        assert uniform.range_fraction(Interval.empty()) == 0.0
+
+    def test_disjoint_interval(self, uniform):
+        assert uniform.range_fraction(Interval(2000, 3000)) == 0.0
+
+    def test_unbounded_side(self, uniform):
+        fraction = uniform.range_fraction(Interval.at_least(900))
+        assert fraction == pytest.approx(0.1, abs=0.05)
+
+    def test_skewed_data_beats_uniform_assumption(self):
+        # 90% of mass at small values: a histogram knows this.
+        values = list(range(100)) * 9 + list(range(100, 1000))
+        histogram = EquiDepthHistogram.build(values, 20)
+        fraction = histogram.range_fraction(Interval(0, 99))
+        assert fraction == pytest.approx(0.5, abs=0.1)

@@ -1,0 +1,60 @@
+"""Tests for RUNSTATS collection."""
+
+import pytest
+
+from repro.stats.runstats import runstats
+
+
+class TestRunstats:
+    def test_row_and_page_counts(self, people_database):
+        stats = runstats(people_database, "person")
+        assert stats.row_count == 5
+        assert stats.page_count == people_database.table("person").page_count
+
+    def test_null_counts(self, people_database):
+        stats = runstats(people_database, "person")
+        assert stats.column("age").null_count == 1
+        assert stats.column("city_id").null_count == 1
+        assert stats.column("id").null_count == 0
+
+    def test_distinct_counts(self, people_database):
+        stats = runstats(people_database, "person")
+        assert stats.column("city_id").distinct_count == 3
+        assert stats.column("id").distinct_count == 5
+
+    def test_low_high(self, people_database):
+        stats = runstats(people_database, "person")
+        column = stats.column("age")
+        assert column.low == 28 and column.high == 45
+
+    def test_histogram_built_for_all_ordered_columns(self, people_database):
+        stats = runstats(people_database, "person")
+        assert stats.column("age").histogram is not None
+        assert stats.column("name").histogram is not None  # strings ordered
+
+    def test_stored_in_catalog(self, people_database):
+        stats = runstats(people_database, "person")
+        assert people_database.catalog.statistics("person") is stats
+
+    def test_store_false_skips_catalog(self, people_database):
+        runstats(people_database, "city", store=False)
+        assert people_database.catalog.statistics("city") is None
+
+    def test_null_fraction(self, people_database):
+        stats = runstats(people_database, "person")
+        assert stats.column("age").null_fraction == pytest.approx(0.2)
+        assert stats.column("age").non_null_count == 4
+
+    def test_epoch_recorded(self, people_database):
+        stats = runstats(people_database, "person", epoch=42)
+        assert stats.epoch == 42
+
+    def test_empty_table(self, empty_database):
+        from repro.engine.schema import Column, TableSchema
+        from repro.engine.types import INTEGER
+
+        empty_database.create_table(TableSchema("e", [Column("a", INTEGER)]))
+        stats = runstats(empty_database, "e")
+        assert stats.row_count == 0
+        assert stats.column("a").low is None
+        assert stats.column("a").histogram is None

@@ -1,0 +1,134 @@
+"""Tests for single-table selectivity estimation."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INTEGER, VARCHAR
+from repro.expr.intervals import Interval
+from repro.sql.parser import parse_expression
+from repro.stats.runstats import runstats
+from repro.stats.selectivity import (
+    DEFAULT_OTHER_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    SelectivityEstimator,
+)
+
+
+@pytest.fixture
+def estimator() -> SelectivityEstimator:
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "t",
+            [Column("k", INTEGER), Column("v", INTEGER), Column("s", VARCHAR(5))],
+        )
+    )
+    rows = []
+    for n in range(1000):
+        # k uniform over 0..99; v has 10% NULLs and is uniform 0..9.
+        rows.append((n % 100, None if n % 10 == 0 else n % 10, "s"))
+    database.insert_many("t", rows)
+    stats = runstats(database, "t")
+    return SelectivityEstimator(stats)
+
+
+def sel(estimator, text):
+    return estimator.selectivity(parse_expression(text))
+
+
+class TestLeafPredicates:
+    def test_none_is_one(self, estimator):
+        assert estimator.selectivity(None) == 1.0
+
+    def test_equality_uniform(self, estimator):
+        assert sel(estimator, "k = 50") == pytest.approx(0.01, rel=0.3)
+
+    def test_equality_out_of_range(self, estimator):
+        assert sel(estimator, "k = 5000") == 0.0
+
+    def test_inequality_complements(self, estimator):
+        assert sel(estimator, "k <> 50") == pytest.approx(0.99, rel=0.05)
+
+    def test_range(self, estimator):
+        assert sel(estimator, "k < 50") == pytest.approx(0.5, abs=0.07)
+
+    def test_between(self, estimator):
+        assert sel(estimator, "k BETWEEN 0 AND 24") == pytest.approx(
+            0.25, abs=0.07
+        )
+
+    def test_not_between(self, estimator):
+        assert sel(estimator, "k NOT BETWEEN 0 AND 24") == pytest.approx(
+            0.75, abs=0.07
+        )
+
+    def test_in_list(self, estimator):
+        assert sel(estimator, "k IN (1, 2, 3)") == pytest.approx(
+            0.03, rel=0.4
+        )
+
+    def test_is_null_uses_null_fraction(self, estimator):
+        assert sel(estimator, "v IS NULL") == pytest.approx(0.1)
+        assert sel(estimator, "v IS NOT NULL") == pytest.approx(0.9)
+
+    def test_equality_discounts_nulls(self, estimator):
+        assert sel(estimator, "v = 5") == pytest.approx(0.1, rel=0.3)
+
+    def test_like_uses_default(self, estimator):
+        assert sel(estimator, "s LIKE 'x%'") == pytest.approx(0.1)
+
+
+class TestCompound:
+    def test_and_multiplies(self, estimator):
+        combined = sel(estimator, "k = 50 AND v = 5")
+        assert combined == pytest.approx(
+            sel(estimator, "k = 50") * sel(estimator, "v = 5"), rel=1e-6
+        )
+
+    def test_or_inclusion_exclusion(self, estimator):
+        left = sel(estimator, "k < 50")
+        right = sel(estimator, "v = 5")
+        expected = left + right - left * right
+        assert sel(estimator, "k < 50 OR v = 5") == pytest.approx(expected)
+
+    def test_not_complements(self, estimator):
+        assert sel(estimator, "NOT k < 50") == pytest.approx(
+            1 - sel(estimator, "k < 50")
+        )
+
+    def test_clamped_to_unit_interval(self, estimator):
+        value = sel(estimator, "k IN (1,2,3,4,5,6,7,8,9) OR v IS NOT NULL")
+        assert 0.0 <= value <= 1.0
+
+
+class TestFallbacks:
+    def test_without_stats_defaults(self):
+        estimator = SelectivityEstimator(None)
+        assert sel(estimator, "a = 5") == pytest.approx(0.04)
+        assert sel(estimator, "a < 5") == pytest.approx(
+            DEFAULT_RANGE_SELECTIVITY
+        )
+
+    def test_unknown_column_defaults(self, estimator):
+        assert sel(estimator, "zzz = 5") == pytest.approx(0.04)
+
+    def test_two_column_predicate_defaults(self, estimator):
+        assert sel(estimator, "k = v") == pytest.approx(
+            DEFAULT_OTHER_SELECTIVITY
+        )
+
+
+class TestIntervalFraction:
+    def test_point(self, estimator):
+        assert estimator.interval_fraction("k", Interval.point(5)) == (
+            pytest.approx(0.01, rel=0.3)
+        )
+
+    def test_empty(self, estimator):
+        assert estimator.interval_fraction("k", Interval.empty()) == 0.0
+
+    def test_unbounded_discounts_nulls(self, estimator):
+        assert estimator.interval_fraction(
+            "v", Interval.unbounded()
+        ) == pytest.approx(0.9)

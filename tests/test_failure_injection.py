@@ -1,0 +1,128 @@
+"""Failure injection: the system must degrade cleanly, never silently.
+
+Covers dropped tables under live soft constraints, exception tables whose
+base disappears, plans executed against changed schemas, and registry
+behaviour at the edges of the lifecycle.
+"""
+
+import pytest
+
+from repro import SoftDB
+from repro.errors import (
+    ExecutionError,
+    SoftConstraintStateError,
+    UnknownObjectError,
+)
+from repro.softcon.base import SCState
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.softcon.maintenance import AsyncRepairPolicy, DropPolicy
+
+
+@pytest.fixture
+def db() -> SoftDB:
+    db = SoftDB()
+    db.execute("CREATE TABLE t (a INT, b INT)")
+    db.database.insert_many("t", [(n, 2 * n) for n in range(50)])
+    db.runstats_all()
+    return db
+
+
+class TestDroppedObjects:
+    def test_plan_against_dropped_table_fails_cleanly(self, db):
+        plan = db.plan("SELECT a FROM t")
+        db.execute("DROP TABLE t")
+        with pytest.raises(UnknownObjectError):
+            db.executor.execute(plan)
+
+    def test_sc_on_dropped_table_survives_but_verify_fails(self, db):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        db.add_soft_constraint(sc)
+        db.execute("DROP TABLE t")
+        with pytest.raises(UnknownObjectError):
+            sc.verify(db.database)
+
+    def test_dml_after_drop_does_not_crash_registry(self, db):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        db.add_soft_constraint(sc)
+        db.execute("DROP TABLE t")
+        # A different table's DML still flows through the observer.
+        db.execute("CREATE TABLE u (x INT)")
+        db.execute("INSERT INTO u VALUES (1)")
+
+    def test_exception_table_base_dropped(self, db):
+        db.execute(
+            "CREATE SUMMARY TABLE weird AS (SELECT * FROM t WHERE a > b)"
+        )
+        db.execute("DROP TABLE t")
+        # The materialization still exists and is queryable on its own.
+        rows = db.query("SELECT count(*) AS n FROM weird")
+        assert rows[0]["n"] == 0
+
+
+class TestLifecycleEdges:
+    def test_dropped_sc_cannot_reactivate(self, db):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        db.add_soft_constraint(sc)
+        db.registry.drop("pos")
+        with pytest.raises(SoftConstraintStateError):
+            db.registry.activate("pos")
+
+    def test_violated_sc_not_rechecked(self, db):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        db.add_soft_constraint(sc, policy=DropPolicy())
+        db.execute("INSERT INTO t VALUES (-1, 0)")
+        assert sc.state is SCState.VIOLATED
+        checks_before = db.registry.checks_performed
+        db.execute("INSERT INTO t VALUES (-2, 0)")
+        assert db.registry.checks_performed == checks_before
+
+    def test_async_repair_of_dropped_constraint_skips(self, db):
+        policy = AsyncRepairPolicy()
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        db.add_soft_constraint(sc, policy=policy)
+        db.execute("INSERT INTO t VALUES (-1, 0)")
+        sc.transition(SCState.DROPPED)
+        outcomes = policy.run_pending(db.registry, db.database)
+        assert outcomes == [("pos", "already-dropped")]
+
+    def test_double_violation_single_overturn(self, db):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        db.add_soft_constraint(sc, policy=DropPolicy())
+        db.execute("INSERT INTO t VALUES (-1, 0), (-2, 0)")
+        assert sc.state is SCState.VIOLATED
+        assert db.registry.overturn_events == 1
+
+
+class TestRuntimeFailures:
+    def test_division_by_zero_in_query(self, db):
+        from repro.errors import ExpressionError
+
+        with pytest.raises(ExpressionError):
+            db.query("SELECT a / 0 AS boom FROM t")
+
+    def test_type_confusion_in_predicate(self, db):
+        from repro.errors import ExpressionError
+
+        db.execute("CREATE TABLE s (name VARCHAR(5))")
+        db.execute("INSERT INTO s VALUES ('x')")
+        with pytest.raises(ExpressionError):
+            db.query("SELECT name FROM s WHERE name > 5")
+
+    def test_rollback_restores_sc_relevant_state(self, db):
+        """A rolled-back violating insert leaves the exception table as it
+        was (the observer sees insert + compensating delete)."""
+        from repro.engine.transactions import Transaction
+
+        db.execute(
+            "CREATE SUMMARY TABLE neg AS (SELECT * FROM t WHERE a < 0)"
+        )
+        before = db.database.table("neg").row_count
+        txn = Transaction(db.database)
+        txn.insert("t", [-5, 0])
+        assert db.database.table("neg").row_count == before + 1
+        txn.rollback()
+        assert db.database.table("neg").row_count == before
+
+    def test_unknown_summary_table_errors(self, db):
+        with pytest.raises(UnknownObjectError):
+            db.database.catalog.summary_table("ghost")

@@ -1,0 +1,155 @@
+"""Coverage for the harness, EXPLAIN, result helpers and misc utilities."""
+
+import pytest
+
+from repro.engine.row import RowId, project_row, row_as_dict
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INTEGER, VARCHAR
+from repro.errors import ExecutionError, OptimizerError
+from repro.harness.reporting import format_table
+from repro.harness.runner import compare_optimizers, measure_query
+from repro.optimizer.explain import explain
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "long-name" in lines[-1]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.0], [2.345], [0.0001], [2.5e16]])
+        assert "1.0" in text
+        assert "2.35" in text or "2.34" in text
+        assert "0.0001" in text
+        assert "2.5e+16" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestMeasureAndCompare:
+    def test_measure_query_records_everything(self, sales_softdb):
+        measurement = measure_query(
+            sales_softdb, "SELECT id FROM sale WHERE day = 1", label="probe"
+        )
+        assert measurement.label == "probe"
+        assert measurement.row_count == 4
+        assert measurement.page_reads > 0
+        assert measurement.estimated_rows > 0
+        assert isinstance(measurement.rewrites, list)
+
+    def test_compare_detects_genuinely_different_answers(self, sales_softdb):
+        # Force a bogus "rewrite" by comparing two different queries via a
+        # doctored measurement path: easiest is to monkeypatch the
+        # enabled optimizer's output. Instead, check the checker directly.
+        from repro.harness.runner import _row_key
+
+        left = sorted(map(_row_key, [(1, "a"), (2, "b")]))
+        right = sorted(map(_row_key, [(1, "a")]))
+        assert left != right
+
+    def test_row_key_tolerates_float_noise(self):
+        from repro.harness.runner import _row_key
+
+        assert _row_key((0.1 + 0.2,)) == _row_key((0.3,))
+        assert _row_key((None, 1)) == _row_key((None, 1))
+        assert _row_key(("x",)) != _row_key(("y",))
+
+    def test_compare_optimizers_returns_both(self, sales_softdb):
+        enabled, disabled = compare_optimizers(
+            sales_softdb, "SELECT id FROM sale WHERE day < 5"
+        )
+        assert enabled.row_count == disabled.row_count
+
+
+class TestExplain:
+    def test_explain_renders_every_operator_kind(self, sales_softdb):
+        text = explain(
+            sales_softdb.plan(
+                "SELECT s.region, count(*) AS n FROM sale s, sale t "
+                "WHERE s.id = t.id AND s.day < 10 "
+                "GROUP BY s.region HAVING count(*) > 1 "
+                "ORDER BY n DESC LIMIT 3"
+            )
+        )
+        for fragment in ("Project", "Sort", "GroupBy", "HashJoin", "Limit"):
+            assert fragment in text, fragment
+        assert "rows~" in text and "cost~" in text
+
+    def test_explain_union(self, sales_softdb):
+        text = explain(
+            sales_softdb.plan(
+                "SELECT id FROM sale WHERE day = 1 "
+                "UNION ALL SELECT id FROM sale WHERE day = 2"
+            )
+        )
+        assert "UnionAll(2 branches)" in text
+
+    def test_explain_empty_result_shortcut(self, sales_softdb):
+        from repro.softcon.minmax import MinMaxSC
+
+        sales_softdb.add_soft_constraint(
+            MinMaxSC("cap", "sale", "day", 0, 49)
+        )
+        text = sales_softdb.explain("SELECT id FROM sale WHERE day > 100")
+        assert "EmptyResult" in text
+
+
+class TestExecutionResultHelpers:
+    def test_tuples_and_column(self, sales_softdb):
+        result = sales_softdb.execute(
+            "SELECT id, day FROM sale WHERE id < 3"
+        )
+        assert result.tuples() == [(0, 0), (1, 1), (2, 2)]
+        assert result.column("day") == [0, 1, 2]
+
+    def test_scalar(self, sales_softdb):
+        result = sales_softdb.execute("SELECT count(*) AS n FROM sale")
+        assert result.scalar() == 200
+
+    def test_scalar_rejects_non_scalar(self, sales_softdb):
+        result = sales_softdb.execute("SELECT id FROM sale")
+        with pytest.raises(ExecutionError):
+            result.scalar()
+
+
+class TestRowUtilities:
+    def test_row_as_dict(self):
+        schema = TableSchema(
+            "t", [Column("a", INTEGER), Column("b", VARCHAR(5))]
+        )
+        assert row_as_dict(schema, (1, "x")) == {"a": 1, "b": "x"}
+
+    def test_project_row(self):
+        assert project_row((10, 20, 30), [2, 0]) == (30, 10)
+
+    def test_rowid_repr(self):
+        assert repr(RowId(3, 7)) == "RowId(3:7)"
+
+
+class TestOptimizerLimits:
+    def test_too_many_tables_rejected(self, softdb):
+        for n in range(11):
+            softdb.execute(f"CREATE TABLE t{n} (a INT)")
+            softdb.execute(f"INSERT INTO t{n} VALUES ({n})")
+        froms = ", ".join(f"t{n}" for n in range(11))
+        with pytest.raises(OptimizerError):
+            softdb.plan(f"SELECT t0.a FROM {froms}")
+
+    def test_ten_tables_still_planned(self, softdb):
+        for n in range(10):
+            softdb.execute(f"CREATE TABLE s{n} (a INT)")
+            softdb.execute(f"INSERT INTO s{n} VALUES ({n})")
+        froms = ", ".join(f"s{n}" for n in range(10))
+        conditions = " AND ".join(
+            f"s{n}.a = s{n + 1}.a - 1" for n in range(9)
+        )
+        plan = softdb.plan(f"SELECT s0.a FROM {froms} WHERE {conditions}")
+        result = softdb.executor.execute(plan)
+        assert result.row_count == 1

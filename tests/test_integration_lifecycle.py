@@ -1,0 +1,147 @@
+"""Full-lifecycle integration test: the paper's SC process end to end.
+
+Discovery → selection → activation → exploitation in rewrite and
+estimation → violation by updates → maintenance → plan invalidation.
+This is the system's equivalent of the paper's Figure-less narrative,
+exercised as one story.
+"""
+
+import pytest
+
+from repro import SoftDB
+from repro.discovery import (
+    SelectionEngine,
+    Workload,
+    mine_functional_dependencies,
+    mine_linear_correlations,
+    mine_min_max,
+)
+from repro.optimizer.planner import PlanCache
+from repro.softcon.base import SCState
+from repro.softcon.maintenance import AsyncRepairPolicy, DropPolicy
+from repro.workload.datagen import DataGenerator
+
+
+@pytest.fixture
+def db() -> SoftDB:
+    db = SoftDB()
+    db.execute(
+        "CREATE TABLE shipments (id INT PRIMARY KEY, weight DOUBLE, "
+        "cost DOUBLE, depot INT, region INT)"
+    )
+    generator = DataGenerator(77)
+    batch = []
+    for n in range(4000):
+        weight = generator.uniform(1.0, 100.0)
+        cost = 4.0 * weight + 20.0 + generator.uniform(-2.0, 2.0)
+        depot = generator.integer(0, 19)
+        batch.append((n, weight, cost, depot, depot % 4))
+    db.database.insert_many("shipments", batch)
+    db.execute("CREATE INDEX idx_cost ON shipments (cost)")
+    db.runstats_all()
+    return db
+
+
+def test_full_soft_constraint_lifecycle(db):
+    # -- 1. discovery ------------------------------------------------------
+    candidates = []
+    candidates += mine_linear_correlations(
+        db.database, "shipments", [("cost", "weight")],
+        confidence_levels=(1.0, 0.95),
+    )
+    candidates += mine_functional_dependencies(
+        db.database, "shipments", columns=["depot", "region"], max_g3_error=0.0
+    )
+    candidates += mine_min_max(db.database, "shipments", ["weight"])
+    assert len(candidates) >= 4
+
+    # -- 2. selection against the workload ---------------------------------
+    workload = Workload.from_sql(
+        [
+            ("SELECT id, cost FROM shipments WHERE weight = 50.0", 10.0),
+            (
+                "SELECT depot, region, sum(cost) AS total FROM shipments "
+                "GROUP BY depot, region",
+                3.0,
+            ),
+            ("SELECT id FROM shipments WHERE weight BETWEEN 10.0 AND 20.0", 2.0),
+        ]
+    )
+    engine = SelectionEngine(update_weight=0.05)
+    activate, probation = engine.select(
+        candidates, workload, db.database, keep=5
+    )
+    assert activate  # something was worth keeping
+
+    # -- 3. activation (with verification) -----------------------------------
+    policy = AsyncRepairPolicy(drop_threshold=0.5)
+    for constraint in activate:
+        db.add_soft_constraint(constraint, policy=policy, verify_first=True)
+    linear = next(c for c in activate if c.kind == "linear")
+    assert linear.usable_in_rewrite
+
+    # -- 4. exploitation ---------------------------------------------------------
+    cache = PlanCache(db.optimizer)
+    sql = "SELECT id, cost FROM shipments WHERE weight = 50.0"
+    plan = cache.get_plan(sql)
+    assert any("predicate_introduction" in r for r in plan.rewrites_applied)
+    assert linear.name in plan.sc_dependencies
+    result = db.executor.execute(plan)
+
+    baseline = db.executor.execute(
+        db.optimizer.optimize("SELECT id, cost FROM shipments WHERE weight = 50.0")
+    )
+    assert sorted(r["id"] for r in result.rows) == sorted(
+        r["id"] for r in baseline.rows
+    )
+
+    grouped = db.plan(
+        "SELECT depot, region, sum(cost) AS total FROM shipments "
+        "GROUP BY depot, region"
+    )
+    assert any("groupby_simplification" in r for r in grouped.rewrites_applied)
+
+    # -- 5. violation: an update overturns the linear ASC ------------------------
+    db.execute("INSERT INTO shipments VALUES (99999, 50.0, 9999.0, 1, 1)")
+    assert linear.state is SCState.VIOLATED
+    assert cache.invalidations == 1  # the cached plan was dropped (S4.1)
+
+    # A recompiled plan no longer uses the overturned constraint.
+    fresh = cache.get_plan(sql)
+    assert linear.name not in fresh.sc_dependencies
+
+    # -- 6. asynchronous repair: reinstated as an SSC ------------------------------
+    outcomes = policy.run_pending(db.registry, db.database)
+    assert (linear.name, "demoted") in outcomes
+    assert linear.state is SCState.ACTIVE
+    assert linear.is_statistical
+    # ...which still helps estimation via twinning.  Twinning pairs the
+    # generated predicate with an existing one on the target column, so
+    # probe with a query that loosely bounds cost (the SSC tightens it).
+    twinned = db.plan(
+        "SELECT id FROM shipments WHERE weight = 50.0 AND cost >= 0.0"
+    )
+    assert twinned.estimation_notes
+
+
+def test_informational_constraint_lifecycle():
+    """Loader-maintained RI: never checked, still optimized with."""
+    db = SoftDB()
+    db.execute("CREATE TABLE dim (id INT PRIMARY KEY, label VARCHAR(10))")
+    db.execute(
+        "CREATE TABLE fact (id INT PRIMARY KEY, dim_id INT NOT NULL, "
+        "v DOUBLE, CONSTRAINT fk FOREIGN KEY (dim_id) REFERENCES dim (id) "
+        "NOT ENFORCED)"
+    )
+    db.database.insert_many("dim", [(n, f"d{n}") for n in range(10)])
+    db.database.insert_many(
+        "fact", [(n, n % 10, float(n)) for n in range(500)]
+    )
+    db.runstats_all()
+    # Orphans are accepted (the promise is external)...
+    db.execute("INSERT INTO fact VALUES (9999, 42, 1.0)")
+    # ...and the optimizer still uses the constraint for join elimination.
+    plan = db.plan(
+        "SELECT f.id FROM fact f, dim d WHERE f.dim_id = d.id"
+    )
+    assert any("join_elimination" in r for r in plan.rewrites_applied)

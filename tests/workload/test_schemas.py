@@ -1,0 +1,121 @@
+"""Tests for the scenario builders: planted characteristics must hold."""
+
+import pytest
+
+from repro.softcon.checksc import CheckSoftConstraint
+from repro.workload.datagen import DataGenerator
+from repro.workload.schemas import (
+    SHIP_WINDOW_DAYS,
+    YEAR_START,
+    build_correlated_table,
+    build_denormalized_orders,
+    build_join_hole_scenario,
+    build_monthly_union_scenario,
+    build_project_table,
+    build_purchase_scenario,
+    build_star_schema,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        first = build_correlated_table(rows=200, seed=5)
+        second = build_correlated_table(rows=200, seed=5)
+        assert list(first.database.table("meas").scan_rows()) == list(
+            second.database.table("meas").scan_rows()
+        )
+
+    def test_different_seed_different_data(self):
+        first = build_correlated_table(rows=200, seed=5)
+        second = build_correlated_table(rows=200, seed=6)
+        assert list(first.database.table("meas").scan_rows()) != list(
+            second.database.table("meas").scan_rows()
+        )
+
+
+class TestPlantedCharacteristics:
+    def test_correlation_tightness(self):
+        db = build_correlated_table(rows=500, slope=3.0, intercept=10.0, noise=2.0)
+        for row in db.database.scan_dicts("meas"):
+            assert abs(row["a"] - (3.0 * row["b"] + 10.0)) <= 2.0
+
+    def test_star_schema_referential_integrity(self):
+        db = build_star_schema(facts=500, customers=20, products=10)
+        customer_ids = {row["id"] for row in db.database.scan_dicts("customer")}
+        for row in db.database.scan_dicts("sales"):
+            assert row["customer_id"] in customer_ids
+
+    def test_monthly_partitions_respect_ranges(self):
+        db, tables = build_monthly_union_scenario(months=3, rows_per_month=100)
+        for month, name in enumerate(tables):
+            low = YEAR_START + month * 30
+            for row in db.database.scan_dicts(name):
+                assert low <= row["day"] <= low + 29
+
+    def test_join_hole_exists(self):
+        db = build_join_hole_scenario(rows_per_table=1500, seed=2)
+        count = db.query(
+            "SELECT count(*) AS n FROM orders o, deliveries d "
+            "WHERE o.region_id = d.region_id AND o.lead_time > 25.0 "
+            "AND d.distance > 25.0"
+        )[0]["n"]
+        assert count == 0
+
+    def test_project_duration_mix(self):
+        db = build_project_table(rows=2000, long_fraction=0.1, seed=3)
+        durations = [
+            row["end_date"] - row["start_date"]
+            for row in db.database.scan_dicts("project")
+        ]
+        short = sum(1 for d in durations if d <= 30)
+        assert short / len(durations) == pytest.approx(0.9, abs=0.03)
+
+    def test_purchase_exception_rate(self):
+        db = build_purchase_scenario(rows=3000, exception_rate=0.05, seed=4)
+        rule = CheckSoftConstraint(
+            "r", "purchase",
+            f"ship_date <= order_date + {SHIP_WINDOW_DAYS}",
+        )
+        violations, total = rule.verify(db.database)
+        assert violations / total == pytest.approx(0.05, abs=0.02)
+
+    def test_purchase_clustered_on_order_date(self):
+        db = build_purchase_scenario(rows=3000, seed=4)
+        index = db.database.catalog.index("idx_purchase_od")
+        assert index.cluster_ratio() > 0.9
+
+    def test_denormalized_fds_hold(self):
+        db = build_denormalized_orders(rows=1000, cities=20, states=4)
+        seen = {}
+        for row in db.database.scan_dicts("orders"):
+            state = seen.setdefault(row["city_id"], row["state_id"])
+            assert state == row["state_id"]
+
+
+class TestDataGenerator:
+    def test_duration_days_bounds(self):
+        generator = DataGenerator(1)
+        for _ in range(200):
+            duration = generator.duration_days(short_max=30, long_max=100)
+            assert 1 <= duration <= 100
+
+    def test_value_outside_hole(self):
+        generator = DataGenerator(1)
+        for _ in range(200):
+            value = generator.value_outside_hole(0, 100, 40, 60)
+            assert 0 <= value <= 100
+            assert not (40 < value < 60)
+
+    def test_value_outside_hole_rejects_full_cover(self):
+        generator = DataGenerator(1)
+        with pytest.raises(ValueError):
+            generator.value_outside_hole(0, 10, -1, 11)
+
+    def test_skewed_category_prefers_low_ranks(self):
+        generator = DataGenerator(1)
+        draws = [generator.skewed_category(10) for _ in range(2000)]
+        assert draws.count(0) > draws.count(9)
+
+    def test_statistics_collected_by_builders(self):
+        db = build_correlated_table(rows=100)
+        assert db.database.catalog.statistics("meas") is not None
