@@ -1,0 +1,170 @@
+"""E11 — Batched (vectorized) executor vs the row-at-a-time interpreter.
+
+Not a paper experiment but a methodology gate: E1–E10 report page-I/O and
+latency, so the runtime must realize plan-quality wins rather than drown
+them in per-row interpreter overhead.  The batched pipeline exchanges
+column-major RowBatch objects (default 1024 rows) and evaluates
+predicates, projections and join keys once per batch.
+
+Shape to reproduce: >=3x wall-time speedup on a 100k-row
+scan-filter-aggregate pipeline with identical results; the speedup grows
+with batch size until it saturates around a few hundred rows per batch.
+Emits ``BENCH_e11.json`` which ``check_bench_regression.py`` (wired into
+the benchmark conftest) uses to fail any run where the batched executor
+regressed below row-at-a-time.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import SoftDB
+from repro.executor.runtime import Executor
+
+ROWS = 100_000
+BATCH_SIZE = 1024
+TARGET_SPEEDUP = 3.0
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_e11.json"
+
+PIPELINE_SQL = (
+    "SELECT grp, count(*) AS n, sum(val) AS s FROM meas "
+    "WHERE val > 250.0 GROUP BY grp"
+)
+JOIN_SQL = (
+    "SELECT m.grp, d.factor FROM meas m, dim d "
+    "WHERE m.grp = d.grp AND m.val > 900.0"
+)
+
+
+@pytest.fixture(scope="module")
+def scenario() -> SoftDB:
+    db = SoftDB()
+    db.execute("CREATE TABLE meas (id INT, grp INT, val DOUBLE)")
+    db.execute("CREATE TABLE dim (grp INT, factor DOUBLE)")
+    db.database.insert_many(
+        "meas",
+        [(i, i % 16, float(i % 997) + 0.5) for i in range(ROWS)],
+    )
+    db.database.insert_many(
+        "dim", [(g, 1.0 + g / 10.0) for g in range(16)]
+    )
+    db.runstats_all()
+    return db
+
+
+def _best_of(fn, repetitions: int = 3) -> float:
+    times = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_e11_benchmark_batched(benchmark, scenario):
+    plan = scenario.plan(PIPELINE_SQL)
+    executor = Executor(scenario.database, batch_size=BATCH_SIZE)
+    result = benchmark(lambda: executor.execute(plan))
+    assert result.row_count == 16
+
+
+def test_e11_benchmark_row_at_a_time(benchmark, scenario):
+    plan = scenario.plan(PIPELINE_SQL)
+    executor = Executor(scenario.database, batch_size=0)
+    result = benchmark(lambda: executor.execute(plan))
+    assert result.row_count == 16
+
+
+def test_e11_report_speedup_and_emit_json(report, benchmark, scenario):
+    """The headline comparison: writes BENCH_e11.json and gates on 3x."""
+    pipelines = []
+    for name, sql, target in (
+        ("scan-filter-aggregate-100k", PIPELINE_SQL, TARGET_SPEEDUP),
+        ("hash-join-probe-100k", JOIN_SQL, None),
+    ):
+        plan = scenario.plan(sql)
+        row_exec = Executor(scenario.database, batch_size=0)
+        batched_exec = Executor(scenario.database, batch_size=BATCH_SIZE)
+        row_result = row_exec.execute(plan)
+        batched_result = batched_exec.execute(plan)
+        assert sorted(map(_row_key, batched_result.tuples())) == sorted(
+            map(_row_key, row_result.tuples())
+        )
+        assert batched_result.page_reads == row_result.page_reads
+        row_s = _best_of(lambda: row_exec.execute(plan))
+        batched_s = _best_of(lambda: batched_exec.execute(plan))
+        pipelines.append(
+            {
+                "name": name,
+                "sql": sql,
+                "rows": ROWS,
+                "batch_size": BATCH_SIZE,
+                "row_at_a_time_s": round(row_s, 4),
+                "batched_s": round(batched_s, 4),
+                "speedup": round(row_s / batched_s, 2),
+                "target_speedup": target,
+            }
+        )
+    RESULTS_PATH.write_text(
+        json.dumps({"experiment": "E11", "pipelines": pipelines}, indent=2)
+        + "\n"
+    )
+    benchmark(
+        lambda: Executor(scenario.database, batch_size=BATCH_SIZE).execute(
+            scenario.plan(PIPELINE_SQL)
+        )
+    )
+    report(
+        f"E11: batched executor vs row-at-a-time ({ROWS} rows, "
+        f"batch_size={BATCH_SIZE})",
+        ["pipeline", "row-at-a-time s", "batched s", "speedup x"],
+        [
+            [p["name"], p["row_at_a_time_s"], p["batched_s"], p["speedup"]]
+            for p in pipelines
+        ],
+    )
+    headline = pipelines[0]
+    assert headline["speedup"] >= TARGET_SPEEDUP
+    # Every pipeline must at least not regress.
+    from check_bench_regression import check_regressions
+
+    assert check_regressions(RESULTS_PATH) == []
+
+
+def test_e11_report_batch_size_sweep(report, benchmark, scenario):
+    """Speedup vs batch size: grows, then saturates (per-batch overhead
+    amortized); batch_size=1 pays the batching machinery with none of the
+    amortization and should sit near (below) 1x."""
+    plan = scenario.plan(PIPELINE_SQL)
+    row_s = _best_of(
+        lambda: Executor(scenario.database, batch_size=0).execute(plan), 2
+    )
+    rows = []
+    speedups = []
+    for size in (1, 16, 128, 1024, 8192):
+        batched_s = _best_of(
+            lambda: Executor(scenario.database, batch_size=size).execute(plan),
+            2,
+        )
+        speedup = round(row_s / batched_s, 2)
+        rows.append([size, round(batched_s, 4), speedup])
+        speedups.append(speedup)
+    benchmark(
+        lambda: Executor(scenario.database, batch_size=BATCH_SIZE).execute(plan)
+    )
+    report(
+        f"E11: speedup vs batch size ({ROWS}-row scan-filter-aggregate; "
+        f"row-at-a-time = {row_s:.4f}s)",
+        ["batch size", "batched s", "speedup x"],
+        rows,
+    )
+    assert speedups[-2] > speedups[0]  # 1024 beats 1
+    assert max(speedups) >= TARGET_SPEEDUP
+
+
+def _row_key(row):
+    return tuple(
+        (value is None, value if value is not None else 0) for value in row
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fail when BENCH_e11.json shows the batched executor regressed.
+
+Usable two ways:
+
+* standalone — ``python benchmarks/check_bench_regression.py [path]``
+  exits 1 (with a message per failure) if the recorded batched executor
+  timing is slower than row-at-a-time, or slower than the experiment's
+  speedup floor;
+* from the benchmark conftest — ``pytest_sessionfinish`` calls
+  :func:`check_regressions` after a benchmark run so a freshly written
+  regressed BENCH_e11.json fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+DEFAULT_RESULTS = Path(__file__).resolve().parent / "BENCH_e11.json"
+
+#: The batched executor must never be slower than row-at-a-time.
+HARD_FLOOR = 1.0
+
+
+def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
+    """Return a list of human-readable regression descriptions (empty = ok)."""
+    payload = json.loads(Path(path).read_text())
+    failures: List[str] = []
+    for entry in payload.get("pipelines", []):
+        name = entry.get("name", "?")
+        row_s = entry.get("row_at_a_time_s")
+        batched_s = entry.get("batched_s")
+        if not row_s or not batched_s:
+            failures.append(f"{name}: incomplete timings in {path}")
+            continue
+        speedup = row_s / batched_s
+        if speedup < HARD_FLOOR:
+            failures.append(
+                f"{name}: batched executor is SLOWER than row-at-a-time "
+                f"({batched_s:.4f}s vs {row_s:.4f}s, {speedup:.2f}x)"
+            )
+        floor = entry.get("target_speedup")
+        if floor is not None and speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below the experiment's "
+                f"{floor}x target"
+            )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
+    if not path.exists():
+        print(f"no benchmark results at {path}; run bench_e11 first")
+        return 1
+    failures = check_regressions(path)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    payload = json.loads(path.read_text())
+    for entry in payload.get("pipelines", []):
+        speedup = entry["row_at_a_time_s"] / entry["batched_s"]
+        print(f"ok: {entry['name']} batched {speedup:.2f}x faster")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

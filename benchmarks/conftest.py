@@ -5,13 +5,36 @@ index.  Wall-clock timings come from pytest-benchmark; the *shape* results
 (pages read, q-errors, candidate counts) are printed as tables — run with
 ``pytest benchmarks/ --benchmark-only`` and the tables appear between the
 benchmark summaries.
+
+The session also ends with the executor regression gate: if
+``BENCH_e11.json`` (written by ``bench_e11_batched_executor.py``) records
+the batched executor as slower than row-at-a-time, the whole benchmark
+run fails even when every individual test passed.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, List, Sequence
 
 import pytest
+
+from check_bench_regression import DEFAULT_RESULTS, check_regressions
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if exitstatus != 0 or not DEFAULT_RESULTS.exists():
+        return
+    failures = check_regressions(DEFAULT_RESULTS)
+    if failures:
+        reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+        for failure in failures:
+            message = f"BENCH_e11 regression: {failure}"
+            if reporter is not None:
+                reporter.write_line(message, red=True)
+            else:
+                print(message)
+        session.exitstatus = 1
 
 
 @pytest.fixture

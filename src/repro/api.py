@@ -63,18 +63,25 @@ class SoftDB:
         self.config = config or OptimizerConfig()
         self.optimizer = Optimizer(self.database, self.registry, self.config)
         self.plan_cache = PlanCache(self.optimizer)
-        self.executor = Executor(self.database, self.registry)
+        self.executor = Executor(
+            self.database, self.registry, batch_size=self.config.batch_size
+        )
         self._constraint_sequence = 0
 
     # ------------------------------------------------------------- execution
 
     def execute(
-        self, sql: str, use_cache: bool = False
+        self,
+        sql: str,
+        use_cache: bool = False,
+        batch_size: Optional[int] = None,
     ) -> Optional[Union[ExecutionResult, int]]:
         """Run one SQL statement.
 
         Returns an :class:`ExecutionResult` for queries, the affected row
-        count for DML, and None for DDL.
+        count for DML, and None for DDL.  ``batch_size`` overrides the
+        session's executor batch size for this query only (0 selects the
+        row-at-a-time interpreter).
         """
         statement = parse_statement(sql)
         if isinstance(statement, (ast.SelectStatement, ast.UnionAll)):
@@ -82,7 +89,7 @@ class SoftDB:
                 plan = self.plan_cache.get_plan(sql)
             else:
                 plan = self.optimizer.optimize(statement)
-            return self.executor.execute(plan)
+            return self.executor.execute(plan, batch_size=batch_size)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement)
         if isinstance(statement, ast.Delete):
@@ -143,7 +150,8 @@ class SoftDB:
         """EXPLAIN text for a query.
 
         With ``analyze=True`` the query is *executed* and every operator
-        line additionally shows its actual output row count, plus a
+        line additionally shows its actual output row count (and, under
+        the batched executor, the number of batches it emitted), plus a
         summary of the pages actually read — the estimate-vs-actual view
         used to validate the cost model.
         """
@@ -152,11 +160,13 @@ class SoftDB:
             return explain_plan(plan)
         result = self.executor.execute(plan, instrument=True)
         text = explain_plan(plan)
-        return (
-            text
-            + f"\nactual: {result.row_count} rows, "
+        summary = (
+            f"\nactual: {result.row_count} rows, "
             f"{result.page_reads} pages read"
         )
+        if self.executor.batch_size:
+            summary += f" (batched, batch_size={self.executor.batch_size})"
+        return text + summary
 
     # ----------------------------------------------------------------- stats
 

@@ -1,11 +1,24 @@
-"""The runtime: an iterator-model interpreter for physical plans.
+"""The runtime: batched and row-at-a-time interpreters for physical plans.
 
-Rows flow between operators as ``{qualified_name: value}`` dicts.  All
-page I/O is charged to the database's shared counters, so an
+By default rows flow between operators as column-major
+:class:`~repro.executor.batch.RowBatch` objects (the vectorized pipeline
+in :mod:`repro.executor.vectorized`); ``batch_size=0`` selects the
+original row-at-a-time iterator model where operators exchange
+``{qualified_name: value}`` dicts.  All page I/O is charged to the
+database's shared counters, so an
 :class:`~repro.executor.runtime.ExecutionResult` reports exactly the pages
 a plan touched — the number every benchmark compares across plans.
 """
 
+from repro.executor.batch import DEFAULT_BATCH_SIZE, RowBatch
 from repro.executor.runtime import ExecutionResult, Executor, run_sql
+from repro.executor.vectorized import BatchedInterpreter
 
-__all__ = ["ExecutionResult", "Executor", "run_sql"]
+__all__ = [
+    "BatchedInterpreter",
+    "DEFAULT_BATCH_SIZE",
+    "ExecutionResult",
+    "Executor",
+    "RowBatch",
+    "run_sql",
+]

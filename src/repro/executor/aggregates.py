@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.errors import ExecutionError
 from repro.expr.eval import evaluate
@@ -53,6 +53,53 @@ class AggregateState:
         if self.spec.function == "max":
             if self.maximum is None or value > self.maximum:
                 self.maximum = value
+
+    def update_count_star(self, additional: int) -> None:
+        """Batched COUNT(*): credit a whole run of rows at once."""
+        self.count += additional
+
+    def update_values(self, values: Sequence[Any]) -> None:
+        """Batched update: fold a gathered column slice into the state.
+
+        Semantically identical to calling :meth:`update` once per value
+        (NULLs skipped, DISTINCT de-duplicated in arrival order), but the
+        numeric folds run through the C-level ``sum``/``min``/``max``
+        builtins instead of a Python-level loop per row.
+        """
+        if self.seen is None:
+            fresh = [value for value in values if value is not None]
+        else:
+            fresh = []
+            seen = self.seen
+            for value in values:
+                if value is None or value in seen:
+                    continue
+                seen.add(value)
+                fresh.append(value)
+        if not fresh:
+            return
+        self.count += len(fresh)
+        function = self.spec.function
+        if function in ("sum", "avg"):
+            for value in fresh:
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    raise ExecutionError(
+                        f"{function.upper()} over non-numeric value {value!r}"
+                    )
+            subtotal = sum(fresh)
+            self.total = (
+                subtotal if self.total is None else self.total + subtotal
+            )
+        elif function == "min":
+            low = min(fresh)
+            if self.minimum is None or low < self.minimum:
+                self.minimum = low
+        elif function == "max":
+            high = max(fresh)
+            if self.maximum is None or high > self.maximum:
+                self.maximum = high
 
     def result(self) -> Any:
         function = self.spec.function

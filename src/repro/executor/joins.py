@@ -1,15 +1,25 @@
-"""Join operators: hash join and (materialized-inner) nested loops."""
+"""Join operators: hash join and (materialized-inner) nested loops.
+
+Each join has a row-at-a-time form and a batched twin.  The batched
+forms materialize the build/inner side as one concatenated
+:class:`~repro.executor.batch.RowBatch`, evaluate join keys once per
+batch, and emit column-major output whose inner-side columns are gathered
+(or, for nested loops, tiled by C-level list repetition) rather than
+merged dict-by-dict.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Tuple
 
-from repro.expr.eval import evaluate
+from repro.executor.batch import RowBatch
+from repro.expr.eval import evaluate, evaluate_batch
 from repro.optimizer.physical import HashJoin, NestedLoopJoin
 
 RowDict = Dict[str, Any]
 RowIterator = Iterator[RowDict]
 ChildRunner = Callable[[object], RowIterator]
+BatchRunner = Callable[[object], Iterator[RowBatch]]
 
 
 def run_nested_loop_join(
@@ -51,3 +61,109 @@ def run_hash_join(node: HashJoin, run_child: ChildRunner) -> RowIterator:
             merged = {**left_row, **right_row}
             if node.residual is None or evaluate(node.residual, merged) is True:
                 yield merged
+
+
+# -- batched variants ----------------------------------------------------------
+
+
+def _merged_columns(
+    left: RowBatch, right: RowBatch
+) -> Tuple[Tuple[str, ...], List[str]]:
+    """Output column order for ``{**left_row, **right_row}`` semantics:
+    left columns first, right-only columns appended; on a name collision
+    the right side's values win."""
+    columns = list(left.columns)
+    seen = set(columns)
+    for name in right.columns:
+        if name not in seen:
+            columns.append(name)
+    right_wins = list(right.columns)
+    return tuple(columns), right_wins
+
+
+def run_nested_loop_join_batched(
+    node: NestedLoopJoin, run_child: BatchRunner, batch_size: int
+) -> Iterator[RowBatch]:
+    """Batched nested loops: inner materialized once, outer tiled against it.
+
+    For an outer chunk of *k* rows and an inner of *m* rows the output
+    chunk repeats each outer value *m* times and tiles the inner columns
+    *k* times (``column * k`` — a C-level copy), then evaluates the join
+    condition once over the whole k×m chunk.
+    """
+    inner = RowBatch.concat(list(run_child(node.right)))
+    if inner is None or len(inner) == 0:
+        return
+    m = len(inner)
+    # Keep output chunks near batch_size rows without splitting inner runs.
+    outer_chunk = max(1, batch_size // m)
+    for left in run_child(node.left):
+        for start in range(0, len(left), outer_chunk):
+            piece = left.slice(start, start + outer_chunk)
+            k = len(piece)
+            columns, _ = _merged_columns(piece, inner)
+            data: Dict[str, List[Any]] = {}
+            for name in piece.columns:
+                column = piece.data[name]
+                data[name] = [value for value in column for _ in range(m)]
+            for name in inner.columns:
+                data[name] = inner.data[name] * k if k > 1 else inner.data[name]
+            merged = RowBatch(columns, data, k * m)
+            if node.condition is not None:
+                merged = merged.filter_true(
+                    evaluate_batch(node.condition, merged)
+                )
+            if len(merged):
+                yield merged
+
+
+def run_hash_join_batched(
+    node: HashJoin, run_child: BatchRunner, batch_size: int
+) -> Iterator[RowBatch]:
+    """Batched hash join: keys evaluated per batch, matches gathered.
+
+    The build side is concatenated once; the hash table maps key tuples to
+    build-row positions.  Each probe batch produces parallel gather lists
+    (probe index, build index) whose columns are assembled with list
+    comprehensions — no per-row dict merging.
+    """
+    build_side = RowBatch.concat(list(run_child(node.right)))
+    build: Dict[Tuple[Any, ...], List[int]] = {}
+    if build_side is not None and len(build_side):
+        key_columns = [
+            evaluate_batch(expr, build_side) for expr in node.right_keys
+        ]
+        for i in range(len(build_side)):
+            key = tuple(column[i] for column in key_columns)
+            if any(part is None for part in key):
+                continue
+            build.setdefault(key, []).append(i)
+    if not build:
+        return  # empty build side: skip scanning the probe input entirely
+    for left in run_child(node.left):
+        key_columns = [evaluate_batch(expr, left) for expr in node.left_keys]
+        probe_idx: List[int] = []
+        build_idx: List[int] = []
+        for i in range(len(left)):
+            key = tuple(column[i] for column in key_columns)
+            if any(part is None for part in key):
+                continue
+            matches = build.get(key)
+            if matches:
+                probe_idx.extend([i] * len(matches))
+                build_idx.extend(matches)
+        if not probe_idx:
+            continue
+        columns, _ = _merged_columns(left, build_side)
+        data: Dict[str, List[Any]] = {}
+        for name in left.columns:
+            column = left.data[name]
+            data[name] = [column[i] for i in probe_idx]
+        for name in build_side.columns:
+            column = build_side.data[name]
+            data[name] = [column[j] for j in build_idx]
+        merged = RowBatch(columns, data, len(probe_idx))
+        if node.residual is not None:
+            merged = merged.filter_true(evaluate_batch(node.residual, merged))
+        if len(merged):
+            yield merged

@@ -1,4 +1,10 @@
-"""The plan interpreter and its execution metrics."""
+"""The plan interpreter and its execution metrics.
+
+Two interpreters live behind the :class:`Executor` facade: the batched
+(vectorized) pipeline in :mod:`repro.executor.vectorized` — the default —
+and the original row-at-a-time iterator model implemented here, selected
+with ``batch_size=0`` and used as the differential-testing oracle.
+"""
 
 from __future__ import annotations
 
@@ -8,9 +14,11 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.engine.database import Database
 from repro.errors import ExecutionError
 from repro.executor.aggregates import AggregateState, new_states
+from repro.executor.batch import DEFAULT_BATCH_SIZE
 from repro.executor.joins import run_hash_join, run_nested_loop_join
 from repro.executor.scans import run_index_scan, run_seq_scan
 from repro.executor.sorts import run_sort
+from repro.executor.vectorized import BatchedInterpreter
 from repro.expr.eval import evaluate
 from repro.optimizer.physical import (
     Distinct,
@@ -80,6 +88,13 @@ class ExecutionResult:
 class Executor:
     """Interprets physical plans against a database.
 
+    Execution is *batched* (vectorized) by default: operators exchange
+    :class:`~repro.executor.batch.RowBatch` objects of up to
+    ``batch_size`` rows (see :mod:`repro.executor.vectorized`).  Passing
+    ``batch_size=0`` (or ``None``) selects the original row-at-a-time
+    interpreter — kept as an independently-implemented oracle that the
+    differential test harness holds the batched pipeline to.
+
     With a ``registry``, every execution first checks that the plan's soft
     constraints are still in the state they were compiled against — the
     guard for Section 4.1's conflict, where a plan compiled with an ASC is
@@ -88,24 +103,42 @@ class Executor:
     fresh compile (see :meth:`repro.api.SoftDB.execute_plan`).
     """
 
-    def __init__(self, database: Database, registry: Optional[Any] = None) -> None:
+    def __init__(
+        self,
+        database: Database,
+        registry: Optional[Any] = None,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    ) -> None:
         self.database = database
         self.registry = registry
+        self.batch_size = batch_size
 
     def execute(
-        self, plan: PhysicalPlan, instrument: bool = False
+        self,
+        plan: PhysicalPlan,
+        instrument: bool = False,
+        batch_size: Optional[int] = None,
     ) -> ExecutionResult:
         """Run a plan.  With ``instrument``, every operator's actual output
-        row count is recorded on the node (``actual_rows``) so EXPLAIN
-        ANALYZE can print estimates next to actuals."""
+        row count is recorded on the node (``actual_rows``; batched runs
+        also record ``actual_batches``) so EXPLAIN ANALYZE can print
+        estimates next to actuals.  ``batch_size`` overrides the
+        executor's default for this one execution."""
         self._guard_freshness(plan)
-        self._instrument = instrument
+        size = self.batch_size if batch_size is None else batch_size
         before_reads = self.database.counters.page_reads
         before_rows = self.database.counters.rows_read
-        try:
-            rows = list(self._run_top(plan.root))
-        finally:
-            self._instrument = False
+        if size:
+            interpreter = BatchedInterpreter(
+                self.database, size, instrument=instrument
+            )
+            rows = interpreter.rows(plan.root)
+        else:
+            self._instrument = instrument
+            try:
+                rows = list(self._run_top(plan.root))
+            finally:
+                self._instrument = False
         return ExecutionResult(
             columns=plan.output_names,
             rows=rows,
@@ -270,6 +303,7 @@ def run_sql(
     sql: str,
     registry: Optional[object] = None,
     optimizer: Optional[object] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> ExecutionResult:
     """One-call convenience: optimize and execute a SELECT statement."""
     from repro.optimizer.planner import Optimizer
@@ -277,4 +311,4 @@ def run_sql(
     if optimizer is None:
         optimizer = Optimizer(database, registry)
     plan = optimizer.optimize(sql)
-    return Executor(database).execute(plan)
+    return Executor(database, batch_size=batch_size).execute(plan)

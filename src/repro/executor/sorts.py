@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import functools
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterable, Iterator, List
 
-from repro.expr.eval import evaluate
+from repro.executor.batch import RowBatch
+from repro.expr.eval import evaluate, evaluate_batch
 from repro.optimizer.physical import Sort
 from repro.sql import ast
 
@@ -41,3 +42,22 @@ def run_sort(node: Sort, rows: Iterator[RowDict]) -> Iterator[RowDict]:
             reverse=not ascending,
         )
     return iter(materialized)
+
+
+def run_sort_batched(
+    node: Sort, batches: Iterable[RowBatch], batch_size: int
+) -> Iterator[RowBatch]:
+    """Batched twin of :func:`run_sort`: sort an index permutation.
+
+    Key columns are evaluated once per sort pass over the concatenated
+    input; the stable multi-pass sort permutes row indices, and the
+    result is gathered and re-chunked to ``batch_size``.
+    """
+    materialized = RowBatch.concat(list(batches))
+    if materialized is None or len(materialized) == 0:
+        return
+    indices = list(range(len(materialized)))
+    for expression, ascending in reversed(node.order):
+        keys = [_SortKey(value) for value in evaluate_batch(expression, materialized)]
+        indices.sort(key=keys.__getitem__, reverse=not ascending)
+    yield from materialized.take(indices).split(batch_size)

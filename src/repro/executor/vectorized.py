@@ -1,0 +1,271 @@
+"""The batched (vectorized) plan interpreter.
+
+Operators exchange :class:`~repro.executor.batch.RowBatch` objects instead
+of single row dicts: predicates, projections and join keys are evaluated
+once per batch via :func:`repro.expr.eval.evaluate_batch`, and the
+per-row interpreter overhead (dict materialization, recursive expression
+dispatch) is amortized over ``batch_size`` rows.
+
+Semantics — result rows and their order, row counts, and page-I/O
+accounting — match the row-at-a-time interpreter in
+:mod:`repro.executor.runtime` exactly; the differential harness in
+``tests/executor/test_batched_differential.py`` pins the two together.
+The one intentional divergence: under LIMIT, a batched scan may fetch up
+to one batch of rows beyond the limit (read-ahead), so *LIMIT queries*
+can charge more page reads than the row-at-a-time pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.engine.database import Database
+from repro.errors import ExecutionError
+from repro.executor.aggregates import AggregateState, new_states
+from repro.executor.batch import DEFAULT_BATCH_SIZE, RowBatch
+from repro.executor.joins import (
+    run_hash_join_batched,
+    run_nested_loop_join_batched,
+)
+from repro.executor.scans import run_index_scan_batched, run_seq_scan_batched
+from repro.executor.sorts import run_sort_batched
+from repro.expr.eval import evaluate, evaluate_batch
+from repro.optimizer.physical import (
+    Distinct,
+    EmptyResult,
+    Extend,
+    Filter,
+    GroupBy,
+    HashJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    PhysicalNode,
+    Project,
+    SeqScan,
+    Sort,
+    UnionAll,
+)
+
+RowDict = Dict[str, Any]
+
+
+class BatchedInterpreter:
+    """Interprets a physical plan batch-at-a-time.
+
+    One instance serves one execution: it carries the ``batch_size`` and,
+    when instrumented, records per-node actual row *and batch* counts for
+    EXPLAIN ANALYZE.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        instrument: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ExecutionError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.database = database
+        self.batch_size = batch_size
+        self.instrument = instrument
+
+    def rows(self, root: PhysicalNode) -> List[RowDict]:
+        """Run the plan and materialize the result as row dicts."""
+        out: List[RowDict] = []
+        for batch in self.run(root):
+            out.extend(batch.to_rows())
+        return out
+
+    # -- dispatch -------------------------------------------------------------
+
+    def run(self, node: PhysicalNode) -> Iterator[RowBatch]:
+        if not self.instrument:
+            return self._run_raw(node)
+        return self._counted(node)
+
+    def _counted(self, node: PhysicalNode) -> Iterator[RowBatch]:
+        rows = 0
+        batches = 0
+        for batch in self._run_raw(node):
+            rows += len(batch)
+            batches += 1
+            yield batch
+        node.actual_rows = rows
+        node.actual_batches = batches
+
+    def _run_raw(self, node: PhysicalNode) -> Iterator[RowBatch]:
+        if isinstance(node, EmptyResult):
+            return iter(())
+        if isinstance(node, SeqScan):
+            return run_seq_scan_batched(self.database, node, self.batch_size)
+        if isinstance(node, IndexScan):
+            return run_index_scan_batched(self.database, node, self.batch_size)
+        if isinstance(node, Filter):
+            return self._run_filter(node)
+        if isinstance(node, NestedLoopJoin):
+            return run_nested_loop_join_batched(node, self.run, self.batch_size)
+        if isinstance(node, HashJoin):
+            return run_hash_join_batched(node, self.run, self.batch_size)
+        if isinstance(node, GroupBy):
+            return self._run_group_by(node)
+        if isinstance(node, Extend):
+            return self._run_extend(node)
+        if isinstance(node, Sort):
+            return run_sort_batched(node, self.run(node.child), self.batch_size)
+        if isinstance(node, Project):
+            return self._run_project(node)
+        if isinstance(node, Distinct):
+            return self._run_distinct(node)
+        if isinstance(node, Limit):
+            return self._run_limit(node)
+        if isinstance(node, UnionAll):
+            return itertools.chain.from_iterable(
+                self.run(child) for child in node.inputs
+            )
+        raise ExecutionError(f"cannot execute {type(node).__name__}")
+
+    # -- operators ----------------------------------------------------------------
+
+    def _run_filter(self, node: Filter) -> Iterator[RowBatch]:
+        for batch in self.run(node.child):
+            filtered = batch.filter_true(evaluate_batch(node.predicate, batch))
+            if len(filtered):
+                yield filtered
+
+    def _run_extend(self, node: Extend) -> Iterator[RowBatch]:
+        for batch in self.run(node.child):
+            columns = list(batch.columns)
+            data = dict(batch.data)
+            present = set(columns)
+            for output in node.outputs:
+                # Evaluated against the child batch, as the row form
+                # evaluates against the original row.
+                data[output.name] = evaluate_batch(output.expression, batch)
+                if output.name not in present:
+                    columns.append(output.name)
+                    present.add(output.name)
+            yield RowBatch(columns, data, len(batch))
+
+    def _run_project(self, node: Project) -> Iterator[RowBatch]:
+        for batch in self.run(node.child):
+            data: Dict[str, List[Any]] = {}
+            for name, source in zip(node.names, node.source_names):
+                column = batch.data.get(source)
+                data[name] = (
+                    column if column is not None else [None] * len(batch)
+                )
+            yield RowBatch(node.names, data, len(batch))
+
+    def _run_distinct(self, node: Distinct) -> Iterator[RowBatch]:
+        seen: set = set()
+        for batch in self.run(node.child):
+            # Same key as the row form's tuple(sorted(row.items())).
+            names = sorted(batch.columns)
+            columns = [batch.data[name] for name in names]
+            keep: List[int] = []
+            for i in range(len(batch)):
+                key = tuple(
+                    (name, column[i]) for name, column in zip(names, columns)
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                keep.append(i)
+            if not keep:
+                continue
+            yield batch if len(keep) == len(batch) else batch.take(keep)
+
+    def _run_limit(self, node: Limit) -> Iterator[RowBatch]:
+        remaining = node.count
+        if remaining <= 0:
+            return
+        for batch in self.run(node.child):
+            if len(batch) < remaining:
+                remaining -= len(batch)
+                yield batch
+            else:
+                yield batch.slice(0, remaining)
+                return
+
+    def _run_group_by(self, node: GroupBy) -> Iterator[RowBatch]:
+        groups: Dict[Tuple[Any, ...], Tuple[RowDict, List[AggregateState]]] = {}
+        order: List[Tuple[Any, ...]] = []
+        has_keys = bool(node.keys)
+        for batch in self.run(node.child):
+            n = len(batch)
+            aggregate_columns = [
+                None
+                if spec.argument is None
+                else evaluate_batch(spec.argument, batch)
+                for spec in node.aggregates
+            ]
+            # Partition the batch's rows by group key, preserving
+            # first-seen order so the global group order matches the
+            # row-at-a-time interpreter.
+            local: Dict[Tuple[Any, ...], List[int]] = {}
+            if has_keys:
+                key_columns = [
+                    evaluate_batch(key, batch) for key in node.keys
+                ]
+                if len(key_columns) == 1:
+                    for i, value in enumerate(key_columns[0]):
+                        key = (value,)
+                        bucket = local.get(key)
+                        if bucket is None:
+                            local[key] = [i]
+                        else:
+                            bucket.append(i)
+                else:
+                    for i in range(n):
+                        key = tuple(column[i] for column in key_columns)
+                        bucket = local.get(key)
+                        if bucket is None:
+                            local[key] = [i]
+                        else:
+                            bucket.append(i)
+            else:
+                local[()] = list(range(n))
+            for key, indices in local.items():
+                entry = groups.get(key)
+                if entry is None:
+                    entry = (batch.row(indices[0]), new_states(node.aggregates))
+                    groups[key] = entry
+                    order.append(key)
+                whole_batch = len(indices) == n
+                for state, column in zip(entry[1], aggregate_columns):
+                    if column is None:
+                        state.update_count_star(len(indices))
+                    elif whole_batch:
+                        state.update_values(column)
+                    else:
+                        state.update_values([column[i] for i in indices])
+
+        out_rows: List[RowDict] = []
+        if not groups and not has_keys:
+            # Scalar aggregation over an empty input: one all-default row.
+            empty: RowDict = {}
+            for state in new_states(node.aggregates):
+                empty[state.spec.output_name] = state.result()
+            if node.having is None or evaluate(node.having, empty) is True:
+                out_rows.append(empty)
+        else:
+            for key in order:
+                first_row, states = groups[key]
+                out: RowDict = {}
+                for column, value in zip(node.keys, key):
+                    out[column.qualified] = value
+                    out[column.column] = value
+                for column in node.carried:
+                    value = evaluate(column, first_row)
+                    out[column.qualified] = value
+                    out[column.column] = value
+                for state in states:
+                    out[state.spec.output_name] = state.result()
+                if node.having is None or evaluate(node.having, out) is True:
+                    out_rows.append(out)
+        for start in range(0, len(out_rows), self.batch_size):
+            yield RowBatch.from_rows(out_rows[start : start + self.batch_size])

@@ -37,6 +37,8 @@ def _render(node: PhysicalNode, depth: int, lines: List[str]) -> None:
     actual = (
         "" if node.actual_rows is None else f" actual={node.actual_rows}"
     )
+    if actual and node.actual_batches is not None:
+        actual += f" batches={node.actual_batches}"
     lines.append(
         f"{indent}{node.describe()}  "
         f"[rows~{node.estimated_rows:.1f} cost~{node.estimated_cost:.1f}"

@@ -24,6 +24,9 @@ class PhysicalNode:
         self.estimated_cost: float = 0.0
         # Filled by an instrumented execution (EXPLAIN ANALYZE).
         self.actual_rows: Optional[int] = None
+        # Batches this operator emitted; set only by an instrumented
+        # *batched* execution (stays None row-at-a-time).
+        self.actual_batches: Optional[int] = None
 
     def children(self) -> List["PhysicalNode"]:
         return []

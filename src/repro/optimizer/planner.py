@@ -62,6 +62,11 @@ class OptimizerConfig:
     # Section 3.2: assess PROBATION constraints in a shadow rewrite pass,
     # counting the queries each would have helped.
     track_probation_usage: bool = True
+    # Rows per executor batch (the vectorized pipeline's unit of work).
+    # 0 selects the row-at-a-time interpreter.  Mirrors
+    # repro.executor.batch.DEFAULT_BATCH_SIZE, kept literal here so the
+    # optimizer package never imports the executor.
+    batch_size: int = 1024
 
 
 class Optimizer:
