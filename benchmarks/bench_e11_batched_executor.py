@@ -12,6 +12,12 @@ with batch size until it saturates around a few hundred rows per batch.
 Emits ``BENCH_e11.json`` which ``check_bench_regression.py`` (wired into
 the benchmark conftest) uses to fail any run where the batched executor
 regressed below row-at-a-time.
+
+Expression compilation (the E12 axis) is disabled for both executors
+here: it removes most of the per-row interpreter overhead that batching
+also attacks, so leaving it on would understate the batching effect this
+experiment isolates.  E12 measures the compilation axis on the batched
+pipeline.
 """
 
 import json
@@ -22,6 +28,7 @@ import pytest
 
 from repro import SoftDB
 from repro.executor.runtime import Executor
+from repro.optimizer.planner import Optimizer, OptimizerConfig
 
 ROWS = 100_000
 BATCH_SIZE = 1024
@@ -54,6 +61,12 @@ def scenario() -> SoftDB:
     return db
 
 
+def _plan(db: SoftDB, sql: str):
+    """Plan with expression compilation off to isolate the batching axis."""
+    config = OptimizerConfig(compile_expressions=False)
+    return Optimizer(db.database, db.registry, config).optimize(sql)
+
+
 def _best_of(fn, repetitions: int = 3) -> float:
     times = []
     for _ in range(repetitions):
@@ -64,14 +77,14 @@ def _best_of(fn, repetitions: int = 3) -> float:
 
 
 def test_e11_benchmark_batched(benchmark, scenario):
-    plan = scenario.plan(PIPELINE_SQL)
+    plan = _plan(scenario, PIPELINE_SQL)
     executor = Executor(scenario.database, batch_size=BATCH_SIZE)
     result = benchmark(lambda: executor.execute(plan))
     assert result.row_count == 16
 
 
 def test_e11_benchmark_row_at_a_time(benchmark, scenario):
-    plan = scenario.plan(PIPELINE_SQL)
+    plan = _plan(scenario, PIPELINE_SQL)
     executor = Executor(scenario.database, batch_size=0)
     result = benchmark(lambda: executor.execute(plan))
     assert result.row_count == 16
@@ -84,7 +97,7 @@ def test_e11_report_speedup_and_emit_json(report, benchmark, scenario):
         ("scan-filter-aggregate-100k", PIPELINE_SQL, TARGET_SPEEDUP),
         ("hash-join-probe-100k", JOIN_SQL, None),
     ):
-        plan = scenario.plan(sql)
+        plan = _plan(scenario, sql)
         row_exec = Executor(scenario.database, batch_size=0)
         batched_exec = Executor(scenario.database, batch_size=BATCH_SIZE)
         row_result = row_exec.execute(plan)
@@ -113,7 +126,7 @@ def test_e11_report_speedup_and_emit_json(report, benchmark, scenario):
     )
     benchmark(
         lambda: Executor(scenario.database, batch_size=BATCH_SIZE).execute(
-            scenario.plan(PIPELINE_SQL)
+            _plan(scenario, PIPELINE_SQL)
         )
     )
     report(
@@ -137,7 +150,7 @@ def test_e11_report_batch_size_sweep(report, benchmark, scenario):
     """Speedup vs batch size: grows, then saturates (per-batch overhead
     amortized); batch_size=1 pays the batching machinery with none of the
     amortization and should sit near (below) 1x."""
-    plan = scenario.plan(PIPELINE_SQL)
+    plan = _plan(scenario, PIPELINE_SQL)
     row_s = _best_of(
         lambda: Executor(scenario.database, batch_size=0).execute(plan), 2
     )

@@ -1,15 +1,21 @@
 #!/usr/bin/env python
-"""Fail when BENCH_e11.json shows the batched executor regressed.
+"""Fail when any recorded ``BENCH_*.json`` shows a perf regression.
+
+Every benchmark module that emits a ``BENCH_<experiment>.json`` with a
+``pipelines`` list is gated here.  Each pipeline entry records a baseline
+and a candidate timing under schema-specific key names; the candidate
+must never be slower than the baseline (the universal 1.0x hard floor),
+and must meet the experiment's headline ``target_speedup`` when the
+entry carries one.
 
 Usable two ways:
 
-* standalone — ``python benchmarks/check_bench_regression.py [path]``
-  exits 1 (with a message per failure) if the recorded batched executor
-  timing is slower than row-at-a-time, or slower than the experiment's
-  speedup floor;
+* standalone — ``python benchmarks/check_bench_regression.py [paths...]``
+  discovers every ``BENCH_*.json`` next to this script (or checks just
+  the given paths) and exits 1 with a message per failure;
 * from the benchmark conftest — ``pytest_sessionfinish`` calls
-  :func:`check_regressions` after a benchmark run so a freshly written
-  regressed BENCH_e11.json fails the run.
+  :func:`check_all_regressions` after a benchmark run so freshly written
+  regressed results fail the run.
 """
 
 from __future__ import annotations
@@ -17,32 +23,74 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
-from typing import List
+from typing import Dict, List, Tuple
 
-DEFAULT_RESULTS = Path(__file__).resolve().parent / "BENCH_e11.json"
+BENCH_DIR = Path(__file__).resolve().parent
 
-#: The batched executor must never be slower than row-at-a-time.
+# Kept for callers/tests that refer to the e11 results directly.
+DEFAULT_RESULTS = BENCH_DIR / "BENCH_e11.json"
+
+#: The candidate path must never be slower than its baseline.
 HARD_FLOOR = 1.0
+
+#: Per-file timing schema: (baseline key, candidate key, headline floor).
+#: The headline floor applies to entries whose ``target_speedup`` is
+#: null/absent only through each entry's own ``target_speedup`` — the
+#: third element documents the experiment's expected headline target so
+#: a results file that *lost* its target_speedup field still gets gated.
+SCHEMAS: Dict[str, Tuple[str, str, float]] = {
+    "BENCH_e11.json": ("row_at_a_time_s", "batched_s", 3.0),
+    "BENCH_e12.json": ("interpreted_batched_s", "compiled_batched_s", 2.0),
+}
+
+#: Fallback timing key pairs tried, in order, for BENCH files that are
+#: not in SCHEMAS yet.
+GENERIC_KEYS = [
+    ("row_at_a_time_s", "batched_s"),
+    ("interpreted_batched_s", "compiled_batched_s"),
+    ("baseline_s", "candidate_s"),
+]
+
+
+def discover_results(directory: Path = BENCH_DIR) -> List[Path]:
+    """Every recorded ``BENCH_*.json`` in ``directory``, sorted by name."""
+    return sorted(directory.glob("BENCH_*.json"))
+
+
+def _entry_keys(name: str, entry: dict) -> Tuple[str, str, float]:
+    schema = SCHEMAS.get(name)
+    if schema is not None:
+        return schema
+    for baseline_key, candidate_key in GENERIC_KEYS:
+        if baseline_key in entry and candidate_key in entry:
+            return baseline_key, candidate_key, HARD_FLOOR
+    return "", "", HARD_FLOOR
 
 
 def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
     """Return a list of human-readable regression descriptions (empty = ok)."""
-    payload = json.loads(Path(path).read_text())
+    path = Path(path)
+    payload = json.loads(path.read_text())
     failures: List[str] = []
     for entry in payload.get("pipelines", []):
         name = entry.get("name", "?")
-        row_s = entry.get("row_at_a_time_s")
-        batched_s = entry.get("batched_s")
-        if not row_s or not batched_s:
+        baseline_key, candidate_key, headline_floor = _entry_keys(
+            path.name, entry
+        )
+        baseline_s = entry.get(baseline_key)
+        candidate_s = entry.get(candidate_key)
+        if not baseline_s or not candidate_s:
             failures.append(f"{name}: incomplete timings in {path}")
             continue
-        speedup = row_s / batched_s
+        speedup = baseline_s / candidate_s
         if speedup < HARD_FLOOR:
             failures.append(
-                f"{name}: batched executor is SLOWER than row-at-a-time "
-                f"({batched_s:.4f}s vs {row_s:.4f}s, {speedup:.2f}x)"
+                f"{name}: {candidate_key} is SLOWER than {baseline_key} "
+                f"({candidate_s:.4f}s vs {baseline_s:.4f}s, {speedup:.2f}x)"
             )
         floor = entry.get("target_speedup")
+        if floor is None and entry.get("headline"):
+            floor = headline_floor
         if floor is not None and speedup < floor:
             failures.append(
                 f"{name}: speedup {speedup:.2f}x below the experiment's "
@@ -51,20 +99,53 @@ def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
     return failures
 
 
+def check_all_regressions(directory: Path = BENCH_DIR) -> List[str]:
+    """Gate every discovered BENCH_*.json; failures are path-prefixed."""
+    failures: List[str] = []
+    for path in discover_results(directory):
+        failures.extend(
+            f"{path.name}: {failure}" for failure in check_regressions(path)
+        )
+    return failures
+
+
+def _speedups(path: Path) -> List[str]:
+    payload = json.loads(path.read_text())
+    lines = []
+    for entry in payload.get("pipelines", []):
+        baseline_key, candidate_key, _ = _entry_keys(path.name, entry)
+        baseline_s = entry.get(baseline_key)
+        candidate_s = entry.get(candidate_key)
+        if baseline_s and candidate_s:
+            lines.append(
+                f"ok: {path.name} {entry.get('name', '?')} "
+                f"{baseline_s / candidate_s:.2f}x"
+            )
+    return lines
+
+
 def main(argv: List[str]) -> int:
-    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
-    if not path.exists():
-        print(f"no benchmark results at {path}; run bench_e11 first")
+    paths = [Path(arg) for arg in argv[1:]] or discover_results()
+    if not paths:
+        print(f"no BENCH_*.json results in {BENCH_DIR}; run the benchmarks")
         return 1
-    failures = check_regressions(path)
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no benchmark results at {path}")
+        return 1
+    failures: List[str] = []
+    for path in paths:
+        failures.extend(
+            f"{path.name}: {failure}" for failure in check_regressions(path)
+        )
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}")
         return 1
-    payload = json.loads(path.read_text())
-    for entry in payload.get("pipelines", []):
-        speedup = entry["row_at_a_time_s"] / entry["batched_s"]
-        print(f"ok: {entry['name']} batched {speedup:.2f}x faster")
+    for path in paths:
+        for line in _speedups(path):
+            print(line)
     return 0
 
 

@@ -6,10 +6,13 @@ index.  Wall-clock timings come from pytest-benchmark; the *shape* results
 ``pytest benchmarks/ --benchmark-only`` and the tables appear between the
 benchmark summaries.
 
-The session also ends with the executor regression gate: if
-``BENCH_e11.json`` (written by ``bench_e11_batched_executor.py``) records
-the batched executor as slower than row-at-a-time, the whole benchmark
-run fails even when every individual test passed.
+The session also ends with the perf regression gate: every recorded
+``BENCH_*.json`` (e.g. the batched-executor results from
+``bench_e11_batched_executor.py`` and the compiled-expression results
+from ``bench_e12_compiled_expressions.py``) is checked; if any records
+its candidate path as slower than its baseline — or below the
+experiment's recorded speedup target — the whole benchmark run fails
+even when every individual test passed.
 """
 
 from __future__ import annotations
@@ -19,17 +22,17 @@ from typing import Any, List, Sequence
 
 import pytest
 
-from check_bench_regression import DEFAULT_RESULTS, check_regressions
+from check_bench_regression import check_all_regressions, discover_results
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if exitstatus != 0 or not DEFAULT_RESULTS.exists():
+    if exitstatus != 0 or not discover_results():
         return
-    failures = check_regressions(DEFAULT_RESULTS)
+    failures = check_all_regressions()
     if failures:
         reporter = session.config.pluginmanager.get_plugin("terminalreporter")
         for failure in failures:
-            message = f"BENCH_e11 regression: {failure}"
+            message = f"benchmark regression: {failure}"
             if reporter is not None:
                 reporter.write_line(message, red=True)
             else:

@@ -33,11 +33,25 @@ def run_nested_loop_join(
     would absorb.
     """
     inner_rows: List[RowDict] = list(run_child(node.right))
-    for left_row in run_child(node.left):
-        for right_row in inner_rows:
-            merged = {**left_row, **right_row}
-            if node.condition is None or evaluate(node.condition, merged) is True:
-                yield merged
+    condition = node.condition
+    compiled = node.compiled_condition
+    if condition is None:
+        for left_row in run_child(node.left):
+            for right_row in inner_rows:
+                yield {**left_row, **right_row}
+    elif compiled is not None:
+        condition_fn = compiled[0]
+        for left_row in run_child(node.left):
+            for right_row in inner_rows:
+                merged = {**left_row, **right_row}
+                if condition_fn(merged) is True:
+                    yield merged
+    else:
+        for left_row in run_child(node.left):
+            for right_row in inner_rows:
+                merged = {**left_row, **right_row}
+                if evaluate(condition, merged) is True:
+                    yield merged
 
 
 def run_hash_join(node: HashJoin, run_child: ChildRunner) -> RowIterator:
@@ -45,21 +59,46 @@ def run_hash_join(node: HashJoin, run_child: ChildRunner) -> RowIterator:
 
     NULL key components never match (SQL equality semantics).
     """
+    right_fns = (
+        [pair[0] for pair in node.compiled_right_keys]
+        if node.compiled_right_keys is not None
+        else None
+    )
+    left_fns = (
+        [pair[0] for pair in node.compiled_left_keys]
+        if node.compiled_left_keys is not None
+        else None
+    )
+    residual = node.residual
+    residual_fn = (
+        node.compiled_residual[0] if node.compiled_residual is not None else None
+    )
     build: Dict[Tuple[Any, ...], List[RowDict]] = {}
     for right_row in run_child(node.right):
-        key = tuple(evaluate(expr, right_row) for expr in node.right_keys)
+        if right_fns is not None:
+            key = tuple(fn(right_row) for fn in right_fns)
+        else:
+            key = tuple(evaluate(expr, right_row) for expr in node.right_keys)
         if any(part is None for part in key):
             continue
         build.setdefault(key, []).append(right_row)
     if not build:
         return  # empty build side: skip scanning the probe input entirely
     for left_row in run_child(node.left):
-        key = tuple(evaluate(expr, left_row) for expr in node.left_keys)
+        if left_fns is not None:
+            key = tuple(fn(left_row) for fn in left_fns)
+        else:
+            key = tuple(evaluate(expr, left_row) for expr in node.left_keys)
         if any(part is None for part in key):
             continue
         for right_row in build.get(key, ()):
             merged = {**left_row, **right_row}
-            if node.residual is None or evaluate(node.residual, merged) is True:
+            if residual is None:
+                yield merged
+            elif residual_fn is not None:
+                if residual_fn(merged) is True:
+                    yield merged
+            elif evaluate(residual, merged) is True:
                 yield merged
 
 
@@ -110,9 +149,11 @@ def run_nested_loop_join_batched(
                 data[name] = inner.data[name] * k if k > 1 else inner.data[name]
             merged = RowBatch(columns, data, k * m)
             if node.condition is not None:
-                merged = merged.filter_true(
-                    evaluate_batch(node.condition, merged)
-                )
+                if node.compiled_condition is not None:
+                    verdicts = node.compiled_condition[1](merged)
+                else:
+                    verdicts = evaluate_batch(node.condition, merged)
+                merged = merged.filter_true(verdicts)
             if len(merged):
                 yield merged
 
@@ -130,9 +171,14 @@ def run_hash_join_batched(
     build_side = RowBatch.concat(list(run_child(node.right)))
     build: Dict[Tuple[Any, ...], List[int]] = {}
     if build_side is not None and len(build_side):
-        key_columns = [
-            evaluate_batch(expr, build_side) for expr in node.right_keys
-        ]
+        if node.compiled_right_keys is not None:
+            key_columns = [
+                pair[1](build_side) for pair in node.compiled_right_keys
+            ]
+        else:
+            key_columns = [
+                evaluate_batch(expr, build_side) for expr in node.right_keys
+            ]
         for i in range(len(build_side)):
             key = tuple(column[i] for column in key_columns)
             if any(part is None for part in key):
@@ -141,7 +187,12 @@ def run_hash_join_batched(
     if not build:
         return  # empty build side: skip scanning the probe input entirely
     for left in run_child(node.left):
-        key_columns = [evaluate_batch(expr, left) for expr in node.left_keys]
+        if node.compiled_left_keys is not None:
+            key_columns = [pair[1](left) for pair in node.compiled_left_keys]
+        else:
+            key_columns = [
+                evaluate_batch(expr, left) for expr in node.left_keys
+            ]
         probe_idx: List[int] = []
         build_idx: List[int] = []
         for i in range(len(left)):
@@ -164,6 +215,10 @@ def run_hash_join_batched(
             data[name] = [column[j] for j in build_idx]
         merged = RowBatch(columns, data, len(probe_idx))
         if node.residual is not None:
-            merged = merged.filter_true(evaluate_batch(node.residual, merged))
+            if node.compiled_residual is not None:
+                verdicts = node.compiled_residual[1](merged)
+            else:
+                verdicts = evaluate_batch(node.residual, merged)
+            merged = merged.filter_true(verdicts)
         if len(merged):
             yield merged

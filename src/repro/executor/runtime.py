@@ -235,16 +235,33 @@ class Executor:
     # -- operators ----------------------------------------------------------------
 
     def _run_filter(self, node: Filter) -> Iterator[RowDict]:
-        for row in self._run(node.child):
-            if evaluate(node.predicate, row) is True:
-                yield row
+        if node.compiled_predicate is not None:
+            row_fn = node.compiled_predicate[0]
+            for row in self._run(node.child):
+                if row_fn(row) is True:
+                    yield row
+        else:
+            for row in self._run(node.child):
+                if evaluate(node.predicate, row) is True:
+                    yield row
 
     def _run_extend(self, node: Extend) -> Iterator[RowDict]:
-        for row in self._run(node.child):
-            out = dict(row)
-            for output in node.outputs:
-                out[output.name] = evaluate(output.expression, row)
-            yield out
+        if node.compiled_outputs is not None:
+            targets = [
+                (output.name, pair[0])
+                for output, pair in zip(node.outputs, node.compiled_outputs)
+            ]
+            for row in self._run(node.child):
+                out = dict(row)
+                for name, row_fn in targets:
+                    out[name] = row_fn(row)
+                yield out
+        else:
+            for row in self._run(node.child):
+                out = dict(row)
+                for output in node.outputs:
+                    out[output.name] = evaluate(output.expression, row)
+                yield out
 
     def _run_project(self, node: Project) -> Iterator[RowDict]:
         for row in self._run(node.child):
@@ -265,21 +282,39 @@ class Executor:
     def _run_group_by(self, node: GroupBy) -> Iterator[RowDict]:
         groups: Dict[Tuple[Any, ...], Tuple[RowDict, List[AggregateState]]] = {}
         order: List[Tuple[Any, ...]] = []
-        for row in self._run(node.child):
-            key = tuple(evaluate(column, row) for column in node.keys)
-            entry = groups.get(key)
-            if entry is None:
-                entry = (row, new_states(node.aggregates))
-                groups[key] = entry
-                order.append(key)
-            for state in entry[1]:
-                state.update(row)
+        compiled_keys = node.compiled_keys
+        if compiled_keys is not None:
+            key_fns = [pair[0] for pair in compiled_keys]
+            for row in self._run(node.child):
+                key = tuple(fn(row) for fn in key_fns)
+                entry = groups.get(key)
+                if entry is None:
+                    entry = (
+                        row,
+                        new_states(
+                            node.aggregates, node.compiled_aggregate_args
+                        ),
+                    )
+                    groups[key] = entry
+                    order.append(key)
+                for state in entry[1]:
+                    state.update(row)
+        else:
+            for row in self._run(node.child):
+                key = tuple(evaluate(column, row) for column in node.keys)
+                entry = groups.get(key)
+                if entry is None:
+                    entry = (row, new_states(node.aggregates))
+                    groups[key] = entry
+                    order.append(key)
+                for state in entry[1]:
+                    state.update(row)
         if not groups and not node.keys:
             # Scalar aggregation over an empty input: one all-default row.
             empty: Dict[str, Any] = {}
             for state in new_states(node.aggregates):
                 empty[state.spec.output_name] = state.result()
-            if node.having is None or evaluate(node.having, empty) is True:
+            if node.having is None or self._having_ok(node, empty):
                 yield empty
             return
         for key in order:
@@ -288,14 +323,23 @@ class Executor:
             for column, value in zip(node.keys, key):
                 out[column.qualified] = value
                 out[column.column] = value
-            for column in node.carried:
-                value = evaluate(column, first_row)
+            for index, column in enumerate(node.carried):
+                if node.compiled_carried is not None:
+                    value = node.compiled_carried[index][0](first_row)
+                else:
+                    value = evaluate(column, first_row)
                 out[column.qualified] = value
                 out[column.column] = value
             for state in states:
                 out[state.spec.output_name] = state.result()
-            if node.having is None or evaluate(node.having, out) is True:
+            if node.having is None or self._having_ok(node, out):
                 yield out
+
+    @staticmethod
+    def _having_ok(node: GroupBy, row: RowDict) -> bool:
+        if node.compiled_having is not None:
+            return node.compiled_having[0](row) is True
+        return evaluate(node.having, row) is True
 
 
 def run_sql(

@@ -33,10 +33,21 @@ def qualified_row(
 def run_seq_scan(database: Database, node: SeqScan) -> Iterator[RowDict]:
     table = database.table(node.table_name)
     names = tuple(table.schema.column_names())
-    for row in table.scan_rows():
-        out = qualified_row(node.binding, names, row)
-        if node.predicate is None or evaluate(node.predicate, out) is True:
-            yield out
+    predicate = node.predicate
+    if predicate is None:
+        for row in table.scan_rows():
+            yield qualified_row(node.binding, names, row)
+    elif node.compiled_predicate is not None:
+        row_fn = node.compiled_predicate[0]
+        for row in table.scan_rows():
+            out = qualified_row(node.binding, names, row)
+            if row_fn(out) is True:
+                yield out
+    else:
+        for row in table.scan_rows():
+            out = qualified_row(node.binding, names, row)
+            if evaluate(predicate, out) is True:
+                yield out
 
 
 def run_index_scan(database: Database, node: IndexScan) -> Iterator[RowDict]:
@@ -52,6 +63,9 @@ def run_index_scan(database: Database, node: IndexScan) -> Iterator[RowDict]:
     index = database.catalog.index(node.index_name)
     names = tuple(table.schema.column_names())
     counters = table.pages.counters
+    predicate = node.predicate
+    compiled = node.compiled_predicate
+    row_fn = compiled[0] if compiled is not None else None
     buffered_page_id = None
     for _key, row_id in index.range_scan(
         low=_resolve_key(node.low),
@@ -67,8 +81,13 @@ def run_index_scan(database: Database, node: IndexScan) -> Iterator[RowDict]:
             continue
         counters.rows_read += 1
         out = qualified_row(node.binding, names, row)
-        if node.predicate is None or evaluate(node.predicate, out) is True:
-            yield out
+        if predicate is not None:
+            if row_fn is not None:
+                if row_fn(out) is not True:
+                    continue
+            elif evaluate(predicate, out) is not True:
+                continue
+        yield out
 
 
 def _resolve_key(key):
@@ -92,12 +111,16 @@ def _resolve_key(key):
 def _emit_batch(
     names: Tuple[str, ...],
     rows: List[Tuple[Any, ...]],
-    predicate: Optional[ast.Expression],
+    node: "SeqScan | IndexScan",
 ) -> Optional[RowBatch]:
     """Transpose fetched row tuples and apply the pushed-down filter."""
     batch = RowBatch.from_tuples(names, rows)
-    if predicate is not None:
-        batch = batch.filter_true(evaluate_batch(predicate, batch))
+    if node.predicate is not None:
+        compiled = node.compiled_predicate
+        if compiled is not None:
+            batch = batch.filter_true(compiled[1](batch))
+        else:
+            batch = batch.filter_true(evaluate_batch(node.predicate, batch))
     return batch if len(batch) else None
 
 
@@ -113,7 +136,7 @@ def run_seq_scan_batched(
         buffer = list(itertools.islice(source, batch_size))
         if not buffer:
             return
-        batch = _emit_batch(names, buffer, node.predicate)
+        batch = _emit_batch(names, buffer, node)
         if batch is not None:
             yield batch
 
@@ -149,11 +172,11 @@ def run_index_scan_batched(
         counters.rows_read += 1
         buffer.append(row)
         if len(buffer) >= batch_size:
-            batch = _emit_batch(names, buffer, node.predicate)
+            batch = _emit_batch(names, buffer, node)
             buffer = []
             if batch is not None:
                 yield batch
     if buffer:
-        batch = _emit_batch(names, buffer, node.predicate)
+        batch = _emit_batch(names, buffer, node)
         if batch is not None:
             yield batch

@@ -1,46 +1,46 @@
-"""Sorting with SQL NULL ordering (NULLs sort last ascending)."""
+"""Sorting with SQL NULL ordering (NULLs sort last ascending).
+
+Keys are decorated as plain ``(is_null, value)`` tuples — computed once
+per row per sort pass — so the stable multi-key sort compares at C level
+instead of bouncing through a Python-level total-order wrapper object on
+every comparison.  The ``is_null`` flag puts NULLs after every value
+ascending (before, descending, matching the previous wrapper's order);
+the ``0`` stand-in for NULL values keeps tied NULL keys comparable.
+"""
 
 from __future__ import annotations
 
-import functools
 from typing import Any, Dict, Iterable, Iterator, List
 
 from repro.executor.batch import RowBatch
 from repro.expr.eval import evaluate, evaluate_batch
 from repro.optimizer.physical import Sort
-from repro.sql import ast
 
 RowDict = Dict[str, Any]
 
+_NULL_KEY = (True, 0)
 
-@functools.total_ordering
-class _SortKey:
-    """Total-order wrapper: None sorts after every value (ASC)."""
 
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any) -> None:
-        self.value = value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _SortKey) and self.value == other.value
-
-    def __lt__(self, other: "_SortKey") -> bool:
-        if self.value is None:
-            return False
-        if other.value is None:
-            return True
-        return self.value < other.value
+def _decorate(value: Any):
+    return _NULL_KEY if value is None else (False, value)
 
 
 def run_sort(node: Sort, rows: Iterator[RowDict]) -> Iterator[RowDict]:
     """Materialize and sort; stable multi-key sort, last key first."""
     materialized: List[RowDict] = list(rows)
-    for expression, ascending in reversed(node.order):
-        materialized.sort(
-            key=lambda row: _SortKey(evaluate(expression, row)),
-            reverse=not ascending,
-        )
+    compiled = node.compiled_order
+    if compiled is not None:
+        for row_fn, _batch_fn, ascending in reversed(compiled):
+            materialized.sort(
+                key=lambda row, _fn=row_fn: _decorate(_fn(row)),
+                reverse=not ascending,
+            )
+    else:
+        for expression, ascending in reversed(node.order):
+            materialized.sort(
+                key=lambda row, _e=expression: _decorate(evaluate(_e, row)),
+                reverse=not ascending,
+            )
     return iter(materialized)
 
 
@@ -50,14 +50,28 @@ def run_sort_batched(
     """Batched twin of :func:`run_sort`: sort an index permutation.
 
     Key columns are evaluated once per sort pass over the concatenated
-    input; the stable multi-pass sort permutes row indices, and the
-    result is gathered and re-chunked to ``batch_size``.
+    input and decorated in one comprehension; the stable multi-pass sort
+    permutes row indices, and the result is gathered and re-chunked to
+    ``batch_size``.
     """
     materialized = RowBatch.concat(list(batches))
     if materialized is None or len(materialized) == 0:
         return
     indices = list(range(len(materialized)))
-    for expression, ascending in reversed(node.order):
-        keys = [_SortKey(value) for value in evaluate_batch(expression, materialized)]
+    compiled = node.compiled_order
+    if compiled is not None:
+        passes = [
+            (batch_fn(materialized), ascending)
+            for _row_fn, batch_fn, ascending in reversed(compiled)
+        ]
+    else:
+        passes = [
+            (evaluate_batch(expression, materialized), ascending)
+            for expression, ascending in reversed(node.order)
+        ]
+    for values, ascending in passes:
+        keys = [
+            _NULL_KEY if value is None else (False, value) for value in values
+        ]
         indices.sort(key=keys.__getitem__, reverse=not ascending)
     yield from materialized.take(indices).split(batch_size)

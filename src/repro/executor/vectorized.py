@@ -131,20 +131,35 @@ class BatchedInterpreter:
     # -- operators ----------------------------------------------------------------
 
     def _run_filter(self, node: Filter) -> Iterator[RowBatch]:
-        for batch in self.run(node.child):
-            filtered = batch.filter_true(evaluate_batch(node.predicate, batch))
-            if len(filtered):
-                yield filtered
+        if node.compiled_predicate is not None:
+            batch_fn = node.compiled_predicate[1]
+            for batch in self.run(node.child):
+                filtered = batch.filter_true(batch_fn(batch))
+                if len(filtered):
+                    yield filtered
+        else:
+            for batch in self.run(node.child):
+                filtered = batch.filter_true(
+                    evaluate_batch(node.predicate, batch)
+                )
+                if len(filtered):
+                    yield filtered
 
     def _run_extend(self, node: Extend) -> Iterator[RowBatch]:
+        compiled = node.compiled_outputs
         for batch in self.run(node.child):
             columns = list(batch.columns)
             data = dict(batch.data)
             present = set(columns)
-            for output in node.outputs:
+            for index, output in enumerate(node.outputs):
                 # Evaluated against the child batch, as the row form
                 # evaluates against the original row.
-                data[output.name] = evaluate_batch(output.expression, batch)
+                if compiled is not None:
+                    data[output.name] = compiled[index][1](batch)
+                else:
+                    data[output.name] = evaluate_batch(
+                        output.expression, batch
+                    )
                 if output.name not in present:
                     columns.append(output.name)
                     present.add(output.name)
@@ -195,22 +210,35 @@ class BatchedInterpreter:
         groups: Dict[Tuple[Any, ...], Tuple[RowDict, List[AggregateState]]] = {}
         order: List[Tuple[Any, ...]] = []
         has_keys = bool(node.keys)
+        compiled_args = node.compiled_aggregate_args
+        compiled_keys = node.compiled_keys
         for batch in self.run(node.child):
             n = len(batch)
-            aggregate_columns = [
-                None
-                if spec.argument is None
-                else evaluate_batch(spec.argument, batch)
-                for spec in node.aggregates
-            ]
+            if compiled_args is not None:
+                aggregate_columns = [
+                    None if pair is None else pair[1](batch)
+                    for pair in compiled_args
+                ]
+            else:
+                aggregate_columns = [
+                    None
+                    if spec.argument is None
+                    else evaluate_batch(spec.argument, batch)
+                    for spec in node.aggregates
+                ]
             # Partition the batch's rows by group key, preserving
             # first-seen order so the global group order matches the
             # row-at-a-time interpreter.
             local: Dict[Tuple[Any, ...], List[int]] = {}
             if has_keys:
-                key_columns = [
-                    evaluate_batch(key, batch) for key in node.keys
-                ]
+                if compiled_keys is not None:
+                    key_columns = [
+                        pair[1](batch) for pair in compiled_keys
+                    ]
+                else:
+                    key_columns = [
+                        evaluate_batch(key, batch) for key in node.keys
+                    ]
                 if len(key_columns) == 1:
                     for i, value in enumerate(key_columns[0]):
                         key = (value,)
@@ -232,7 +260,10 @@ class BatchedInterpreter:
             for key, indices in local.items():
                 entry = groups.get(key)
                 if entry is None:
-                    entry = (batch.row(indices[0]), new_states(node.aggregates))
+                    entry = (
+                        batch.row(indices[0]),
+                        new_states(node.aggregates, compiled_args),
+                    )
                     groups[key] = entry
                     order.append(key)
                 whole_batch = len(indices) == n
@@ -250,7 +281,7 @@ class BatchedInterpreter:
             empty: RowDict = {}
             for state in new_states(node.aggregates):
                 empty[state.spec.output_name] = state.result()
-            if node.having is None or evaluate(node.having, empty) is True:
+            if node.having is None or self._having_ok(node, empty):
                 out_rows.append(empty)
         else:
             for key in order:
@@ -259,13 +290,22 @@ class BatchedInterpreter:
                 for column, value in zip(node.keys, key):
                     out[column.qualified] = value
                     out[column.column] = value
-                for column in node.carried:
-                    value = evaluate(column, first_row)
+                for index, column in enumerate(node.carried):
+                    if node.compiled_carried is not None:
+                        value = node.compiled_carried[index][0](first_row)
+                    else:
+                        value = evaluate(column, first_row)
                     out[column.qualified] = value
                     out[column.column] = value
                 for state in states:
                     out[state.spec.output_name] = state.result()
-                if node.having is None or evaluate(node.having, out) is True:
+                if node.having is None or self._having_ok(node, out):
                     out_rows.append(out)
         for start in range(0, len(out_rows), self.batch_size):
             yield RowBatch.from_rows(out_rows[start : start + self.batch_size])
+
+    @staticmethod
+    def _having_ok(node: GroupBy, row: RowDict) -> bool:
+        if node.compiled_having is not None:
+            return node.compiled_having[0](row) is True
+        return evaluate(node.having, row) is True

@@ -1,0 +1,1039 @@
+"""Plan-time expression compilation to specialized closures.
+
+:func:`compile_row` and :func:`compile_batch` lower an
+:class:`~repro.sql.ast.Expression` *once* into a plain Python closure —
+``Callable[[RowDict], Any]`` and ``Callable[[RowBatch], List[Any]]``
+respectively — so that repeated executions of a cached plan pay no
+per-evaluation AST dispatch.  Work that the interpreter in
+:mod:`repro.expr.eval` redoes on every row (or batch) is hoisted to
+compile time:
+
+* operator callables, column key strings and LIKE regexes are resolved
+  and bound as closure locals;
+* ``IN`` lists of same-class constants become frozen membership sets;
+* comparisons/arithmetic against a constant skip the per-row operand
+  materialization the batch interpreter pays for literal columns;
+* constant subexpressions are folded (with SQL three-valued logic: the
+  fold *evaluates* the subtree, so short-circuit AND/OR semantics and
+  Kleene NULL propagation are preserved exactly), and a constant
+  subtree that would raise at evaluation time compiles to a closure
+  raising the identical :class:`~repro.errors.ExpressionError` at call
+  time — never at plan time.
+
+Semantics are pinned to the interpreter: for every expression and every
+row/batch, the compiled closure returns the same value — or raises the
+same error, at the same call — as :func:`~repro.expr.eval.evaluate` /
+:func:`~repro.expr.eval.evaluate_batch`.  The differential suites in
+``tests/executor/test_batched_differential.py`` and the unit oracle in
+``tests/expr/test_compile.py`` hold the two paths together.
+
+Compiled closures are shared through a module-level cache keyed by the
+expression node itself (expression dataclasses hash structurally;
+:class:`~repro.sql.ast.RuntimeParameter` compares by identity, so plans
+parameterized on different soft constraints never alias).  Identical
+predicates across plans — the common case under
+:class:`~repro.optimizer.planner.PlanCache` recompiles — therefore reuse
+one closure; :func:`cache_stats` exposes the hit/miss counters EXPLAIN
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExpressionError
+from repro.expr.eval import (  # noqa: F401 - shared semantics helpers
+    _ARITHMETIC,
+    _COMPARATORS,
+    _SCALAR_FUNCTIONS,
+    _compare_ge,
+    _compare_le,
+    _like,
+    _like_regex,
+    _require_comparable,
+    _require_number,
+    _values_equal,
+    RowDict,
+    evaluate,
+    evaluate_batch,
+)
+from repro.sql import ast
+
+RowFn = Callable[[RowDict], Any]
+BatchFn = Callable[[Any], List[Any]]
+
+
+class CompiledExpr:
+    """A lowered expression: one row closure, one batch closure.
+
+    ``constant`` marks closures produced by constant folding; ``value``
+    is only meaningful when ``constant`` is true.
+    """
+
+    __slots__ = ("expression", "row", "batch", "constant", "value")
+
+    def __init__(
+        self,
+        expression: ast.Expression,
+        row: RowFn,
+        batch: BatchFn,
+        constant: bool = False,
+        value: Any = None,
+    ) -> None:
+        self.expression = expression
+        self.row = row
+        self.batch = batch
+        self.constant = constant
+        self.value = value
+
+    def __repr__(self) -> str:
+        kind = f"const {self.value!r}" if self.constant else "closure"
+        return f"CompiledExpr({type(self.expression).__name__}, {kind})"
+
+
+# ------------------------------------------------------------ compile cache
+
+_CACHE: Dict[ast.Expression, CompiledExpr] = {}
+_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_expr(expression: ast.Expression) -> CompiledExpr:
+    """Compile through the shared cache (structural expression keying)."""
+    try:
+        cached = _CACHE.get(expression)
+    except TypeError:  # unhashable custom node: compile without caching
+        _STATS["misses"] += 1
+        return _compile(expression)
+    if cached is not None:
+        _STATS["hits"] += 1
+        return cached
+    _STATS["misses"] += 1
+    compiled = _compile(expression)
+    _CACHE[expression] = compiled
+    return compiled
+
+
+def compile_row(expression: ast.Expression) -> RowFn:
+    """Lower ``expression`` to a ``row -> value`` closure (cached)."""
+    return compile_expr(expression).row
+
+
+def compile_batch(expression: ast.Expression) -> BatchFn:
+    """Lower ``expression`` to a ``batch -> [value]`` closure (cached)."""
+    return compile_expr(expression).batch
+
+
+def cache_stats() -> Tuple[int, int]:
+    """``(hits, misses)`` of the process-wide compile cache."""
+    return _STATS["hits"], _STATS["misses"]
+
+
+def clear_cache() -> None:
+    """Drop every cached closure and reset the counters (tests/benchmarks)."""
+    _CACHE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+# --------------------------------------------------------- constant folding
+
+
+def _is_constant(expression: ast.Expression) -> bool:
+    """True when the subtree evaluates row-independently and repeatably.
+
+    ``ColumnRef`` and ``RuntimeParameter`` (whose value tracks the live
+    soft constraint) are never constant; neither are aggregate or unknown
+    function calls, whose interpreter behaviour is an eval-time raise.
+    """
+    t = type(expression)
+    if t is ast.Literal:
+        return True
+    if t is ast.UnaryOp:
+        return _is_constant(expression.operand)
+    if t is ast.BinaryOp:
+        return _is_constant(expression.left) and _is_constant(expression.right)
+    if t is ast.BetweenExpr:
+        return (
+            _is_constant(expression.operand)
+            and _is_constant(expression.low)
+            and _is_constant(expression.high)
+        )
+    if t is ast.InExpr:
+        return _is_constant(expression.operand) and all(
+            _is_constant(item) for item in expression.items
+        )
+    if t is ast.IsNullExpr:
+        return _is_constant(expression.operand)
+    if t is ast.FunctionCall:
+        return (
+            not expression.is_aggregate
+            and expression.name in _SCALAR_FUNCTIONS
+            and all(_is_constant(arg) for arg in expression.args)
+        )
+    return False
+
+
+def _constant(expression: ast.Expression, value: Any) -> CompiledExpr:
+    def row_fn(row: RowDict, _v: Any = value) -> Any:
+        return _v
+
+    def batch_fn(batch: Any, _v: Any = value) -> List[Any]:
+        return [_v] * len(batch)
+
+    return CompiledExpr(expression, row_fn, batch_fn, constant=True, value=value)
+
+
+def _raising(expression: ast.Expression, message: str) -> CompiledExpr:
+    """A constant subtree whose evaluation raises.
+
+    The row form raises on every call (as the interpreter would per row);
+    the batch form mirrors the interpreter's per-row loops, which never
+    reach the raise over an empty batch.
+    """
+
+    def row_fn(row: RowDict, _m: str = message) -> Any:
+        raise ExpressionError(_m)
+
+    def batch_fn(batch: Any, _m: str = message) -> List[Any]:
+        if len(batch) == 0:
+            return []
+        raise ExpressionError(_m)
+
+    return CompiledExpr(expression, row_fn, batch_fn)
+
+
+def _try_fold(expression: ast.Expression) -> Optional[CompiledExpr]:
+    try:
+        value = evaluate(expression, {})
+    except ExpressionError as error:
+        return _raising(expression, str(error))
+    except Exception:  # noqa: BLE001 - e.g. arity TypeError: keep eval-time
+        return None
+    return _constant(expression, value)
+
+
+# ------------------------------------------------------------- node lowering
+
+
+def _compile(expression: ast.Expression) -> CompiledExpr:
+    if _is_constant(expression):
+        folded = _try_fold(expression)
+        if folded is not None:
+            return folded
+    compiler = _COMPILERS.get(type(expression))
+    if compiler is None:
+        # Unknown node type: defer to the interpreter so semantics (the
+        # "cannot evaluate" eval-time raise included) stay identical.
+        return CompiledExpr(
+            expression,
+            lambda row, _e=expression: evaluate(_e, row),
+            lambda batch, _e=expression: evaluate_batch(_e, batch),
+        )
+    return compiler(expression)
+
+
+def _compile_literal(node: ast.Literal) -> CompiledExpr:
+    return _constant(node, node.value)
+
+
+def _compile_runtime_parameter(node: ast.RuntimeParameter) -> CompiledExpr:
+    current = node.current_value
+
+    def row_fn(row: RowDict) -> Any:
+        return current()
+
+    def batch_fn(batch: Any) -> List[Any]:
+        # One read per batch, as in the interpreter's batch form.
+        return [current()] * len(batch)
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _compile_column(node: ast.ColumnRef) -> CompiledExpr:
+    bare = node.column
+    if node.table is not None:
+        key = f"{node.table}.{bare}"
+
+        def row_fn(row: RowDict) -> Any:
+            if key in row:
+                return row[key]
+            if bare in row:
+                return row[bare]
+            raise ExpressionError(f"unknown column {key!r}")
+
+        def batch_fn(batch: Any) -> List[Any]:
+            data = batch.data
+            column = data.get(key)
+            if column is not None:
+                return column
+            column = data.get(bare)
+            if column is not None:
+                return column
+            raise ExpressionError(f"unknown column {key!r}")
+
+        return CompiledExpr(node, row_fn, batch_fn)
+
+    suffix = f".{bare}"
+
+    def row_fn(row: RowDict) -> Any:
+        if bare in row:
+            return row[bare]
+        matches = [k for k in row if k.endswith(suffix)]
+        if len(matches) == 1:
+            return row[matches[0]]
+        if len(matches) > 1:
+            raise ExpressionError(f"ambiguous column {bare!r}")
+        raise ExpressionError(f"unknown column {bare!r}")
+
+    def batch_fn(batch: Any) -> List[Any]:
+        column = batch.data.get(bare)
+        if column is not None:
+            return column
+        matches = [k for k in batch.columns if k.endswith(suffix)]
+        if len(matches) == 1:
+            return batch.data[matches[0]]
+        if len(matches) > 1:
+            raise ExpressionError(f"ambiguous column {bare!r}")
+        raise ExpressionError(f"unknown column {bare!r}")
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _bool_error(value: Any) -> ExpressionError:
+    return ExpressionError(f"expected a boolean, got {value!r}")
+
+
+def _compile_unary(node: ast.UnaryOp) -> CompiledExpr:
+    child = compile_expr(node.operand)
+    child_row, child_batch = child.row, child.batch
+    if node.op == "not":
+
+        def row_fn(row: RowDict) -> Any:
+            value = child_row(row)
+            if value is True:
+                return False
+            if value is False:
+                return True
+            if value is None:
+                return None
+            raise _bool_error(value)
+
+        def batch_fn(batch: Any) -> List[Any]:
+            out: List[Any] = []
+            append = out.append
+            for value in child_batch(batch):
+                if value is True:
+                    append(False)
+                elif value is False:
+                    append(True)
+                elif value is None:
+                    append(None)
+                else:
+                    raise _bool_error(value)
+            return out
+
+        return CompiledExpr(node, row_fn, batch_fn)
+
+    def row_fn(row: RowDict) -> Any:
+        value = child_row(row)
+        if value is None:
+            return None
+        if type(value) is int or type(value) is float:
+            return -value
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExpressionError(f"cannot negate {value!r}")
+        return -value
+
+    def batch_fn(batch: Any) -> List[Any]:
+        out: List[Any] = []
+        append = out.append
+        for value in child_batch(batch):
+            if value is None:
+                append(None)
+            elif type(value) is int or type(value) is float:
+                append(-value)
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ExpressionError(f"cannot negate {value!r}")
+            else:
+                append(-value)
+        return out
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _compile_and(node: ast.BinaryOp) -> CompiledExpr:
+    left = compile_expr(node.left)
+    right = compile_expr(node.right)
+    left_row, right_row = left.row, right.row
+    left_batch, right_batch = left.batch, right.batch
+
+    def row_fn(row: RowDict) -> Any:
+        lv = left_row(row)
+        if lv is False:
+            return False
+        if lv is not True and lv is not None:
+            raise _bool_error(lv)
+        rv = right_row(row)
+        if rv is False:
+            return False
+        if rv is not True and rv is not None:
+            raise _bool_error(rv)
+        if lv is None or rv is None:
+            return None
+        return True
+
+    def batch_fn(batch: Any) -> List[Any]:
+        lefts: List[Any] = []
+        append_left = lefts.append
+        for value in left_batch(batch):
+            if value is True or value is False or value is None:
+                append_left(value)
+            else:
+                raise _bool_error(value)
+        out: List[Any] = [False] * len(lefts)
+        # Selection vector: the rows a row-at-a-time AND would evaluate
+        # the right side for (everything but a definite False).
+        need = [i for i, value in enumerate(lefts) if value is not False]
+        if not need:
+            return out
+        sub = batch if len(need) == len(lefts) else batch.take(need)
+        rights = right_batch(sub)
+        for position, i in enumerate(need):
+            rv = rights[position]
+            if rv is False:
+                continue
+            if rv is not True and rv is not None:
+                raise _bool_error(rv)
+            out[i] = None if (lefts[i] is None or rv is None) else True
+        return out
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _compile_or(node: ast.BinaryOp) -> CompiledExpr:
+    left = compile_expr(node.left)
+    right = compile_expr(node.right)
+    left_row, right_row = left.row, right.row
+    left_batch, right_batch = left.batch, right.batch
+
+    def row_fn(row: RowDict) -> Any:
+        lv = left_row(row)
+        if lv is True:
+            return True
+        if lv is not False and lv is not None:
+            raise _bool_error(lv)
+        rv = right_row(row)
+        if rv is True:
+            return True
+        if rv is not False and rv is not None:
+            raise _bool_error(rv)
+        if lv is None or rv is None:
+            return None
+        return False
+
+    def batch_fn(batch: Any) -> List[Any]:
+        lefts: List[Any] = []
+        append_left = lefts.append
+        for value in left_batch(batch):
+            if value is True or value is False or value is None:
+                append_left(value)
+            else:
+                raise _bool_error(value)
+        out: List[Any] = [True] * len(lefts)
+        need = [i for i, value in enumerate(lefts) if value is not True]
+        if not need:
+            return out
+        sub = batch if len(need) == len(lefts) else batch.take(need)
+        rights = right_batch(sub)
+        for position, i in enumerate(need):
+            rv = rights[position]
+            if rv is True:
+                continue
+            if rv is not False and rv is not None:
+                raise _bool_error(rv)
+            out[i] = None if (lefts[i] is None or rv is None) else False
+        return out
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _class_check(constant: Any) -> Optional[Callable[[Any], bool]]:
+    """A fast exact-class test for values comparable with ``constant``.
+
+    Values failing the test are routed through
+    :func:`~repro.expr.eval._require_comparable`, which raises exactly
+    where the interpreter would (and passes for exotic-but-comparable
+    values like int subclasses, which then take the slow path).
+    """
+    if isinstance(constant, bool):
+        return lambda v: type(v) is bool
+    if isinstance(constant, (int, float)):
+        return lambda v: type(v) is int or type(v) is float
+    cls = type(constant)
+    return lambda v: type(v) is cls
+
+
+def _compile_comparison(node: ast.BinaryOp) -> CompiledExpr:
+    op = _COMPARATORS[node.op]
+    left = compile_expr(node.left)
+    right = compile_expr(node.right)
+    left_row, right_row = left.row, right.row
+    left_batch, right_batch = left.batch, right.batch
+
+    if right.constant and not left.constant:
+        constant = right.value
+        if constant is None:
+            # NULL comparand: the left side is still evaluated (it may
+            # raise), then the comparison is UNKNOWN.
+            def row_fn(row: RowDict) -> Any:
+                left_row(row)
+                return None
+
+            def batch_fn(batch: Any) -> List[Any]:
+                return [None] * len(left_batch(batch))
+
+            return CompiledExpr(node, row_fn, batch_fn)
+
+        check = _class_check(constant)
+        if isinstance(constant, (int, float)) and not isinstance(
+            constant, bool
+        ):
+            # The hot numeric case, inlined as a comprehension.
+            def batch_fn(batch: Any) -> List[Any]:
+                return [
+                    None
+                    if v is None
+                    else op(v, constant)
+                    if type(v) is int or type(v) is float
+                    else _compare_slow(v, constant, op)
+                    for v in left_batch(batch)
+                ]
+
+        else:
+
+            def batch_fn(batch: Any) -> List[Any]:
+                return [
+                    None
+                    if v is None
+                    else op(v, constant)
+                    if check(v)
+                    else _compare_slow(v, constant, op)
+                    for v in left_batch(batch)
+                ]
+
+        def row_fn(row: RowDict) -> Any:
+            v = left_row(row)
+            if v is None:
+                return None
+            if check(v):
+                return op(v, constant)
+            return _compare_slow(v, constant, op)
+
+        return CompiledExpr(node, row_fn, batch_fn)
+
+    def row_fn(row: RowDict) -> Any:
+        lv = left_row(row)
+        rv = right_row(row)
+        if lv is None or rv is None:
+            return None
+        if type(lv) is type(rv):
+            return op(lv, rv)
+        return _compare_slow(lv, rv, op)
+
+    def batch_fn(batch: Any) -> List[Any]:
+        lefts = left_batch(batch)
+        rights = right_batch(batch)
+        out: List[Any] = []
+        append = out.append
+        for lv, rv in zip(lefts, rights):
+            if lv is None or rv is None:
+                append(None)
+            elif type(lv) is type(rv):
+                append(op(lv, rv))
+            else:
+                append(_compare_slow(lv, rv, op))
+        return out
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _compare_slow(left: Any, right: Any, op: Callable[[Any, Any], Any]) -> Any:
+    _require_comparable(left, right)
+    return op(left, right)
+
+
+def _compile_arithmetic(node: ast.BinaryOp) -> CompiledExpr:
+    op = _ARITHMETIC[node.op]
+    guard_zero = node.op in ("/", "%")
+    left = compile_expr(node.left)
+    right = compile_expr(node.right)
+    left_row, right_row = left.row, right.row
+    left_batch, right_batch = left.batch, right.batch
+
+    if (
+        right.constant
+        and not left.constant
+        and isinstance(right.value, (int, float))
+        and not isinstance(right.value, bool)
+        and not (guard_zero and right.value == 0)
+    ):
+        constant = right.value
+
+        def row_fn(row: RowDict) -> Any:
+            v = left_row(row)
+            if v is None:
+                return None
+            if type(v) is int or type(v) is float:
+                return op(v, constant)
+            _require_number(v)
+            return op(v, constant)
+
+        def batch_fn(batch: Any) -> List[Any]:
+            return [
+                None
+                if v is None
+                else op(v, constant)
+                if type(v) is int or type(v) is float
+                else _arith_slow(v, constant, op)
+                for v in left_batch(batch)
+            ]
+
+        return CompiledExpr(node, row_fn, batch_fn)
+
+    def row_fn(row: RowDict) -> Any:
+        lv = left_row(row)
+        rv = right_row(row)
+        if lv is None or rv is None:
+            return None
+        if not (
+            (type(lv) is int or type(lv) is float)
+            and (type(rv) is int or type(rv) is float)
+        ):
+            _require_number(lv)
+            _require_number(rv)
+        if guard_zero and rv == 0:
+            raise ExpressionError("division by zero")
+        return op(lv, rv)
+
+    def batch_fn(batch: Any) -> List[Any]:
+        lefts = left_batch(batch)
+        rights = right_batch(batch)
+        out: List[Any] = []
+        append = out.append
+        for lv, rv in zip(lefts, rights):
+            if lv is None or rv is None:
+                append(None)
+                continue
+            if not (
+                (type(lv) is int or type(lv) is float)
+                and (type(rv) is int or type(rv) is float)
+            ):
+                _require_number(lv)
+                _require_number(rv)
+            if guard_zero and rv == 0:
+                raise ExpressionError("division by zero")
+            append(op(lv, rv))
+        return out
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _arith_slow(left: Any, right: Any, op: Callable[[Any, Any], Any]) -> Any:
+    _require_number(left)
+    return op(left, right)
+
+
+def _compile_like(node: ast.BinaryOp) -> CompiledExpr:
+    left = compile_expr(node.left)
+    right = compile_expr(node.right)
+    left_row, right_row = left.row, right.row
+    left_batch, right_batch = left.batch, right.batch
+
+    if right.constant and not left.constant:
+        pattern = right.value
+        if pattern is None:
+
+            def row_fn(row: RowDict) -> Any:
+                left_row(row)
+                return None
+
+            def batch_fn(batch: Any) -> List[Any]:
+                return [None] * len(left_batch(batch))
+
+            return CompiledExpr(node, row_fn, batch_fn)
+        if not isinstance(pattern, str):
+
+            def row_fn(row: RowDict) -> Any:
+                value = left_row(row)
+                if value is None:
+                    return None
+                raise ExpressionError("LIKE requires string operands")
+
+            def batch_fn(batch: Any) -> List[Any]:
+                out: List[Any] = []
+                append = out.append
+                for value in left_batch(batch):
+                    if value is None:
+                        append(None)
+                    else:
+                        raise ExpressionError("LIKE requires string operands")
+                return out
+
+            return CompiledExpr(node, row_fn, batch_fn)
+
+        regex = _like_regex(pattern)
+        fullmatch = regex.fullmatch
+
+        def row_fn(row: RowDict) -> Any:
+            value = left_row(row)
+            if value is None:
+                return None
+            if type(value) is str:
+                return fullmatch(value) is not None
+            return _like(value, pattern)
+
+        def batch_fn(batch: Any) -> List[Any]:
+            return [
+                None
+                if v is None
+                else (fullmatch(v) is not None)
+                if type(v) is str
+                else _like(v, pattern)
+                for v in left_batch(batch)
+            ]
+
+        return CompiledExpr(node, row_fn, batch_fn)
+
+    def row_fn(row: RowDict) -> Any:
+        lv = left_row(row)
+        rv = right_row(row)
+        if lv is None or rv is None:
+            return None
+        return _like(lv, rv)
+
+    def batch_fn(batch: Any) -> List[Any]:
+        lefts = left_batch(batch)
+        rights = right_batch(batch)
+        return [
+            None if lv is None or rv is None else _like(lv, rv)
+            for lv, rv in zip(lefts, rights)
+        ]
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _compile_binary(node: ast.BinaryOp) -> CompiledExpr:
+    op = node.op
+    if op == "and":
+        return _compile_and(node)
+    if op == "or":
+        return _compile_or(node)
+    if op == "like":
+        return _compile_like(node)
+    if op in _COMPARATORS:
+        return _compile_comparison(node)
+    if op in _ARITHMETIC:
+        return _compile_arithmetic(node)
+    return _raising(node, f"unknown operator {op!r}")
+
+
+def _compile_between(node: ast.BetweenExpr) -> CompiledExpr:
+    operand = compile_expr(node.operand)
+    low = compile_expr(node.low)
+    high = compile_expr(node.high)
+    operand_row, operand_batch = operand.row, operand.batch
+    low_row, low_batch = low.row, low.batch
+    high_row, high_batch = high.row, high.batch
+    negated = node.negated
+
+    if (
+        low.constant
+        and high.constant
+        and low.value is not None
+        and high.value is not None
+        and _class_of(low.value) is not None
+        and _class_of(low.value) == _class_of(high.value)
+    ):
+        lo, hi = low.value, high.value
+        check = _class_check(lo)
+
+        def row_fn(row: RowDict) -> Any:
+            v = operand_row(row)
+            if v is None:
+                return None
+            if check(v):
+                verdict = lo <= v <= hi
+            else:
+                verdict = _compare_ge(v, lo) and _compare_le(v, hi)
+            return (not verdict) if negated else verdict
+
+        def batch_fn(batch: Any) -> List[Any]:
+            out: List[Any] = []
+            append = out.append
+            for v in operand_batch(batch):
+                if v is None:
+                    append(None)
+                elif check(v):
+                    verdict = lo <= v <= hi
+                    append((not verdict) if negated else verdict)
+                else:
+                    verdict = _compare_ge(v, lo) and _compare_le(v, hi)
+                    append((not verdict) if negated else verdict)
+            return out
+
+        return CompiledExpr(node, row_fn, batch_fn)
+
+    def row_fn(row: RowDict) -> Any:
+        value = operand_row(row)
+        lo = low_row(row)
+        hi = high_row(row)
+        if value is None:
+            return None
+        lower_ok = None if lo is None else _compare_ge(value, lo)
+        upper_ok = None if hi is None else _compare_le(value, hi)
+        if lower_ok is False or upper_ok is False:
+            verdict: Optional[bool] = False
+        elif lower_ok is None or upper_ok is None:
+            verdict = None
+        else:
+            verdict = True
+        if negated and verdict is not None:
+            return not verdict
+        return verdict
+
+    def batch_fn(batch: Any) -> List[Any]:
+        values = operand_batch(batch)
+        lows = low_batch(batch)
+        highs = high_batch(batch)
+        out: List[Any] = []
+        append = out.append
+        for value, lo, hi in zip(values, lows, highs):
+            if value is None:
+                append(None)
+                continue
+            lower_ok = None if lo is None else _compare_ge(value, lo)
+            upper_ok = None if hi is None else _compare_le(value, hi)
+            if lower_ok is False or upper_ok is False:
+                verdict: Optional[bool] = False
+            elif lower_ok is None or upper_ok is None:
+                verdict = None
+            else:
+                verdict = True
+            if negated and verdict is not None:
+                verdict = not verdict
+            append(verdict)
+        return out
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _class_of(value: Any) -> Optional[str]:
+    """Comparability class of a constant: all members mutually comparable."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "numeric"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
+def _compile_in(node: ast.InExpr) -> CompiledExpr:
+    operand = compile_expr(node.operand)
+    items = [compile_expr(item) for item in node.items]
+    operand_row, operand_batch = operand.row, operand.batch
+    negated = node.negated
+
+    if all(item.constant for item in items):
+        values = [item.value for item in items]
+        non_null = [v for v in values if v is not None]
+        saw_null = len(non_null) < len(values)
+        classes = {_class_of(v) for v in non_null}
+        if not non_null:
+            # Every item is NULL: any non-NULL operand compares UNKNOWN.
+            def row_fn(row: RowDict) -> Any:
+                operand_row(row)
+                return None
+
+            def batch_fn(batch: Any) -> List[Any]:
+                return [None] * len(operand_batch(batch))
+
+            return CompiledExpr(node, row_fn, batch_fn)
+        if len(classes) == 1 and None not in classes:
+            members = frozenset(non_null)
+            representative = non_null[0]
+            check = _class_check(representative)
+            hit = not negated
+
+            def row_fn(row: RowDict) -> Any:
+                v = operand_row(row)
+                if v is None:
+                    return None
+                if not check(v):
+                    # Raises for incomparable operands exactly where the
+                    # interpreter's first candidate comparison would;
+                    # passes for comparable oddballs (int subclasses).
+                    _require_comparable(v, representative)
+                if v in members:
+                    return hit
+                if saw_null:
+                    return None
+                return negated
+
+            def batch_fn(batch: Any) -> List[Any]:
+                out: List[Any] = []
+                append = out.append
+                for v in operand_batch(batch):
+                    if v is None:
+                        append(None)
+                        continue
+                    if not check(v):
+                        _require_comparable(v, representative)
+                    if v in members:
+                        append(hit)
+                    elif saw_null:
+                        append(None)
+                    else:
+                        append(negated)
+                return out
+
+            return CompiledExpr(node, row_fn, batch_fn)
+
+    item_rows = [item.row for item in items]
+    item_batches = [item.batch for item in items]
+
+    def row_fn(row: RowDict) -> Any:
+        value = operand_row(row)
+        if value is None:
+            return None
+        saw_null = False
+        for item_row in item_rows:
+            candidate = item_row(row)
+            if candidate is None:
+                saw_null = True
+            elif _values_equal(value, candidate):
+                return not negated
+        if saw_null:
+            return None
+        return negated
+
+    def batch_fn(batch: Any) -> List[Any]:
+        values = operand_batch(batch)
+        item_columns = [item_batch(batch) for item_batch in item_batches]
+        out: List[Any] = []
+        append = out.append
+        for i, value in enumerate(values):
+            if value is None:
+                append(None)
+                continue
+            saw_null = False
+            verdict: Optional[bool] = negated
+            for column in item_columns:
+                candidate = column[i]
+                if candidate is None:
+                    saw_null = True
+                elif _values_equal(value, candidate):
+                    verdict = not negated
+                    break
+            else:
+                if saw_null:
+                    verdict = None
+            append(verdict)
+        return out
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+def _compile_is_null(node: ast.IsNullExpr) -> CompiledExpr:
+    child = compile_expr(node.operand)
+    child_row, child_batch = child.row, child.batch
+    if node.negated:
+        return CompiledExpr(
+            node,
+            lambda row: child_row(row) is not None,
+            lambda batch: [v is not None for v in child_batch(batch)],
+        )
+    return CompiledExpr(
+        node,
+        lambda row: child_row(row) is None,
+        lambda batch: [v is None for v in child_batch(batch)],
+    )
+
+
+def _compile_function(node: ast.FunctionCall) -> CompiledExpr:
+    if node.is_aggregate:
+        message = f"aggregate {node.name.upper()} outside GROUP BY context"
+
+        def row_fn(row: RowDict) -> Any:
+            raise ExpressionError(message)
+
+        def batch_fn(batch: Any) -> List[Any]:
+            # The batch interpreter raises before looking at the rows.
+            raise ExpressionError(message)
+
+        return CompiledExpr(node, row_fn, batch_fn)
+    function = _SCALAR_FUNCTIONS.get(node.name)
+    if function is None:
+        message = f"unknown function {node.name!r}"
+
+        def row_fn(row: RowDict) -> Any:
+            raise ExpressionError(message)
+
+        def batch_fn(batch: Any) -> List[Any]:
+            raise ExpressionError(message)
+
+        return CompiledExpr(node, row_fn, batch_fn)
+
+    args = [compile_expr(arg) for arg in node.args]
+    arg_rows = [arg.row for arg in args]
+    arg_batches = [arg.batch for arg in args]
+
+    if len(args) == 1:
+        only_row = arg_rows[0]
+        only_batch = arg_batches[0]
+
+        def row_fn(row: RowDict) -> Any:
+            value = only_row(row)
+            if value is None:
+                return None
+            return function(value)
+
+        def batch_fn(batch: Any) -> List[Any]:
+            return [
+                None if v is None else function(v) for v in only_batch(batch)
+            ]
+
+        return CompiledExpr(node, row_fn, batch_fn)
+
+    def row_fn(row: RowDict) -> Any:
+        values = [arg_row(row) for arg_row in arg_rows]
+        if any(value is None for value in values):
+            return None
+        return function(*values)
+
+    def batch_fn(batch: Any) -> List[Any]:
+        arg_columns = [arg_batch(batch) for arg_batch in arg_batches]
+        out: List[Any] = []
+        append = out.append
+        rows = zip(*arg_columns) if arg_columns else ((),) * len(batch)
+        for values in rows:
+            if any(value is None for value in values):
+                append(None)
+            else:
+                append(function(*values))
+        return out
+
+    return CompiledExpr(node, row_fn, batch_fn)
+
+
+_COMPILERS: Dict[type, Callable[[Any], CompiledExpr]] = {
+    ast.Literal: _compile_literal,
+    ast.RuntimeParameter: _compile_runtime_parameter,
+    ast.ColumnRef: _compile_column,
+    ast.UnaryOp: _compile_unary,
+    ast.BinaryOp: _compile_binary,
+    ast.BetweenExpr: _compile_between,
+    ast.InExpr: _compile_in,
+    ast.IsNullExpr: _compile_is_null,
+    ast.FunctionCall: _compile_function,
+}

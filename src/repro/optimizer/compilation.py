@@ -1,0 +1,86 @@
+"""Attach compiled expression closures to a physical plan.
+
+:func:`attach_compiled_expressions` walks a freshly optimized plan and
+sets the ``compiled_*`` slots on every expression-bearing node (scans,
+filters, join conditions/keys, group-by keys/having/carried, aggregate
+arguments, extend outputs, sort keys) with ``(row_fn, batch_fn)`` pairs
+from :mod:`repro.expr.compile`.  Running at ``Optimizer.optimize`` time
+means :class:`~repro.optimizer.planner.PlanCache` hits reuse the
+closures for free, and invalidation/backup reversion recompiles through
+the shared compile cache (identical predicates hit).
+
+Executors treat a ``None`` slot as "interpret this expression", so a
+plan built with ``OptimizerConfig.compile_expressions=False`` runs the
+unchanged :func:`~repro.expr.eval.evaluate` /
+:func:`~repro.expr.eval.evaluate_batch` oracle path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.expr.compile import cache_stats, compile_expr
+from repro.optimizer.physical import (
+    Extend,
+    Filter,
+    GroupBy,
+    HashJoin,
+    IndexScan,
+    NestedLoopJoin,
+    PhysicalNode,
+    PhysicalPlan,
+    SeqScan,
+    Sort,
+)
+from repro.sql import ast
+
+FnPair = Tuple[object, object]
+
+
+def _pair(expression: ast.Expression) -> FnPair:
+    compiled = compile_expr(expression)
+    return (compiled.row, compiled.batch)
+
+
+def _optional_pair(expression: Optional[ast.Expression]) -> Optional[FnPair]:
+    if expression is None:
+        return None
+    return _pair(expression)
+
+
+def attach_compiled_expressions(plan: PhysicalPlan) -> None:
+    """Compile every expression in ``plan`` and record cache traffic."""
+    hits_before, misses_before = cache_stats()
+    _attach(plan.root)
+    hits_after, misses_after = cache_stats()
+    plan.compiled = True
+    plan.compile_cache_hits = hits_after - hits_before
+    plan.compile_cache_misses = misses_after - misses_before
+
+
+def _attach(node: PhysicalNode) -> None:
+    if isinstance(node, (SeqScan, IndexScan)):
+        node.compiled_predicate = _optional_pair(node.predicate)
+    elif isinstance(node, Filter):
+        node.compiled_predicate = _pair(node.predicate)
+    elif isinstance(node, NestedLoopJoin):
+        node.compiled_condition = _optional_pair(node.condition)
+    elif isinstance(node, HashJoin):
+        node.compiled_left_keys = [_pair(key) for key in node.left_keys]
+        node.compiled_right_keys = [_pair(key) for key in node.right_keys]
+        node.compiled_residual = _optional_pair(node.residual)
+    elif isinstance(node, GroupBy):
+        node.compiled_keys = [_pair(key) for key in node.keys]
+        node.compiled_carried = [_pair(col) for col in node.carried]
+        node.compiled_having = _optional_pair(node.having)
+        node.compiled_aggregate_args = [
+            _optional_pair(agg.argument) for agg in node.aggregates
+        ]
+    elif isinstance(node, Extend):
+        node.compiled_outputs = [_pair(out.expression) for out in node.outputs]
+    elif isinstance(node, Sort):
+        node.compiled_order = [
+            _pair(expr) + (ascending,) for expr, ascending in node.order
+        ]
+    for child in node.children():
+        _attach(child)

@@ -16,6 +16,14 @@ def explain(plan: PhysicalPlan) -> str:
     """
     lines: List[str] = []
     _render(plan.root, 0, lines)
+    if plan.compiled:
+        lines.append(
+            f"expressions: compiled=yes (compile cache: "
+            f"{plan.compile_cache_hits} hits, "
+            f"{plan.compile_cache_misses} misses)"
+        )
+    else:
+        lines.append("expressions: compiled=no (interpreted)")
     if plan.rewrites_applied:
         lines.append("rewrites:")
         for entry in plan.rewrites_applied:

@@ -67,6 +67,9 @@ class SeqScan(PhysicalNode):
         self.table_name = table_name
         self.binding = binding
         self.predicate = predicate
+        # (row_fn, batch_fn) closures attached by the optimizer when
+        # OptimizerConfig.compile_expressions is on; None = interpret.
+        self.compiled_predicate = None
 
     def describe(self) -> str:
         text = f"SeqScan({self.table_name} AS {self.binding}"
@@ -98,6 +101,7 @@ class IndexScan(PhysicalNode):
         self.low_inclusive = low_inclusive
         self.high_inclusive = high_inclusive
         self.predicate = predicate
+        self.compiled_predicate = None
 
     def describe(self) -> str:
         low = "-inf" if self.low is None else repr(list(self.low))
@@ -116,6 +120,7 @@ class Filter(PhysicalNode):
         super().__init__()
         self.child = child
         self.predicate = predicate
+        self.compiled_predicate = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.child]
@@ -135,6 +140,7 @@ class NestedLoopJoin(PhysicalNode):
         self.left = left
         self.right = right
         self.condition = condition
+        self.compiled_condition = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.left, self.right]
@@ -163,6 +169,9 @@ class HashJoin(PhysicalNode):
         self.left_keys = left_keys
         self.right_keys = right_keys
         self.residual = residual
+        self.compiled_left_keys = None
+        self.compiled_right_keys = None
+        self.compiled_residual = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.left, self.right]
@@ -197,6 +206,11 @@ class GroupBy(PhysicalNode):
         # Columns proven group-constant by an FD and dropped from the hash
         # key; their value is taken from the group's first row.
         self.carried: List[ast.ColumnRef] = carried or []
+        self.compiled_keys = None
+        self.compiled_carried = None
+        self.compiled_having = None
+        # Parallel to ``aggregates``; None entries for COUNT(*).
+        self.compiled_aggregate_args = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.child]
@@ -221,6 +235,7 @@ class Extend(PhysicalNode):
         super().__init__()
         self.child = child
         self.outputs = outputs
+        self.compiled_outputs = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.child]
@@ -241,6 +256,8 @@ class Sort(PhysicalNode):
         super().__init__()
         self.child = child
         self.order = order
+        # Parallel to ``order``: (row_fn, batch_fn, ascending) triples.
+        self.compiled_order = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.child]
@@ -349,6 +366,11 @@ class PhysicalPlan:
         self.sc_value_snapshot: dict = {}
         self.rewrites_applied: List[str] = []
         self.estimation_notes: List[str] = []
+        # Expression-compilation provenance (set by the optimizer when
+        # OptimizerConfig.compile_expressions is on).
+        self.compiled = False
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
 
     @property
     def estimated_rows(self) -> float:

@@ -19,6 +19,7 @@ from repro.expr import analysis
 from repro.optimizer.access import AccessPathSelector
 from repro.optimizer.builder import build_logical_plan
 from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.compilation import attach_compiled_expressions
 from repro.optimizer.costmodel import CostModel
 from repro.optimizer.joinorder import JoinOrderOptimizer
 from repro.optimizer.logical import QueryBlock, UnionPlan
@@ -67,6 +68,11 @@ class OptimizerConfig:
     # repro.executor.batch.DEFAULT_BATCH_SIZE, kept literal here so the
     # optimizer package never imports the executor.
     batch_size: int = 1024
+    # Lower plan expressions to specialized closures at optimize time
+    # (repro.expr.compile).  False runs the interpreted evaluate /
+    # evaluate_batch oracle path unchanged — the differential escape
+    # hatch.
+    compile_expressions: bool = True
 
 
 class Optimizer:
@@ -116,6 +122,8 @@ class Optimizer:
         plan.rewrites_applied = context.applied
         plan.estimation_notes = context.estimation_notes
         self._snapshot_versions(plan)
+        if self.config.compile_expressions:
+            attach_compiled_expressions(plan)
         if self.config.track_probation_usage:
             self._assess_probation(statement, context)
         return plan
@@ -304,6 +312,12 @@ class PlanCache:
         self._plans: Dict[str, PhysicalPlan] = {}
         self._backups: Dict[str, PhysicalPlan] = {}
         self._reverted: set = set()
+        # (channel, sql) pairs with a live hook in the catalog.  Catalog
+        # hooks fire once (fire_invalidation pops them), so each entry is
+        # discarded when its hook runs; get_plan only registers when the
+        # pair is absent, preventing duplicate hooks from piling up
+        # across invalidate/recompile cycles for the same SQL.
+        self._hooked: set = set()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -320,18 +334,25 @@ class PlanCache:
         self._reverted.discard(sql)
         if self.backup_plans and plan.sc_dependencies:
             self._backups[sql] = self._compile_backup(sql)
-        catalog = self.optimizer.database.catalog
         for dependency in plan.sc_dependencies:
-            catalog.on_invalidate(
-                f"softconstraint:{dependency}",
-                lambda _dep, key=sql: self._invalidate(key),
-            )
+            self._register_hook(f"softconstraint:{dependency}", sql)
         for dependency in plan.sc_value_dependencies:
-            catalog.on_invalidate(
-                f"softconstraint-values:{dependency}",
-                lambda _dep, key=sql: self._invalidate(key),
-            )
+            self._register_hook(f"softconstraint-values:{dependency}", sql)
         return plan
+
+    def _register_hook(self, channel: str, sql: str) -> None:
+        key = (channel, sql)
+        if key in self._hooked:
+            return
+        self._hooked.add(key)
+
+        def hook(_dep: str) -> None:
+            # The catalog popped this hook to fire it; the pair must be
+            # re-registered on the next compile of this SQL.
+            self._hooked.discard(key)
+            self._invalidate(sql)
+
+        self.optimizer.database.catalog.on_invalidate(channel, hook)
 
     def _compile_backup(self, sql: str) -> PhysicalPlan:
         """An equivalent plan that uses no soft constraints at all."""

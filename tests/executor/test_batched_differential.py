@@ -1,11 +1,14 @@
-"""Differential equivalence: batched executor vs the row-at-a-time oracle.
+"""Differential equivalence across all four execution modes.
 
-The same compiled plan is executed through both interpreters and must
-produce identical sorted result multisets, row counts, and page-read
-totals — across the property SQL oracle corpus (generators reused from
-``tests/property/test_property_sql_oracle.py``) and across rewrite
-on/off optimizer configurations, including every individual rewrite
-switch on a fixed multi-operator workload.
+Every query runs in row/batched × compiled/interpreted form — the
+interpreted row-at-a-time executor is the oracle — and all four must
+produce identical sorted result multisets, row counts, page-read totals,
+*and errors* (a query that raises must raise the same error type and
+message in every mode).  Corpora: the property SQL oracle generators
+(reused from ``tests/property/test_property_sql_oracle.py``), rewrite
+on/off optimizer configurations including every individual rewrite
+switch, and an error workload (division by zero, type errors, folded
+constant errors).
 """
 
 import dataclasses
@@ -38,22 +41,65 @@ CONFIGS = {
 }
 
 
-def assert_differential(db: SoftDB, sql: str, config: OptimizerConfig) -> None:
-    """Execute ``sql`` both ways under ``config`` and compare everything."""
-    plan = Optimizer(db.database, db.registry, config).optimize(sql)
-    oracle = Executor(db.database, batch_size=0).execute(plan)
+def _outcome(fn):
+    """Run ``fn`` and capture either its result or its error identity."""
+    try:
+        return ("ok", fn())
+    except Exception as error:  # noqa: BLE001 - any error must match modes
+        return ("error", type(error).__name__, str(error))
+
+
+def _plans(db: SoftDB, sql: str, config: OptimizerConfig):
+    """The query's interpreted and compiled plans under ``config``."""
+    interpreted = Optimizer(
+        db.database,
+        db.registry,
+        dataclasses.replace(config, compile_expressions=False),
+    ).optimize(sql)
+    compiled = Optimizer(
+        db.database,
+        db.registry,
+        dataclasses.replace(config, compile_expressions=True),
+    ).optimize(sql)
+    assert not interpreted.compiled
+    assert compiled.compiled
+    return interpreted, compiled
+
+
+def _modes(interpreted, compiled):
+    """(name, plan, batch_size) for every non-oracle execution mode."""
+    modes = [("row-compiled", compiled, 0)]
     for batch_size in BATCH_SIZES:
-        batched = Executor(db.database, batch_size=batch_size).execute(plan)
-        _assert_same(oracle, batched, sql, batch_size)
+        modes.append((f"batched-interpreted-{batch_size}", interpreted, batch_size))
+        modes.append((f"batched-compiled-{batch_size}", compiled, batch_size))
+    return modes
+
+
+def assert_differential(db: SoftDB, sql: str, config: OptimizerConfig) -> None:
+    """Execute ``sql`` in all four modes under ``config``; compare all."""
+    interpreted, compiled = _plans(db, sql, config)
+    oracle = _outcome(
+        lambda: Executor(db.database, batch_size=0).execute(interpreted)
+    )
+    for name, plan, batch_size in _modes(interpreted, compiled):
+        result = _outcome(
+            lambda: Executor(db.database, batch_size=batch_size).execute(plan)
+        )
+        context = f"{sql!r} ({name})"
+        if oracle[0] == "error":
+            assert result == oracle, context
+        else:
+            assert result[0] == "ok", context
+            _assert_same(oracle[1], result[1], sql, name)
 
 
 def _assert_same(
     oracle: ExecutionResult,
     batched: ExecutionResult,
     sql: str,
-    batch_size: int,
+    mode: str,
 ) -> None:
-    context = f"{sql!r} (batch_size={batch_size})"
+    context = f"{sql!r} ({mode})"
     assert batched.columns == oracle.columns, context
     assert batched.row_count == oracle.row_count, context
     assert sorted(batched.tuples(), key=_key) == sorted(
@@ -169,12 +215,42 @@ def test_rewrite_configurations_differential(switch):
         if "LIMIT" in sql:
             # Batched scans read ahead up to one batch under LIMIT, so
             # page counts legitimately differ; compare rows only.
-            plan = Optimizer(db.database, db.registry, config).optimize(sql)
-            oracle = Executor(db.database, batch_size=0).execute(plan)
-            for batch_size in BATCH_SIZES:
+            interpreted, compiled = _plans(db, sql, config)
+            oracle = Executor(db.database, batch_size=0).execute(interpreted)
+            for name, plan, batch_size in _modes(interpreted, compiled):
                 batched = Executor(
                     db.database, batch_size=batch_size
                 ).execute(plan)
-                assert batched.tuples() == oracle.tuples()
+                assert batched.tuples() == oracle.tuples(), (sql, name)
         else:
             assert_differential(db, sql, config)
+
+
+# -- error parity: every mode must raise the same error --------------------
+
+#: Queries that raise during execution — division by zero (dynamic and
+#: constant-folded), non-numeric arithmetic, LIKE over a number, and a
+#: non-boolean predicate.  ``assert_differential`` captures the outcome,
+#: so all four modes must produce the identical error type and message.
+ERROR_WORKLOAD = [
+    "SELECT id, salary / (age - age) AS broken FROM emp",
+    "SELECT 1 / 0 AS boom FROM emp",
+    "SELECT id FROM emp WHERE salary + 'oops' > 0.0",
+    "SELECT id FROM emp WHERE age LIKE 'x%'",
+    "SELECT id FROM emp WHERE NOT salary",
+    "SELECT id FROM emp WHERE (salary > 1.0) AND age",
+]
+
+
+@pytest.mark.parametrize("sql", ERROR_WORKLOAD)
+def test_error_workload_differential(sql):
+    db = _workload_db()
+    for config in CONFIGS.values():
+        assert_differential(db, sql, config)
+    # Sanity: these must actually error in the oracle, or the parity
+    # comparison above degenerates to the ok-path.
+    interpreted, _ = _plans(db, sql, OptimizerConfig())
+    outcome = _outcome(
+        lambda: Executor(db.database, batch_size=0).execute(interpreted)
+    )
+    assert outcome[0] == "error", sql

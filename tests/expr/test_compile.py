@@ -1,0 +1,243 @@
+"""The expression compiler against the interpreter oracle.
+
+Every assertion here is differential: the compiled row and batch
+closures from :mod:`repro.expr.compile` must return the same value — or
+raise the same :class:`~repro.errors.ExpressionError` — as
+:func:`~repro.expr.eval.evaluate` / :func:`~repro.expr.eval.evaluate_batch`
+on the same input.  Targeted corpora cover NULL propagation,
+short-circuit AND/OR, BETWEEN/IN with NULLs, LIKE edge cases, constant
+folding (including deferred fold errors), and the compile cache.
+"""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.executor.batch import RowBatch
+from repro.expr.compile import (
+    cache_stats,
+    clear_cache,
+    compile_batch,
+    compile_expr,
+    compile_row,
+)
+from repro.expr.eval import evaluate, evaluate_batch
+from repro.sql.parser import parse_expression
+
+
+def _batch_of(rows):
+    """Column-major batch over the union of the rows' keys."""
+    names = []
+    for row in rows:
+        for name in row:
+            if name not in names:
+                names.append(name)
+    data = {name: [row.get(name) for row in rows] for name in names}
+    return RowBatch(tuple(names), data, len(rows))
+
+
+def _outcome(fn):
+    try:
+        return ("ok", fn())
+    except ExpressionError as error:
+        return ("error", str(error))
+
+
+def assert_parity(text, rows):
+    """Compiled row/batch closures agree with the interpreter on ``rows``."""
+    expression = parse_expression(text)
+    row_fn = compile_row(expression)
+    batch_fn = compile_batch(expression)
+    for row in rows:
+        expected = _outcome(lambda: evaluate(expression, row))
+        got = _outcome(lambda: row_fn(row))
+        assert got == expected, f"{text!r} over {row!r}"
+    batch = _batch_of(rows)
+    expected = _outcome(lambda: evaluate_batch(expression, batch))
+    got = _outcome(lambda: batch_fn(batch))
+    assert got == expected, f"{text!r} over batch {rows!r}"
+
+
+ROWS = [
+    {"a": 1, "b": 2.5, "s": "hello", "flag": True},
+    {"a": None, "b": None, "s": None, "flag": None},
+    {"a": -7, "b": 0.0, "s": "", "flag": False},
+    {"a": 0, "b": 3.0, "s": "h%llo", "flag": True},
+]
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a + 1",
+            "a * b",
+            "-a",
+            "a = 1",
+            "a < b",
+            "a <> 3",
+            "abs(a)",
+            "abs(b) + a",
+            "a IS NULL",
+            "a IS NOT NULL",
+            "NOT (a = 1)",
+        ],
+    )
+    def test_parity(self, text):
+        assert_parity(text, ROWS)
+
+    def test_null_comparand_constant(self):
+        assert_parity("a = NULL", ROWS)
+        assert_parity("s LIKE NULL", ROWS)
+
+
+class TestShortCircuit:
+    def test_false_and_error_is_false(self):
+        # The error side must never run when the left is a definite False.
+        assert_parity("a > 100 AND 1 / (a - a) = 1", [{"a": 5}])
+
+    def test_true_or_error_is_true(self):
+        assert_parity("a < 100 OR 1 / (a - a) = 1", [{"a": 5}])
+
+    def test_unknown_left_still_evaluates_right(self):
+        # NULL AND <error> raises (the right side IS evaluated).
+        assert_parity("a > 100 AND 1 / 0 = 1", [{"a": None}])
+
+    def test_non_boolean_operand_raises(self):
+        assert_parity("a AND flag", ROWS)
+        assert_parity("flag OR b", ROWS)
+
+    def test_selection_vector_mixed_batch(self):
+        # Rows where the right side would divide by zero are exactly the
+        # rows the left side short-circuits away.
+        rows = [{"a": 10, "d": 0}, {"a": 1, "d": 2}, {"a": 10, "d": 5}]
+        assert_parity("a < 5 AND 10 / d > 1", rows)
+        assert_parity("a >= 5 OR 10 / d > 1", rows)
+
+
+class TestBetweenAndIn:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a BETWEEN 0 AND 5",
+            "a NOT BETWEEN 0 AND 5",
+            "a BETWEEN NULL AND 5",
+            "a BETWEEN 0 AND NULL",
+            "b BETWEEN a AND 10",
+            "s BETWEEN 'a' AND 'i'",
+            "a IN (1, 2, 3)",
+            "a NOT IN (1, 2, 3)",
+            "a IN (1, NULL, 3)",
+            "a NOT IN (1, NULL)",
+            "a IN (NULL)",
+            "s IN ('hello', 'x')",
+            "a IN (b, 1)",
+        ],
+    )
+    def test_parity(self, text):
+        assert_parity(text, ROWS)
+
+    def test_in_set_class_mismatch_raises_like_interpreter(self):
+        # bool operand against an all-int list: the interpreter raises at
+        # the first comparison; the compiled set fast path must too, with
+        # the identical message.
+        assert_parity("flag IN (1, 2)", ROWS)
+        assert_parity("a IN (NULL, 'x')", ROWS)
+
+    def test_between_incomparable_operand(self):
+        assert_parity("s BETWEEN 0 AND 5", ROWS)
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "s LIKE 'h%'",
+            "s LIKE '%llo'",
+            "s LIKE 'h_llo'",
+            "s LIKE ''",
+            "s LIKE '%'",
+            "s LIKE 'h.llo'",
+            "s LIKE 'h[%'",
+            "s LIKE s",
+            "a LIKE 'x%'",
+            "s LIKE 5",
+        ],
+    )
+    def test_parity(self, text):
+        assert_parity(text, ROWS)
+
+
+class TestConstantFolding:
+    def test_constants_fold(self):
+        compiled = compile_expr(parse_expression("1 + 2 * 3"))
+        assert compiled.constant
+        assert compiled.value == 7
+        assert compiled.row({}) == 7
+        assert compiled.batch(_batch_of([{}, {}])) == [7, 7]
+
+    def test_three_valued_folding(self):
+        assert compile_expr(parse_expression("NULL + 1")).value is None
+        assert compile_expr(parse_expression("1 = 2 AND 1 / 0 = 1")).value is False
+
+    def test_folded_error_defers_to_call_time(self):
+        compiled = compile_expr(parse_expression("1 / 0"))
+        assert not compiled.constant
+        with pytest.raises(ExpressionError, match="division by zero"):
+            compiled.row({})
+        # The batch interpreter's per-row loop never raises over an empty
+        # batch; the compiled closure must match.
+        assert compiled.batch(_batch_of([])) == []
+        with pytest.raises(ExpressionError, match="division by zero"):
+            compiled.batch(_batch_of([{}]))
+
+    def test_column_is_not_constant(self):
+        assert not compile_expr(parse_expression("a + 1")).constant
+
+    def test_fold_parity_in_context(self):
+        assert_parity("a + (2 * 3 - 6)", ROWS)
+        assert_parity("1 / 0 > a", ROWS)
+
+
+class TestAggregateAndUnknownFunctions:
+    def test_aggregate_outside_group_by_raises_everywhere(self):
+        assert_parity("sum(a) > 1", [{"a": 1}])
+
+    def test_aggregate_raises_even_on_empty_batch(self):
+        expression = parse_expression("count(a)")
+        with pytest.raises(ExpressionError, match="outside GROUP BY"):
+            compile_batch(expression)(_batch_of([]))
+
+    def test_scalar_function_arity_error_matches(self):
+        expression = parse_expression("abs(1, 2)")
+        with pytest.raises(TypeError):
+            evaluate(expression, {})
+        with pytest.raises(TypeError):
+            compile_row(expression)({})
+
+
+class TestColumnResolution:
+    def test_qualified_bare_and_ambiguous(self):
+        assert_parity("t.a = 1", [{"t.a": 1}, {"a": 1}])
+        assert_parity("a = 1", [{"t.a": 1}, {"t.a": 1, "u.a": 2}, {"x": 1}])
+
+
+class TestCompileCache:
+    def test_equal_expressions_share_closures(self):
+        clear_cache()
+        first = compile_expr(parse_expression("a + 1 > b"))
+        hits_before, misses_before = cache_stats()
+        second = compile_expr(parse_expression("a + 1 > b"))
+        hits_after, misses_after = cache_stats()
+        assert second is first
+        assert hits_after == hits_before + 1
+        assert misses_after == misses_before
+
+    def test_distinct_expressions_do_not_alias(self):
+        assert compile_expr(parse_expression("a + 1")) is not compile_expr(
+            parse_expression("a + 2")
+        )
+
+    def test_clear_cache_resets(self):
+        compile_expr(parse_expression("a * 3"))
+        clear_cache()
+        assert cache_stats() == (0, 0)
