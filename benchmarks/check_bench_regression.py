@@ -41,6 +41,7 @@ HARD_FLOOR = 1.0
 SCHEMAS: Dict[str, Tuple[str, str, float]] = {
     "BENCH_e11.json": ("row_at_a_time_s", "batched_s", 3.0),
     "BENCH_e12.json": ("interpreted_batched_s", "compiled_batched_s", 2.0),
+    "BENCH_e13.json": ("static_s", "feedback_s", 1.5),
 }
 
 #: Fallback timing key pairs tried, in order, for BENCH files that are

@@ -61,10 +61,31 @@ class SoftDB:
         self.database = Database()
         self.registry = SoftConstraintRegistry(self.database)
         self.config = config or OptimizerConfig()
-        self.optimizer = Optimizer(self.database, self.registry, self.config)
-        self.plan_cache = PlanCache(self.optimizer)
+        # Execution feedback (repro.feedback): one store per session,
+        # created only when switched on — the default path never touches
+        # any of the feedback machinery.
+        if self.config.collect_feedback:
+            from repro.feedback import FeedbackStore
+
+            self.feedback = FeedbackStore()
+        else:
+            self.feedback = None
+        self.optimizer = Optimizer(
+            self.database, self.registry, self.config, feedback=self.feedback
+        )
+        self.plan_cache = PlanCache(
+            self.optimizer,
+            qerror_threshold=(
+                self.config.feedback_qerror_threshold
+                if self.feedback is not None
+                else None
+            ),
+        )
         self.executor = Executor(
-            self.database, self.registry, batch_size=self.config.batch_size
+            self.database,
+            self.registry,
+            batch_size=self.config.batch_size,
+            feedback=self.feedback,
         )
         self._constraint_sequence = 0
 
@@ -82,6 +103,12 @@ class SoftDB:
         count for DML, and None for DDL.  ``batch_size`` overrides the
         session's executor batch size for this query only (0 selects the
         row-at-a-time interpreter).
+
+        With ``OptimizerConfig(collect_feedback=True)`` every query's
+        actual cardinalities are harvested into the session's feedback
+        store, and a cached plan whose execution misestimated past the
+        q-error threshold is evicted so the next call reoptimizes it with
+        feedback-corrected estimates.
         """
         statement = parse_statement(sql)
         if isinstance(statement, (ast.SelectStatement, ast.UnionAll)):
@@ -89,7 +116,10 @@ class SoftDB:
                 plan = self.plan_cache.get_plan(sql)
             else:
                 plan = self.optimizer.optimize(statement)
-            return self.executor.execute(plan, batch_size=batch_size)
+            result = self.executor.execute(plan, batch_size=batch_size)
+            if use_cache and self.feedback is not None:
+                self.plan_cache.note_execution(sql, result.max_qerror)
+            return result
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement)
         if isinstance(statement, ast.Delete):
@@ -189,6 +219,43 @@ class SoftDB:
         return runstats_virtual(
             self.database, table_name, virtual_name, expression, **kwargs
         )
+
+    # -------------------------------------------------------------- feedback
+
+    def apply_feedback(
+        self, suspect_qerror: Optional[float] = None
+    ) -> List[str]:
+        """Close the soft-constraint loop: re-verify constraints on tables
+        the feedback store flags as misestimated (see
+        :class:`repro.feedback.adjust.FeedbackAdjuster`).  Returns the
+        human-readable actions taken; raises if feedback is off.
+        """
+        if self.feedback is None:
+            raise ExecutionError(
+                "feedback is off; construct SoftDB with "
+                "OptimizerConfig(collect_feedback=True)"
+            )
+        from repro.feedback import FeedbackAdjuster
+
+        kwargs = (
+            {} if suspect_qerror is None
+            else {"suspect_qerror": suspect_qerror}
+        )
+        adjuster = FeedbackAdjuster(
+            self.registry, self.feedback, self.database, **kwargs
+        )
+        return adjuster.apply()
+
+    def feedback_report(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot of the session's feedback state."""
+        if self.feedback is None:
+            return {"enabled": False}
+        report = {"enabled": True}
+        report.update(self.feedback.snapshot())
+        report["plan_cache_feedback_invalidations"] = (
+            self.plan_cache.feedback_invalidations
+        )
+        return report
 
     # -------------------------------------------------------- soft constraints
 

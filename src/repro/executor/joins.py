@@ -6,6 +6,13 @@ forms materialize the build/inner side as one concatenated
 batch, and emit column-major output whose inner-side columns are gathered
 (or, for nested loops, tiled by C-level list repetition) rather than
 merged dict-by-dict.
+
+Under feedback collection (``count_pairs=True``) joins additionally count
+the row pairs they considered *before* any residual filter — for a hash
+join that is the key-matched pair count (the equi edge's own output), for
+nested loops the full ``|outer| x |inner|`` product.  The count lands on
+``node.actual_pairs``; harvesting divides it by the input cardinalities
+to observe the edge's true selectivity.
 """
 
 from __future__ import annotations
@@ -22,8 +29,21 @@ ChildRunner = Callable[[object], RowIterator]
 BatchRunner = Callable[[object], Iterator[RowBatch]]
 
 
+def _count_outer(
+    rows: RowIterator, node: NestedLoopJoin, inner_size: int
+) -> RowIterator:
+    """Count outer rows; every one is paired against the whole inner."""
+    outer = 0
+    try:
+        for row in rows:
+            outer += 1
+            yield row
+    finally:
+        node.actual_pairs = outer * inner_size
+
+
 def run_nested_loop_join(
-    node: NestedLoopJoin, run_child: ChildRunner
+    node: NestedLoopJoin, run_child: ChildRunner, count_pairs: bool = False
 ) -> RowIterator:
     """Nested loops with the inner input materialized once.
 
@@ -33,28 +53,33 @@ def run_nested_loop_join(
     would absorb.
     """
     inner_rows: List[RowDict] = list(run_child(node.right))
+    outer_rows = run_child(node.left)
+    if count_pairs:
+        outer_rows = _count_outer(outer_rows, node, len(inner_rows))
     condition = node.condition
     compiled = node.compiled_condition
     if condition is None:
-        for left_row in run_child(node.left):
+        for left_row in outer_rows:
             for right_row in inner_rows:
                 yield {**left_row, **right_row}
     elif compiled is not None:
         condition_fn = compiled[0]
-        for left_row in run_child(node.left):
+        for left_row in outer_rows:
             for right_row in inner_rows:
                 merged = {**left_row, **right_row}
                 if condition_fn(merged) is True:
                     yield merged
     else:
-        for left_row in run_child(node.left):
+        for left_row in outer_rows:
             for right_row in inner_rows:
                 merged = {**left_row, **right_row}
                 if evaluate(condition, merged) is True:
                     yield merged
 
 
-def run_hash_join(node: HashJoin, run_child: ChildRunner) -> RowIterator:
+def run_hash_join(
+    node: HashJoin, run_child: ChildRunner, count_pairs: bool = False
+) -> RowIterator:
     """Classic hash join: build on the right input, probe with the left.
 
     NULL key components never match (SQL equality semantics).
@@ -82,24 +107,36 @@ def run_hash_join(node: HashJoin, run_child: ChildRunner) -> RowIterator:
         if any(part is None for part in key):
             continue
         build.setdefault(key, []).append(right_row)
-    if not build:
-        return  # empty build side: skip scanning the probe input entirely
-    for left_row in run_child(node.left):
-        if left_fns is not None:
-            key = tuple(fn(left_row) for fn in left_fns)
-        else:
-            key = tuple(evaluate(expr, left_row) for expr in node.left_keys)
-        if any(part is None for part in key):
-            continue
-        for right_row in build.get(key, ()):
-            merged = {**left_row, **right_row}
-            if residual is None:
-                yield merged
-            elif residual_fn is not None:
-                if residual_fn(merged) is True:
+    pairs = 0
+    try:
+        if not build:
+            return  # empty build side: skip scanning the probe input entirely
+        for left_row in run_child(node.left):
+            if left_fns is not None:
+                key = tuple(fn(left_row) for fn in left_fns)
+            else:
+                key = tuple(
+                    evaluate(expr, left_row) for expr in node.left_keys
+                )
+            if any(part is None for part in key):
+                continue
+            matches = build.get(key)
+            if not matches:
+                continue
+            if count_pairs:
+                pairs += len(matches)
+            for right_row in matches:
+                merged = {**left_row, **right_row}
+                if residual is None:
                     yield merged
-            elif evaluate(residual, merged) is True:
-                yield merged
+                elif residual_fn is not None:
+                    if residual_fn(merged) is True:
+                        yield merged
+                elif evaluate(residual, merged) is True:
+                    yield merged
+    finally:
+        if count_pairs:
+            node.actual_pairs = pairs
 
 
 # -- batched variants ----------------------------------------------------------
@@ -121,7 +158,10 @@ def _merged_columns(
 
 
 def run_nested_loop_join_batched(
-    node: NestedLoopJoin, run_child: BatchRunner, batch_size: int
+    node: NestedLoopJoin,
+    run_child: BatchRunner,
+    batch_size: int,
+    count_pairs: bool = False,
 ) -> Iterator[RowBatch]:
     """Batched nested loops: inner materialized once, outer tiled against it.
 
@@ -131,35 +171,47 @@ def run_nested_loop_join_batched(
     condition once over the whole k×m chunk.
     """
     inner = RowBatch.concat(list(run_child(node.right)))
-    if inner is None or len(inner) == 0:
-        return
-    m = len(inner)
-    # Keep output chunks near batch_size rows without splitting inner runs.
-    outer_chunk = max(1, batch_size // m)
-    for left in run_child(node.left):
-        for start in range(0, len(left), outer_chunk):
-            piece = left.slice(start, start + outer_chunk)
-            k = len(piece)
-            columns, _ = _merged_columns(piece, inner)
-            data: Dict[str, List[Any]] = {}
-            for name in piece.columns:
-                column = piece.data[name]
-                data[name] = [value for value in column for _ in range(m)]
-            for name in inner.columns:
-                data[name] = inner.data[name] * k if k > 1 else inner.data[name]
-            merged = RowBatch(columns, data, k * m)
-            if node.condition is not None:
-                if node.compiled_condition is not None:
-                    verdicts = node.compiled_condition[1](merged)
-                else:
-                    verdicts = evaluate_batch(node.condition, merged)
-                merged = merged.filter_true(verdicts)
-            if len(merged):
-                yield merged
+    pairs = 0
+    try:
+        if inner is None or len(inner) == 0:
+            return
+        m = len(inner)
+        # Keep output chunks near batch_size rows without splitting inner runs.
+        outer_chunk = max(1, batch_size // m)
+        for left in run_child(node.left):
+            for start in range(0, len(left), outer_chunk):
+                piece = left.slice(start, start + outer_chunk)
+                k = len(piece)
+                if count_pairs:
+                    pairs += k * m
+                columns, _ = _merged_columns(piece, inner)
+                data: Dict[str, List[Any]] = {}
+                for name in piece.columns:
+                    column = piece.data[name]
+                    data[name] = [value for value in column for _ in range(m)]
+                for name in inner.columns:
+                    data[name] = (
+                        inner.data[name] * k if k > 1 else inner.data[name]
+                    )
+                merged = RowBatch(columns, data, k * m)
+                if node.condition is not None:
+                    if node.compiled_condition is not None:
+                        verdicts = node.compiled_condition[1](merged)
+                    else:
+                        verdicts = evaluate_batch(node.condition, merged)
+                    merged = merged.filter_true(verdicts)
+                if len(merged):
+                    yield merged
+    finally:
+        if count_pairs:
+            node.actual_pairs = pairs
 
 
 def run_hash_join_batched(
-    node: HashJoin, run_child: BatchRunner, batch_size: int
+    node: HashJoin,
+    run_child: BatchRunner,
+    batch_size: int,
+    count_pairs: bool = False,
 ) -> Iterator[RowBatch]:
     """Batched hash join: keys evaluated per batch, matches gathered.
 
@@ -184,41 +236,50 @@ def run_hash_join_batched(
             if any(part is None for part in key):
                 continue
             build.setdefault(key, []).append(i)
-    if not build:
-        return  # empty build side: skip scanning the probe input entirely
-    for left in run_child(node.left):
-        if node.compiled_left_keys is not None:
-            key_columns = [pair[1](left) for pair in node.compiled_left_keys]
-        else:
-            key_columns = [
-                evaluate_batch(expr, left) for expr in node.left_keys
-            ]
-        probe_idx: List[int] = []
-        build_idx: List[int] = []
-        for i in range(len(left)):
-            key = tuple(column[i] for column in key_columns)
-            if any(part is None for part in key):
-                continue
-            matches = build.get(key)
-            if matches:
-                probe_idx.extend([i] * len(matches))
-                build_idx.extend(matches)
-        if not probe_idx:
-            continue
-        columns, _ = _merged_columns(left, build_side)
-        data: Dict[str, List[Any]] = {}
-        for name in left.columns:
-            column = left.data[name]
-            data[name] = [column[i] for i in probe_idx]
-        for name in build_side.columns:
-            column = build_side.data[name]
-            data[name] = [column[j] for j in build_idx]
-        merged = RowBatch(columns, data, len(probe_idx))
-        if node.residual is not None:
-            if node.compiled_residual is not None:
-                verdicts = node.compiled_residual[1](merged)
+    pairs = 0
+    try:
+        if not build:
+            return  # empty build side: skip scanning the probe input entirely
+        for left in run_child(node.left):
+            if node.compiled_left_keys is not None:
+                key_columns = [
+                    pair[1](left) for pair in node.compiled_left_keys
+                ]
             else:
-                verdicts = evaluate_batch(node.residual, merged)
-            merged = merged.filter_true(verdicts)
-        if len(merged):
-            yield merged
+                key_columns = [
+                    evaluate_batch(expr, left) for expr in node.left_keys
+                ]
+            probe_idx: List[int] = []
+            build_idx: List[int] = []
+            for i in range(len(left)):
+                key = tuple(column[i] for column in key_columns)
+                if any(part is None for part in key):
+                    continue
+                matches = build.get(key)
+                if matches:
+                    probe_idx.extend([i] * len(matches))
+                    build_idx.extend(matches)
+            if not probe_idx:
+                continue
+            if count_pairs:
+                pairs += len(probe_idx)
+            columns, _ = _merged_columns(left, build_side)
+            data: Dict[str, List[Any]] = {}
+            for name in left.columns:
+                column = left.data[name]
+                data[name] = [column[i] for i in probe_idx]
+            for name in build_side.columns:
+                column = build_side.data[name]
+                data[name] = [column[j] for j in build_idx]
+            merged = RowBatch(columns, data, len(probe_idx))
+            if node.residual is not None:
+                if node.compiled_residual is not None:
+                    verdicts = node.compiled_residual[1](merged)
+                else:
+                    verdicts = evaluate_batch(node.residual, merged)
+                merged = merged.filter_true(verdicts)
+            if len(merged):
+                yield merged
+    finally:
+        if count_pairs:
+            node.actual_pairs = pairs

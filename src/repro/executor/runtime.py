@@ -44,6 +44,12 @@ RowDict = Dict[str, Any]
 class ExecutionResult:
     """Rows plus the I/O the plan actually performed."""
 
+    #: Worst per-node q-error of this execution; set only when feedback
+    #: collection was on (None otherwise).
+    max_qerror: Optional[float] = None
+    #: Observations this execution contributed to the feedback store.
+    feedback_observations: int = 0
+
     def __init__(
         self,
         columns: List[str],
@@ -101,6 +107,12 @@ class Executor:
     executed after another transaction overturned it.  A stale plan raises
     :class:`~repro.errors.StalePlanError`; the caller re-issues with a
     fresh compile (see :meth:`repro.api.SoftDB.execute_plan`).
+
+    With a ``feedback`` store (:class:`~repro.feedback.store.FeedbackStore`),
+    every execution is instrumented, its per-node actual cardinalities are
+    harvested into the store, and the result carries ``max_qerror`` /
+    ``feedback_observations``.  Without one, nothing feedback-related runs
+    — the default path does zero extra work.
     """
 
     def __init__(
@@ -108,45 +120,78 @@ class Executor:
         database: Database,
         registry: Optional[Any] = None,
         batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+        feedback: Optional[Any] = None,
     ) -> None:
         self.database = database
         self.registry = registry
         self.batch_size = batch_size
+        self.feedback = feedback
 
     def execute(
         self,
         plan: PhysicalPlan,
         instrument: bool = False,
         batch_size: Optional[int] = None,
+        collect_feedback: Optional[bool] = None,
     ) -> ExecutionResult:
         """Run a plan.  With ``instrument``, every operator's actual output
         row count is recorded on the node (``actual_rows``; batched runs
         also record ``actual_batches``) so EXPLAIN ANALYZE can print
         estimates next to actuals.  ``batch_size`` overrides the
-        executor's default for this one execution."""
+        executor's default for this one execution.  ``collect_feedback``
+        (default: on iff the executor holds a feedback store) implies
+        instrumentation, also counts scan input rows / join pairs, and
+        harvests the actuals into the store afterwards."""
         self._guard_freshness(plan)
+        collect = (
+            self.feedback is not None
+            if collect_feedback is None
+            else collect_feedback
+        )
+        if collect:
+            from repro.feedback.counters import clear_actuals
+
+            # A cached plan still carries the previous run's counters;
+            # reset so partially-executed operators can't leak old counts.
+            clear_actuals(plan.root)
+            instrument = True
         size = self.batch_size if batch_size is None else batch_size
         before_reads = self.database.counters.page_reads
         before_rows = self.database.counters.rows_read
         if size:
             interpreter = BatchedInterpreter(
-                self.database, size, instrument=instrument
+                self.database, size, instrument=instrument, collect=collect
             )
             rows = interpreter.rows(plan.root)
         else:
             self._instrument = instrument
+            self._collect = collect
             try:
                 rows = list(self._run_top(plan.root))
             finally:
                 self._instrument = False
-        return ExecutionResult(
+                self._collect = False
+        result = ExecutionResult(
             columns=plan.output_names,
             rows=rows,
             page_reads=self.database.counters.page_reads - before_reads,
             rows_read=self.database.counters.rows_read - before_rows,
         )
+        if collect:
+            if self.feedback is not None:
+                from repro.feedback.counters import harvest
+
+                summary = harvest(plan, self.feedback)
+                result.max_qerror = summary.max_qerror
+                result.feedback_observations = summary.observations
+            else:
+                from repro.feedback.qerror import plan_max_qerror
+
+                result.max_qerror = plan_max_qerror(plan.root)
+        return result
 
     _instrument = False
+    _collect = False
 
     def _run_top(self, node: PhysicalNode) -> Iterator[RowDict]:
         if not self._instrument:
@@ -205,21 +250,27 @@ class Executor:
         if isinstance(node, EmptyResult):
             return iter(())
         if isinstance(node, SeqScan):
-            return run_seq_scan(self.database, node)
+            return run_seq_scan(self.database, node, count_input=self._collect)
         if isinstance(node, IndexScan):
-            return run_index_scan(self.database, node)
+            return run_index_scan(
+                self.database, node, count_input=self._collect
+            )
         if isinstance(node, Filter):
             return self._run_filter(node)
         if isinstance(node, NestedLoopJoin):
-            return run_nested_loop_join(node, self._run)
+            return run_nested_loop_join(
+                node, self._run, count_pairs=self._collect
+            )
         if isinstance(node, HashJoin):
-            return run_hash_join(node, self._run)
+            return run_hash_join(node, self._run, count_pairs=self._collect)
         if isinstance(node, GroupBy):
             return self._run_group_by(node)
         if isinstance(node, Extend):
             return self._run_extend(node)
         if isinstance(node, Sort):
-            return run_sort(node, self._run(node.child))
+            return run_sort(
+                node, self._run(node.child), count_input=self._collect
+            )
         if isinstance(node, Project):
             return self._run_project(node)
         if isinstance(node, Distinct):

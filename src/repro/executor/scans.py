@@ -5,6 +5,14 @@ row-read accounting is identical; the batched variants simply transpose
 each run of fetched rows into a column-major
 :class:`~repro.executor.batch.RowBatch` and evaluate the pushed-down
 predicate once per batch instead of once per row.
+
+Under feedback collection (``count_input=True``) scans additionally count
+the rows they *examined* before the pushed-down filter — for an index
+scan, that is the number of rows the range fetched, the cost model's
+"matching" quantity.  The count is attached as
+``node.actual_rows_scanned``.  When collection is off, no counting
+wrapper is even constructed: the default path does zero extra per-row
+work.
 """
 
 from __future__ import annotations
@@ -30,28 +38,53 @@ def qualified_row(
     }
 
 
-def run_seq_scan(database: Database, node: SeqScan) -> Iterator[RowDict]:
+def _count_scanned(
+    rows: Iterator[Tuple[Any, ...]], node: "SeqScan | IndexScan"
+) -> Iterator[Tuple[Any, ...]]:
+    """Count raw rows flowing out of storage into the scan's filter.
+
+    The count lands on the node even if the consumer stops early (LIMIT):
+    harvesting guards against such partial counts by only consulting
+    ``actual_rows_scanned`` when ``actual_rows`` was also recorded.
+    """
+    scanned = 0
+    try:
+        for row in rows:
+            scanned += 1
+            yield row
+    finally:
+        node.actual_rows_scanned = scanned
+
+
+def run_seq_scan(
+    database: Database, node: SeqScan, count_input: bool = False
+) -> Iterator[RowDict]:
     table = database.table(node.table_name)
     names = tuple(table.schema.column_names())
+    source = table.scan_rows()
+    if count_input:
+        source = _count_scanned(source, node)
     predicate = node.predicate
     if predicate is None:
-        for row in table.scan_rows():
+        for row in source:
             yield qualified_row(node.binding, names, row)
     elif node.compiled_predicate is not None:
         row_fn = node.compiled_predicate[0]
-        for row in table.scan_rows():
+        for row in source:
             out = qualified_row(node.binding, names, row)
             if row_fn(out) is True:
                 yield out
     else:
-        for row in table.scan_rows():
+        for row in source:
             out = qualified_row(node.binding, names, row)
             if evaluate(predicate, out) is True:
                 yield out
 
 
-def run_index_scan(database: Database, node: IndexScan) -> Iterator[RowDict]:
-    """Range scan the index, fetch each RID, apply the residual filter.
+def _index_rows(
+    database: Database, node: IndexScan
+) -> Iterator[Tuple[Any, ...]]:
+    """Range scan the index and fetch each RID's storage row.
 
     Row fetches go through a one-page buffer: consecutive RIDs on the same
     heap page cost a single page read.  Over a clustered index this makes a
@@ -61,11 +94,7 @@ def run_index_scan(database: Database, node: IndexScan) -> Iterator[RowDict]:
     """
     table = database.table(node.table_name)
     index = database.catalog.index(node.index_name)
-    names = tuple(table.schema.column_names())
     counters = table.pages.counters
-    predicate = node.predicate
-    compiled = node.compiled_predicate
-    row_fn = compiled[0] if compiled is not None else None
     buffered_page_id = None
     for _key, row_id in index.range_scan(
         low=_resolve_key(node.low),
@@ -80,6 +109,22 @@ def run_index_scan(database: Database, node: IndexScan) -> Iterator[RowDict]:
         if row is None:
             continue
         counters.rows_read += 1
+        yield row
+
+
+def run_index_scan(
+    database: Database, node: IndexScan, count_input: bool = False
+) -> Iterator[RowDict]:
+    """Range scan the index, fetch each RID, apply the residual filter."""
+    table = database.table(node.table_name)
+    names = tuple(table.schema.column_names())
+    source = _index_rows(database, node)
+    if count_input:
+        source = _count_scanned(source, node)
+    predicate = node.predicate
+    compiled = node.compiled_predicate
+    row_fn = compiled[0] if compiled is not None else None
+    for row in source:
         out = qualified_row(node.binding, names, row)
         if predicate is not None:
             if row_fn is not None:
@@ -125,13 +170,15 @@ def _emit_batch(
 
 
 def run_seq_scan_batched(
-    database: Database, node: SeqScan, batch_size: int
+    database: Database, node: SeqScan, batch_size: int, count_input: bool = False
 ) -> Iterator[RowBatch]:
     table = database.table(node.table_name)
     names = tuple(
         f"{node.binding}.{name}" for name in table.schema.column_names()
     )
     source = table.scan_rows()
+    if count_input:
+        source = _count_scanned(source, node)
     while True:
         buffer = list(itertools.islice(source, batch_size))
         if not buffer:
@@ -142,7 +189,10 @@ def run_seq_scan_batched(
 
 
 def run_index_scan_batched(
-    database: Database, node: IndexScan, batch_size: int
+    database: Database,
+    node: IndexScan,
+    batch_size: int,
+    count_input: bool = False,
 ) -> Iterator[RowBatch]:
     """Batched twin of :func:`run_index_scan`.
 
@@ -150,26 +200,14 @@ def run_index_scan_batched(
     page-read totals match the row-at-a-time scan exactly.
     """
     table = database.table(node.table_name)
-    index = database.catalog.index(node.index_name)
     names = tuple(
         f"{node.binding}.{name}" for name in table.schema.column_names()
     )
-    counters = table.pages.counters
-    buffered_page_id = None
+    source = _index_rows(database, node)
+    if count_input:
+        source = _count_scanned(source, node)
     buffer: List[Tuple[Any, ...]] = []
-    for _key, row_id in index.range_scan(
-        low=_resolve_key(node.low),
-        high=_resolve_key(node.high),
-        low_inclusive=node.low_inclusive,
-        high_inclusive=node.high_inclusive,
-    ):
-        if row_id.page_id != buffered_page_id:
-            counters.page_reads += 1
-            buffered_page_id = row_id.page_id
-        row = table.pages.pages[row_id.page_id].slots[row_id.slot_no]
-        if row is None:
-            continue
-        counters.rows_read += 1
+    for row in source:
         buffer.append(row)
         if len(buffer) >= batch_size:
             batch = _emit_batch(names, buffer, node)

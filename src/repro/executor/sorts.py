@@ -25,9 +25,15 @@ def _decorate(value: Any):
     return _NULL_KEY if value is None else (False, value)
 
 
-def run_sort(node: Sort, rows: Iterator[RowDict]) -> Iterator[RowDict]:
+def run_sort(
+    node: Sort, rows: Iterator[RowDict], count_input: bool = False
+) -> Iterator[RowDict]:
     """Materialize and sort; stable multi-key sort, last key first."""
     materialized: List[RowDict] = list(rows)
+    if count_input:
+        # The sort always materializes its whole input, so this count —
+        # unlike ``actual_rows`` — survives a LIMIT above the sort.
+        node.actual_input_rows = len(materialized)
     compiled = node.compiled_order
     if compiled is not None:
         for row_fn, _batch_fn, ascending in reversed(compiled):
@@ -45,7 +51,10 @@ def run_sort(node: Sort, rows: Iterator[RowDict]) -> Iterator[RowDict]:
 
 
 def run_sort_batched(
-    node: Sort, batches: Iterable[RowBatch], batch_size: int
+    node: Sort,
+    batches: Iterable[RowBatch],
+    batch_size: int,
+    count_input: bool = False,
 ) -> Iterator[RowBatch]:
     """Batched twin of :func:`run_sort`: sort an index permutation.
 
@@ -55,6 +64,10 @@ def run_sort_batched(
     ``batch_size``.
     """
     materialized = RowBatch.concat(list(batches))
+    if count_input:
+        node.actual_input_rows = (
+            0 if materialized is None else len(materialized)
+        )
     if materialized is None or len(materialized) == 0:
         return
     indices = list(range(len(materialized)))

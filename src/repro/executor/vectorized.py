@@ -64,6 +64,7 @@ class BatchedInterpreter:
         database: Database,
         batch_size: int = DEFAULT_BATCH_SIZE,
         instrument: bool = False,
+        collect: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ExecutionError(
@@ -71,7 +72,10 @@ class BatchedInterpreter:
             )
         self.database = database
         self.batch_size = batch_size
-        self.instrument = instrument
+        # Feedback collection implies instrumentation and additionally
+        # counts scan input rows and join pairs (see repro.feedback).
+        self.collect = collect
+        self.instrument = instrument or collect
 
     def rows(self, root: PhysicalNode) -> List[RowDict]:
         """Run the plan and materialize the result as row dicts."""
@@ -101,21 +105,34 @@ class BatchedInterpreter:
         if isinstance(node, EmptyResult):
             return iter(())
         if isinstance(node, SeqScan):
-            return run_seq_scan_batched(self.database, node, self.batch_size)
+            return run_seq_scan_batched(
+                self.database, node, self.batch_size, count_input=self.collect
+            )
         if isinstance(node, IndexScan):
-            return run_index_scan_batched(self.database, node, self.batch_size)
+            return run_index_scan_batched(
+                self.database, node, self.batch_size, count_input=self.collect
+            )
         if isinstance(node, Filter):
             return self._run_filter(node)
         if isinstance(node, NestedLoopJoin):
-            return run_nested_loop_join_batched(node, self.run, self.batch_size)
+            return run_nested_loop_join_batched(
+                node, self.run, self.batch_size, count_pairs=self.collect
+            )
         if isinstance(node, HashJoin):
-            return run_hash_join_batched(node, self.run, self.batch_size)
+            return run_hash_join_batched(
+                node, self.run, self.batch_size, count_pairs=self.collect
+            )
         if isinstance(node, GroupBy):
             return self._run_group_by(node)
         if isinstance(node, Extend):
             return self._run_extend(node)
         if isinstance(node, Sort):
-            return run_sort_batched(node, self.run(node.child), self.batch_size)
+            return run_sort_batched(
+                node,
+                self.run(node.child),
+                self.batch_size,
+                count_input=self.collect,
+            )
         if isinstance(node, Project):
             return self._run_project(node)
         if isinstance(node, Distinct):

@@ -1,0 +1,58 @@
+"""Execution feedback: actual cardinalities close the optimizer's loop.
+
+The optimizer in this reproduction *estimates* — nothing in the original
+paper's pipeline ever checks those estimates against reality.  This
+package adds the classic feedback loop (Adaptive Cardinality Estimation
+lineage; see PAPERS.md):
+
+1. the executors record per-plan-node **actual** output cardinalities
+   (plus scan input rows and join pair counts) when collection is on;
+2. :mod:`repro.feedback.counters` harvests an executed plan into a
+   :class:`~repro.feedback.store.FeedbackStore`, keyed by
+   (table, predicate-signature) for scans, join-edge signature for
+   joins, and grouping-key signature for aggregations, with per-key
+   q-error tracking;
+3. the stored observations feed back three ways: corrected estimates in
+   :class:`~repro.optimizer.cardinality.CardinalityEstimator` (its
+   ``"feedback"`` combiner mode), q-error-driven
+   :class:`~repro.optimizer.planner.PlanCache` invalidation, and
+   :class:`~repro.feedback.adjust.FeedbackAdjuster`'s targeted
+   re-verification of soft constraints on misestimated tables (the
+   currency/maintenance loop of the paper's Sections 3.3 and 4.3).
+
+Collection is **off by default** and adds no per-row work when off; turn
+it on with ``OptimizerConfig(collect_feedback=True)``.
+"""
+
+from repro.feedback.adjust import FeedbackAdjuster
+from repro.feedback.counters import HarvestSummary, clear_actuals, harvest
+from repro.feedback.qerror import QErrorTracker, plan_max_qerror, q_error
+from repro.feedback.signatures import (
+    FULL_SCAN,
+    conjunct_signature,
+    group_signature,
+    index_range_signature,
+    join_edge_signature,
+    predicate_signature,
+    theta_signature,
+)
+from repro.feedback.store import FeedbackStore, Observation
+
+__all__ = [
+    "FULL_SCAN",
+    "FeedbackAdjuster",
+    "FeedbackStore",
+    "HarvestSummary",
+    "Observation",
+    "QErrorTracker",
+    "clear_actuals",
+    "conjunct_signature",
+    "group_signature",
+    "harvest",
+    "index_range_signature",
+    "join_edge_signature",
+    "plan_max_qerror",
+    "predicate_signature",
+    "q_error",
+    "theta_signature",
+]

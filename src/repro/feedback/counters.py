@@ -1,0 +1,243 @@
+"""Harvesting: turn one instrumented execution into store observations.
+
+The executors already record ``actual_rows`` per node under
+instrumentation (set only when an operator ran to completion — a
+LIMIT-truncated subtree stays None, so every harvested count is a *true*
+full cardinality).  Feedback collection additionally records scan input
+rows (``actual_rows_scanned``) and join pair counts (``actual_pairs``);
+:func:`harvest` walks the executed tree once and folds everything into
+the :class:`~repro.feedback.store.FeedbackStore`.
+
+:func:`clear_actuals` resets all runtime counters on a plan before a
+collected execution, so a cached (re-executed) plan never harvests a
+previous run's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.expr import analysis
+from repro.feedback import signatures
+from repro.feedback.qerror import q_error
+from repro.feedback.store import FeedbackStore
+from repro.optimizer.physical import (
+    EmptyResult,
+    GroupBy,
+    HashJoin,
+    IndexScan,
+    NestedLoopJoin,
+    PhysicalNode,
+    PhysicalPlan,
+    SeqScan,
+    Sort,
+)
+
+
+class HarvestSummary:
+    """What one harvest contributed: observation count and worst q-error."""
+
+    __slots__ = ("observations", "max_qerror")
+
+    def __init__(self, observations: int = 0, max_qerror: float = 1.0) -> None:
+        self.observations = observations
+        self.max_qerror = max_qerror
+
+    def __repr__(self) -> str:
+        return (
+            f"HarvestSummary(observations={self.observations}, "
+            f"max_qerror={self.max_qerror:.2f})"
+        )
+
+
+def clear_actuals(root: PhysicalNode) -> None:
+    """Reset every runtime counter in the tree (pre-execution)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        node.actual_rows = None
+        node.actual_batches = None
+        if isinstance(node, (SeqScan, IndexScan)):
+            node.actual_rows_scanned = None
+        elif isinstance(node, (HashJoin, NestedLoopJoin)):
+            node.actual_pairs = None
+        elif isinstance(node, Sort):
+            node.actual_input_rows = None
+        stack.extend(node.children())
+
+
+def binding_tables_of(root: PhysicalNode) -> Dict[str, str]:
+    """binding → table name, from the plan's scan leaves."""
+    tables: Dict[str, str] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (SeqScan, IndexScan, EmptyResult)):
+            tables[node.binding.lower()] = node.table_name
+        stack.extend(node.children())
+    return tables
+
+
+def harvest(plan: PhysicalPlan, store: FeedbackStore) -> HarvestSummary:
+    """Fold one executed (instrumented) plan into the store."""
+    binding_tables = binding_tables_of(plan.root)
+    summary = HarvestSummary()
+    stack = [plan.root]
+    while stack:
+        node = stack.pop()
+        stack.extend(node.children())
+        if node.actual_rows is None:
+            continue
+        q = q_error(node.estimated_rows, node.actual_rows)
+        if q > summary.max_qerror:
+            summary.max_qerror = q
+        if isinstance(node, SeqScan):
+            _harvest_seq_scan(node, store, summary)
+        elif isinstance(node, IndexScan):
+            _harvest_index_scan(node, store, summary)
+        elif isinstance(node, (HashJoin, NestedLoopJoin)):
+            _harvest_join(node, store, binding_tables, summary)
+        elif isinstance(node, GroupBy):
+            _harvest_group(node, store, binding_tables, summary)
+    store.harvests += 1
+    return summary
+
+
+def _harvest_seq_scan(
+    node: SeqScan, store: FeedbackStore, summary: HarvestSummary
+) -> None:
+    signature = signatures.predicate_signature(node.predicate)
+    store.record_scan(
+        node.table_name, signature, node.estimated_rows, node.actual_rows
+    )
+    summary.observations += 1
+    # A completed sequential scan counted the whole table in passing.
+    if node.actual_rows_scanned is not None:
+        store.record_base_rows(node.table_name, node.actual_rows_scanned)
+        summary.observations += 1
+
+
+def _harvest_index_scan(
+    node: IndexScan, store: FeedbackStore, summary: HarvestSummary
+) -> None:
+    signature = signatures.predicate_signature(node.predicate)
+    store.record_scan(
+        node.table_name, signature, node.estimated_rows, node.actual_rows
+    )
+    summary.observations += 1
+    # Rows the range actually fetched = the cost model's "matching" rows.
+    if node.actual_rows_scanned is not None:
+        store.record_index_range(
+            node.table_name,
+            node.index_name,
+            signatures.index_range_signature(
+                node.low, node.high, node.low_inclusive, node.high_inclusive
+            ),
+            node.actual_rows_scanned,
+        )
+        summary.observations += 1
+
+
+def _join_inputs(node) -> Optional[tuple]:
+    left = node.left.actual_rows
+    right = node.right.actual_rows
+    if not left or not right:
+        return None  # an input was truncated (or empty): no selectivity
+    return float(left), float(right)
+
+
+def _estimated_join_selectivity(node) -> Optional[float]:
+    left = node.left.estimated_rows
+    right = node.right.estimated_rows
+    if left <= 0 or right <= 0:
+        return None
+    return node.estimated_rows / (left * right)
+
+
+def _harvest_join(
+    node,
+    store: FeedbackStore,
+    binding_tables: Dict[str, str],
+    summary: HarvestSummary,
+) -> None:
+    inputs = _join_inputs(node)
+    if inputs is None:
+        return
+    left_rows, right_rows = inputs
+    pairs = node.actual_pairs
+    if isinstance(node, HashJoin):
+        if len(node.left_keys) != 1 or len(node.right_keys) != 1:
+            return  # multi-key edges don't map to one estimator conjunct
+        left_key, right_key = node.left_keys[0], node.right_keys[0]
+        from repro.sql import ast
+
+        if not (
+            isinstance(left_key, ast.ColumnRef)
+            and isinstance(right_key, ast.ColumnRef)
+        ):
+            return
+        signature = signatures.join_edge_signature(
+            left_key, right_key, binding_tables
+        )
+        # The pre-residual pair count isolates the equi edge's own
+        # selectivity from any residual conjuncts applied after it.
+        matched = pairs if pairs is not None else node.actual_rows
+        tables = _edge_tables(left_key, right_key, binding_tables)
+    else:  # NestedLoopJoin
+        condition = node.condition
+        if condition is None:
+            return  # cartesian product: nothing to learn
+        conjuncts = analysis.split_conjuncts(condition)
+        if len(conjuncts) != 1:
+            return
+        equijoin = analysis.match_equijoin(conjuncts[0])
+        if equijoin is not None:
+            signature = signatures.join_edge_signature(
+                equijoin[0], equijoin[1], binding_tables
+            )
+            tables = _edge_tables(equijoin[0], equijoin[1], binding_tables)
+        else:
+            signature = signatures.theta_signature(condition, binding_tables)
+            tables = tuple(
+                sorted(
+                    binding_tables.get(b, b)
+                    for b in analysis.tables_in(condition)
+                )
+            )
+        matched = node.actual_rows
+        if pairs is None:
+            pairs = left_rows * right_rows
+    if signature is None:
+        return
+    input_pairs = left_rows * right_rows
+    if input_pairs <= 0:
+        return
+    store.record_join(
+        signature,
+        _estimated_join_selectivity(node),
+        float(matched) / input_pairs,
+        tables=tables,
+    )
+    summary.observations += 1
+
+
+def _edge_tables(left_key, right_key, binding_tables) -> tuple:
+    return tuple(
+        sorted(
+            binding_tables.get((ref.table or "").lower(), ref.table or "?")
+            for ref in (left_key, right_key)
+        )
+    )
+
+
+def _harvest_group(
+    node: GroupBy,
+    store: FeedbackStore,
+    binding_tables: Dict[str, str],
+    summary: HarvestSummary,
+) -> None:
+    if not node.keys:
+        return  # scalar aggregation always yields one row
+    signature = signatures.group_signature(node.keys, binding_tables)
+    store.record_group(signature, node.estimated_rows, node.actual_rows)
+    summary.observations += 1

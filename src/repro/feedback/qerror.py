@@ -1,0 +1,74 @@
+"""Q-error aggregation over feedback observations.
+
+The q-error — ``max(est/actual, actual/est)``, both clamped to one row —
+is the standard multiplicative metric for cardinality estimation quality
+(1.0 is perfect).  The scalar metric lives in
+:func:`repro.stats.errors.q_error`; this module adds the running
+aggregate the store keeps per key, and a plan-tree helper the plan cache
+uses to decide whether a cached plan misestimated badly enough to drop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.stats.errors import q_error
+
+__all__ = ["QErrorTracker", "plan_max_qerror", "q_error"]
+
+
+class QErrorTracker:
+    """Running max / mean q-error over a stream of (estimate, actual)."""
+
+    __slots__ = ("count", "max_qerror", "_total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.max_qerror = 1.0
+        self._total = 0.0
+
+    def record(self, estimated: float, actual: float) -> float:
+        """Fold one observation in; returns its q-error."""
+        q = q_error(estimated, actual)
+        self.count += 1
+        self._total += q
+        if q > self.max_qerror:
+            self.max_qerror = q
+        return q
+
+    @property
+    def mean_qerror(self) -> float:
+        return self._total / self.count if self.count else 1.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "max_qerror": round(self.max_qerror, 4),
+            "mean_qerror": round(self.mean_qerror, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QErrorTracker(count={self.count}, "
+            f"max={self.max_qerror:.2f}, mean={self.mean_qerror:.2f})"
+        )
+
+
+def plan_max_qerror(root) -> Optional[float]:
+    """Worst per-node q-error of an instrumented plan tree.
+
+    Only nodes whose ``actual_rows`` was recorded (i.e. the operator ran
+    to completion — a LIMIT-truncated subtree stays None) contribute.
+    Returns None when no node was instrumented.
+    """
+    worst: Optional[float] = None
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        actual = getattr(node, "actual_rows", None)
+        if actual is not None:
+            q = q_error(node.estimated_rows, actual)
+            if worst is None or q > worst:
+                worst = q
+        stack.extend(node.children())
+    return worst

@@ -1,0 +1,264 @@
+"""The FeedbackStore: aggregated actual-cardinality observations.
+
+One store serves one session.  Keys:
+
+* **scans** — ``(table, predicate signature)`` → output rows a scan of
+  that table under that (qualifier-stripped, order-canonical) conjunct
+  set actually produced;
+* **index ranges** — ``(table, index, range signature)`` → rows the
+  index range actually fetched (the access-path ``matching`` quantity);
+* **joins** — equi-edge or theta signature → observed edge selectivity
+  (matched pairs over input-pair product);
+* **groups** — grouping-key signature → observed group count;
+* **base rows** — table → cardinality observed by a full sequential
+  scan (a seq scan that ran to completion has, as a side effect,
+  counted the whole table — fresher than stale RUNSTATS).
+
+Values are exponentially-weighted moving averages (``alpha`` weights the
+newest run) so a drifting table converges over a few executions instead
+of whipsawing on one outlier, plus per-key q-error aggregates for
+reporting and for the discovery miners' targeting hints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.feedback.qerror import QErrorTracker
+
+#: Weight of the newest observation in the moving average.
+DEFAULT_ALPHA = 0.5
+
+
+class Observation:
+    """One feedback key's aggregated history."""
+
+    __slots__ = ("count", "value", "last_estimated", "last_actual", "qerror")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.value: Optional[float] = None  # EWMA of the observed quantity
+        self.last_estimated: Optional[float] = None
+        self.last_actual: Optional[float] = None
+        self.qerror = QErrorTracker()
+
+    def record(
+        self,
+        actual: float,
+        estimated: Optional[float] = None,
+        alpha: float = DEFAULT_ALPHA,
+    ) -> None:
+        self.count += 1
+        actual = float(actual)
+        if self.value is None:
+            self.value = actual
+        else:
+            self.value = alpha * actual + (1.0 - alpha) * self.value
+        self.last_actual = actual
+        if estimated is not None:
+            self.last_estimated = float(estimated)
+            self.qerror.record(estimated, actual)
+
+    def __repr__(self) -> str:
+        return (
+            f"Observation(n={self.count}, value={self.value}, "
+            f"max_qerror={self.qerror.max_qerror:.2f})"
+        )
+
+
+class FeedbackStore:
+    """Aggregates harvested actuals and answers estimator lookups."""
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._scans: Dict[Tuple[str, str], Observation] = {}
+        self._index_ranges: Dict[Tuple[str, str, str], Observation] = {}
+        self._joins: Dict[str, Observation] = {}
+        self._join_tables: Dict[str, Tuple[str, ...]] = {}
+        self._groups: Dict[str, Observation] = {}
+        self._base_rows: Dict[str, Observation] = {}
+        self.observations = 0
+        self.harvests = 0
+
+    # ----------------------------------------------------------- recording
+
+    def record_scan(
+        self,
+        table: str,
+        signature: str,
+        estimated: float,
+        actual: float,
+    ) -> None:
+        key = (table.lower(), signature)
+        entry = self._scans.setdefault(key, Observation())
+        entry.record(actual, estimated, self.alpha)
+        self.observations += 1
+
+    def record_index_range(
+        self, table: str, index_name: str, range_signature: str, fetched: float
+    ) -> None:
+        key = (table.lower(), index_name.lower(), range_signature)
+        entry = self._index_ranges.setdefault(key, Observation())
+        entry.record(fetched, None, self.alpha)
+        self.observations += 1
+
+    def record_base_rows(self, table: str, rows: float) -> None:
+        entry = self._base_rows.setdefault(table.lower(), Observation())
+        entry.record(rows, None, self.alpha)
+        self.observations += 1
+
+    def record_join(
+        self,
+        signature: str,
+        estimated_selectivity: Optional[float],
+        actual_selectivity: float,
+        tables: Tuple[str, ...] = (),
+    ) -> None:
+        entry = self._joins.setdefault(signature, Observation())
+        entry.record(actual_selectivity, None, self.alpha)
+        if estimated_selectivity is not None:
+            # Selectivities are fractions; q-error clamps to >= 1 row, so
+            # track the ratio on a common scale instead.
+            scale = 1e9
+            entry.qerror.record(
+                estimated_selectivity * scale, actual_selectivity * scale
+            )
+        if tables:
+            self._join_tables[signature] = tuple(
+                t.lower() for t in sorted(tables)
+            )
+        self.observations += 1
+
+    def record_group(
+        self, signature: str, estimated: float, actual: float
+    ) -> None:
+        entry = self._groups.setdefault(signature, Observation())
+        entry.record(actual, estimated, self.alpha)
+        self.observations += 1
+
+    # ------------------------------------------------------------- lookups
+
+    def scan_rows(self, table: str, signature: str) -> Optional[float]:
+        entry = self._scans.get((table.lower(), signature))
+        return None if entry is None else entry.value
+
+    def matching_rows(
+        self, table: str, index_name: str, range_signature: str
+    ) -> Optional[float]:
+        entry = self._index_ranges.get(
+            (table.lower(), index_name.lower(), range_signature)
+        )
+        return None if entry is None else entry.value
+
+    def base_rows(self, table: str) -> Optional[float]:
+        entry = self._base_rows.get(table.lower())
+        return None if entry is None else entry.value
+
+    def join_selectivity(self, signature: str) -> Optional[float]:
+        entry = self._joins.get(signature)
+        if entry is None or entry.value is None:
+            return None
+        return max(0.0, min(1.0, entry.value))
+
+    def group_rows(self, signature: str) -> Optional[float]:
+        entry = self._groups.get(signature)
+        return None if entry is None else entry.value
+
+    def __len__(self) -> int:
+        return (
+            len(self._scans)
+            + len(self._index_ranges)
+            + len(self._joins)
+            + len(self._groups)
+            + len(self._base_rows)
+        )
+
+    # ----------------------------------------------- targeting / reporting
+
+    def tables_with_qerror(self, min_qerror: float = 2.0) -> Dict[str, float]:
+        """table → worst scan q-error seen, for tables at/above the bar.
+
+        The adjuster uses this to pick which tables' soft constraints are
+        worth re-verifying, and the discovery engine to boost candidates.
+        """
+        worst: Dict[str, float] = {}
+        for (table, _sig), entry in self._scans.items():
+            q = entry.qerror.max_qerror
+            if q >= min_qerror and q > worst.get(table, 0.0):
+                worst[table] = q
+        return worst
+
+    def worst_scans(
+        self, limit: int = 5, min_qerror: float = 1.0
+    ) -> List[Tuple[str, str, float]]:
+        """(table, signature, max q-error), worst first."""
+        ranked = [
+            (table, sig, entry.qerror.max_qerror)
+            for (table, sig), entry in self._scans.items()
+            if entry.qerror.max_qerror >= min_qerror
+        ]
+        ranked.sort(key=lambda item: -item[2])
+        return ranked[:limit]
+
+    def worst_join_edges(
+        self, limit: int = 5, min_qerror: float = 1.0
+    ) -> List[Tuple[str, Tuple[str, ...], float]]:
+        """(edge signature, tables, max q-error), worst first."""
+        ranked = [
+            (sig, self._join_tables.get(sig, ()), entry.qerror.max_qerror)
+            for sig, entry in self._joins.items()
+            if entry.qerror.max_qerror >= min_qerror
+        ]
+        ranked.sort(key=lambda item: -item[2])
+        return ranked[:limit]
+
+    def join_table_qerrors(self) -> Dict[Tuple[str, ...], float]:
+        """Sorted table pair → worst join-edge q-error observed on it."""
+        worst: Dict[Tuple[str, ...], float] = {}
+        for sig, entry in self._joins.items():
+            tables = self._join_tables.get(sig)
+            if not tables:
+                continue
+            q = entry.qerror.max_qerror
+            if q > worst.get(tables, 0.0):
+                worst[tables] = q
+        return worst
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly summary for reports and debugging."""
+        return {
+            "observations": self.observations,
+            "harvests": self.harvests,
+            "keys": len(self),
+            "base_rows": {
+                table: round(entry.value, 1)
+                for table, entry in sorted(self._base_rows.items())
+                if entry.value is not None
+            },
+            "worst_scans": [
+                {"table": t, "signature": s, "max_qerror": round(q, 2)}
+                for t, s, q in self.worst_scans()
+            ],
+            "worst_joins": [
+                {"edge": sig, "tables": list(tables), "max_qerror": round(q, 2)}
+                for sig, tables, q in self.worst_join_edges()
+            ],
+        }
+
+    def clear(self) -> None:
+        self._scans.clear()
+        self._index_ranges.clear()
+        self._joins.clear()
+        self._join_tables.clear()
+        self._groups.clear()
+        self._base_rows.clear()
+        self.observations = 0
+        self.harvests = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FeedbackStore(keys={len(self)}, "
+            f"observations={self.observations})"
+        )

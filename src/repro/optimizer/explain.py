@@ -42,15 +42,40 @@ def explain(plan: PhysicalPlan) -> str:
 
 def _render(node: PhysicalNode, depth: int, lines: List[str]) -> None:
     indent = "  " * depth
-    actual = (
-        "" if node.actual_rows is None else f" actual={node.actual_rows}"
-    )
-    if actual and node.actual_batches is not None:
-        actual += f" batches={node.actual_batches}"
     lines.append(
         f"{indent}{node.describe()}  "
         f"[rows~{node.estimated_rows:.1f} cost~{node.estimated_cost:.1f}"
-        f"{actual}]"
+        f"{_actuals(node)}]"
     )
     for child in node.children():
         _render(child, depth + 1, lines)
+
+
+def _actuals(node: PhysicalNode) -> str:
+    """The instrumented columns: ``est=…`` / ``act=…`` / ``qerr=…``.
+
+    Present only after an instrumented execution; the extra feedback
+    counters (scan input rows, join pairs, sort input) appear when
+    feedback collection recorded them.
+    """
+    if node.actual_rows is None:
+        return ""
+    from repro.stats.errors import q_error
+
+    q = q_error(node.estimated_rows, node.actual_rows)
+    text = (
+        f" est={node.estimated_rows:.0f} act={node.actual_rows}"
+        f" qerr={q:.2f}"
+    )
+    if node.actual_batches is not None:
+        text += f" batches={node.actual_batches}"
+    scanned = getattr(node, "actual_rows_scanned", None)
+    if scanned is not None:
+        text += f" scanned={scanned}"
+    pairs = getattr(node, "actual_pairs", None)
+    if pairs is not None:
+        text += f" pairs={pairs}"
+    sort_input = getattr(node, "actual_input_rows", None)
+    if sort_input is not None:
+        text += f" input={sort_input}"
+    return text

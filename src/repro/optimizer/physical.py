@@ -70,6 +70,10 @@ class SeqScan(PhysicalNode):
         # (row_fn, batch_fn) closures attached by the optimizer when
         # OptimizerConfig.compile_expressions is on; None = interpret.
         self.compiled_predicate = None
+        # Input rows examined before the filter; set only when feedback
+        # collection is on (may reflect a partial scan under LIMIT —
+        # harvesting consults it only when ``actual_rows`` is also set).
+        self.actual_rows_scanned: Optional[int] = None
 
     def describe(self) -> str:
         text = f"SeqScan({self.table_name} AS {self.binding}"
@@ -102,6 +106,9 @@ class IndexScan(PhysicalNode):
         self.high_inclusive = high_inclusive
         self.predicate = predicate
         self.compiled_predicate = None
+        # Rows the index range fetched (pre-residual-filter) — the cost
+        # model's "matching" quantity; set under feedback collection.
+        self.actual_rows_scanned: Optional[int] = None
 
     def describe(self) -> str:
         low = "-inf" if self.low is None else repr(list(self.low))
@@ -141,6 +148,9 @@ class NestedLoopJoin(PhysicalNode):
         self.right = right
         self.condition = condition
         self.compiled_condition = None
+        # Row pairs the condition examined (|outer| x |inner|); set under
+        # feedback collection.
+        self.actual_pairs: Optional[int] = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.left, self.right]
@@ -172,6 +182,9 @@ class HashJoin(PhysicalNode):
         self.compiled_left_keys = None
         self.compiled_right_keys = None
         self.compiled_residual = None
+        # Key-matched pairs before the residual filter; set under
+        # feedback collection — isolates the equi edge's selectivity.
+        self.actual_pairs: Optional[int] = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.left, self.right]
@@ -258,6 +271,10 @@ class Sort(PhysicalNode):
         self.order = order
         # Parallel to ``order``: (row_fn, batch_fn, ascending) triples.
         self.compiled_order = None
+        # Rows materialized for sorting — unlike ``actual_rows`` this
+        # survives LIMIT truncation (the sort input is always fully
+        # materialized); set under feedback collection.
+        self.actual_input_rows: Optional[int] = None
 
     def children(self) -> List[PhysicalNode]:
         return [self.child]

@@ -73,6 +73,16 @@ class OptimizerConfig:
     # evaluate_batch oracle path unchanged — the differential escape
     # hatch.
     compile_expressions: bool = True
+    # Execution feedback (repro.feedback): instrument every execution,
+    # harvest actual cardinalities into a FeedbackStore, estimate in the
+    # estimator's "feedback" mode, and let the plan cache drop plans whose
+    # observed max q-error exceeds the threshold.  Off by default: the
+    # default path does no per-row counting at all.
+    collect_feedback: bool = False
+    # Plan-cache invalidation bar: a cached plan whose execution shows a
+    # node misestimated by at least this factor is evicted and recompiled
+    # with feedback-corrected estimates.
+    feedback_qerror_threshold: float = 4.0
 
 
 class Optimizer:
@@ -83,11 +93,15 @@ class Optimizer:
         database: Database,
         registry: Optional[object] = None,
         config: Optional[OptimizerConfig] = None,
+        feedback: Optional[object] = None,
     ) -> None:
         self.database = database
         self.registry = registry
         self.config = config or OptimizerConfig()
         self.rewrite_engine = RewriteEngine()
+        # A repro.feedback.store.FeedbackStore; when present, estimation
+        # runs in the estimator's "feedback" mode.
+        self.feedback = feedback
 
     # -- public API ----------------------------------------------------------
 
@@ -107,7 +121,10 @@ class Optimizer:
         logical = self.rewrite_engine.rewrite(logical, context)
 
         estimator = CardinalityEstimator(
-            self.database, use_twinning=self.config.use_twinning_in_estimation
+            self.database,
+            use_twinning=self.config.use_twinning_in_estimation,
+            combiner="feedback" if self.feedback is not None else "independence",
+            feedback=self.feedback,
         )
         cost_model = CostModel(self.database)
         if isinstance(logical, UnionPlan):
@@ -304,11 +321,28 @@ class PlanCache:
     when a dependency fires, the entry *reverts to the backup* instead of
     being evicted, so the workload keeps running without a recompile
     (``fallbacks`` counts these reversions).
+
+    With a ``qerror_threshold``, execution feedback also invalidates:
+    :meth:`note_execution` drops a cached plan whose run showed a node
+    misestimated by at least the threshold factor, so the next
+    ``get_plan`` recompiles it against feedback-corrected estimates.
+    Unlike a constraint overturn this is a *full* eviction — reverting to
+    a backup would keep the very estimates that just proved wrong.
     """
 
-    def __init__(self, optimizer: Optimizer, backup_plans: bool = False) -> None:
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        backup_plans: bool = False,
+        qerror_threshold: Optional[float] = None,
+    ) -> None:
+        if qerror_threshold is not None and qerror_threshold < 1.0:
+            raise OptimizerError(
+                f"qerror_threshold must be >= 1.0, got {qerror_threshold}"
+            )
         self.optimizer = optimizer
         self.backup_plans = backup_plans
+        self.qerror_threshold = qerror_threshold
         self._plans: Dict[str, PhysicalPlan] = {}
         self._backups: Dict[str, PhysicalPlan] = {}
         self._reverted: set = set()
@@ -322,6 +356,7 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self.fallbacks = 0
+        self.feedback_invalidations = 0
 
     def get_plan(self, sql: str) -> PhysicalPlan:
         cached = self._plans.get(sql)
@@ -374,6 +409,29 @@ class PlanCache:
         else:
             del self._plans[sql]
         self.invalidations += 1
+
+    def note_execution(self, sql: str, max_qerror: Optional[float]) -> bool:
+        """Feedback-driven invalidation: drop the cached plan for ``sql``
+        if its execution's worst per-node q-error crossed the threshold.
+
+        Returns True when a plan was evicted.  The eviction is full (no
+        backup reversion) so the next ``get_plan`` recompiles with the
+        feedback store's corrected estimates; the reverted marker is also
+        cleared so a reverted backup plan can be replaced too.
+        """
+        if (
+            self.qerror_threshold is None
+            or max_qerror is None
+            or max_qerror < self.qerror_threshold
+            or sql not in self._plans
+        ):
+            return False
+        del self._plans[sql]
+        self._backups.pop(sql, None)
+        self._reverted.discard(sql)
+        self.invalidations += 1
+        self.feedback_invalidations += 1
+        return True
 
     # Kept as the historical name for direct eviction in tests/tools.
     def _evict(self, sql: str) -> None:

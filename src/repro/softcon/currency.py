@@ -37,17 +37,39 @@ class CurrencyModel:
         Size of the constrained table at the last verification.
     updates_seen:
         Updates against the table since then (fed by the registry).
+        Zeroed by :meth:`reset`; the lifetime total survives as
+        :attr:`total_updates`.
     """
 
     def __init__(self, row_count: int) -> None:
         self.row_count = max(0, row_count)
         self.updates_seen = 0
+        self._total_updates = 0
 
     def record_update(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(
+                f"update count must be non-negative, got {count}"
+            )
         self.updates_seen += count
+        self._total_updates += count
+
+    @property
+    def total_updates(self) -> int:
+        """Lifetime updates observed, across re-verifications.
+
+        ``updates_seen`` answers "how stale since the last verify?";
+        this answers "how churned is the table overall?" — the signal
+        maintenance scheduling and the feedback adjuster report on.
+        """
+        return self._total_updates
 
     def reset(self, row_count: int) -> None:
-        """Called after re-verification: fresh baseline, zero staleness."""
+        """Called after re-verification: fresh baseline, zero staleness.
+
+        Only the since-verification counter is zeroed; ``row_count`` must
+        reflect the table's current (non-negative) size and is clamped.
+        """
         self.row_count = max(0, row_count)
         self.updates_seen = 0
 

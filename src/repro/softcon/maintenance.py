@@ -121,11 +121,23 @@ class AsyncRepairPolicy(MaintenancePolicy):
     queued constraint against the database.  Constraints that verify clean
     are reinstated as ASCs; partially-violated ones come back as SSCs with
     the measured confidence, unless below ``drop_threshold``.
+
+    ``drop_threshold`` is a bound on the *measured confidence*
+    (``(total - violations) / total``), i.e. ``0.5`` means "give up and
+    drop the constraint once more than half the rows violate it".
+    Exactly-at-threshold confidence keeps the constraint (demoted to a
+    statistical SC); only strictly-below drops it.  ``verify`` on an
+    empty table yields confidence 1.0, so an emptied table always
+    reinstates.
     """
 
     name = "async_repair"
 
     def __init__(self, drop_threshold: float = 0.5) -> None:
+        if not 0.0 <= drop_threshold <= 1.0:
+            raise ValueError(
+                f"drop_threshold must be in [0, 1], got {drop_threshold}"
+            )
         self.drop_threshold = drop_threshold
         self.queue: List[SoftConstraint] = []
 

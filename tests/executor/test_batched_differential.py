@@ -18,6 +18,7 @@ from hypothesis import given, settings
 
 from repro import SoftDB
 from repro.executor.runtime import ExecutionResult, Executor
+from repro.feedback import FeedbackStore
 from repro.harness.runner import _all_off
 from repro.optimizer.planner import Optimizer, OptimizerConfig
 from repro.sql.printer import sql_of
@@ -38,7 +39,16 @@ BATCH_SIZES = (3, 1024)
 CONFIGS = {
     "rewrites-on": OptimizerConfig(),
     "rewrites-off": _all_off(),
+    # Feedback collection must be invisible to query results: every mode
+    # runs with its counters live while the oracle stays uninstrumented.
+    "feedback-on": OptimizerConfig(collect_feedback=True),
 }
+
+
+def _executor(db: SoftDB, batch_size: int, config: OptimizerConfig) -> Executor:
+    """An executor for one mode; feedback-collecting when configured."""
+    feedback = FeedbackStore() if config.collect_feedback else None
+    return Executor(db.database, batch_size=batch_size, feedback=feedback)
 
 
 def _outcome(fn):
@@ -83,7 +93,7 @@ def assert_differential(db: SoftDB, sql: str, config: OptimizerConfig) -> None:
     )
     for name, plan, batch_size in _modes(interpreted, compiled):
         result = _outcome(
-            lambda: Executor(db.database, batch_size=batch_size).execute(plan)
+            lambda: _executor(db, batch_size, config).execute(plan)
         )
         context = f"{sql!r} ({name})"
         if oracle[0] == "error":

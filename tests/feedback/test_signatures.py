@@ -1,0 +1,98 @@
+"""Signature canonicalization: same logical work -> same key."""
+
+import pytest
+
+from repro.feedback import signatures
+from repro.feedback.signatures import FULL_SCAN
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+
+
+class TestConjunctSignatures:
+    def test_no_predicate_is_full_scan(self):
+        assert signatures.predicate_signature(None) == FULL_SCAN
+
+    def test_conjunct_order_is_irrelevant(self):
+        a = parse_expression("t.age > 30 AND t.salary < 100")
+        b = parse_expression("t.salary < 100 AND t.age > 30")
+        assert signatures.predicate_signature(a) == (
+            signatures.predicate_signature(b)
+        )
+
+    def test_binding_alias_is_stripped(self):
+        a = parse_expression("e.age > 30")
+        b = parse_expression("emp.age > 30")
+        assert signatures.predicate_signature(a) == (
+            signatures.predicate_signature(b)
+        )
+
+    def test_different_constants_differ(self):
+        a = parse_expression("t.age > 30")
+        b = parse_expression("t.age > 31")
+        assert signatures.predicate_signature(a) != (
+            signatures.predicate_signature(b)
+        )
+
+    def test_conjunct_list_matches_conjoined_predicate(self):
+        # The estimator sees a conjunct list; the physical scan carries
+        # their conjunction.  Both must key the same observation.
+        from repro.expr import analysis
+
+        conjuncts = [
+            parse_expression("t.age > 30"),
+            parse_expression("t.salary < 100"),
+        ]
+        conjoined = analysis.conjoin(list(conjuncts))
+        assert signatures.conjunct_signature(conjuncts) == (
+            signatures.predicate_signature(conjoined)
+        )
+
+    def test_duplicate_atoms_collapse(self):
+        a = parse_expression("t.age > 30 AND t.age > 30")
+        b = parse_expression("t.age > 30")
+        assert signatures.predicate_signature(a) == (
+            signatures.predicate_signature(b)
+        )
+
+
+class TestJoinSignatures:
+    def test_edge_sides_are_sorted(self):
+        binding_tables = {"e": "emp", "d": "dept"}
+        left = ast.ColumnRef("dept", "e")
+        right = ast.ColumnRef("id", "d")
+        forward = signatures.join_edge_signature(left, right, binding_tables)
+        backward = signatures.join_edge_signature(right, left, binding_tables)
+        assert forward == backward == "dept.id=emp.dept"
+
+    def test_unresolvable_binding_yields_none(self):
+        left = ast.ColumnRef("dept", "e")
+        right = ast.ColumnRef("id", "mystery")
+        assert (
+            signatures.join_edge_signature(left, right, {"e": "emp"}) is None
+        )
+
+    def test_theta_signature_carries_tables(self):
+        condition = parse_expression("e.age > d.min_age")
+        sig = signatures.theta_signature(condition, {"e": "emp", "d": "dept"})
+        assert sig.startswith("theta[dept,emp]:")
+
+
+class TestGroupAndRangeSignatures:
+    def test_group_keys_sorted_and_resolved(self):
+        keys = [ast.ColumnRef("region", "s"), ast.ColumnRef("day", "s")]
+        sig = signatures.group_signature(keys, {"s": "sale"})
+        assert sig == "group:sale.day,sale.region"
+
+    def test_index_range_signature_distinguishes_bounds(self):
+        closed = signatures.index_range_signature((5,), (9,), True, True)
+        open_low = signatures.index_range_signature((5,), (9,), False, True)
+        unbounded = signatures.index_range_signature((5,), None, True, True)
+        assert closed != open_low
+        assert closed != unbounded
+        assert closed == signatures.index_range_signature((5,), (9,), True, True)
+
+    @pytest.mark.parametrize("low,high", [((1,), (2,)), (None, (0.5,))])
+    def test_range_signature_is_deterministic(self, low, high):
+        first = signatures.index_range_signature(low, high, True, False)
+        again = signatures.index_range_signature(low, high, True, False)
+        assert first == again

@@ -1,0 +1,112 @@
+"""FeedbackStore aggregation, lookups, and targeting helpers."""
+
+import pytest
+
+from repro.feedback import FeedbackStore, Observation, QErrorTracker
+from repro.feedback.qerror import plan_max_qerror
+from repro.optimizer.physical import SeqScan
+
+
+class TestObservation:
+    def test_ewma_folds_toward_new_values(self):
+        obs = Observation()
+        obs.record(100.0, alpha=0.5)
+        assert obs.value == 100.0
+        obs.record(200.0, alpha=0.5)
+        assert obs.value == 150.0
+
+    def test_qerror_tracked_only_with_estimates(self):
+        obs = Observation()
+        obs.record(100.0)  # no estimate
+        assert obs.qerror.count == 0
+        obs.record(100.0, estimated=10.0)
+        assert obs.qerror.count == 1
+        assert obs.qerror.max_qerror == pytest.approx(10.0)
+
+
+class TestQErrorTracker:
+    def test_symmetric_and_clamped(self):
+        tracker = QErrorTracker()
+        assert tracker.record(10, 100) == pytest.approx(10.0)
+        assert tracker.record(100, 10) == pytest.approx(10.0)
+        # Sub-row estimates clamp to one row: no infinite q-errors.
+        assert tracker.record(0.0, 0.0) == pytest.approx(1.0)
+        assert tracker.max_qerror == pytest.approx(10.0)
+        assert tracker.mean_qerror == pytest.approx(7.0)
+
+
+class TestStoreLookups:
+    def test_scan_roundtrip_is_case_insensitive(self):
+        store = FeedbackStore()
+        store.record_scan("Emp", "age > 30", estimated=10, actual=300)
+        assert store.scan_rows("emp", "age > 30") == 300.0
+        assert store.scan_rows("emp", "age > 31") is None
+
+    def test_index_range_and_base_rows(self):
+        store = FeedbackStore()
+        store.record_index_range("emp", "IX_Age", "[30..*)", fetched=5000)
+        store.record_base_rows("emp", 60000)
+        assert store.matching_rows("emp", "ix_age", "[30..*)") == 5000.0
+        assert store.base_rows("emp") == 60000.0
+        assert store.matching_rows("emp", "ix_age", "[31..*)") is None
+
+    def test_join_selectivity_clamped_to_unit_interval(self):
+        store = FeedbackStore()
+        store.record_join("a.x=b.y", None, 1.7, tables=("a", "b"))
+        assert store.join_selectivity("a.x=b.y") == 1.0
+        assert store.join_selectivity("never.seen=edge.sig") is None
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackStore(alpha=0.0)
+        with pytest.raises(ValueError):
+            FeedbackStore(alpha=1.5)
+
+
+class TestTargeting:
+    def _store_with_bad_scan(self):
+        store = FeedbackStore()
+        store.record_scan("emp", "age > 30", estimated=1, actual=400)
+        store.record_scan("dept", "<full-scan>", estimated=5, actual=5)
+        store.record_join(
+            "dept.id=emp.dept",
+            estimated_selectivity=0.001,
+            actual_selectivity=0.2,
+            tables=("dept", "emp"),
+        )
+        return store
+
+    def test_tables_with_qerror_filters_by_bar(self):
+        store = self._store_with_bad_scan()
+        suspects = store.tables_with_qerror(min_qerror=2.0)
+        assert suspects == {"emp": pytest.approx(400.0)}
+
+    def test_worst_scans_ranked(self):
+        store = self._store_with_bad_scan()
+        ranked = store.worst_scans()
+        assert ranked[0][0] == "emp"
+        assert ranked[0][2] == pytest.approx(400.0)
+
+    def test_join_table_qerrors(self):
+        store = self._store_with_bad_scan()
+        pairs = store.join_table_qerrors()
+        assert ("dept", "emp") in pairs
+        assert pairs[("dept", "emp")] == pytest.approx(200.0)
+
+    def test_snapshot_and_clear(self):
+        store = self._store_with_bad_scan()
+        snap = store.snapshot()
+        assert snap["observations"] == 3
+        assert snap["worst_scans"][0]["table"] == "emp"
+        store.clear()
+        assert len(store) == 0
+        assert store.observations == 0
+
+
+class TestPlanMaxQError:
+    def test_walks_only_instrumented_nodes(self):
+        scan = SeqScan("t", "t")
+        scan.estimated_rows = 10.0
+        assert plan_max_qerror(scan) is None
+        scan.actual_rows = 1000
+        assert plan_max_qerror(scan) == pytest.approx(100.0)

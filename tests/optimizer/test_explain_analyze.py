@@ -32,12 +32,15 @@ class TestInstrumentedExecution:
         text = sales_softdb.explain(
             "SELECT id FROM sale WHERE day = 3", analyze=True
         )
-        assert "actual=" in text
+        assert "est=" in text
+        assert "act=" in text
+        assert "qerr=" in text
         assert "pages read" in text
 
     def test_plain_explain_has_no_actuals(self, sales_softdb):
         text = sales_softdb.explain("SELECT id FROM sale WHERE day = 3")
-        assert "actual" not in text
+        assert "act=" not in text
+        assert "qerr=" not in text
 
     def test_estimates_track_actuals_on_uniform_data(self, sales_softdb):
         plan = sales_softdb.plan("SELECT id FROM sale WHERE day < 25")

@@ -59,3 +59,39 @@ class TestCurrencyModel:
         model = CurrencyModel(0)
         model.record_update()
         assert model.margin_of_error == 1.0
+
+
+class TestTotalUpdates:
+    """Lifetime update counter and bad-count guard (satellite 1)."""
+
+    def test_total_survives_reset(self):
+        model = CurrencyModel(1000)
+        model.record_update(10)
+        model.record_update(5)
+        assert model.total_updates == 15
+        model.reset(1200)
+        assert model.updates_seen == 0
+        assert model.total_updates == 15
+        model.record_update(3)
+        assert model.total_updates == 18
+        assert model.margin_of_error == pytest.approx(3 / 1200)
+
+    def test_negative_count_rejected_without_side_effects(self):
+        model = CurrencyModel(1000)
+        model.record_update(7)
+        with pytest.raises(ValueError):
+            model.record_update(-1)
+        assert model.updates_seen == 7
+        assert model.total_updates == 7
+
+    def test_default_increment_is_one(self):
+        model = CurrencyModel(10)
+        model.record_update()
+        model.record_update()
+        assert model.total_updates == 2
+
+    def test_zero_count_is_a_noop(self):
+        model = CurrencyModel(10)
+        model.record_update(0)
+        assert model.updates_seen == 0
+        assert model.total_updates == 0

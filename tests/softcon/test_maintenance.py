@@ -148,3 +148,53 @@ class TestAsyncRepairPolicy:
         # double-reporting must not duplicate the queue entry.
         policy.on_violation(registry, sc, None)
         assert policy.queue.count(sc) == 1
+
+
+class TestAsyncRepairDropThreshold:
+    """drop_threshold is a bound on *measured confidence* (satellite 2).
+
+    ``drop_threshold=0.5`` means "drop once more than half the rows
+    violate"; confidence exactly at the threshold keeps the constraint
+    (demoted to statistical), only strictly-below drops it.
+    """
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_threshold_validated(self, bad):
+        with pytest.raises(ValueError):
+            AsyncRepairPolicy(drop_threshold=bad)
+
+    def _queued(self, database, registry, policy):
+        sc = CheckSoftConstraint("pos", "t", "a >= 0")
+        registry.register(sc, policy=policy, activate=True)
+        database.insert("t", [-1.0, 0.0])  # 1 of 11 rows violates
+        return sc
+
+    def test_confidence_exactly_at_threshold_is_kept(self, database, registry):
+        policy = AsyncRepairPolicy(drop_threshold=10 / 11)
+        sc = self._queued(database, registry, policy)
+        assert policy.run_pending(registry, database) == [("pos", "demoted")]
+        assert sc.state is SCState.ACTIVE and sc.is_statistical
+        assert sc.confidence == pytest.approx(policy.drop_threshold)
+
+    def test_confidence_below_threshold_is_dropped(self, database, registry):
+        policy = AsyncRepairPolicy(drop_threshold=10 / 11 + 1e-6)
+        sc = self._queued(database, registry, policy)
+        assert policy.run_pending(registry, database) == [("pos", "dropped")]
+        assert sc.state is SCState.DROPPED
+
+    def test_majority_violation_crosses_half_threshold(self, database, registry):
+        policy = AsyncRepairPolicy(drop_threshold=0.5)
+        sc = self._queued(database, registry, policy)
+        # Push past "more than half the rows violate".
+        for _ in range(12):
+            database.insert("t", [-1.0, 0.0])
+        assert policy.run_pending(registry, database) == [("pos", "dropped")]
+        assert sc.state is SCState.DROPPED
+
+    def test_emptied_table_always_reinstates(self, database, registry):
+        policy = AsyncRepairPolicy(drop_threshold=1.0)
+        sc = self._queued(database, registry, policy)
+        for row_id, _ in list(database.table("t").scan()):
+            database.delete_row("t", row_id)
+        assert policy.run_pending(registry, database) == [("pos", "reinstated")]
+        assert sc.state is SCState.ACTIVE and sc.is_absolute
