@@ -120,6 +120,7 @@ def test_e11_report_speedup_and_emit_json(report, benchmark, scenario):
                 "target_speedup": target,
             }
         )
+    pipelines.extend(_guard_overhead_entries(scenario))
     RESULTS_PATH.write_text(
         json.dumps({"experiment": "E11", "pipelines": pipelines}, indent=2)
         + "\n"
@@ -136,6 +137,22 @@ def test_e11_report_speedup_and_emit_json(report, benchmark, scenario):
         [
             [p["name"], p["row_at_a_time_s"], p["batched_s"], p["speedup"]]
             for p in pipelines
+            if "row_at_a_time_s" in p
+        ],
+    )
+    report(
+        "E11: query-guard overhead on the headline pipeline",
+        ["entry", "baseline s", "with guards s", "ratio", "allowed"],
+        [
+            [
+                p["name"],
+                p["baseline_s"],
+                p["candidate_s"],
+                round(p["candidate_s"] / p["baseline_s"], 3),
+                f"{p['max_slowdown']}x",
+            ]
+            for p in pipelines
+            if "max_slowdown" in p
         ],
     )
     headline = pipelines[0]
@@ -175,6 +192,46 @@ def test_e11_report_batch_size_sweep(report, benchmark, scenario):
     )
     assert speedups[-2] > speedups[0]  # 1024 beats 1
     assert max(speedups) >= TARGET_SPEEDUP
+
+
+def _guard_overhead_entries(scenario):
+    """Resource-governance overhead on the headline pipeline.
+
+    Two gated claims: executing with no guard costs the same as before
+    guards existed (``guard=None`` is a handful of ``is None`` branches,
+    allowed 5% noise), and an armed-but-untripped guard stays within 10%
+    (its budget checks are integer compares at batch boundaries).
+    """
+    from repro.resilience.guards import QueryGuard
+
+    plan = _plan(scenario, PIPELINE_SQL)
+    executor = Executor(scenario.database, batch_size=BATCH_SIZE)
+    generous = QueryGuard(
+        max_rows=10**9, max_page_reads=10**9, max_join_pairs=10**9
+    )
+    baseline_s = _best_of(lambda: executor.execute(plan), 5)
+    none_s = _best_of(lambda: executor.execute(plan, guard=None), 5)
+    armed_s = _best_of(lambda: executor.execute(plan, guard=generous), 5)
+    return [
+        {
+            "name": "guard-disabled-overhead",
+            "sql": PIPELINE_SQL,
+            "rows": ROWS,
+            "batch_size": BATCH_SIZE,
+            "baseline_s": round(baseline_s, 4),
+            "candidate_s": round(none_s, 4),
+            "max_slowdown": 1.05,
+        },
+        {
+            "name": "guard-armed-untripped-overhead",
+            "sql": PIPELINE_SQL,
+            "rows": ROWS,
+            "batch_size": BATCH_SIZE,
+            "baseline_s": round(baseline_s, 4),
+            "candidate_s": round(armed_s, 4),
+            "max_slowdown": 1.10,
+        },
+    ]
 
 
 def _row_key(row):

@@ -60,11 +60,13 @@ def discover_results(directory: Path = BENCH_DIR) -> List[Path]:
 
 def _entry_keys(name: str, entry: dict) -> Tuple[str, str, float]:
     schema = SCHEMAS.get(name)
-    if schema is not None:
+    if schema is not None and schema[0] in entry and schema[1] in entry:
         return schema
     for baseline_key, candidate_key in GENERIC_KEYS:
         if baseline_key in entry and candidate_key in entry:
             return baseline_key, candidate_key, HARD_FLOOR
+    if schema is not None:
+        return schema
     return "", "", HARD_FLOOR
 
 
@@ -82,6 +84,19 @@ def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
         candidate_s = entry.get(candidate_key)
         if not baseline_s or not candidate_s:
             failures.append(f"{name}: incomplete timings in {path}")
+            continue
+        # Overhead entries: the candidate adds a feature that must cost
+        # (nearly) nothing, so it is allowed up to ``max_slowdown`` x the
+        # baseline instead of the speedup floors below.
+        max_slowdown = entry.get("max_slowdown")
+        if max_slowdown is not None:
+            if candidate_s > baseline_s * max_slowdown:
+                failures.append(
+                    f"{name}: {candidate_key} overhead too high "
+                    f"({candidate_s:.4f}s vs {baseline_s:.4f}s baseline, "
+                    f"{candidate_s / baseline_s:.3f}x > allowed "
+                    f"{max_slowdown}x)"
+                )
             continue
         speedup = baseline_s / candidate_s
         if speedup < HARD_FLOOR:
@@ -118,10 +133,17 @@ def _speedups(path: Path) -> List[str]:
         baseline_s = entry.get(baseline_key)
         candidate_s = entry.get(candidate_key)
         if baseline_s and candidate_s:
-            lines.append(
-                f"ok: {path.name} {entry.get('name', '?')} "
-                f"{baseline_s / candidate_s:.2f}x"
-            )
+            if entry.get("max_slowdown") is not None:
+                lines.append(
+                    f"ok: {path.name} {entry.get('name', '?')} overhead "
+                    f"{candidate_s / baseline_s:.3f}x "
+                    f"(allowed {entry['max_slowdown']}x)"
+                )
+            else:
+                lines.append(
+                    f"ok: {path.name} {entry.get('name', '?')} "
+                    f"{baseline_s / candidate_s:.2f}x"
+                )
     return lines
 
 

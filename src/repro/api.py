@@ -31,7 +31,14 @@ from repro.engine.constraints import (
 from repro.engine.database import Database
 from repro.engine.schema import Column, TableSchema
 from repro.engine.types import type_from_name
-from repro.errors import ExecutionError, SqlError
+from repro.errors import (
+    BudgetExceededError,
+    ExecutionError,
+    QueryCancelledError,
+    QueryGuardError,
+    QueryTimeoutError,
+    SqlError,
+)
 from repro.executor.runtime import ExecutionResult, Executor
 from repro.expr.eval import compile_predicate, evaluate
 from repro.optimizer.explain import explain as explain_plan
@@ -46,6 +53,19 @@ from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.sql.printer import sql_of
 from repro.stats.runstats import TableStats, runstats, runstats_virtual
+
+
+def _plan_tables(plan: PhysicalPlan) -> tuple:
+    """The base tables a physical plan touches, sorted and deduplicated."""
+    tables = set()
+    stack = [plan.root]
+    while stack:
+        node = stack.pop()
+        name = getattr(node, "table_name", None)
+        if name:
+            tables.add(name)
+        stack.extend(node.children())
+    return tuple(sorted(tables))
 
 
 class SoftDB:
@@ -96,6 +116,8 @@ class SoftDB:
         sql: str,
         use_cache: bool = False,
         batch_size: Optional[int] = None,
+        guard: Optional[Any] = None,
+        cancel: Optional[Any] = None,
     ) -> Optional[Union[ExecutionResult, int]]:
         """Run one SQL statement.
 
@@ -104,20 +126,46 @@ class SoftDB:
         session's executor batch size for this query only (0 selects the
         row-at-a-time interpreter).
 
+        ``guard`` (a :class:`~repro.resilience.guards.QueryGuard`) caps
+        this statement's resources; ``cancel`` (a
+        :class:`~repro.resilience.guards.CancellationToken`) allows the
+        issuer to stop it cooperatively.  Both are honored at row/batch
+        boundaries on SELECT; for other statements the token is checked
+        on entry.  A breach raises the typed error (or, under the guard's
+        ``"partial"`` policy, returns a truncated result), is recorded in
+        the feedback store as a guard trip, and evicts the cached plan —
+        a tripped budget is the loudest possible mis-planning signal.
+
         With ``OptimizerConfig(collect_feedback=True)`` every query's
         actual cardinalities are harvested into the session's feedback
         store, and a cached plan whose execution misestimated past the
         q-error threshold is evicted so the next call reoptimizes it with
-        feedback-corrected estimates.
+        feedback-corrected estimates.  Harvesting happens only for
+        successful, untruncated executions.
         """
+        if cancel is not None and cancel.cancelled:
+            raise QueryCancelledError(f"query cancelled: {cancel.reason}")
         statement = parse_statement(sql)
         if isinstance(statement, (ast.SelectStatement, ast.UnionAll)):
             if use_cache:
                 plan = self.plan_cache.get_plan(sql)
             else:
                 plan = self.optimizer.optimize(statement)
-            result = self.executor.execute(plan, batch_size=batch_size)
-            if use_cache and self.feedback is not None:
+            try:
+                result = self.executor.execute(
+                    plan,
+                    batch_size=batch_size,
+                    guard=guard,
+                    cancel=cancel,
+                )
+            except QueryGuardError as error:
+                self._note_guard_breach(sql, plan, error, use_cache)
+                raise
+            if result.truncated:
+                self._note_guard_breach(
+                    sql, plan, result.guard_breach, use_cache
+                )
+            elif use_cache and self.feedback is not None:
                 self.plan_cache.note_execution(sql, result.max_qerror)
             return result
         if isinstance(statement, ast.Insert):
@@ -144,6 +192,36 @@ class SoftDB:
             self.database.drop_table(statement.name)
             return None
         raise SqlError(f"unsupported statement {type(statement).__name__}")
+
+    def _note_guard_breach(
+        self,
+        sql: str,
+        plan: PhysicalPlan,
+        error: Optional[Exception],
+        use_cache: bool,
+    ) -> None:
+        """Feed a guard trip into the feedback loop.
+
+        Budget and deadline breaches blame the plan: the trip is recorded
+        against the plan's tables (repeated trips flag them suspect) and
+        the cached plan is evicted.  A cancellation blames nobody — it is
+        counted for reporting but neither marks tables nor evicts.
+        """
+        cancelled = isinstance(error, QueryCancelledError)
+        if self.feedback is not None:
+            if isinstance(error, QueryTimeoutError):
+                kind = "deadline"
+            elif isinstance(error, BudgetExceededError):
+                kind = error.budget or "budget"
+            elif cancelled:
+                kind = "cancelled"
+            else:
+                kind = "guard"
+            self.feedback.record_guard_trip(
+                kind, () if cancelled else _plan_tables(plan)
+            )
+        if use_cache and not cancelled:
+            self.plan_cache.note_guard_breach(sql)
 
     def query(self, sql: str) -> List[Dict[str, Any]]:
         """Run a SELECT and return its rows."""
@@ -176,19 +254,27 @@ class SoftDB:
             fresh = self.optimizer.optimize(plan.sql)
             return self.executor.execute(fresh)
 
-    def explain(self, sql: str, analyze: bool = False) -> str:
+    def explain(
+        self,
+        sql: str,
+        analyze: bool = False,
+        guard: Optional[Any] = None,
+    ) -> str:
         """EXPLAIN text for a query.
 
         With ``analyze=True`` the query is *executed* and every operator
         line additionally shows its actual output row count (and, under
         the batched executor, the number of batches it emitted), plus a
         summary of the pages actually read — the estimate-vs-actual view
-        used to validate the cost model.
+        used to validate the cost model.  A ``guard`` adds a ``guard:``
+        line reporting consumption against each budget (tip: use the
+        ``"partial"`` breach policy so a tripped analyze still prints
+        what it consumed instead of raising).
         """
         plan = self.plan(sql)
         if not analyze:
             return explain_plan(plan)
-        result = self.executor.execute(plan, instrument=True)
+        result = self.executor.execute(plan, instrument=True, guard=guard)
         text = explain_plan(plan)
         summary = (
             f"\nactual: {result.row_count} rows, "
@@ -196,6 +282,12 @@ class SoftDB:
         )
         if self.executor.batch_size:
             summary += f" (batched, batch_size={self.executor.batch_size})"
+        if result.truncated:
+            summary += " [truncated by guard]"
+        if result.guard_report is not None:
+            from repro.resilience.guards import format_guard_report
+
+            summary += "\n" + format_guard_report(result.guard_report)
         return text + summary
 
     # ----------------------------------------------------------------- stats
@@ -255,7 +347,22 @@ class SoftDB:
         report["plan_cache_feedback_invalidations"] = (
             self.plan_cache.feedback_invalidations
         )
+        report["plan_cache_guard_invalidations"] = (
+            self.plan_cache.guard_invalidations
+        )
         return report
+
+    # ------------------------------------------------------------- resilience
+
+    def attach_fault_injector(self, injector: Any) -> None:
+        """Attach a :class:`~repro.resilience.faults.FaultInjector` to the
+        session's storage layer (pages and indexes, existing and future)."""
+        self.database.attach_fault_injector(injector)
+
+    def rebuild_index(self, name: str) -> None:
+        """Rebuild an index from its heap — the recovery path for an index
+        quarantined after corruption was detected."""
+        self.database.rebuild_index(name)
 
     # -------------------------------------------------------- soft constraints
 

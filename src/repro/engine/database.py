@@ -47,8 +47,50 @@ class Database:
     def __init__(self) -> None:
         self.catalog = Catalog()
         self.counters = IOCounters()
+        self.fault_injector = None
         self._observers: List[ChangeObserver] = []
         self._auto_index_sequence = 0
+
+    # -------------------------------------------------------------- resilience
+
+    def attach_fault_injector(self, injector) -> None:
+        """Attach (or with ``None``, detach) a fault injector everywhere.
+
+        The injector is propagated to every existing table's page manager
+        and every index, and to objects created later.  See
+        :class:`repro.resilience.faults.FaultInjector`.
+        """
+        self.fault_injector = injector
+        for name in self.catalog.table_names():
+            table = self.catalog.table(name)
+            table.pages.fault_injector = injector
+            for index in self.catalog.indexes_on(name):
+                index.fault_injector = injector
+
+    def rebuild_index(self, name: str) -> BTreeIndex:
+        """Rebuild an index from its heap — the recovery path after
+        corruption quarantined it.
+
+        The heap scan bypasses injection (the injector is paused for the
+        duration) so recovery itself cannot be re-poisoned mid-rebuild.
+        """
+        index = self.catalog.index(name)
+        table = self.catalog.table(index.table_name)
+        injector = self.fault_injector
+        was_enabled = injector.enabled if injector is not None else False
+        if injector is not None:
+            injector.pause()
+        try:
+            entries = []
+            for row_id, row in table.scan():
+                key = index.key_of(row)
+                if key is not None:
+                    entries.append((key, row_id))
+            index.rebuild(entries)
+        finally:
+            if injector is not None and was_enabled:
+                injector.resume()
+        return index
 
     # ------------------------------------------------------------------- DDL
 
@@ -64,6 +106,7 @@ class Database:
         optimizer still sees them in the catalog.
         """
         table = HeapTable(schema, self.counters)
+        table.pages.fault_injector = self.fault_injector
         self.catalog.add_table(table)
         for constraint in constraints:
             self.add_constraint(constraint)
@@ -107,6 +150,7 @@ class Database:
         index = BTreeIndex(
             name, table.schema, column_names, unique=unique, counters=self.counters
         )
+        index.fault_injector = self.fault_injector
         entries = []
         for row_id, row in table.scan():
             key = index.key_of(row)

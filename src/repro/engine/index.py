@@ -21,10 +21,14 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 from repro.engine.page import IOCounters
 from repro.engine.row import RowId
 from repro.engine.schema import TableSchema
-from repro.errors import StorageError
+from repro.errors import IndexCorruptionError, StorageError, TransientIOError
 
 ENTRIES_PER_LEAF = 256
 INTERNAL_FANOUT = 256
+
+
+def _entry_hash(key: Tuple[Any, ...], row_id: RowId) -> int:
+    return hash((key, row_id))
 
 
 class _KeyWrap:
@@ -85,6 +89,13 @@ class BTreeIndex:
         self._keys: List[Tuple[Any, ...]] = []
         self._rids: List[RowId] = []
         self._cluster_ratio_cache: Optional[float] = None
+        # Incremental XOR checksum over (key, rid) entries; maintained O(1)
+        # per mutation, recomputed for verification only under fault
+        # injection.  A verify failure quarantines the index until a
+        # rebuild from the heap (Database.rebuild_index).
+        self.checksum = 0
+        self.quarantined = False
+        self.fault_injector = None
 
     # -- geometry ----------------------------------------------------------
 
@@ -148,6 +159,7 @@ class BTreeIndex:
             )
         self._keys.insert(at, key)
         self._rids.insert(at, row_id)
+        self.checksum ^= _entry_hash(key, row_id)
         self._cluster_ratio_cache = None
         self.counters.page_writes += 1
 
@@ -161,6 +173,7 @@ class BTreeIndex:
             if self._rids[at] == row_id:
                 del self._keys[at]
                 del self._rids[at]
+                self.checksum ^= _entry_hash(key, row_id)
                 self._cluster_ratio_cache = None
                 self.counters.page_writes += 1
                 return
@@ -186,9 +199,66 @@ class BTreeIndex:
         if new_key is not None:
             self.insert(new_row, new_id)
 
+    # -- integrity ----------------------------------------------------------
+
+    def compute_checksum(self) -> int:
+        """Recompute the entry checksum from scratch."""
+        checksum = 0
+        for key, row_id in zip(self._keys, self._rids):
+            checksum ^= _entry_hash(key, row_id)
+        return checksum
+
+    def verify(self) -> None:
+        """Raise :class:`~repro.errors.IndexCorruptionError` on mismatch."""
+        if self.compute_checksum() != self.checksum:
+            raise IndexCorruptionError(
+                f"checksum mismatch in index {self.name!r}",
+                index_name=self.name,
+            )
+
+    def _pre_probe(self) -> None:
+        """Gate every descent: quarantine check plus fault injection.
+
+        Transient faults are retried with backoff (each retry charges a
+        fresh descent).  Detected corruption is *persistent* for an index
+        — the structure is quarantined and every later probe raises until
+        :meth:`repro.engine.database.Database.rebuild_index` runs.
+        """
+        if self.quarantined:
+            raise IndexCorruptionError(
+                f"index {self.name!r} is quarantined pending rebuild",
+                index_name=self.name,
+            )
+        injector = self.fault_injector
+        if injector is None:
+            return
+        last_error: Optional[Exception] = None
+        for attempt in range(injector.retry.max_attempts):
+            if attempt:
+                injector.clock.sleep(injector.retry.delay(attempt - 1))
+                self.counters.page_reads += self.height
+            kind = injector.decide("index_probe")
+            if kind == "transient":
+                last_error = TransientIOError(
+                    f"transient I/O error probing index {self.name!r} "
+                    f"(attempt {attempt + 1})"
+                )
+                continue
+            if kind == "corrupt":
+                injector.corrupt_index(self)
+            try:
+                self.verify()
+            except IndexCorruptionError:
+                self.quarantined = True
+                raise
+            return
+        assert last_error is not None
+        raise last_error
+
     # -- probes ------------------------------------------------------------------
 
     def _charge_probe(self) -> None:
+        self._pre_probe()
         self.counters.page_reads += self.height
 
     def _charge_leaves(self, entries: int) -> None:
@@ -279,6 +349,8 @@ class BTreeIndex:
                     )
         self._keys = [key for key, _ in ordered]
         self._rids = [rid for _, rid in ordered]
+        self.checksum = self.compute_checksum()
+        self.quarantined = False
         self._cluster_ratio_cache = None
         self.counters.page_writes += self.leaf_pages
 

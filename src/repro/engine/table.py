@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
-from repro.engine.page import IOCounters, PageManager
+from repro.engine.page import MAX_ROW_BYTES, IOCounters, PageManager
 from repro.engine.row import RowId
 from repro.engine.schema import TableSchema
-from repro.errors import StorageError
+from repro.errors import PageOverflowError, StorageError
 
 
 class HeapTable:
@@ -54,12 +54,21 @@ class HeapTable:
     # -- DML ------------------------------------------------------------------
 
     def insert(self, values: Sequence[Any]) -> RowId:
-        """Validate, coerce and store one row; returns its new RowId."""
+        """Validate, coerce and store one row; returns its new RowId.
+
+        All failure modes (validation, overflow, a surfaced write fault)
+        are checked *before* any page mutates, so a raising insert leaves
+        the heap image untouched.
+        """
         row = self.schema.validate_row(values)
         row_bytes = self.schema.row_size(row)
+        if row_bytes > MAX_ROW_BYTES:
+            raise PageOverflowError(
+                f"row of {row_bytes} bytes exceeds page capacity"
+            )
         page = self.pages.page_for_insert(row_bytes)
-        slot_no = page.insert(row, row_bytes)
         self.pages.touch_write()
+        slot_no = page.insert(row, row_bytes)
         self.pages.wrote_row()
         self._row_count += 1
         return RowId(page.page_id, slot_no)
@@ -86,13 +95,17 @@ class HeapTable:
         return row
 
     def delete(self, row_id: RowId) -> Tuple[Any, ...]:
-        """Delete a row, returning its last image (for undo / index upkeep)."""
+        """Delete a row, returning its last image (for undo / index upkeep).
+
+        The write is charged (and may fault) before the slot is
+        tombstoned — fail-before-mutate.
+        """
         page = self.pages.read_page(row_id.page_id)
         row = page.slots[row_id.slot_no]
         if row is None:
             raise StorageError(f"{row_id} already deleted")
-        page.delete(row_id.slot_no)
         self.pages.touch_write()
+        page.delete(row_id.slot_no)
         self._row_count -= 1
         return row
 
@@ -105,18 +118,28 @@ class HeapTable:
         """
         new_row = self.schema.validate_row(values)
         row_bytes = self.schema.row_size(new_row)
+        if row_bytes > MAX_ROW_BYTES:
+            raise PageOverflowError(
+                f"row of {row_bytes} bytes exceeds page capacity"
+            )
         page = self.pages.read_page(row_id.page_id)
         old_row = page.slots[row_id.slot_no]
         if old_row is None:
             raise StorageError(f"{row_id} is deleted")
-        if page.update(row_id.slot_no, new_row, row_bytes):
+        if page.can_update(row_id.slot_no, row_bytes):
             self.pages.touch_write()
+            page.update(row_id.slot_no, new_row, row_bytes)
             return row_id, old_row
+        # Forwarding: the row moves.  Both logical writes (source page,
+        # target page) are charged up front so a surfaced write fault
+        # raises before either page mutates; only then are the delete and
+        # the placement applied, which cannot fail.
+        target = self.pages.page_for_insert(row_bytes)
+        self.pages.touch_write(2)
         page.delete(row_id.slot_no)
-        self.pages.touch_write()
-        self._row_count -= 1
-        new_id = self.insert(new_row)
-        return new_id, old_row
+        slot_no = target.insert(new_row, row_bytes)
+        self.pages.wrote_row()
+        return RowId(target.page_id, slot_no), old_row
 
     # -- scans -----------------------------------------------------------------
 

@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
 from repro.engine.row import RowId
-from repro.errors import TransactionError
+from repro.errors import RollbackError, TransactionError
 
 
 class _UndoEntry:
@@ -70,21 +70,41 @@ class Transaction:
         self._state = "committed"
 
     def rollback(self) -> None:
-        """Undo every change made through this transaction, newest first."""
+        """Undo every change made through this transaction, newest first.
+
+        Exception-safe: a failing undo entry (e.g. a storage fault mid
+        recovery) does not abandon the rest of the log.  Every remaining
+        entry is still applied, the transaction always deactivates, and
+        the failures are re-raised aggregated in a single
+        :class:`~repro.errors.RollbackError`.
+        """
         self._require_active()
-        for entry in reversed(self._undo):
-            if entry.kind == "insert":
-                self.database.delete_row(entry.table_name, entry.row_id)
-            elif entry.kind == "delete":
-                assert entry.old_row is not None
-                self.database.insert(entry.table_name, entry.old_row)
-            else:  # update
-                assert entry.old_row is not None
-                self.database.update_row(
-                    entry.table_name, entry.row_id, entry.old_row
-                )
-        self._undo.clear()
-        self._state = "rolled_back"
+        failures: List[Exception] = []
+        try:
+            for entry in reversed(self._undo):
+                try:
+                    if entry.kind == "insert":
+                        self.database.delete_row(entry.table_name, entry.row_id)
+                    elif entry.kind == "delete":
+                        assert entry.old_row is not None
+                        self.database.insert(entry.table_name, entry.old_row)
+                    else:  # update
+                        assert entry.old_row is not None
+                        self.database.update_row(
+                            entry.table_name, entry.row_id, entry.old_row
+                        )
+                except Exception as error:  # noqa: BLE001 - aggregated below
+                    failures.append(error)
+        finally:
+            self._undo.clear()
+            self._state = "rolled_back"
+        if failures:
+            raise RollbackError(
+                f"{len(failures)} undo entr"
+                f"{'y' if len(failures) == 1 else 'ies'} failed during "
+                f"rollback: {failures[0]}",
+                failures=failures,
+            )
 
     def __enter__(self) -> "Transaction":
         return self

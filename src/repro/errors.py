@@ -21,6 +21,40 @@ class PageOverflowError(StorageError):
     """A row is too large to fit on a single page."""
 
 
+class TransientIOError(StorageError):
+    """A transient I/O failure (simulated).  Retried with backoff by the
+    storage layer; surfaces only after the retry budget is exhausted."""
+
+
+class PageCorruptionError(StorageError):
+    """A page's checksum did not match its contents.
+
+    Raised by :meth:`repro.engine.page.Page.verify` when a read detects
+    bit-flip corruption (injected or real).  The storage layer treats the
+    buffered copy as torn and re-reads; a persistent mismatch surfaces.
+    """
+
+    def __init__(self, message: str, page_id: int = -1) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class IndexCorruptionError(StorageError):
+    """An index's checksum did not match its entries, or the index is
+    quarantined awaiting a rebuild from the heap.
+
+    Attributes
+    ----------
+    index_name:
+        The corrupted/quarantined index, when known.  Recover with
+        :meth:`repro.engine.database.Database.rebuild_index`.
+    """
+
+    def __init__(self, message: str, index_name: str = "") -> None:
+        super().__init__(message)
+        self.index_name = index_name
+
+
 class SchemaError(ReproError):
     """An invalid schema definition (duplicate columns, unknown types...)."""
 
@@ -117,5 +151,60 @@ class StalePlanError(ExecutionError):
         self.stale_constraints = tuple(stale_constraints)
 
 
+class QueryGuardError(ExecutionError):
+    """Base class for resource-governance breaches (see
+    :mod:`repro.resilience.guards`).
+
+    Attributes
+    ----------
+    report:
+        The guard's budget-consumption snapshot at trip time (dict), when
+        the guard attached one.
+    """
+
+    report: dict = {}
+
+
+class QueryTimeoutError(QueryGuardError):
+    """The query's deadline elapsed before it finished."""
+
+
+class BudgetExceededError(QueryGuardError):
+    """A resource budget (rows materialized, page reads, join pairs) was
+    exhausted mid-execution.
+
+    Attributes
+    ----------
+    budget:
+        Name of the exhausted budget (``"rows"``, ``"page_reads"``,
+        ``"join_pairs"``).
+    """
+
+    def __init__(self, message: str, budget: str = "") -> None:
+        super().__init__(message)
+        self.budget = budget
+
+
+class QueryCancelledError(QueryGuardError):
+    """The query's :class:`~repro.resilience.guards.CancellationToken`
+    was cancelled."""
+
+
+class FeedbackError(ReproError):
+    """Misconfiguration or misuse of the execution-feedback subsystem."""
+
+
 class TransactionError(ReproError):
     """Transaction misuse (commit twice, write outside a transaction...)."""
+
+
+class RollbackError(StorageError):
+    """One or more undo entries failed while rolling a transaction back.
+
+    Every remaining undo entry was still applied; ``failures`` carries
+    the underlying exceptions in the order they occurred.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)

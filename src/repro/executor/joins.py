@@ -42,8 +42,20 @@ def _count_outer(
         node.actual_pairs = outer * inner_size
 
 
+def _note_pairs_per_row(
+    rows: RowIterator, guard: Any, inner_size: int
+) -> RowIterator:
+    """Charge the guard's join-pair budget as each outer row arrives."""
+    for row in rows:
+        guard.note_pairs(inner_size)
+        yield row
+
+
 def run_nested_loop_join(
-    node: NestedLoopJoin, run_child: ChildRunner, count_pairs: bool = False
+    node: NestedLoopJoin,
+    run_child: ChildRunner,
+    count_pairs: bool = False,
+    guard: Any = None,
 ) -> RowIterator:
     """Nested loops with the inner input materialized once.
 
@@ -53,9 +65,13 @@ def run_nested_loop_join(
     would absorb.
     """
     inner_rows: List[RowDict] = list(run_child(node.right))
+    if guard is not None:
+        guard.note_rows(len(inner_rows))
     outer_rows = run_child(node.left)
     if count_pairs:
         outer_rows = _count_outer(outer_rows, node, len(inner_rows))
+    if guard is not None:
+        outer_rows = _note_pairs_per_row(outer_rows, guard, len(inner_rows))
     condition = node.condition
     compiled = node.compiled_condition
     if condition is None:
@@ -78,7 +94,10 @@ def run_nested_loop_join(
 
 
 def run_hash_join(
-    node: HashJoin, run_child: ChildRunner, count_pairs: bool = False
+    node: HashJoin,
+    run_child: ChildRunner,
+    count_pairs: bool = False,
+    guard: Any = None,
 ) -> RowIterator:
     """Classic hash join: build on the right input, probe with the left.
 
@@ -107,6 +126,8 @@ def run_hash_join(
         if any(part is None for part in key):
             continue
         build.setdefault(key, []).append(right_row)
+        if guard is not None:
+            guard.note_rows(1)
     pairs = 0
     try:
         if not build:
@@ -125,6 +146,8 @@ def run_hash_join(
                 continue
             if count_pairs:
                 pairs += len(matches)
+            if guard is not None:
+                guard.note_pairs(len(matches))
             for right_row in matches:
                 merged = {**left_row, **right_row}
                 if residual is None:
@@ -162,6 +185,7 @@ def run_nested_loop_join_batched(
     run_child: BatchRunner,
     batch_size: int,
     count_pairs: bool = False,
+    guard: Any = None,
 ) -> Iterator[RowBatch]:
     """Batched nested loops: inner materialized once, outer tiled against it.
 
@@ -171,6 +195,8 @@ def run_nested_loop_join_batched(
     condition once over the whole k×m chunk.
     """
     inner = RowBatch.concat(list(run_child(node.right)))
+    if guard is not None:
+        guard.note_rows(0 if inner is None else len(inner))
     pairs = 0
     try:
         if inner is None or len(inner) == 0:
@@ -184,6 +210,8 @@ def run_nested_loop_join_batched(
                 k = len(piece)
                 if count_pairs:
                     pairs += k * m
+                if guard is not None:
+                    guard.note_pairs(k * m)
                 columns, _ = _merged_columns(piece, inner)
                 data: Dict[str, List[Any]] = {}
                 for name in piece.columns:
@@ -212,6 +240,7 @@ def run_hash_join_batched(
     run_child: BatchRunner,
     batch_size: int,
     count_pairs: bool = False,
+    guard: Any = None,
 ) -> Iterator[RowBatch]:
     """Batched hash join: keys evaluated per batch, matches gathered.
 
@@ -221,6 +250,8 @@ def run_hash_join_batched(
     comprehensions — no per-row dict merging.
     """
     build_side = RowBatch.concat(list(run_child(node.right)))
+    if guard is not None:
+        guard.note_rows(0 if build_side is None else len(build_side))
     build: Dict[Tuple[Any, ...], List[int]] = {}
     if build_side is not None and len(build_side):
         if node.compiled_right_keys is not None:
@@ -263,6 +294,8 @@ def run_hash_join_batched(
                 continue
             if count_pairs:
                 pairs += len(probe_idx)
+            if guard is not None:
+                guard.note_pairs(len(probe_idx))
             columns, _ = _merged_columns(left, build_side)
             data: Dict[str, List[Any]] = {}
             for name in left.columns:

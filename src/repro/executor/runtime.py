@@ -12,7 +12,7 @@ import itertools
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.database import Database
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryGuardError
 from repro.executor.aggregates import AggregateState, new_states
 from repro.executor.batch import DEFAULT_BATCH_SIZE
 from repro.executor.joins import run_hash_join, run_nested_loop_join
@@ -49,6 +49,15 @@ class ExecutionResult:
     max_qerror: Optional[float] = None
     #: Observations this execution contributed to the feedback store.
     feedback_observations: int = 0
+    #: True when a guard breach under the ``"partial"`` policy cut the
+    #: execution short: ``rows`` holds only the rows produced so far.
+    truncated: bool = False
+    #: The armed guard's budget-consumption snapshot (None when the
+    #: execution ran unguarded).
+    guard_report: Optional[Dict[str, Any]] = None
+    #: The typed breach that truncated this execution (partial policy
+    #: only; None when the run completed).
+    guard_breach: Optional[Exception] = None
 
     def __init__(
         self,
@@ -133,6 +142,8 @@ class Executor:
         instrument: bool = False,
         batch_size: Optional[int] = None,
         collect_feedback: Optional[bool] = None,
+        guard: Optional[Any] = None,
+        cancel: Optional[Any] = None,
     ) -> ExecutionResult:
         """Run a plan.  With ``instrument``, every operator's actual output
         row count is recorded on the node (``actual_rows``; batched runs
@@ -141,7 +152,17 @@ class Executor:
         executor's default for this one execution.  ``collect_feedback``
         (default: on iff the executor holds a feedback store) implies
         instrumentation, also counts scan input rows / join pairs, and
-        harvests the actuals into the store afterwards."""
+        harvests the actuals into the store afterwards.
+
+        ``guard`` (a :class:`~repro.resilience.guards.QueryGuard`) imposes
+        resource budgets checked at row/batch boundaries; ``cancel`` (a
+        :class:`~repro.resilience.guards.CancellationToken`) allows
+        cooperative cancellation.  A breach raises the typed
+        :class:`~repro.errors.QueryGuardError`, or — under the guard's
+        ``"partial"`` policy — returns the rows produced so far with
+        ``truncated=True``.  Feedback is harvested only from successful,
+        untruncated executions, so partial operator counters never pollute
+        the store."""
         self._guard_freshness(plan)
         collect = (
             self.feedback is not None
@@ -155,29 +176,59 @@ class Executor:
             # reset so partially-executed operators can't leak old counts.
             clear_actuals(plan.root)
             instrument = True
+        active = self._arm(guard, cancel)
         size = self.batch_size if batch_size is None else batch_size
         before_reads = self.database.counters.page_reads
         before_rows = self.database.counters.rows_read
-        if size:
-            interpreter = BatchedInterpreter(
-                self.database, size, instrument=instrument, collect=collect
-            )
-            rows = interpreter.rows(plan.root)
-        else:
-            self._instrument = instrument
-            self._collect = collect
-            try:
-                rows = list(self._run_top(plan.root))
-            finally:
-                self._instrument = False
-                self._collect = False
+        truncated = False
+        rows: List[RowDict] = []
+        try:
+            if size:
+                interpreter = BatchedInterpreter(
+                    self.database,
+                    size,
+                    instrument=instrument,
+                    collect=collect,
+                    guard=active,
+                )
+                if active is None:
+                    rows = interpreter.rows(plan.root)
+                else:
+                    for batch in interpreter.run(plan.root):
+                        active.note_rows(len(batch))
+                        rows.extend(batch.to_rows())
+            else:
+                self._instrument = instrument
+                self._collect = collect
+                self._guard = active
+                try:
+                    if active is None:
+                        rows = list(self._run_top(plan.root))
+                    else:
+                        for row in self._run_top(plan.root):
+                            active.note_rows(1)
+                            rows.append(row)
+                finally:
+                    self._instrument = False
+                    self._collect = False
+                    self._guard = None
+        except QueryGuardError as error:
+            if guard is None or guard.on_breach != "partial":
+                raise
+            truncated = True
+            breach = error
         result = ExecutionResult(
             columns=plan.output_names,
             rows=rows,
             page_reads=self.database.counters.page_reads - before_reads,
             rows_read=self.database.counters.rows_read - before_rows,
         )
-        if collect:
+        result.truncated = truncated
+        if truncated:
+            result.guard_breach = breach
+        if active is not None:
+            result.guard_report = active.finish()
+        if collect and not truncated:
             if self.feedback is not None:
                 from repro.feedback.counters import harvest
 
@@ -190,8 +241,19 @@ class Executor:
                 result.max_qerror = plan_max_qerror(plan.root)
         return result
 
+    def _arm(self, guard: Optional[Any], cancel: Optional[Any]) -> Optional[Any]:
+        """Arm the guard (or a no-limit stand-in carrying just the token)."""
+        if guard is None and cancel is None:
+            return None
+        from repro.resilience.guards import QueryGuard
+
+        if guard is None:
+            guard = QueryGuard()
+        return guard.arm(self.database.counters, cancel)
+
     _instrument = False
     _collect = False
+    _guard = None
 
     def _run_top(self, node: PhysicalNode) -> Iterator[RowDict]:
         if not self._instrument:
@@ -250,26 +312,39 @@ class Executor:
         if isinstance(node, EmptyResult):
             return iter(())
         if isinstance(node, SeqScan):
-            return run_seq_scan(self.database, node, count_input=self._collect)
+            return run_seq_scan(
+                self.database,
+                node,
+                count_input=self._collect,
+                guard=self._guard,
+            )
         if isinstance(node, IndexScan):
             return run_index_scan(
-                self.database, node, count_input=self._collect
+                self.database,
+                node,
+                count_input=self._collect,
+                guard=self._guard,
             )
         if isinstance(node, Filter):
             return self._run_filter(node)
         if isinstance(node, NestedLoopJoin):
             return run_nested_loop_join(
-                node, self._run, count_pairs=self._collect
+                node, self._run, count_pairs=self._collect, guard=self._guard
             )
         if isinstance(node, HashJoin):
-            return run_hash_join(node, self._run, count_pairs=self._collect)
+            return run_hash_join(
+                node, self._run, count_pairs=self._collect, guard=self._guard
+            )
         if isinstance(node, GroupBy):
             return self._run_group_by(node)
         if isinstance(node, Extend):
             return self._run_extend(node)
         if isinstance(node, Sort):
             return run_sort(
-                node, self._run(node.child), count_input=self._collect
+                node,
+                self._run(node.child),
+                count_input=self._collect,
+                guard=self._guard,
             )
         if isinstance(node, Project):
             return self._run_project(node)

@@ -38,6 +38,27 @@ def qualified_row(
     }
 
 
+#: Rows between guard boundary checks inside a scan.  The scan tick is
+#: what catches a filter-everything scan (no rows ever reach the top of
+#: the plan, so the executor's result-row accounting never fires).
+GUARD_STRIDE = 64
+
+
+def _guard_ticks(
+    rows: Iterator[Tuple[Any, ...]], guard: Any, stride: int = GUARD_STRIDE
+) -> Iterator[Tuple[Any, ...]]:
+    """Run a guard boundary every ``stride`` rows pulled from storage."""
+    pending = 0
+    for row in rows:
+        pending += 1
+        if pending >= stride:
+            guard.tick(pending)
+            pending = 0
+        yield row
+    if pending:
+        guard.tick(pending)
+
+
 def _count_scanned(
     rows: Iterator[Tuple[Any, ...]], node: "SeqScan | IndexScan"
 ) -> Iterator[Tuple[Any, ...]]:
@@ -57,13 +78,18 @@ def _count_scanned(
 
 
 def run_seq_scan(
-    database: Database, node: SeqScan, count_input: bool = False
+    database: Database,
+    node: SeqScan,
+    count_input: bool = False,
+    guard: Any = None,
 ) -> Iterator[RowDict]:
     table = database.table(node.table_name)
     names = tuple(table.schema.column_names())
     source = table.scan_rows()
     if count_input:
         source = _count_scanned(source, node)
+    if guard is not None:
+        source = _guard_ticks(source, guard)
     predicate = node.predicate
     if predicate is None:
         for row in source:
@@ -113,7 +139,10 @@ def _index_rows(
 
 
 def run_index_scan(
-    database: Database, node: IndexScan, count_input: bool = False
+    database: Database,
+    node: IndexScan,
+    count_input: bool = False,
+    guard: Any = None,
 ) -> Iterator[RowDict]:
     """Range scan the index, fetch each RID, apply the residual filter."""
     table = database.table(node.table_name)
@@ -121,6 +150,8 @@ def run_index_scan(
     source = _index_rows(database, node)
     if count_input:
         source = _count_scanned(source, node)
+    if guard is not None:
+        source = _guard_ticks(source, guard)
     predicate = node.predicate
     compiled = node.compiled_predicate
     row_fn = compiled[0] if compiled is not None else None
@@ -170,7 +201,11 @@ def _emit_batch(
 
 
 def run_seq_scan_batched(
-    database: Database, node: SeqScan, batch_size: int, count_input: bool = False
+    database: Database,
+    node: SeqScan,
+    batch_size: int,
+    count_input: bool = False,
+    guard: Any = None,
 ) -> Iterator[RowBatch]:
     table = database.table(node.table_name)
     names = tuple(
@@ -183,6 +218,8 @@ def run_seq_scan_batched(
         buffer = list(itertools.islice(source, batch_size))
         if not buffer:
             return
+        if guard is not None:
+            guard.tick(len(buffer))
         batch = _emit_batch(names, buffer, node)
         if batch is not None:
             yield batch
@@ -193,6 +230,7 @@ def run_index_scan_batched(
     node: IndexScan,
     batch_size: int,
     count_input: bool = False,
+    guard: Any = None,
 ) -> Iterator[RowBatch]:
     """Batched twin of :func:`run_index_scan`.
 
@@ -210,11 +248,15 @@ def run_index_scan_batched(
     for row in source:
         buffer.append(row)
         if len(buffer) >= batch_size:
+            if guard is not None:
+                guard.tick(len(buffer))
             batch = _emit_batch(names, buffer, node)
             buffer = []
             if batch is not None:
                 yield batch
     if buffer:
+        if guard is not None:
+            guard.tick(len(buffer))
         batch = _emit_batch(names, buffer, node)
         if batch is not None:
             yield batch

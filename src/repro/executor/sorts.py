@@ -26,10 +26,17 @@ def _decorate(value: Any):
 
 
 def run_sort(
-    node: Sort, rows: Iterator[RowDict], count_input: bool = False
+    node: Sort,
+    rows: Iterator[RowDict],
+    count_input: bool = False,
+    guard: Any = None,
 ) -> Iterator[RowDict]:
     """Materialize and sort; stable multi-key sort, last key first."""
     materialized: List[RowDict] = list(rows)
+    if guard is not None:
+        # A sort pins its whole input in memory; charge the row budget at
+        # the materialization point, before any sorting work.
+        guard.note_rows(len(materialized))
     if count_input:
         # The sort always materializes its whole input, so this count —
         # unlike ``actual_rows`` — survives a LIMIT above the sort.
@@ -55,6 +62,7 @@ def run_sort_batched(
     batches: Iterable[RowBatch],
     batch_size: int,
     count_input: bool = False,
+    guard: Any = None,
 ) -> Iterator[RowBatch]:
     """Batched twin of :func:`run_sort`: sort an index permutation.
 
@@ -64,6 +72,8 @@ def run_sort_batched(
     ``batch_size``.
     """
     materialized = RowBatch.concat(list(batches))
+    if guard is not None:
+        guard.note_rows(0 if materialized is None else len(materialized))
     if count_input:
         node.actual_input_rows = (
             0 if materialized is None else len(materialized)

@@ -65,6 +65,7 @@ class BatchedInterpreter:
         batch_size: int = DEFAULT_BATCH_SIZE,
         instrument: bool = False,
         collect: bool = False,
+        guard: Any = None,
     ) -> None:
         if batch_size < 1:
             raise ExecutionError(
@@ -76,6 +77,9 @@ class BatchedInterpreter:
         # counts scan input rows and join pairs (see repro.feedback).
         self.collect = collect
         self.instrument = instrument or collect
+        # An armed ActiveGuard (repro.resilience.guards) or None; threaded
+        # to the operators that can burn unbounded work.
+        self.guard = guard
 
     def rows(self, root: PhysicalNode) -> List[RowDict]:
         """Run the plan and materialize the result as row dicts."""
@@ -106,21 +110,37 @@ class BatchedInterpreter:
             return iter(())
         if isinstance(node, SeqScan):
             return run_seq_scan_batched(
-                self.database, node, self.batch_size, count_input=self.collect
+                self.database,
+                node,
+                self.batch_size,
+                count_input=self.collect,
+                guard=self.guard,
             )
         if isinstance(node, IndexScan):
             return run_index_scan_batched(
-                self.database, node, self.batch_size, count_input=self.collect
+                self.database,
+                node,
+                self.batch_size,
+                count_input=self.collect,
+                guard=self.guard,
             )
         if isinstance(node, Filter):
             return self._run_filter(node)
         if isinstance(node, NestedLoopJoin):
             return run_nested_loop_join_batched(
-                node, self.run, self.batch_size, count_pairs=self.collect
+                node,
+                self.run,
+                self.batch_size,
+                count_pairs=self.collect,
+                guard=self.guard,
             )
         if isinstance(node, HashJoin):
             return run_hash_join_batched(
-                node, self.run, self.batch_size, count_pairs=self.collect
+                node,
+                self.run,
+                self.batch_size,
+                count_pairs=self.collect,
+                guard=self.guard,
             )
         if isinstance(node, GroupBy):
             return self._run_group_by(node)
@@ -132,6 +152,7 @@ class BatchedInterpreter:
                 self.run(node.child),
                 self.batch_size,
                 count_input=self.collect,
+                guard=self.guard,
             )
         if isinstance(node, Project):
             return self._run_project(node)

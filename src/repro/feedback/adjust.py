@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List
 
+from repro.errors import FeedbackError
 from repro.feedback.store import FeedbackStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -47,7 +48,7 @@ class FeedbackAdjuster:
         suspect_qerror: float = DEFAULT_SUSPECT_QERROR,
     ) -> None:
         if suspect_qerror < 1.0:
-            raise ValueError(
+            raise FeedbackError(
                 f"suspect_qerror must be >= 1.0, got {suspect_qerror}"
             )
         self.registry = registry

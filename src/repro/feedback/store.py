@@ -24,10 +24,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import FeedbackError
 from repro.feedback.qerror import QErrorTracker
 
 #: Weight of the newest observation in the moving average.
 DEFAULT_ALPHA = 0.5
+
+#: Guard trips on one table before it is flagged suspect (one trip could
+#: be an aggressive budget; repetition means the plan is mis-costed).
+GUARD_TRIP_SUSPECT_THRESHOLD = 2
+
+#: Sentinel q-error reported for guard-tripping tables — far above any
+#: realistic estimation error, so reports clearly separate the two.
+GUARD_TRIP_SENTINEL_QERROR = 1e6
 
 
 class Observation:
@@ -71,7 +80,7 @@ class FeedbackStore:
 
     def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
         if not 0.0 < alpha <= 1.0:
-            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+            raise FeedbackError(f"alpha must be in (0, 1], got {alpha}")
         self.alpha = alpha
         self._scans: Dict[Tuple[str, str], Observation] = {}
         self._index_ranges: Dict[Tuple[str, str, str], Observation] = {}
@@ -79,6 +88,12 @@ class FeedbackStore:
         self._join_tables: Dict[str, Tuple[str, ...]] = {}
         self._groups: Dict[str, Observation] = {}
         self._base_rows: Dict[str, Observation] = {}
+        # Guard breaches: per-table trip counts plus per-kind totals.  A
+        # tripped budget is itself strong feedback — the plan did far more
+        # work than the optimizer predicted.
+        self._guard_trips: Dict[str, int] = {}
+        self._guard_trip_kinds: Dict[str, int] = {}
+        self.guard_trips = 0
         self.observations = 0
         self.harvests = 0
 
@@ -138,6 +153,21 @@ class FeedbackStore:
         entry.record(actual, estimated, self.alpha)
         self.observations += 1
 
+    def record_guard_trip(self, kind: str, tables: Tuple[str, ...] = ()) -> None:
+        """Record a resource-governance breach against a query's tables.
+
+        ``kind`` is the breached budget (``"rows"``, ``"page_reads"``,
+        ``"join_pairs"``, ``"deadline"``, ``"cancelled"``).  Tables that
+        keep tripping guards surface in :meth:`tables_with_qerror` at a
+        sentinel q-error, so the adjuster re-verifies their constraints
+        exactly as it would after a large misestimate.
+        """
+        self.guard_trips += 1
+        self._guard_trip_kinds[kind] = self._guard_trip_kinds.get(kind, 0) + 1
+        for table in tables:
+            name = table.lower()
+            self._guard_trips[name] = self._guard_trips.get(name, 0) + 1
+
     # ------------------------------------------------------------- lookups
 
     def scan_rows(self, table: str, signature: str) -> Optional[float]:
@@ -188,6 +218,15 @@ class FeedbackStore:
             q = entry.qerror.max_qerror
             if q >= min_qerror and q > worst.get(table, 0.0):
                 worst[table] = q
+        # A table whose queries repeatedly trip guards is suspect even
+        # without a recorded misestimate (the breach usually aborted the
+        # run before actuals could be harvested): surface it at a
+        # sentinel q-error so the adjuster re-verifies its constraints.
+        for table, trips in self._guard_trips.items():
+            if trips >= GUARD_TRIP_SUSPECT_THRESHOLD:
+                worst[table] = max(
+                    worst.get(table, 0.0), GUARD_TRIP_SENTINEL_QERROR
+                )
         return worst
 
     def worst_scans(
@@ -245,6 +284,11 @@ class FeedbackStore:
                 {"edge": sig, "tables": list(tables), "max_qerror": round(q, 2)}
                 for sig, tables, q in self.worst_join_edges()
             ],
+            "guard_trips": {
+                "total": self.guard_trips,
+                "by_kind": dict(sorted(self._guard_trip_kinds.items())),
+                "by_table": dict(sorted(self._guard_trips.items())),
+            },
         }
 
     def clear(self) -> None:
@@ -254,6 +298,9 @@ class FeedbackStore:
         self._join_tables.clear()
         self._groups.clear()
         self._base_rows.clear()
+        self._guard_trips.clear()
+        self._guard_trip_kinds.clear()
+        self.guard_trips = 0
         self.observations = 0
         self.harvests = 0
 

@@ -80,6 +80,10 @@ class AccessPathSelector:
         selectivity = SelectivityEstimator(table_stats)
         base_rows = self.estimator.base_rows(table_name)
         for index in self.database.catalog.indexes_on(table_name):
+            if index.quarantined:
+                # A corrupted index awaiting rebuild must not be planned
+                # against; the query degrades to a (correct) seq scan.
+                continue
             lead_column = index.column_names[0]
             interval = analysis.column_interval(
                 list(conjuncts), ast.ColumnRef(lead_column, binding)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
+from repro.errors import OptimizerError
 from repro.expr import analysis
 from repro.expr.intervals import Interval
 from repro.optimizer.logical import EstimationPredicate, QueryBlock
@@ -63,7 +64,7 @@ class CardinalityEstimator:
         feedback: Optional[object] = None,
     ) -> None:
         if combiner not in ("independence", "exp_backoff", "feedback"):
-            raise ValueError(f"unknown combiner {combiner!r}")
+            raise OptimizerError(f"unknown combiner {combiner!r}")
         self.database = database
         self.use_twinning = use_twinning
         self.combiner = combiner

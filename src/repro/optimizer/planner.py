@@ -357,6 +357,7 @@ class PlanCache:
         self.invalidations = 0
         self.fallbacks = 0
         self.feedback_invalidations = 0
+        self.guard_invalidations = 0
 
     def get_plan(self, sql: str) -> PhysicalPlan:
         cached = self._plans.get(sql)
@@ -431,6 +432,25 @@ class PlanCache:
         self._reverted.discard(sql)
         self.invalidations += 1
         self.feedback_invalidations += 1
+        return True
+
+    def note_guard_breach(self, sql: str) -> bool:
+        """A guarded execution of ``sql`` breached its resource budget:
+        evict the cached plan unconditionally.
+
+        A breach is stronger evidence than any q-error — the plan did so
+        much more work than predicted that governance had to stop it — so
+        no threshold applies and the eviction is full (no backup
+        reversion, same reasoning as :meth:`note_execution`).  Returns
+        True when a plan was evicted.
+        """
+        if sql not in self._plans:
+            return False
+        del self._plans[sql]
+        self._backups.pop(sql, None)
+        self._reverted.discard(sql)
+        self.invalidations += 1
+        self.guard_invalidations += 1
         return True
 
     # Kept as the historical name for direct eviction in tests/tools.

@@ -1,0 +1,54 @@
+"""Resilience: resource governance, cancellation, and fault injection.
+
+The paper's thesis is that soft constraints make an optimizer *safe to
+trust* — stale characterizations are compensated at runtime instead of
+producing wrong answers.  This package supplies the matching runtime
+safety substrate the paper assumed from DB2:
+
+* :class:`~repro.resilience.guards.QueryGuard` /
+  :class:`~repro.resilience.guards.CancellationToken` — per-query
+  deadline, rows-materialized, page-read and join-pair budgets, checked
+  cooperatively at row/batch boundaries by both executors, with an
+  ``abort`` or ``partial`` (truncated result) breach policy;
+* :class:`~repro.resilience.faults.FaultInjector` — seeded,
+  deterministic transient-I/O and bit-flip-corruption injection at the
+  page-read / page-write / index-probe sites, backed by per-page and
+  per-index checksums, bounded retry-with-backoff on a
+  :class:`~repro.resilience.guards.VirtualClock`, and index quarantine +
+  rebuild-from-heap;
+* the chaos differential harness (``pytest -m chaos``) proves that under
+  injection every query yields either the fault-free answer or a typed
+  :class:`~repro.errors.ReproError` — never a silently wrong result.
+
+Guard trips feed the execution-feedback subsystem: repeated breaches
+mark a plan suspect exactly like a large q-error would (see
+:meth:`repro.feedback.store.FeedbackStore.record_guard_trip`).
+"""
+
+from repro.resilience.faults import (
+    KINDS,
+    SITES,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.resilience.guards import (
+    ActiveGuard,
+    CancellationToken,
+    QueryGuard,
+    VirtualClock,
+    format_guard_report,
+)
+
+__all__ = [
+    "ActiveGuard",
+    "CancellationToken",
+    "FaultInjector",
+    "FaultSpec",
+    "KINDS",
+    "QueryGuard",
+    "RetryPolicy",
+    "SITES",
+    "VirtualClock",
+    "format_guard_report",
+]

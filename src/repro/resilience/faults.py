@@ -1,0 +1,261 @@
+"""Deterministic storage fault injection.
+
+A :class:`FaultInjector` is attached to a database (see
+:meth:`repro.engine.database.Database.attach_fault_injector`) and
+consulted at the storage *sites*:
+
+* ``page_read`` — every counted :meth:`PageManager.read_page`;
+* ``page_write`` — every counted logical page write;
+* ``index_probe`` — every B-tree descent (equality probe, range scan,
+  min/max lookup).
+
+Each :class:`FaultSpec` schedules one fault *kind* at one site, either
+probabilistically (seeded RNG — identical seed, identical fault
+sequence) or on an every-Nth-visit cadence, optionally bounded by a
+total injection ``limit``.  Kinds:
+
+* ``"transient"`` — a simulated transient I/O error; the storage layer
+  retries with exponential backoff on the injector's
+  :class:`~repro.resilience.guards.VirtualClock` (no real sleeps) and
+  raises :class:`~repro.errors.TransientIOError` only when the retry
+  budget is exhausted;
+* ``"corrupt"`` — bit-flip corruption of the target's contents, detected
+  by checksums.  A corrupted *page* read is treated as a torn buffered
+  copy: the page is healed (re-read from the intact simulated disk
+  image) and retried.  A corrupted *index* is quarantined and must be
+  rebuilt from the heap.
+
+The injector is deterministic end to end: same seed and specs, same
+visit sequence, same faults.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.resilience.guards import VirtualClock
+
+SITES = ("page_read", "page_write", "index_probe")
+KINDS = ("transient", "corrupt")
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff (virtual time only)."""
+
+    __slots__ = ("max_attempts", "base_delay", "multiplier")
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.001,
+        multiplier: float = 2.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ExecutionError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return self.base_delay * (self.multiplier ** attempt)
+
+
+class FaultSpec:
+    """One scheduled fault: site + kind + cadence."""
+
+    __slots__ = ("site", "kind", "probability", "every_nth", "limit", "hits")
+
+    def __init__(
+        self,
+        site: str,
+        kind: str,
+        probability: float = 0.0,
+        every_nth: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        if site not in SITES:
+            raise ExecutionError(f"unknown fault site {site!r} (sites: {SITES})")
+        if kind not in KINDS:
+            raise ExecutionError(f"unknown fault kind {kind!r} (kinds: {KINDS})")
+        if not 0.0 <= probability <= 1.0:
+            raise ExecutionError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        if every_nth is not None and every_nth < 1:
+            raise ExecutionError(f"every_nth must be >= 1, got {every_nth}")
+        if probability == 0.0 and every_nth is None:
+            raise ExecutionError(
+                "a FaultSpec needs a probability or an every_nth cadence"
+            )
+        self.site = site
+        self.kind = kind
+        self.probability = probability
+        self.every_nth = every_nth
+        self.limit = limit
+        self.hits = 0
+
+    def __repr__(self) -> str:
+        cadence = (
+            f"every_nth={self.every_nth}"
+            if self.every_nth is not None
+            else f"p={self.probability}"
+        )
+        return f"FaultSpec({self.site}, {self.kind}, {cadence}, hits={self.hits})"
+
+
+class FaultInjector:
+    """Seeded, deterministic fault scheduler for the storage layer."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.enabled = True
+        self.specs: List[FaultSpec] = []
+        self.visits: Dict[str, int] = {site: 0 for site in SITES}
+        self.injected: Dict[Tuple[str, str], int] = {}
+        # (page, slot_no, original value) of the live page corruption, so
+        # a detected torn read can be healed (the simulated disk image is
+        # intact; only the buffered copy was damaged).
+        self._page_damage: Optional[Tuple[Any, int, Any]] = None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def add(
+        self,
+        site: str,
+        kind: str,
+        probability: float = 0.0,
+        every_nth: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> "FaultInjector":
+        """Schedule a fault; returns self for chaining."""
+        self.specs.append(
+            FaultSpec(site, kind, probability, every_nth, limit)
+        )
+        return self
+
+    def pause(self) -> None:
+        """Stop injecting (visits still counted) until :meth:`resume`."""
+        self.enabled = False
+
+    def resume(self) -> None:
+        self.enabled = True
+
+    def decide(self, site: str) -> Optional[str]:
+        """The fault kind to inject at this visit of ``site``, if any."""
+        self.visits[site] += 1
+        if not self.enabled:
+            return None
+        visit = self.visits[site]
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.limit is not None and spec.hits >= spec.limit:
+                continue
+            hit = False
+            if spec.every_nth is not None:
+                hit = visit % spec.every_nth == 0
+            if not hit and spec.probability > 0.0:
+                hit = self.rng.random() < spec.probability
+            if hit:
+                spec.hits += 1
+                key = (site, spec.kind)
+                self.injected[key] = self.injected.get(key, 0) + 1
+                return spec.kind
+        return None
+
+    # -- corruption ---------------------------------------------------------
+
+    def corrupt_page(self, page: Any) -> bool:
+        """Bit-flip one live slot of ``page`` without fixing its checksum.
+
+        Returns False when the page holds no live rows (nothing to
+        damage).  The original value is remembered so :meth:`heal_page`
+        can restore the intact disk image after detection.
+        """
+        live = [
+            slot_no
+            for slot_no, slot in enumerate(page.slots)
+            if slot is not None
+        ]
+        if not live:
+            return False
+        slot_no = live[self.rng.randrange(len(live))]
+        original = page.slots[slot_no]
+        column = self.rng.randrange(len(original)) if original else 0
+        damaged = list(original)
+        damaged[column] = _flip(damaged[column])
+        page.slots[slot_no] = tuple(damaged)
+        self._page_damage = (page, slot_no, original)
+        return True
+
+    def heal_page(self, page: Any) -> None:
+        """Restore the last corruption on ``page`` (simulated re-read)."""
+        if self._page_damage is None or self._page_damage[0] is not page:
+            return
+        _, slot_no, original = self._page_damage
+        page.slots[slot_no] = original
+        self._page_damage = None
+
+    def corrupt_index(self, index: Any) -> bool:
+        """Bit-flip one key of ``index`` without fixing its checksum."""
+        if not len(index):
+            return False
+        at = self.rng.randrange(len(index))
+        key = index._keys[at]
+        column = self.rng.randrange(len(key)) if key else 0
+        damaged = list(key)
+        damaged[column] = _flip(damaged[column])
+        index._keys[at] = tuple(damaged)
+        return True
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "enabled": self.enabled,
+            "visits": dict(self.visits),
+            "injected": {
+                f"{site}:{kind}": count
+                for (site, kind), count in sorted(self.injected.items())
+            },
+            "virtual_time": self.clock.now,
+        }
+
+    def __repr__(self) -> str:
+        total = sum(self.injected.values())
+        return (
+            f"FaultInjector(seed={self.seed}, specs={len(self.specs)}, "
+            f"injected={total})"
+        )
+
+
+def _flip(value: Any) -> Any:
+    """A deterministic 'bit flip' of one field value."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ (1 << 7)
+    if isinstance(value, float):
+        return -(value + 1.0)
+    if isinstance(value, str):
+        if not value:
+            return "\x01"
+        head = chr((ord(value[0]) ^ 0x01) or 0x02)
+        return head + value[1:]
+    if value is None:
+        return 0
+    return value

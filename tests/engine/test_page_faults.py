@@ -1,0 +1,118 @@
+"""Page-level failure edges: overflow, forwarding, and DML atomicity.
+
+These edges sit under the chaos harness: an oversized row must be
+rejected *before* anything mutates, a growing row must forward (delete +
+re-insert) with its write cost charged up front, and every failure path
+must leave the page images and their incremental checksums consistent.
+"""
+
+import pytest
+
+from repro.engine.page import MAX_ROW_BYTES, Page, PAGE_SIZE
+from repro.engine.schema import Column, TableSchema
+from repro.engine.table import HeapTable
+from repro.engine.types import INTEGER, VARCHAR
+from repro.errors import PageOverflowError, StorageError
+
+
+@pytest.fixture
+def table() -> HeapTable:
+    schema = TableSchema(
+        "t", [Column("id", INTEGER), Column("body", VARCHAR(8000))]
+    )
+    return HeapTable(schema)
+
+
+def _verify_pages(table: HeapTable) -> None:
+    for page in table.pages.pages:
+        page.verify()
+
+
+class TestOverflow:
+    def test_oversized_insert_rejected_before_any_mutation(self, table):
+        table.insert([1, "x"])
+        pages_before = table.page_count
+        writes_before = table.pages.counters.page_writes
+        with pytest.raises(PageOverflowError):
+            table.insert([2, "y" * (MAX_ROW_BYTES + 1)])
+        assert table.row_count == 1
+        assert table.page_count == pages_before
+        assert table.pages.counters.page_writes == writes_before
+        _verify_pages(table)
+
+    def test_oversized_update_rejected_before_any_mutation(self, table):
+        row_id = table.insert([1, "small"])
+        with pytest.raises(PageOverflowError):
+            table.update(row_id, [1, "y" * (MAX_ROW_BYTES + 1)])
+        assert table.fetch(row_id) == (1, "small")
+        _verify_pages(table)
+
+    def test_page_level_insert_rejects_row_above_capacity(self):
+        page = Page(0)
+        with pytest.raises(PageOverflowError):
+            page.insert(("too big",), PAGE_SIZE)
+
+    def test_page_full_raises_not_corrupts(self):
+        page = Page(0)
+        page.insert(("a",), MAX_ROW_BYTES)
+        with pytest.raises(PageOverflowError):
+            page.insert(("b",), 100)
+        assert page.live_rows == 1
+        page.verify()
+
+
+class TestForwarding:
+    def test_grown_row_forwards_to_new_page(self, table):
+        # Fill page 0 nearly full so the grown image cannot stay.
+        row_id = table.insert([1, "a" * 2000])
+        table.insert([2, "b" * 1900])
+        new_id, old_row = table.update(row_id, [1, "c" * 3000])
+        assert old_row == (1, "a" * 2000)
+        assert new_id != row_id
+        assert table.fetch(new_id) == (1, "c" * 3000)
+        # The source slot is a tombstone now; the row count is unchanged.
+        assert table.row_count == 2
+        with pytest.raises(StorageError):
+            table.fetch(row_id)
+        _verify_pages(table)
+
+    def test_forwarding_charges_both_page_writes(self, table):
+        row_id = table.insert([1, "a" * 2000])
+        table.insert([2, "b" * 1900])
+        writes_before = table.pages.counters.page_writes
+        table.update(row_id, [1, "c" * 3000])
+        # Source-page delete + target-page insert: two logical writes.
+        assert table.pages.counters.page_writes == writes_before + 2
+
+    def test_in_place_update_charges_one_write(self, table):
+        row_id = table.insert([1, "a" * 2000])
+        writes_before = table.pages.counters.page_writes
+        table.update(row_id, [1, "b" * 1999])
+        assert table.pages.counters.page_writes == writes_before + 1
+        _verify_pages(table)
+
+    def test_can_update_predicts_update(self):
+        page = Page(0)
+        slot = page.insert(("a" * 100,), 104)
+        assert page.can_update(slot, 104)
+        assert page.can_update(slot, 50)  # shrink always fits
+        assert page.can_update(slot, 104 + page.free_bytes)  # grow into free
+        assert not page.can_update(slot, PAGE_SIZE)
+
+
+class TestDeletedSlotEdges:
+    def test_update_of_deleted_slot_raises(self, table):
+        row_id = table.insert([1, "x"])
+        table.delete(row_id)
+        with pytest.raises(StorageError):
+            table.update(row_id, [1, "y"])
+        _verify_pages(table)
+
+    def test_delete_of_deleted_slot_raises_without_mutation(self, table):
+        row_id = table.insert([1, "x"])
+        table.delete(row_id)
+        count = table.row_count
+        with pytest.raises(StorageError):
+            table.delete(row_id)
+        assert table.row_count == count
+        _verify_pages(table)

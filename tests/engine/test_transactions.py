@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine.transactions import Transaction
-from repro.errors import TransactionError
+from repro.errors import RollbackError, TransactionError
 
 
 class TestCommitRollback:
@@ -47,6 +47,55 @@ class TestCommitRollback:
             with Transaction(people_database) as txn:
                 txn.insert("city", [9, "x"])
                 raise RuntimeError("boom")
+        assert people_database.table("city").row_count == 3
+
+
+class TestExceptionSafeRollback:
+    def test_failing_undo_entry_does_not_abandon_the_rest(
+        self, people_database, monkeypatch
+    ):
+        txn = Transaction(people_database)
+        first = txn.insert("city", [8, "first"])
+        second = txn.insert("city", [9, "second"])
+        # Undo runs newest-first, so `second` is undone first; make exactly
+        # that undo fail and prove `first` is still undone afterwards.
+        original = people_database.delete_row
+
+        def flaky_delete(table_name, row_id):
+            if row_id == second:
+                raise RuntimeError("storage fault during undo")
+            return original(table_name, row_id)
+
+        monkeypatch.setattr(people_database, "delete_row", flaky_delete)
+        with pytest.raises(RollbackError) as info:
+            txn.rollback()
+        assert len(info.value.failures) == 1
+        assert isinstance(info.value.failures[0], RuntimeError)
+        # The surviving entries were applied and the txn deactivated.
+        ids = {row["id"] for row in people_database.scan_dicts("city")}
+        assert 8 not in ids
+        assert not txn.is_active
+        with pytest.raises(TransactionError):
+            txn.rollback()
+
+    def test_all_failures_aggregated(self, people_database, monkeypatch):
+        txn = Transaction(people_database)
+        txn.insert("city", [8, "a"])
+        txn.insert("city", [9, "b"])
+
+        def always_fails(table_name, row_id):
+            raise RuntimeError("dead storage")
+
+        monkeypatch.setattr(people_database, "delete_row", always_fails)
+        with pytest.raises(RollbackError) as info:
+            txn.rollback()
+        assert len(info.value.failures) == 2
+        assert not txn.is_active
+
+    def test_clean_rollback_raises_nothing(self, people_database):
+        txn = Transaction(people_database)
+        txn.insert("city", [8, "a"])
+        txn.rollback()  # no RollbackError on the happy path
         assert people_database.table("city").row_count == 3
 
 

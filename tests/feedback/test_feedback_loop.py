@@ -208,8 +208,10 @@ class TestAdjuster:
         assert set(adjuster.suspect_tables()) == {"dept", "emp"}
 
     def test_suspect_qerror_validation(self):
+        from repro.errors import FeedbackError
+
         db = self._misestimating_db()
-        with pytest.raises(ValueError):
+        with pytest.raises(FeedbackError):
             FeedbackAdjuster(
                 db.registry, FeedbackStore(), db.database, suspect_qerror=0.9
             )

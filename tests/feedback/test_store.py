@@ -57,9 +57,11 @@ class TestStoreLookups:
         assert store.join_selectivity("never.seen=edge.sig") is None
 
     def test_alpha_validation(self):
-        with pytest.raises(ValueError):
+        from repro.errors import FeedbackError
+
+        with pytest.raises(FeedbackError):
             FeedbackStore(alpha=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(FeedbackError):
             FeedbackStore(alpha=1.5)
 
 
