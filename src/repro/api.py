@@ -75,9 +75,22 @@ class SoftDB:
     ----------
     config:
         Optimizer feature switches (all rewrites on by default).
+    path:
+        Optional durability directory.  When given, every statement is
+        write-ahead logged there and :meth:`checkpoint` /
+        :meth:`SoftDB.open` provide crash recovery; without it the
+        session is purely in-memory (the historical behavior).
+    crash_points:
+        Optional :class:`~repro.resilience.faults.CrashSchedule` arming
+        the durability layer's deterministic crash sites (testing only).
     """
 
-    def __init__(self, config: Optional[OptimizerConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[OptimizerConfig] = None,
+        path: Optional[Any] = None,
+        crash_points: Optional[Any] = None,
+    ) -> None:
         self.database = Database()
         self.registry = SoftConstraintRegistry(self.database)
         self.config = config or OptimizerConfig()
@@ -108,6 +121,66 @@ class SoftDB:
             feedback=self.feedback,
         )
         self._constraint_sequence = 0
+        self.durability = None
+        if path is not None:
+            self._attach_durability(path, crash_points)
+
+    # ------------------------------------------------------------ durability
+
+    @classmethod
+    def open(
+        cls,
+        path: Any,
+        config: Optional[OptimizerConfig] = None,
+        crash_points: Optional[Any] = None,
+    ) -> "SoftDB":
+        """Open (or create) a durable session rooted at ``path``.
+
+        When the directory holds persisted state — a checkpoint image
+        and/or a write-ahead log — the session recovers it before
+        returning: checkpoint restore, committed-WAL replay, torn-tail
+        truncation, storage verification, and re-validation of recovered
+        absolute soft constraints against the recovered data.  The
+        recovery summary is available as ``db.durability.last_recovery``.
+        """
+        return cls(config, path=path, crash_points=crash_points)
+
+    def _attach_durability(self, path: Any, crash_points: Optional[Any]) -> None:
+        from repro.durability import DurabilityManager
+
+        manager = DurabilityManager(path, crash_points)
+        manager.attach(
+            self.database, registry=self.registry, feedback=self.feedback
+        )
+        self.durability = manager
+        if manager.has_persisted_state():
+            manager.recover()
+            self._constraint_sequence = manager.session_state.get(
+                "constraint_sequence", 0
+            )
+            # Anything cached before recovery points at pre-crash objects.
+            self.plan_cache.clear()
+
+    def checkpoint(self) -> int:
+        """Write a full-state checkpoint (durable sessions only)."""
+        if self.durability is None:
+            raise ExecutionError(
+                "this session is in-memory; construct it with a path "
+                "(SoftDB.open) to enable durability"
+            )
+        self.durability.session_state["constraint_sequence"] = (
+            self._constraint_sequence
+        )
+        return self.durability.checkpoint()
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Close the session; by default a final checkpoint is taken so
+        the next :meth:`open` restores without replaying the whole log."""
+        if self.durability is None:
+            return
+        if checkpoint:
+            self.checkpoint()
+        self.durability.close()
 
     # ------------------------------------------------------------- execution
 
@@ -168,29 +241,34 @@ class SoftDB:
             elif use_cache and self.feedback is not None:
                 self.plan_cache.note_execution(sql, result.max_qerror)
             return result
-        if isinstance(statement, ast.Insert):
-            return self._execute_insert(statement)
-        if isinstance(statement, ast.Delete):
-            return self._execute_delete(statement)
-        if isinstance(statement, ast.Update):
-            return self._execute_update(statement)
-        if isinstance(statement, ast.CreateTable):
-            self._execute_create_table(statement)
-            return None
-        if isinstance(statement, ast.CreateIndex):
-            self.database.create_index(
-                statement.name,
-                statement.table,
-                statement.columns,
-                unique=statement.unique,
-            )
-            return None
-        if isinstance(statement, ast.CreateSummaryTable):
-            self._execute_create_summary(statement)
-            return None
-        if isinstance(statement, ast.DropTable):
-            self.database.drop_table(statement.name)
-            return None
+        # Every non-query statement is one WAL transaction: a crash (or
+        # fault) mid-statement — even mid-DDL, e.g. halfway through
+        # CREATE SUMMARY TABLE's register/populate sequence — leaves no
+        # committed trace for recovery to replay.
+        with self.database._statement_scope():
+            if isinstance(statement, ast.Insert):
+                return self._execute_insert(statement)
+            if isinstance(statement, ast.Delete):
+                return self._execute_delete(statement)
+            if isinstance(statement, ast.Update):
+                return self._execute_update(statement)
+            if isinstance(statement, ast.CreateTable):
+                self._execute_create_table(statement)
+                return None
+            if isinstance(statement, ast.CreateIndex):
+                self.database.create_index(
+                    statement.name,
+                    statement.table,
+                    statement.columns,
+                    unique=statement.unique,
+                )
+                return None
+            if isinstance(statement, ast.CreateSummaryTable):
+                self._execute_create_summary(statement)
+                return None
+            if isinstance(statement, ast.DropTable):
+                self.database.drop_table(statement.name)
+                return None
         raise SqlError(f"unsupported statement {type(statement).__name__}")
 
     def _note_guard_breach(
@@ -288,6 +366,8 @@ class SoftDB:
             from repro.resilience.guards import format_guard_report
 
             summary += "\n" + format_guard_report(result.guard_report)
+        if self.durability is not None:
+            summary += "\n" + self.durability.describe()
         return text + summary
 
     # ----------------------------------------------------------------- stats
@@ -361,8 +441,18 @@ class SoftDB:
 
     def rebuild_index(self, name: str) -> None:
         """Rebuild an index from its heap — the recovery path for an index
-        quarantined after corruption was detected."""
+        quarantined after corruption was detected.
+
+        The rebuild changes the table's physical access paths out from
+        under the session, so every cached plan touching the table is
+        evicted and its statistics are marked stale (the next RUNSTATS
+        replaces them)."""
+        index = self.database.catalog.index(name)
         self.database.rebuild_index(name)
+        self.plan_cache.invalidate_table(index.table_name)
+        stats = self.database.catalog.statistics(index.table_name)
+        if stats is not None:
+            stats.stale = True
 
     # -------------------------------------------------------- soft constraints
 
@@ -373,22 +463,32 @@ class SoftDB:
         activate: bool = True,
         verify_first: bool = False,
     ) -> SoftConstraint:
-        """Register (and by default activate) a soft constraint."""
-        self.registry.register(constraint, policy=policy)
-        if activate:
-            self.registry.activate(constraint.name, verify_first=verify_first)
+        """Register (and by default activate) a soft constraint.
+
+        The registration is one WAL statement: a crash between the
+        register and activate snapshots cannot leave a half-registered
+        constraint for recovery to resurrect.
+        """
+        with self.database._statement_scope():
+            self.registry.register(constraint, policy=policy)
+            if activate:
+                self.registry.activate(
+                    constraint.name, verify_first=verify_first
+                )
         return constraint
 
     def create_exception_table(
         self, constraint: SoftConstraint, name: Optional[str] = None
     ) -> ExceptionTable:
         """Materialize a constraint's exceptions as an AST (Section 4.4)."""
-        return ExceptionTable(self.database, constraint, name)
+        with self.database._statement_scope():
+            return ExceptionTable(self.database, constraint, name)
 
     # ----------------------------------------------------------- DML internals
 
     def _execute_insert(self, statement: ast.Insert) -> int:
         table = self.database.table(statement.table)
+        rows: List[List[Any]] = []
         for row_expressions in statement.rows:
             values = [evaluate(expr, {}) for expr in row_expressions]
             if statement.columns:
@@ -397,18 +497,20 @@ class SoftDB:
                         "INSERT value count does not match column list"
                     )
                 mapping = dict(zip(statement.columns, values))
-                self.database.insert_mapping(statement.table, mapping)
-            else:
-                self.database.insert(statement.table, values)
-        return len(statement.rows)
+                values = table.schema.row_from_mapping(mapping)
+            rows.append(values)
+        # insert_many is atomic for multi-row statements: a fault midway
+        # rolls the already-inserted prefix back.
+        self.database.insert_many(statement.table, rows)
+        return len(rows)
 
     def _execute_delete(self, statement: ast.Delete) -> int:
         if statement.where is None:
-            table = self.database.table(statement.table)
-            victims = [row_id for row_id, _ in table.scan()]
-            for row_id in victims:
-                self.database.delete_row(statement.table, row_id)
-            return len(victims)
+            # DELETE without WHERE: same all-or-nothing semantics as the
+            # predicated path in Database.delete_where.
+            return self.database.delete_where(
+                statement.table, lambda row: True
+            )
         predicate = compile_predicate(statement.where)
         return self.database.delete_where(statement.table, predicate)
 
@@ -568,6 +670,8 @@ class SoftDB:
             lines.append(f"SUMMARY TABLE {name}")
         for constraint_name in self.registry.names():
             lines.append(self.registry.get(constraint_name).describe())
+        if self.durability is not None:
+            lines.append(self.durability.describe())
         return "\n".join(lines)
 
     def __repr__(self) -> str:

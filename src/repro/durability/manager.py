@@ -1,0 +1,827 @@
+"""The durability manager: logging hooks, checkpoints, and recovery.
+
+One :class:`DurabilityManager` owns a database directory (WAL +
+checkpoint image) and is attached to a :class:`~repro.engine.database.
+Database` (plus, through the :class:`~repro.api.SoftDB` facade, the
+soft-constraint registry and the feedback store).  Three roles:
+
+**Logging.**  The engine's DML/DDL paths call the ``log_*`` hooks after
+each mutation; the registry snapshots a soft constraint's full state on
+every lifecycle/statement change.  Records are *physiological*: logical
+row content plus the physical RowId it landed at, so redo replay forces
+rows back to their original slots.  Consecutive row changes with the
+same op/table/transaction are coalesced into one *run* record (an
+``insert_many`` batch is a single framed line).  Statement boundaries
+group records into implicit transactions — a record without a matching
+commit record is invisible to recovery, which is what makes a crash
+mid-statement leave zero trace.
+
+**Checkpoints.**  :meth:`checkpoint` serializes the entire database
+(pages, indexes, catalog, SC registry with policies/currency/exception-
+AST bindings, feedback state) into one CRC-guarded image installed by
+atomic rename, recording the WAL offset it is consistent with.  The WAL
+is never truncated by a checkpoint — replay is offset-based — so a
+checkpoint that is later lost still leaves full redo history.
+
+**Recovery.**  :meth:`recover` restores the last checkpoint (if any),
+replays the WAL's committed records from its offset, truncates a torn
+tail, then runs an integrity pass: per-page checksum verification,
+index-versus-heap cross-checks (mismatching indexes are rebuilt, or
+quarantined when the rebuild itself fails), and re-validation of every
+recovered ACTIVE absolute soft constraint against the recovered data —
+violations route through the constraint's
+:class:`~repro.softcon.maintenance.MaintenancePolicy`, so an overturned
+ASC can never outlive a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set
+
+from repro.durability import codec
+from repro.durability.checkpoint import load_checkpoint, write_checkpoint
+from repro.durability.wal import WriteAheadLog
+from repro.engine.table import HeapTable
+from repro.errors import (
+    RecoveryError,
+    ReproError,
+    TransactionError,
+)
+from repro.resilience.faults import CrashSchedule, SimulatedCrash
+from repro.softcon.base import SCState
+
+WAL_NAME = "wal.log"
+CHECKPOINT_NAME = "checkpoint.img"
+
+#: Bound on repair rounds per constraint during post-recovery
+#: re-validation; a constraint still violated after this many policy
+#: applications is overturned outright.
+MAX_REPAIR_ROUNDS = 1000
+
+#: Compact JSON encoder for the hot row-record path.  ``json.dumps``
+#: with non-default separators builds a fresh encoder per call; one
+#: shared instance keeps the C-accelerated encode.
+_ENCODE = json.JSONEncoder(separators=(",", ":")).encode
+
+__all__ = ["DurabilityManager", "WAL_NAME", "CHECKPOINT_NAME"]
+
+
+class DurabilityManager:
+    """WAL + checkpoint + recovery for one database directory."""
+
+    def __init__(
+        self,
+        path: Any,
+        crash_points: Optional[CrashSchedule] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.crash_points = crash_points
+        self.checkpoint_path = self.path / CHECKPOINT_NAME
+        self.wal = WriteAheadLog(self.path / WAL_NAME, crash_points)
+        self.database = None
+        self.registry = None
+        self.feedback = None
+        # Extra facade-level sequences persisted through checkpoints.
+        self.session_state: Dict[str, Any] = {}
+        self._txn_stack: List[int] = []
+        self._txn_dirty: Set[int] = set()
+        self._table_json: Dict[str, str] = {}
+        # Pending row run: consecutive same-op/table/txn row hooks are
+        # buffered and flushed as ONE framed record (see _flush_run).
+        self._run: Optional[list] = None
+        self._txn_counter = 0
+        self._replaying = False
+        self.records_logged = 0
+        self.checkpoints_taken = 0
+        self.last_recovery: Optional[Dict[str, Any]] = None
+
+    def attach(self, database, registry=None, feedback=None) -> None:
+        """Wire this manager into an engine stack (sets the hooks up)."""
+        self.database = database
+        self.registry = registry
+        self.feedback = feedback
+        database.durability = self
+
+    def has_persisted_state(self) -> bool:
+        return self.checkpoint_path.exists() or self.wal.offset() > 0
+
+    def close(self) -> None:
+        self._flush_run()
+        self.wal.close()
+
+    # -- transactions -------------------------------------------------------
+
+    def _begin(self) -> int:
+        self._txn_counter += 1
+        txn_id = self._txn_counter
+        self._txn_stack.append(txn_id)
+        return txn_id
+
+    def _finish(self, txn_id: int, op: str) -> None:
+        if self._txn_stack and self._txn_stack[-1] == txn_id:
+            self._txn_stack.pop()
+        # Only a transaction that tagged records of its own writes a
+        # commit/abort.  A statement scope around a nested transaction
+        # (multi-row DML runs one Transaction per statement) must not
+        # add a second commit record: the statement needs exactly one
+        # durability point, or a crash between the two leaves replay
+        # honouring the first while the client saw the statement fail.
+        if txn_id in self._txn_dirty:
+            self._txn_dirty.discard(txn_id)
+            # The commit/abort record is the durability point: flush.
+            self._append({"op": op, "txn": txn_id})
+            self.wal.flush()
+
+    def txn_begin(self) -> Optional[int]:
+        """Called by :class:`~repro.engine.transactions.Transaction`."""
+        if self._replaying:
+            return None
+        return self._begin()
+
+    def txn_commit(self, txn_id: Optional[int]) -> None:
+        if txn_id is not None:
+            self._finish(txn_id, "commit")
+
+    def txn_abort(self, txn_id: Optional[int]) -> None:
+        if txn_id is not None:
+            self._finish(txn_id, "abort")
+
+    @contextmanager
+    def statement(self):
+        """Implicit per-statement transaction (see Database DML paths).
+
+        Top-level statements get their own WAL transaction so that a
+        crash mid-statement (even mid-publish, after the row record was
+        appended) leaves no committed trace.  Inside an open explicit
+        transaction the scope is a no-op — the outer commit decides.
+        """
+        if self._replaying or self._txn_stack:
+            yield
+            return
+        txn_id = self._begin()
+        try:
+            yield
+        except BaseException:
+            self._finish(txn_id, "abort")
+            raise
+        else:
+            self._finish(txn_id, "commit")
+
+    def current_txn(self) -> Optional[int]:
+        return self._txn_stack[-1] if self._txn_stack else None
+
+    # -- logging hooks ------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._run is not None:
+            self._flush_run()
+        self.wal.append(record)
+        self.records_logged += 1
+
+    def _log(self, record: Dict[str, Any]) -> None:
+        if self._replaying:
+            return
+        txn_id = self.current_txn()
+        record["txn"] = txn_id
+        if txn_id is not None:
+            self._txn_dirty.add(txn_id)
+        self._append(record)
+
+    # The three row hooks below are the engine's hottest logging calls —
+    # one per DML row.  Consecutive rows with the same op, table, and
+    # transaction are buffered and flushed as ONE framed *run* record
+    # (one C-level JSON encode, one CRC, one write for a whole
+    # insert_many batch), which is what keeps WAL-on churn inside its
+    # steady-state overhead budget.  Any other append — a different run,
+    # a DDL record, the commit itself — flushes the pending run first,
+    # so the on-disk record order always equals the logical order and a
+    # run can never escape its transaction's commit/abort decision.
+
+    def _buffer(self, op: str, table_name: str, rid_entry, row) -> None:
+        txn_id = self._txn_stack[-1] if self._txn_stack else None
+        if txn_id is not None:
+            self._txn_dirty.add(txn_id)
+        run = self._run
+        if run is not None:
+            if run[0] is op and run[1] == table_name and run[2] == txn_id:
+                run[3].append(rid_entry)
+                if row is not None:
+                    run[4].append(row)
+                return
+            self._flush_run()
+        self._run = [
+            op,
+            table_name,
+            txn_id,
+            [rid_entry],
+            [] if row is None else [row],
+        ]
+
+    def _flush_run(self) -> None:
+        """Frame and append the pending row run, if any.
+
+        A crash mid-append leaves the whole run torn — exactly the
+        statement-atomicity a real crash gives, since the run's commit
+        record could not have been written yet.
+        """
+        run = self._run
+        if run is None:
+            return
+        self._run = None
+        op, table_name, txn_id, rids, rows = run
+        table_json = self._table_json.get(table_name)
+        if table_json is None:
+            table_json = self._table_json[table_name] = _ENCODE(table_name)
+        txn_json = "null" if txn_id is None else str(txn_id)
+        if op == "delete_run":
+            payload_str = (
+                '{"op":"delete_run","rids":%s,"table":%s,"txn":%s}'
+                % (_ENCODE(rids), table_json, txn_json)
+            )
+        else:
+            payload_str = (
+                '{"op":"%s","rids":%s,"rows":%s,"table":%s,"txn":%s}'
+                % (op, _ENCODE(rids), _ENCODE(rows), table_json, txn_json)
+            )
+        payload = payload_str.encode("utf-8")
+        self.wal.append_line(b"%08x %s\n" % (zlib.crc32(payload), payload))
+        self.records_logged += len(rids)
+
+    def log_insert(self, table_name: str, row_id, row) -> None:
+        if self._replaying:
+            return
+        self._buffer(
+            "insert_run", table_name, (row_id.page_id, row_id.slot_no), row
+        )
+
+    def log_delete(self, table_name: str, row_id, row) -> None:
+        if self._replaying:
+            return
+        self._buffer(
+            "delete_run", table_name, (row_id.page_id, row_id.slot_no), None
+        )
+
+    def log_update(self, table_name: str, old_rid, new_rid, new_row) -> None:
+        if self._replaying:
+            return
+        self._buffer(
+            "update_run",
+            table_name,
+            (
+                (old_rid.page_id, old_rid.slot_no),
+                (new_rid.page_id, new_rid.slot_no),
+            ),
+            new_row,
+        )
+
+    def log_create_table(self, schema) -> None:
+        self._log(
+            {"op": "create_table", "schema": codec.encode_schema(schema)}
+        )
+
+    def log_create_index(self, index) -> None:
+        self._log(
+            {
+                "op": "create_index",
+                "name": index.name,
+                "table": index.table_name,
+                "columns": list(index.column_names),
+                "unique": index.unique,
+            }
+        )
+
+    def log_add_constraint(self, constraint) -> None:
+        # The record carries the backing index name: replay must install
+        # the constraint via the catalog, *not* Database.add_constraint,
+        # which would create a second backing index.
+        self._log(
+            {
+                "op": "add_constraint",
+                "constraint": codec.encode_constraint(constraint),
+            }
+        )
+
+    def log_drop_table(self, table_name: str) -> None:
+        self._log({"op": "drop_table", "table": table_name})
+
+    def log_bind_exception_table(
+        self, name: str, constraint_name: str, base_table: str
+    ) -> None:
+        self._log(
+            {
+                "op": "bind_exception_table",
+                "name": name,
+                "constraint": constraint_name,
+                "base_table": base_table,
+            }
+        )
+
+    def log_soft_constraint(self, constraint, policy, currency) -> None:
+        """Full-state snapshot of one soft constraint (registry hook).
+
+        Snapshotting the whole constraint on every lifecycle/statement
+        change keeps replay trivial (install verbatim) and — because the
+        record is tagged with the current transaction — makes SC
+        mutations triggered by a losing transaction's changes vanish
+        with it at recovery.
+        """
+        self._log(
+            {
+                "op": "sc_state",
+                "sc": codec.encode_soft_constraint(constraint),
+                "policy": codec.encode_policy(policy),
+                "currency": codec.encode_currency(currency),
+            }
+        )
+
+    # -- checkpoints --------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Write a full-state checkpoint; returns its sequence number.
+
+        Taken at a statement boundary only (no open transaction — the
+        image must be transaction-consistent, since replay starts *after*
+        it).  A crash mid-checkpoint leaves the previous image installed.
+        """
+        if self._txn_stack:
+            raise TransactionError(
+                "cannot checkpoint with an open transaction"
+            )
+        self._flush_run()
+        payload = self._build_payload()
+        write_checkpoint(self.checkpoint_path, payload, self.crash_points)
+        self.checkpoints_taken += 1
+        return payload["sequence"]
+
+    def _build_payload(self) -> Dict[str, Any]:
+        database = self.database
+        catalog = database.catalog
+        schedule = self.crash_points
+        tables = []
+        for table in catalog.tables.values():
+            pages = []
+            for page in table.pages.pages:
+                if schedule is not None and schedule.should_crash(
+                    "page_flush"
+                ):
+                    raise SimulatedCrash(
+                        "simulated crash flushing a checkpoint page",
+                        site="page_flush",
+                    )
+                pages.append(codec.encode_page(page))
+            tables.append(
+                {
+                    "schema": codec.encode_schema(table.schema),
+                    "pages": pages,
+                    "row_count": table.row_count,
+                    "insert_hint": table.pages._insert_hint,
+                }
+            )
+        if schedule is not None and schedule.should_crash("catalog_serialize"):
+            raise SimulatedCrash(
+                "simulated crash serializing the catalog",
+                site="catalog_serialize",
+            )
+        summary_tables = []
+        for name, definition in catalog.summary_tables().items():
+            constraint = getattr(definition, "constraint", None)
+            base_table = getattr(definition, "base_table", None)
+            if constraint is not None and base_table is not None:
+                summary_tables.append(
+                    {
+                        "name": name,
+                        "constraint": constraint.name,
+                        "base_table": base_table,
+                    }
+                )
+        return {
+            "version": 1,
+            "sequence": self.checkpoints_taken + 1,
+            "wal_offset": self.wal.offset(),
+            "txn_counter": self._txn_counter,
+            "auto_index_sequence": database._auto_index_sequence,
+            "session": dict(self.session_state),
+            "tables": tables,
+            "indexes": [
+                codec.encode_index(index)
+                for index in catalog.indexes.values()
+            ],
+            "constraints": [
+                codec.encode_constraint(constraint)
+                for constraint in catalog.all_constraints()
+            ],
+            "summary_tables": summary_tables,
+            "registry": self._encode_registry(),
+            "feedback": (
+                self.feedback.state_dict()
+                if self.feedback is not None
+                else None
+            ),
+        }
+
+    def _encode_registry(self) -> Optional[Dict[str, Any]]:
+        registry = self.registry
+        if registry is None:
+            return None
+        return {
+            "constraints": [
+                {
+                    "sc": codec.encode_soft_constraint(sc),
+                    "policy": codec.encode_policy(
+                        registry._policies.get(sc.name)
+                    ),
+                    "currency": codec.encode_currency(
+                        registry._currency.get(sc.name)
+                    ),
+                }
+                for sc in registry._constraints.values()
+            ],
+            "default_policy": codec.encode_policy(registry._default_policy),
+            "probation_uses": dict(registry.probation_uses),
+            "counters": registry.instrumentation(),
+        }
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> Dict[str, Any]:
+        """Restore checkpoint + committed WAL suffix; verify; return a
+        summary dict."""
+        summary: Dict[str, Any] = {
+            "checkpoint": False,
+            "replayed": 0,
+            "skipped": 0,
+            "torn_tail": False,
+            "indexes_rebuilt": [],
+            "indexes_quarantined": [],
+            "asc_actions": [],
+            "warnings": [],
+        }
+        start_offset = 0
+        if self.checkpoint_path.exists():
+            payload = load_checkpoint(self.checkpoint_path)
+            self._restore(payload, summary)
+            start_offset = payload["wal_offset"]
+            summary["checkpoint"] = True
+        records, end_offset, torn = self.wal.scan(start_offset)
+        winners = {
+            record["txn"]
+            for record in records
+            if record.get("op") == "commit"
+        }
+        self._replaying = True
+        try:
+            for position, record in enumerate(records):
+                op = record.get("op")
+                if op in ("commit", "abort"):
+                    continue
+                txn_id = record.get("txn")
+                if txn_id is not None and txn_id not in winners:
+                    summary["skipped"] += (
+                        len(record["rids"]) if op.endswith("_run") else 1
+                    )
+                    continue
+                try:
+                    applied = self._apply(record, summary)
+                except ReproError as error:
+                    raise RecoveryError(
+                        f"replay failed at record {position} "
+                        f"(op={op!r}): {error}"
+                    ) from error
+                summary["replayed"] += applied
+        finally:
+            self._replaying = False
+        if torn:
+            self.wal.truncate_to(end_offset)
+            summary["torn_tail"] = True
+        self._txn_counter = max(
+            [self._txn_counter]
+            + [r["txn"] for r in records if r.get("txn") is not None]
+        )
+        self._verify_storage(summary)
+        self._revalidate_soft_constraints(summary)
+        self.database.reset_counters()
+        self.last_recovery = summary
+        return summary
+
+    def _restore(
+        self, payload: Dict[str, Any], summary: Dict[str, Any]
+    ) -> None:
+        database = self.database
+        catalog = database.catalog
+        for table_state in payload["tables"]:
+            schema = codec.decode_schema(table_state["schema"])
+            table = HeapTable(schema, database.counters)
+            table.pages.pages = [
+                codec.decode_page(page_state)
+                for page_state in table_state["pages"]
+            ]
+            table.pages._insert_hint = min(
+                table_state["insert_hint"],
+                max(0, len(table.pages.pages) - 1),
+            )
+            table._row_count = table_state["row_count"]
+            catalog.add_table(table)
+        for index_state in payload["indexes"]:
+            table = catalog.table(index_state["table"])
+            catalog.add_index(
+                codec.decode_index(
+                    index_state, table.schema, database.counters
+                )
+            )
+        for constraint_state in payload["constraints"]:
+            catalog.add_constraint(
+                codec.decode_constraint(constraint_state)
+            )
+        database._auto_index_sequence = payload["auto_index_sequence"]
+        self._txn_counter = payload["txn_counter"]
+        self.session_state = dict(payload["session"])
+        self._restore_registry(payload.get("registry"), summary)
+        for binding in payload["summary_tables"]:
+            self._rebind_exception_table(binding, summary)
+        feedback_state = payload.get("feedback")
+        if feedback_state is not None:
+            if self.feedback is None:
+                summary["warnings"].append(
+                    "checkpoint carries feedback state but feedback "
+                    "collection is disabled; state ignored"
+                )
+            else:
+                self.feedback.load_state(feedback_state)
+
+    def _restore_registry(
+        self, state: Optional[Dict[str, Any]], summary: Dict[str, Any]
+    ) -> None:
+        registry = self.registry
+        if state is None or registry is None:
+            if state is not None:
+                summary["warnings"].append(
+                    "checkpoint carries a soft-constraint registry but "
+                    "this session has none; state ignored"
+                )
+            return
+        queued: List[tuple] = []
+        for entry in state["constraints"]:
+            sc = codec.decode_soft_constraint(entry["sc"])
+            policy = codec.decode_policy(entry["policy"])
+            currency = codec.decode_currency(entry["currency"])
+            registry.adopt(sc, policy=policy, currency=currency)
+            if entry["policy"] and entry["policy"].get("queue"):
+                queued.append((policy, entry["policy"]["queue"]))
+        # Async repair queues reference constraint objects: resolve the
+        # logged names against what was just adopted.
+        for policy, names in queued:
+            policy.queue = [
+                registry._constraints[name]
+                for name in names
+                if name in registry._constraints
+            ]
+        default_policy = codec.decode_policy(state["default_policy"])
+        if default_policy is not None:
+            registry._default_policy = default_policy
+        registry.probation_uses.update(state["probation_uses"])
+        for counter, value in state["counters"].items():
+            setattr(registry, counter, value)
+
+    def _rebind_exception_table(
+        self, binding: Dict[str, Any], summary: Dict[str, Any]
+    ) -> None:
+        from repro.softcon.exceptions_ast import ExceptionTable
+
+        registry = self.registry
+        constraint = (
+            registry._constraints.get(binding["constraint"])
+            if registry is not None
+            else None
+        )
+        if constraint is None:
+            summary["warnings"].append(
+                f"exception table {binding['name']!r} references unknown "
+                f"soft constraint {binding['constraint']!r}; binding lost"
+            )
+            return
+        ExceptionTable.rebind(self.database, constraint, binding["name"])
+
+    # -- replay -------------------------------------------------------------
+
+    def _apply(self, record: Dict[str, Any], summary: Dict[str, Any]) -> int:
+        """Redo one record; returns the number of logical row changes
+        it carried (run records bundle a whole statement's rows)."""
+        op = record["op"]
+        database = self.database
+        if op == "insert_run":
+            table = database.table(record["table"])
+            indexes = database.catalog.indexes_on(table.name)
+            for rid_state, row_state in zip(record["rids"], record["rows"]):
+                rid = codec.decode_rid(rid_state)
+                row = codec.decode_row(row_state)
+                table.place_at(rid, row)
+                for index in indexes:
+                    index.insert(row, rid)
+                self._replay_tick(table.name)
+            return len(record["rids"])
+        if op == "delete_run":
+            table = database.table(record["table"])
+            indexes = database.catalog.indexes_on(table.name)
+            for rid_state in record["rids"]:
+                rid = codec.decode_rid(rid_state)
+                row = table.delete(rid)
+                for index in indexes:
+                    index.delete(row, rid)
+                self._replay_tick(table.name)
+            return len(record["rids"])
+        if op == "update_run":
+            table = database.table(record["table"])
+            indexes = database.catalog.indexes_on(table.name)
+            for rid_pair, row_state in zip(record["rids"], record["rows"]):
+                old_rid = codec.decode_rid(rid_pair[0])
+                new_rid = codec.decode_rid(rid_pair[1])
+                row = codec.decode_row(row_state)
+                old_row = table.apply_update(old_rid, new_rid, row)
+                for index in indexes:
+                    index.update(old_row, old_rid, row, new_rid)
+                self._replay_tick(table.name)
+            return len(record["rids"])
+        if op == "insert":
+            table = database.table(record["table"])
+            rid = codec.decode_rid(record["rid"])
+            row = codec.decode_row(record["row"])
+            table.place_at(rid, row)
+            for index in database.catalog.indexes_on(table.name):
+                index.insert(row, rid)
+            self._replay_tick(table.name)
+        elif op == "delete":
+            table = database.table(record["table"])
+            rid = codec.decode_rid(record["rid"])
+            row = table.delete(rid)
+            for index in database.catalog.indexes_on(table.name):
+                index.delete(row, rid)
+            self._replay_tick(table.name)
+        elif op == "update":
+            table = database.table(record["table"])
+            old_rid = codec.decode_rid(record["old_rid"])
+            new_rid = codec.decode_rid(record["new_rid"])
+            row = codec.decode_row(record["row"])
+            old_row = table.apply_update(old_rid, new_rid, row)
+            for index in database.catalog.indexes_on(table.name):
+                index.update(old_row, old_rid, row, new_rid)
+            self._replay_tick(table.name)
+        elif op == "create_table":
+            database.create_table(codec.decode_schema(record["schema"]))
+        elif op == "create_index":
+            database.create_index(
+                record["name"],
+                record["table"],
+                record["columns"],
+                unique=record["unique"],
+            )
+        elif op == "add_constraint":
+            database.catalog.add_constraint(
+                codec.decode_constraint(record["constraint"])
+            )
+        elif op == "drop_table":
+            database.drop_table(record["table"])
+        elif op == "sc_state":
+            if self.registry is None:
+                summary["warnings"].append(
+                    "sc_state record ignored: no registry attached"
+                )
+                return 1
+            self.registry.adopt(
+                codec.decode_soft_constraint(record["sc"]),
+                policy=codec.decode_policy(record["policy"]),
+                currency=codec.decode_currency(record["currency"]),
+            )
+        elif op == "bind_exception_table":
+            self._rebind_exception_table(record, summary)
+        else:
+            raise RecoveryError(f"unknown WAL record op {op!r}")
+        return 1
+
+    def _replay_tick(self, table_name: str) -> None:
+        """Advance SC staleness counters for one replayed row change.
+
+        Live row changes tick the registry through the change-event
+        observer, which replay suppresses; without this, recovered
+        currency models would freeze at their last logged snapshot and
+        diverge from a never-crashed run.
+        """
+        if self.registry is not None:
+            self.registry.replay_tick(table_name)
+
+    # -- post-recovery integrity -------------------------------------------
+
+    def _verify_storage(self, summary: Dict[str, Any]) -> None:
+        database = self.database
+        catalog = database.catalog
+        for name in catalog.table_names():
+            table = catalog.table(name)
+            for page in table.pages.pages:
+                try:
+                    page.verify()
+                except ReproError as error:
+                    raise RecoveryError(
+                        f"recovered page failed verification in table "
+                        f"{name!r}: {error}"
+                    ) from error
+            live = sum(
+                1
+                for page in table.pages.pages
+                for slot in page.slots
+                if slot is not None
+            )
+            if live != table.row_count:
+                raise RecoveryError(
+                    f"recovered table {name!r} counts {table.row_count} "
+                    f"rows but holds {live}"
+                )
+        for index in list(catalog.indexes.values()):
+            table = catalog.table(index.table_name)
+            expected = []
+            for row_id, row in table.scan():
+                key = index.key_of(row)
+                if key is not None:
+                    expected.append((key, row_id))
+            expected.sort()
+            actual = sorted(zip(index._keys, index._rids))
+            if expected == actual:
+                continue
+            try:
+                database.rebuild_index(index.name)
+                summary["indexes_rebuilt"].append(index.name)
+            except ReproError:
+                index.quarantined = True
+                summary["indexes_quarantined"].append(index.name)
+
+    def _revalidate_soft_constraints(self, summary: Dict[str, Any]) -> None:
+        """Recovered ACTIVE ASCs must not contradict recovered data.
+
+        Every violation found is routed through the constraint's
+        maintenance policy — the same code path a live violation takes —
+        until the constraint is clean, repaired into cleanliness, or no
+        longer an absolute rewrite candidate.
+        """
+        registry = self.registry
+        if registry is None:
+            return
+        for sc in list(registry._constraints.values()):
+            if sc.state is not SCState.ACTIVE or not sc.is_absolute:
+                continue
+            for _round in range(MAX_REPAIR_ROUNDS):
+                violating_row = self._find_violation(sc)
+                if violating_row is None:
+                    break
+                registry.violations_seen += 1
+                registry.policy_for(sc).on_violation(
+                    registry, sc, violating_row
+                )
+                summary["asc_actions"].append(
+                    (sc.name, sc.state.value, round(sc.confidence, 9))
+                )
+                if sc.state is not SCState.ACTIVE or not sc.is_absolute:
+                    break
+            else:
+                registry.overturn(sc)
+                summary["asc_actions"].append(
+                    (sc.name, sc.state.value, round(sc.confidence, 9))
+                )
+
+    def _find_violation(self, sc) -> Optional[Dict[str, Any]]:
+        from repro.engine.database import ChangeEvent
+
+        # Scanning the first constrained table covers every case: for
+        # join constraints each violating pair contains a table-one row,
+        # and _synchronous_check joins it to the other side.
+        table_name = sc.table_names()[0]
+        table = self.database.table(table_name)
+        for row in table.scan_rows():
+            event = ChangeEvent("insert", table_name, None, tuple(row))
+            violating = self.registry._synchronous_check(sc, event)
+            if violating is not None:
+                return violating
+        return None
+
+    # -- reporting ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line status for EXPLAIN/describe output."""
+        recovered = ""
+        if self.last_recovery is not None:
+            recovered = (
+                f", recovered {self.last_recovery['replayed']} records"
+                f"{' from checkpoint' if self.last_recovery['checkpoint'] else ''}"
+            )
+        return (
+            f"wal: on ({self.path}, {self.records_logged} records, "
+            f"{self.checkpoints_taken} checkpoints{recovered})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DurabilityManager({self.path}, records={self.records_logged}, "
+            f"checkpoints={self.checkpoints_taken})"
+        )

@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.engine.catalog import Catalog
@@ -40,6 +41,10 @@ class ChangeEvent(NamedTuple):
 
 ChangeObserver = Callable[[ChangeEvent], None]
 
+#: Shared no-op scope for the per-row statement-boundary passthroughs;
+#: ``nullcontext`` is stateless, so one instance serves every caller.
+_NULL_SCOPE = nullcontext()
+
 
 class Database:
     """A complete single-process database instance."""
@@ -50,6 +55,8 @@ class Database:
         self.fault_injector = None
         self._observers: List[ChangeObserver] = []
         self._auto_index_sequence = 0
+        # Set by DurabilityManager.attach; None = in-memory only.
+        self.durability = None
 
     # -------------------------------------------------------------- resilience
 
@@ -108,6 +115,8 @@ class Database:
         table = HeapTable(schema, self.counters)
         table.pages.fault_injector = self.fault_injector
         self.catalog.add_table(table)
+        if self.durability is not None:
+            self.durability.log_create_table(schema)
         for constraint in constraints:
             self.add_constraint(constraint)
         return table
@@ -137,6 +146,8 @@ class Database:
                     unique=True,
                 )
                 constraint.backing_index_name = index.name
+        if self.durability is not None:
+            self.durability.log_add_constraint(constraint)
 
     def create_index(
         self,
@@ -158,10 +169,14 @@ class Database:
                 entries.append((key, row_id))
         index.rebuild(entries)
         self.catalog.add_index(index)
+        if self.durability is not None:
+            self.durability.log_create_index(index)
         return index
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
+        if self.durability is not None:
+            self.durability.log_drop_table(name.lower())
 
     # -------------------------------------------------------------- accessors
 
@@ -186,6 +201,48 @@ class Database:
 
     # -------------------------------------------------------------------- DML
 
+    def _statement_scope(self):
+        """Durable statement boundary: all WAL records appended inside
+        one scope commit together (or, after a crash, vanish together).
+        A no-op context without durability or inside an open transaction.
+
+        The passthrough cases short-circuit to a shared null context:
+        this runs once per DML row, and even an immediately-yielding
+        generator contextmanager is measurable at that frequency.
+        """
+        durability = self.durability
+        if (
+            durability is None
+            or durability._txn_stack
+            or durability._replaying
+        ):
+            return _NULL_SCOPE
+        return durability.statement()
+
+    def statement_transaction(self):
+        """An implicit transaction wrapping one multi-row DML statement."""
+        from repro.engine.transactions import Transaction
+
+        return Transaction(self)
+
+    def rollback_statement(self, txn) -> None:
+        """Roll back an implicit statement transaction.
+
+        Statement rollback is a recovery action (like
+        :meth:`rebuild_index`): injection is paused for the duration so
+        the compensating writes cannot be re-poisoned by the very
+        injector whose fault aborted the statement.
+        """
+        injector = self.fault_injector
+        was_enabled = injector.enabled if injector is not None else False
+        if injector is not None:
+            injector.pause()
+        try:
+            txn.rollback()
+        finally:
+            if injector is not None and was_enabled:
+                injector.resume()
+
     def insert(self, table_name: str, values: Sequence[Any]) -> RowId:
         """Insert one row, enforcing constraints and maintaining indexes."""
         table = self.catalog.table(table_name)
@@ -193,10 +250,13 @@ class Database:
         for constraint in self.catalog.constraints_on(table.name):
             if not constraint.is_informational:
                 constraint.check_insert(self, row)
-        row_id = table.insert(row)
-        for index in self.catalog.indexes_on(table.name):
-            index.insert(row, row_id)
-        self._publish(ChangeEvent("insert", table.name, None, row))
+        with self._statement_scope():
+            row_id = table.insert(row)
+            for index in self.catalog.indexes_on(table.name):
+                index.insert(row, row_id)
+            if self.durability is not None:
+                self.durability.log_insert(table.name, row_id, row)
+            self._publish(ChangeEvent("insert", table.name, None, row))
         return row_id
 
     def insert_mapping(self, table_name: str, mapping: Dict[str, Any]) -> RowId:
@@ -207,7 +267,24 @@ class Database:
     def insert_many(
         self, table_name: str, rows: Sequence[Sequence[Any]]
     ) -> List[RowId]:
-        return [self.insert(table_name, row) for row in rows]
+        """Bulk insert as one atomic statement.
+
+        More than one row is wrapped in an implicit transaction so a
+        mid-statement fault rolls the whole statement back instead of
+        leaving a prefix applied.
+        """
+        if len(rows) <= 1:
+            return [self.insert(table_name, row) for row in rows]
+        txn = self.statement_transaction()
+        row_ids: List[RowId] = []
+        try:
+            for row in rows:
+                row_ids.append(txn.insert(table_name, row))
+        except BaseException:
+            self.rollback_statement(txn)
+            raise
+        txn.commit()
+        return row_ids
 
     def delete_row(self, table_name: str, row_id: RowId) -> Tuple[Any, ...]:
         """Delete one row by RowId (RESTRICT semantics for referencing FKs)."""
@@ -219,10 +296,13 @@ class Database:
         for constraint in self.catalog.constraints_on(table.name):
             if not constraint.is_informational:
                 constraint.check_delete(self, row)
-        table.delete(row_id)
-        for index in self.catalog.indexes_on(table.name):
-            index.delete(row, row_id)
-        self._publish(ChangeEvent("delete", table.name, row, None))
+        with self._statement_scope():
+            table.delete(row_id)
+            for index in self.catalog.indexes_on(table.name):
+                index.delete(row, row_id)
+            if self.durability is not None:
+                self.durability.log_delete(table.name, row_id, row)
+            self._publish(ChangeEvent("delete", table.name, row, None))
         return row
 
     def update_row(
@@ -249,10 +329,15 @@ class Database:
             )
             if old_key != new_key:
                 fk.check_parent_delete(self, old_row)
-        new_id, _ = table.update(row_id, new_row)
-        for index in self.catalog.indexes_on(table.name):
-            index.update(old_row, row_id, new_row, new_id)
-        self._publish(ChangeEvent("update", table.name, old_row, new_row))
+        with self._statement_scope():
+            new_id, _ = table.update(row_id, new_row)
+            for index in self.catalog.indexes_on(table.name):
+                index.update(old_row, row_id, new_row, new_id)
+            if self.durability is not None:
+                self.durability.log_update(
+                    table.name, row_id, new_id, new_row
+                )
+            self._publish(ChangeEvent("update", table.name, old_row, new_row))
         return new_id
 
     def delete_where(
@@ -266,8 +351,20 @@ class Database:
             for row_id, row in table.scan()
             if predicate(dict(zip(names, row))) is True
         ]
-        for row_id in victims:
-            self.delete_row(table_name, row_id)
+        if len(victims) <= 1:
+            for row_id in victims:
+                self.delete_row(table_name, row_id)
+            return len(victims)
+        # Multi-row statements are atomic: a mid-statement fault rolls
+        # back the rows already deleted instead of leaving a prefix.
+        txn = self.statement_transaction()
+        try:
+            for row_id in victims:
+                txn.delete(table_name, row_id)
+        except BaseException:
+            self.rollback_statement(txn)
+            raise
+        txn.commit()
         return len(victims)
 
     def update_where(
@@ -284,12 +381,26 @@ class Database:
             row_dict = dict(zip(names, row))
             if predicate(row_dict) is True:
                 targets.append((row_id, row_dict))
-        for row_id, row_dict in targets:
-            new_dict = dict(row_dict)
-            new_dict.update(assign(row_dict))
-            self.update_row(
-                table_name, row_id, [new_dict[name] for name in names]
-            )
+        if len(targets) <= 1:
+            for row_id, row_dict in targets:
+                new_dict = dict(row_dict)
+                new_dict.update(assign(row_dict))
+                self.update_row(
+                    table_name, row_id, [new_dict[name] for name in names]
+                )
+            return len(targets)
+        txn = self.statement_transaction()
+        try:
+            for row_id, row_dict in targets:
+                new_dict = dict(row_dict)
+                new_dict.update(assign(row_dict))
+                txn.update(
+                    table_name, row_id, [new_dict[name] for name in names]
+                )
+        except BaseException:
+            self.rollback_statement(txn)
+            raise
+        txn.commit()
         return len(targets)
 
     # ----------------------------------------------------------------- lookups

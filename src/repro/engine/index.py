@@ -354,6 +354,31 @@ class BTreeIndex:
         self._cluster_ratio_cache = None
         self.counters.page_writes += self.leaf_pages
 
+    def load_entries(
+        self,
+        keys: Sequence[Tuple[Any, ...]],
+        rids: Sequence[RowId],
+        quarantined: bool = False,
+    ) -> None:
+        """Install already-sorted entries from a checkpoint image.
+
+        Unlike :meth:`rebuild` this is a verbatim restore — order,
+        uniqueness, and the quarantine flag are taken as recorded (the
+        recovery path cross-checks against the heap afterwards and falls
+        back to a rebuild on mismatch).  The in-memory checksum is
+        recomputed because it is process-local.
+        """
+        if len(keys) != len(rids):
+            raise StorageError(
+                f"index image for {self.name!r} has {len(keys)} keys but "
+                f"{len(rids)} row ids"
+            )
+        self._keys = [tuple(key) for key in keys]
+        self._rids = list(rids)
+        self.checksum = self.compute_checksum()
+        self.quarantined = quarantined
+        self._cluster_ratio_cache = None
+
     def __repr__(self) -> str:
         uniq = "unique " if self.unique else ""
         return (

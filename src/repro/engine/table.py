@@ -141,6 +141,86 @@ class HeapTable:
         self.pages.wrote_row()
         return RowId(target.page_id, slot_no), old_row
 
+    # -- redo replay (durability) ----------------------------------------------
+
+    def place_at(self, row_id: RowId, values: Sequence[Any]) -> None:
+        """Force one row into the exact slot a WAL record assigned it.
+
+        Redo replay must land rows at their logged physical position —
+        free placement via :meth:`insert` could diverge from the original
+        run whenever the page image being recovered differs from the one
+        the original chose against (e.g. after a rolled-back statement
+        left tombstones that the replayed prefix does not recreate).
+        Pages are allocated up to the target, slot gaps are padded with
+        tombstones, and the incremental XOR checksum is maintained so
+        :meth:`~repro.engine.page.Page.verify` holds afterwards.
+        """
+        from repro.engine.page import _slot_hash
+
+        row = self.schema.validate_row(values)
+        row_bytes = self.schema.row_size(row)
+        while self.pages.page_count <= row_id.page_id:
+            self.pages.allocate()
+        page = self.pages.pages[row_id.page_id]
+        self.pages.touch_write()
+        if row_id.slot_no < len(page.slots):
+            if page.slots[row_id.slot_no] is not None:
+                raise StorageError(
+                    f"redo replay cannot place a row at occupied {row_id}"
+                )
+            if page.slot_sizes[row_id.slot_no] < row_bytes:
+                raise StorageError(
+                    f"redo replay row does not fit the tombstone at {row_id}"
+                )
+            page.checksum ^= _slot_hash(row_id.slot_no, None)
+            page.checksum ^= _slot_hash(row_id.slot_no, row)
+            # Mirror Page.insert's tombstone reuse: the slot keeps its
+            # original size (no within-page compaction), so the replayed
+            # page image stays bit-identical to the original run's.
+            page.slots[row_id.slot_no] = row
+        else:
+            while len(page.slots) < row_id.slot_no:
+                gap = len(page.slots)
+                page.slots.append(None)
+                page.slot_sizes.append(0)
+                page.checksum ^= _slot_hash(gap, None)
+            page.slots.append(row)
+            page.slot_sizes.append(row_bytes)
+            page.used_bytes += row_bytes
+            page.checksum ^= _slot_hash(row_id.slot_no, row)
+        self.pages.wrote_row()
+        self._row_count += 1
+        # Mirror page_for_insert: the hint follows the last placement.
+        if row_id.page_id > self.pages._insert_hint:
+            self.pages._insert_hint = row_id.page_id
+
+    def apply_update(
+        self, old_rid: RowId, new_rid: RowId, values: Sequence[Any]
+    ) -> Tuple[Any, ...]:
+        """Redo one logged update, honouring its logged placement.
+
+        Returns the pre-update image (for index maintenance).  In-place
+        updates stay in place; a forwarded update (``new_rid`` differs)
+        deletes the old slot and forces the new image at ``new_rid``.
+        """
+        row = self.schema.validate_row(values)
+        row_bytes = self.schema.row_size(row)
+        page = self.pages.read_page(old_rid.page_id)
+        old_row = page.slots[old_rid.slot_no]
+        if old_row is None:
+            raise StorageError(
+                f"redo replay found no row to update at {old_rid}"
+            )
+        if old_rid == new_rid and page.can_update(old_rid.slot_no, row_bytes):
+            self.pages.touch_write()
+            page.update(old_rid.slot_no, row, row_bytes)
+            return old_row
+        self.pages.touch_write()
+        page.delete(old_rid.slot_no)
+        self._row_count -= 1
+        self.place_at(new_rid, row)
+        return old_row
+
     # -- scans -----------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[RowId, Tuple[Any, ...]]]:

@@ -53,6 +53,12 @@ class Transaction:
         self.database = database
         self._undo: List[_UndoEntry] = []
         self._state = "active"
+        # Durable transaction id: WAL records written while this
+        # transaction is open are tagged with it, and recovery replays
+        # them only if the matching commit record made it to disk.
+        self._txn_id: Optional[int] = None
+        if database.durability is not None:
+            self._txn_id = database.durability.txn_begin()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -68,6 +74,8 @@ class Transaction:
         self._require_active()
         self._undo.clear()
         self._state = "committed"
+        if self._txn_id is not None:
+            self.database.durability.txn_commit(self._txn_id)
 
     def rollback(self) -> None:
         """Undo every change made through this transaction, newest first.
@@ -98,6 +106,11 @@ class Transaction:
         finally:
             self._undo.clear()
             self._state = "rolled_back"
+            if self._txn_id is not None:
+                # Compensations were logged under the same txn id, so
+                # the abort hides them *and* the original changes from
+                # recovery in one stroke.
+                self.database.durability.txn_abort(self._txn_id)
         if failures:
             raise RollbackError(
                 f"{len(failures)} undo entr"

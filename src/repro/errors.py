@@ -55,6 +55,25 @@ class IndexCorruptionError(StorageError):
         self.index_name = index_name
 
 
+class WALCorruptionError(StorageError):
+    """A write-ahead-log record or checkpoint image failed its CRC.
+
+    A *torn tail* — a truncated or CRC-mismatched final record, the
+    signature of a crash mid-append — is crash-consistent and handled
+    silently by recovery; this error marks corruption *before* the tail
+    (or in a checkpoint body), which redo cannot repair.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent database state.
+
+    Raised when WAL replay fails to re-apply a committed record, or when
+    the post-replay integrity pass finds storage that neither matches
+    its checksums nor can be rebuilt.
+    """
+
+
 class SchemaError(ReproError):
     """An invalid schema definition (duplicate columns, unknown types...)."""
 

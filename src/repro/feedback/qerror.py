@@ -40,6 +40,19 @@ class QErrorTracker:
     def mean_qerror(self) -> float:
         return self._total / self.count if self.count else 1.0
 
+    def state_dict(self) -> dict:
+        """JSON-safe full state (for durability checkpoints)."""
+        return {
+            "count": self.count,
+            "max_qerror": self.max_qerror,
+            "total": self._total,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.count = state["count"]
+        self.max_qerror = state["max_qerror"]
+        self._total = state["total"]
+
     def summary(self) -> dict:
         return {
             "count": self.count,

@@ -68,6 +68,24 @@ class Observation:
             self.last_estimated = float(estimated)
             self.qerror.record(estimated, actual)
 
+    def state_dict(self) -> dict:
+        """JSON-safe full state (for durability checkpoints)."""
+        return {
+            "count": self.count,
+            "value": self.value,
+            "last_estimated": self.last_estimated,
+            "last_actual": self.last_actual,
+            "qerror": self.qerror.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.count = state["count"]
+        self.value = state["value"]
+        self.last_estimated = state["last_estimated"]
+        self.last_actual = state["last_actual"]
+        self.qerror = QErrorTracker()
+        self.qerror.load_state(state["qerror"])
+
     def __repr__(self) -> str:
         return (
             f"Observation(n={self.count}, value={self.value}, "
@@ -290,6 +308,65 @@ class FeedbackStore:
                 "by_table": dict(sorted(self._guard_trips.items())),
             },
         }
+
+    def state_dict(self) -> dict:
+        """Full store state, JSON-safe, for durability checkpoints.
+
+        Tuple keys become lists (JSON has no tuple); entries are sorted
+        so two stores with equal content serialize byte-identically under
+        canonical JSON.
+        """
+
+        def encode(entries: dict) -> list:
+            return [
+                [list(key) if isinstance(key, tuple) else key,
+                 observation.state_dict()]
+                for key, observation in sorted(entries.items())
+            ]
+
+        return {
+            "alpha": self.alpha,
+            "scans": encode(self._scans),
+            "index_ranges": encode(self._index_ranges),
+            "joins": encode(self._joins),
+            "join_tables": [
+                [signature, list(tables)]
+                for signature, tables in sorted(self._join_tables.items())
+            ],
+            "groups": encode(self._groups),
+            "base_rows": encode(self._base_rows),
+            "guard_trips_by_table": dict(self._guard_trips),
+            "guard_trips_by_kind": dict(self._guard_trip_kinds),
+            "counters": {
+                "guard_trips": self.guard_trips,
+                "observations": self.observations,
+                "harvests": self.harvests,
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace this store's content with a checkpointed state."""
+        self.clear()
+        self.alpha = state["alpha"]
+
+        def decode(entries: list, target: dict, tuple_keys: bool) -> None:
+            for key, observation_state in entries:
+                observation = Observation()
+                observation.load_state(observation_state)
+                target[tuple(key) if tuple_keys else key] = observation
+
+        decode(state["scans"], self._scans, True)
+        decode(state["index_ranges"], self._index_ranges, True)
+        decode(state["joins"], self._joins, False)
+        for signature, tables in state["join_tables"]:
+            self._join_tables[signature] = tuple(tables)
+        decode(state["groups"], self._groups, False)
+        decode(state["base_rows"], self._base_rows, False)
+        self._guard_trips.update(state["guard_trips_by_table"])
+        self._guard_trip_kinds.update(state["guard_trips_by_kind"])
+        self.guard_trips = state["counters"]["guard_trips"]
+        self.observations = state["counters"]["observations"]
+        self.harvests = state["counters"]["harvests"]
 
     def clear(self) -> None:
         self._scans.clear()

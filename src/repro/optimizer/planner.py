@@ -453,6 +453,39 @@ class PlanCache:
         self.guard_invalidations += 1
         return True
 
+    def invalidate_table(self, table_name: str) -> int:
+        """Fully evict every cached plan that touches ``table_name``.
+
+        Used when a table's physical access paths change under the cache
+        (e.g. an index was rebuilt after corruption): cached plans may
+        carry the old index object or estimates keyed to it.  Full
+        eviction (no backup reversion — the backup reads the same table)
+        so the next ``get_plan`` recompiles.  Returns the eviction count.
+        """
+        name = table_name.lower()
+        evicted = 0
+        for sql, plan in list(self._plans.items()):
+            if name not in self._tables_of(plan):
+                continue
+            del self._plans[sql]
+            self._backups.pop(sql, None)
+            self._reverted.discard(sql)
+            self.invalidations += 1
+            evicted += 1
+        return evicted
+
+    @staticmethod
+    def _tables_of(plan: PhysicalPlan) -> set:
+        tables = set()
+        stack = [plan.root]
+        while stack:
+            node = stack.pop()
+            name = getattr(node, "table_name", None)
+            if name:
+                tables.add(name.lower())
+            stack.extend(node.children())
+        return tables
+
     # Kept as the historical name for direct eviction in tests/tools.
     def _evict(self, sql: str) -> None:
         self._invalidate(sql)

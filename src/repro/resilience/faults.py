@@ -40,6 +40,31 @@ from repro.resilience.guards import VirtualClock
 SITES = ("page_read", "page_write", "index_probe")
 KINDS = ("transient", "corrupt")
 
+#: Named durability crash points (see :mod:`repro.durability`).  Unlike
+#: the storage fault SITES above — which model *recoverable* I/O trouble
+#: — a crash point models process death, after which the only way
+#: forward is :meth:`repro.api.SoftDB.open` replaying the log.
+CRASH_SITES = (
+    "wal_append",  # mid-append: the final WAL record is torn
+    "page_flush",  # while serializing one heap page into a checkpoint
+    "checkpoint_write",  # after the tmp image, before the atomic rename
+    "catalog_serialize",  # while serializing the catalog section
+)
+
+
+class SimulatedCrash(Exception):
+    """Simulated process death at a declared crash point.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError`: nothing in
+    the engine may catch-and-continue past it — resilience code that
+    handles typed storage errors must let a crash propagate, exactly as
+    a real ``kill -9`` would end the process.
+    """
+
+    def __init__(self, message: str, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
 
 class RetryPolicy:
     """Bounded retry with exponential backoff (virtual time only)."""
@@ -240,6 +265,134 @@ class FaultInjector:
         return (
             f"FaultInjector(seed={self.seed}, specs={len(self.specs)}, "
             f"injected={total})"
+        )
+
+
+class CrashPoint:
+    """One scheduled crash: site + cadence (every-Nth, exact visit, or
+    seeded probability), bounded by ``limit`` firings (default one — a
+    process only dies once per run)."""
+
+    __slots__ = ("site", "every_nth", "at_visit", "probability", "limit", "hits")
+
+    def __init__(
+        self,
+        site: str,
+        every_nth: Optional[int] = None,
+        at_visit: Optional[int] = None,
+        probability: float = 0.0,
+        limit: int = 1,
+    ) -> None:
+        if site not in CRASH_SITES:
+            raise ExecutionError(
+                f"unknown crash site {site!r} (sites: {CRASH_SITES})"
+            )
+        if every_nth is not None and every_nth < 1:
+            raise ExecutionError(f"every_nth must be >= 1, got {every_nth}")
+        if at_visit is not None and at_visit < 1:
+            raise ExecutionError(f"at_visit must be >= 1, got {at_visit}")
+        if not 0.0 <= probability <= 1.0:
+            raise ExecutionError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        if every_nth is None and at_visit is None and probability == 0.0:
+            raise ExecutionError(
+                "a CrashPoint needs every_nth, at_visit, or a probability"
+            )
+        self.site = site
+        self.every_nth = every_nth
+        self.at_visit = at_visit
+        self.probability = probability
+        self.limit = limit
+        self.hits = 0
+
+    def __repr__(self) -> str:
+        if self.at_visit is not None:
+            cadence = f"at_visit={self.at_visit}"
+        elif self.every_nth is not None:
+            cadence = f"every_nth={self.every_nth}"
+        else:
+            cadence = f"p={self.probability}"
+        return f"CrashPoint({self.site}, {cadence}, hits={self.hits})"
+
+
+class CrashSchedule:
+    """Deterministic process-death scheduler for the durability layer.
+
+    The durability code calls :meth:`should_crash` at each named site
+    visit; a True return means the caller must simulate death — for WAL
+    appends, by leaving a torn final record and raising
+    :class:`SimulatedCrash`.  Same seed and points, same visit counts,
+    same crash — so every crash-differential failure replays exactly.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.points: List[CrashPoint] = []
+        self.visits: Dict[str, int] = {site: 0 for site in CRASH_SITES}
+        self.crashes: Dict[str, int] = {}
+        self.armed = True
+
+    def add(
+        self,
+        site: str,
+        every_nth: Optional[int] = None,
+        at_visit: Optional[int] = None,
+        probability: float = 0.0,
+        limit: int = 1,
+    ) -> "CrashSchedule":
+        """Schedule a crash point; returns self for chaining."""
+        self.points.append(
+            CrashPoint(site, every_nth, at_visit, probability, limit)
+        )
+        return self
+
+    def disarm(self) -> None:
+        """Stop crashing (visits still counted) until :meth:`arm`."""
+        self.armed = False
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def should_crash(self, site: str) -> bool:
+        """Whether the process dies at this visit of ``site``."""
+        if site not in self.visits:
+            raise ExecutionError(
+                f"unknown crash site {site!r} (sites: {CRASH_SITES})"
+            )
+        self.visits[site] += 1
+        if not self.armed:
+            return False
+        visit = self.visits[site]
+        for point in self.points:
+            if point.site != site or point.hits >= point.limit:
+                continue
+            hit = False
+            if point.at_visit is not None:
+                hit = visit == point.at_visit
+            if not hit and point.every_nth is not None:
+                hit = visit % point.every_nth == 0
+            if not hit and point.probability > 0.0:
+                hit = self.rng.random() < point.probability
+            if hit:
+                point.hits += 1
+                self.crashes[site] = self.crashes.get(site, 0) + 1
+                return True
+        return False
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "armed": self.armed,
+            "visits": dict(self.visits),
+            "crashes": dict(sorted(self.crashes.items())),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CrashSchedule(seed={self.seed}, points={len(self.points)}, "
+            f"crashes={sum(self.crashes.values())})"
         )
 
 

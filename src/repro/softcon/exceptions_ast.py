@@ -66,6 +66,37 @@ class ExceptionTable:
         self._populate()
         database.catalog.add_summary_table(self.name, self)
         database.add_observer(self._on_change)
+        if database.durability is not None:
+            database.durability.log_bind_exception_table(
+                self.name, constraint.name, self.base_table
+            )
+
+    @classmethod
+    def rebind(
+        cls,
+        database: Database,
+        constraint: SoftConstraint,
+        name: str,
+    ) -> "ExceptionTable":
+        """Re-attach a recovered exception table to its constraint.
+
+        Recovery restores the materialized table's *data* through normal
+        page/WAL replay; what is lost is the live binding — the summary-
+        table registration and the change observer.  This constructor
+        variant rebuilds only that binding, without creating or
+        repopulating the table.
+        """
+        self = cls.__new__(cls)
+        self.database = database
+        self.constraint = constraint
+        (self.base_table,) = constraint.table_names()
+        self.name = name.lower()
+        self._column_names = database.table(
+            self.base_table
+        ).schema.column_names()
+        database.catalog.add_summary_table(self.name, self)
+        database.add_observer(self._on_change)
+        return self
 
     # -- views -----------------------------------------------------------------
 

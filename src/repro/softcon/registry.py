@@ -85,7 +85,48 @@ class SoftConstraintRegistry:
         self.refresh_currency(constraint, self.database)
         if activate:
             self.activate(constraint.name)
+        else:
+            self._log_durable(constraint)
         return constraint
+
+    def adopt(
+        self,
+        constraint: SoftConstraint,
+        policy: Optional[MaintenancePolicy] = None,
+        currency: Optional[CurrencyModel] = None,
+    ) -> SoftConstraint:
+        """Install a recovered constraint verbatim.
+
+        Recovery's replacement for :meth:`register`: no table checks (the
+        catalog was restored from the same image), no currency reset, no
+        duplicate error (a WAL ``sc_state`` record legitimately overwrites
+        the checkpoint's older snapshot of the same constraint), and no
+        durability logging.
+        """
+        self._constraints[constraint.name] = constraint
+        if policy is not None:
+            self._policies[constraint.name] = policy
+        if currency is not None:
+            self._currency[constraint.name] = currency
+        elif constraint.name not in self._currency:
+            self.refresh_currency(constraint, self.database)
+        return constraint
+
+    def _log_durable(self, constraint: SoftConstraint) -> None:
+        """Snapshot one constraint's full state to the WAL (if attached).
+
+        Called after every lifecycle or statement mutation so recovery can
+        install the latest snapshot verbatim — and, because the record is
+        tagged with the current transaction, an SC mutation triggered by a
+        rolled-back (or crashed-out) statement vanishes with it.
+        """
+        durability = getattr(self.database, "durability", None)
+        if durability is not None:
+            durability.log_soft_constraint(
+                constraint,
+                self._policies.get(constraint.name),
+                self._currency.get(constraint.name),
+            )
 
     def get(self, name: str) -> SoftConstraint:
         try:
@@ -122,6 +163,7 @@ class SoftConstraintRegistry:
             self.refresh_currency(constraint, self.database)
         if constraint.state is not SCState.ACTIVE:
             constraint.transition(SCState.ACTIVE)
+        self._log_durable(constraint)
         return constraint
 
     def overturn(self, constraint: SoftConstraint) -> None:
@@ -137,6 +179,7 @@ class SoftConstraintRegistry:
         self.database.catalog.fire_invalidation(
             f"softconstraint-values:{constraint.name}"
         )
+        self._log_durable(constraint)
 
     def statement_changed(self, constraint: SoftConstraint) -> None:
         """A repair altered the constraint's statement (e.g. widened
@@ -146,6 +189,7 @@ class SoftConstraintRegistry:
         self.database.catalog.fire_invalidation(
             f"softconstraint-values:{constraint.name}"
         )
+        self._log_durable(constraint)
 
     def demote(self, constraint: SoftConstraint) -> None:
         """Absorb a violation into confidence: the ASC becomes an SSC.
@@ -166,6 +210,7 @@ class SoftConstraintRegistry:
         self.database.catalog.fire_invalidation(
             f"softconstraint-values:{constraint.name}"
         )
+        self._log_durable(constraint)
 
     # ------------------------------------------------------------- probation
 
@@ -174,6 +219,7 @@ class SoftConstraintRegistry:
         yet employed by the optimizer (Section 3.2)."""
         constraint = self.get(name)
         constraint.transition(SCState.PROBATION)
+        self._log_durable(constraint)
         return constraint
 
     def probation_names(self) -> List[str]:
@@ -202,7 +248,9 @@ class SoftConstraintRegistry:
         promoted = []
         for name in self.probation_names():
             if self.probation_uses.get(name, 0) >= min_uses:
-                self.get(name).transition(SCState.ACTIVE)
+                constraint = self.get(name)
+                constraint.transition(SCState.ACTIVE)
+                self._log_durable(constraint)
                 promoted.append(name)
         return promoted
 
@@ -220,6 +268,7 @@ class SoftConstraintRegistry:
         self.database.catalog.fire_invalidation(
             f"softconstraint-values:{name.lower()}"
         )
+        self._log_durable(constraint)
 
     # ------------------------------------------------------------ optimizer views
 
@@ -296,6 +345,26 @@ class SoftConstraintRegistry:
                 self.policy_for(constraint).on_violation(
                     self, constraint, violating_row
                 )
+
+    def replay_tick(self, table_name: str) -> None:
+        """Redo-replay's stand-in for :meth:`_on_change` (recovery only).
+
+        A replayed row change must advance the same staleness counters a
+        live change would — ``updates_since_verified`` and the currency
+        model — or recovered currency drifts from a never-crashed run.
+        Violation handling is deliberately absent: its outcome is already
+        in the log as ``sc_state`` snapshots, which replay installs
+        verbatim right after this tick.
+        """
+        for constraint in list(self._constraints.values()):
+            if constraint.state not in (SCState.ACTIVE, SCState.PROBATION):
+                continue
+            if not constraint.affected_by(table_name):
+                continue
+            constraint.updates_since_verified += 1
+            model = self._currency.get(constraint.name)
+            if model is not None:
+                model.record_update()
 
     def _synchronous_check(
         self, constraint: SoftConstraint, event: ChangeEvent

@@ -103,6 +103,10 @@ class TableStats:
         self.columns = columns
         self.virtual: Dict[str, VirtualColumnStats] = {}
         self.epoch = epoch
+        # Raised when the table's physical layout changed under these
+        # stats (e.g. an index rebuild); RUNSTATS clears it by replacing
+        # the whole object.
+        self.stale = False
 
     def column(self, name: str) -> Optional[ColumnStats]:
         return self.columns.get(name.lower())

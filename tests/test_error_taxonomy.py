@@ -23,6 +23,7 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: Packages whose raise sites must use the typed hierarchy.
 SCOPED = (
+    "durability",
     "engine",
     "executor",
     "expr",
