@@ -71,11 +71,49 @@ def _entry_keys(name: str, entry: dict) -> Tuple[str, str, float]:
     return "", "", HARD_FLOOR
 
 
+def _check_corpus(corpus: dict) -> List[str]:
+    """Gate a corpus-classification section (``BENCH_e15.json``).
+
+    The corpus contract is absolute: zero REGRESSION statuses, zero
+    ERROR/FAIL statuses, zero validation mismatches against the oracle,
+    and the win rate / query count floors the file records for itself.
+    A PR that turns any NEUTRAL into a REGRESSION therefore fails here.
+    """
+    failures: List[str] = []
+    if corpus.get("regressions", 0):
+        failures.append(
+            f"corpus: {corpus['regressions']} REGRESSION statuses "
+            f"(the corpus contract allows none)"
+        )
+    if corpus.get("errors", 0):
+        failures.append(f"corpus: {corpus['errors']} ERROR/FAIL statuses")
+    if corpus.get("validation_mismatches", 0):
+        failures.append(
+            f"corpus: {corpus['validation_mismatches']} validation "
+            f"mismatches vs the oracle executor"
+        )
+    min_queries = corpus.get("min_queries")
+    if min_queries is not None and corpus.get("queries", 0) < min_queries:
+        failures.append(
+            f"corpus: only {corpus.get('queries', 0)} queries classified "
+            f"(floor {min_queries})"
+        )
+    floor = corpus.get("min_win_rate")
+    if floor is not None and corpus.get("win_rate", 0.0) < floor:
+        failures.append(
+            f"corpus: win rate {corpus.get('win_rate', 0.0)} below the "
+            f"recorded {floor} floor"
+        )
+    return failures
+
+
 def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
     """Return a list of human-readable regression descriptions (empty = ok)."""
     path = Path(path)
     payload = json.loads(path.read_text())
     failures: List[str] = []
+    if isinstance(payload.get("corpus"), dict):
+        failures.extend(_check_corpus(payload["corpus"]))
     for entry in payload.get("pipelines", []):
         name = entry.get("name", "?")
         baseline_key, candidate_key, headline_floor = _entry_keys(
@@ -129,6 +167,14 @@ def check_all_regressions(directory: Path = BENCH_DIR) -> List[str]:
 def _speedups(path: Path) -> List[str]:
     payload = json.loads(path.read_text())
     lines = []
+    corpus = payload.get("corpus")
+    if isinstance(corpus, dict):
+        lines.append(
+            f"ok: {path.name} corpus {corpus.get('queries', 0)} queries, "
+            f"win rate {corpus.get('win_rate', 0.0)}, "
+            f"{corpus.get('regressions', 0)} regressions, "
+            f"{corpus.get('validation_mismatches', 0)} mismatches"
+        )
     for entry in payload.get("pipelines", []):
         baseline_key, candidate_key, _ = _entry_keys(path.name, entry)
         baseline_s = entry.get(baseline_key)

@@ -1,0 +1,28 @@
+"""The TPC-style corpus and its WIN/REGRESSION classification harness.
+
+``repro.corpus`` is the standing correctness-and-quality instrument of
+the repository: a 100+ query corpus generated over the TPC-flavored
+warehouse (:mod:`repro.workload.tpc`), executed under SC-on vs SC-off
+(and cached vs uncached) configurations, validated per query against the
+row-at-a-time interpreted oracle, and classified per the
+WIN/IMPROVED/NEUTRAL/REGRESSION contract of
+:mod:`repro.harness.classify`.  ``benchmarks/bench_e15_corpus.py`` runs
+it end to end and records ``BENCH_e15.json`` for the CI regression gate.
+"""
+
+from repro.corpus.generator import (
+    CorpusGenerator,
+    CorpusQuery,
+    corpus_text,
+    generate_corpus,
+)
+from repro.corpus.runner import CorpusRunner, run_corpus
+
+__all__ = [
+    "CorpusGenerator",
+    "CorpusQuery",
+    "CorpusRunner",
+    "corpus_text",
+    "generate_corpus",
+    "run_corpus",
+]

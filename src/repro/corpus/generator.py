@@ -1,0 +1,399 @@
+"""The TPC-style query corpus: 100+ generated queries over the warehouse.
+
+Queries are emitted from family templates with constants sampled through
+a seeded :class:`~repro.workload.datagen.DataGenerator`, so the corpus
+text is a pure function of the seed (held by the determinism property
+tests).  Families cover the dialect the engine speaks — selections
+(point, range, IN, LIKE, IS NULL), multi-way joins in *both* syntaxes
+(comma-WHERE and explicit JOIN ... ON), group-bys with HAVING, DISTINCT,
+and ORDER BY / LIMIT top-k — and deliberately split into
+
+* queries the planted characterizations should accelerate (ship-lag and
+  charge-band predicate introduction, min/max abbreviation, habit-join
+  elimination), and
+* broad-coverage queries expected to be NEUTRAL, which is what makes the
+  zero-REGRESSION gate meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.workload.datagen import DataGenerator
+from repro.workload.schemas import YEAR_START
+from repro.workload.tpc import (
+    CATEGORIES,
+    DATE_DAYS,
+    PRICE_HIGH,
+    PRICE_LOW,
+    PRIORITIES,
+    QUANTITY_HIGH,
+    SEGMENTS,
+    TOTAL_HIGH,
+    TOTAL_LOW,
+)
+
+
+@dataclass(frozen=True)
+class CorpusQuery:
+    """One generated corpus query."""
+
+    query_id: str
+    family: str
+    sql: str
+
+
+class CorpusGenerator:
+    """Deterministic corpus emission for one seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.generator = DataGenerator(seed)
+        self.seed = seed
+
+    # -- sampled constants ---------------------------------------------------
+
+    def _day(self, margin: int = 40) -> int:
+        """A day comfortably inside the populated two-year span."""
+        return YEAR_START + self.generator.integer(
+            margin, DATE_DAYS - margin
+        )
+
+    def _total(self) -> float:
+        return round(
+            self.generator.uniform(TOTAL_LOW + 500, TOTAL_HIGH - 500), 2
+        )
+
+    def _price_band(self, width_low: float, width_high: float):
+        width = self.generator.uniform(width_low, width_high)
+        low = self.generator.uniform(
+            PRICE_LOW, PRICE_HIGH - width_high - 1.0
+        )
+        return round(low, 2), round(low + width, 2)
+
+    # -- families ------------------------------------------------------------
+
+    def generate(self) -> List[CorpusQuery]:
+        """The full corpus, in a stable order with stable ids."""
+        queries: List[CorpusQuery] = []
+
+        def emit(family: str, sqls: Iterable[str]) -> None:
+            for sql in sqls:
+                queries.append(
+                    CorpusQuery(f"q{len(queries) + 1:03d}", family, sql)
+                )
+
+        emit("sel_shipdate", self._ship_date_selections())
+        emit("sel_charge", self._charge_band_selections())
+        emit("sel_bounds", self._out_of_bounds_selections())
+        emit("sel_misc", self._misc_selections())
+        emit("join_habit", self._habit_joins())
+        emit("join_multi", self._multiway_joins())
+        emit("aggregate", self._aggregates())
+        emit("topk", self._topk())
+        emit("distinct", self._distinct())
+        return queries
+
+    def _ship_date_selections(self) -> List[str]:
+        """Constrain ship_date only; the ship-lag ASC opens the
+        order_date index."""
+        sqls = []
+        for _ in range(10):
+            day = self._day()
+            width = self.generator.choice([3, 7, 10, 14])
+            sqls.append(
+                f"SELECT id, total FROM orders "
+                f"WHERE ship_date BETWEEN {day} AND {day + width}"
+            )
+        for _ in range(4):
+            day = self._day()
+            sqls.append(
+                f"SELECT id, customer_id, total FROM orders "
+                f"WHERE ship_date = {day}"
+            )
+        for _ in range(4):
+            day = self._day()
+            total = self._total()
+            sqls.append(
+                f"SELECT id, total FROM orders "
+                f"WHERE ship_date BETWEEN {day} AND {day + 12} "
+                f"AND total > {total}"
+            )
+        return sqls
+
+    def _charge_band_selections(self) -> List[str]:
+        """Constrain price only; the charge-band ASC opens the charge
+        index (the lineitem heap is clustered on charge)."""
+        sqls = []
+        for _ in range(9):
+            low, high = self._price_band(25.0, 70.0)
+            sqls.append(
+                f"SELECT id, quantity, price FROM lineitem "
+                f"WHERE price BETWEEN {low} AND {high}"
+            )
+        for _ in range(5):
+            low, high = self._price_band(15.0, 40.0)
+            quantity = self.generator.integer(5, 40)
+            sqls.append(
+                f"SELECT id, price FROM lineitem "
+                f"WHERE price BETWEEN {low} AND {high} "
+                f"AND quantity >= {quantity}"
+            )
+        return sqls
+
+    def _out_of_bounds_selections(self) -> List[str]:
+        """Ranges outside the registered min/max bounds abbreviate to
+        constant-FALSE scans (and exercise zero_row_unverified)."""
+        beyond_total = round(TOTAL_HIGH + 500.0, 1)
+        return [
+            f"SELECT id FROM orders WHERE total > {TOTAL_HIGH + 1.0}",
+            f"SELECT id FROM orders WHERE total < {TOTAL_LOW}",
+            f"SELECT id, total FROM orders "
+            f"WHERE total BETWEEN {beyond_total} AND {beyond_total + 400.0}",
+            f"SELECT id FROM lineitem WHERE quantity > {QUANTITY_HIGH}",
+            "SELECT id FROM lineitem WHERE quantity < 1",
+            f"SELECT count(*) AS n FROM orders WHERE total > {TOTAL_HIGH + 1.0}",
+            f"SELECT id FROM orders WHERE total > {beyond_total} "
+            f"AND priority = 1",
+            f"SELECT sum(price) AS s FROM lineitem "
+            f"WHERE quantity > {QUANTITY_HIGH + 5}",
+        ]
+
+    def _misc_selections(self) -> List[str]:
+        """Broad dialect coverage with no characterization to exploit —
+        the NEUTRAL ballast of the corpus."""
+        sqls = []
+        for _ in range(3):
+            segment = self.generator.integer(0, SEGMENTS - 1)
+            sqls.append(
+                f"SELECT id, name FROM customer WHERE segment = {segment}"
+            )
+        picks = sorted(
+            {self.generator.integer(0, CATEGORIES - 1) for _ in range(3)}
+        )
+        sqls.append(
+            "SELECT id, category FROM part "
+            f"WHERE category IN ({', '.join(map(str, picks))})"
+        )
+        sqls.extend(
+            [
+                "SELECT id, name FROM customer WHERE name LIKE 'cust00%'",
+                "SELECT id FROM customer WHERE balance IS NULL",
+                "SELECT id, balance FROM customer "
+                "WHERE balance IS NOT NULL AND balance < 0.0",
+                "SELECT id FROM supplier WHERE rating >= 3",
+                "SELECT id, size FROM part WHERE size BETWEEN 10 AND 20",
+                "SELECT id FROM lineitem "
+                "WHERE discount > 0.05 AND quantity < 10",
+                "SELECT id, priority FROM orders "
+                "WHERE priority <> 0 AND customer_id < 50",
+                "SELECT id FROM part WHERE NOT (category = 0) AND size > 45",
+            ]
+        )
+        for _ in range(3):
+            day = self._day()
+            sqls.append(
+                f"SELECT id, ship_date FROM orders "
+                f"WHERE order_date BETWEEN {day} AND {day + 10}"
+            )
+        return sqls
+
+    def _habit_joins(self) -> List[str]:
+        """Dimensions joined out of habit: only fact columns are used, so
+        the informational FKs let join elimination drop the dimension.
+        Every shape is emitted in both join syntaxes."""
+        sqls = []
+        for _ in range(3):
+            total = self._total()
+            sqls.append(
+                "SELECT o.id, o.total FROM orders o, customer c "
+                f"WHERE o.customer_id = c.id AND o.total > {total}"
+            )
+            sqls.append(
+                "SELECT o.id, o.total FROM orders o "
+                "JOIN customer c ON o.customer_id = c.id "
+                f"WHERE o.total > {total}"
+            )
+        for _ in range(2):
+            quantity = self.generator.integer(30, 45)
+            sqls.append(
+                "SELECT sum(l.price) AS s FROM lineitem l, part p "
+                f"WHERE l.part_id = p.id AND l.quantity > {quantity}"
+            )
+            sqls.append(
+                "SELECT sum(l.price) AS s FROM lineitem l "
+                "INNER JOIN part p ON l.part_id = p.id "
+                f"WHERE l.quantity > {quantity}"
+            )
+        day = self._day()
+        sqls.append(
+            "SELECT o.id, o.total FROM orders o, customer c "
+            f"WHERE o.customer_id = c.id AND o.ship_date BETWEEN {day} "
+            f"AND {day + 14}"
+        )
+        sqls.append(
+            "SELECT o.id, o.total FROM orders o "
+            "JOIN customer c ON o.customer_id = c.id "
+            f"WHERE o.ship_date BETWEEN {day} AND {day + 14}"
+        )
+        return sqls
+
+    def _multiway_joins(self) -> List[str]:
+        """Joins whose dimension columns are genuinely used (no
+        elimination), two- to four-way, in both syntaxes."""
+        sqls = []
+        for _ in range(2):
+            day = self._day()
+            sqls.append(
+                "SELECT c.segment, sum(o.total) AS revenue "
+                "FROM orders o, customer c "
+                f"WHERE o.customer_id = c.id AND o.ship_date BETWEEN {day} "
+                f"AND {day + 20} GROUP BY c.segment"
+            )
+            sqls.append(
+                "SELECT c.segment, sum(o.total) AS revenue "
+                "FROM orders o JOIN customer c ON o.customer_id = c.id "
+                f"WHERE o.ship_date BETWEEN {day} AND {day + 20} "
+                "GROUP BY c.segment"
+            )
+        for _ in range(2):
+            category = self.generator.integer(0, CATEGORIES - 1)
+            sqls.append(
+                "SELECT p.category, count(*) AS n "
+                "FROM lineitem l, part p "
+                f"WHERE l.part_id = p.id AND p.category = {category} "
+                "GROUP BY p.category"
+            )
+        quantity = self.generator.integer(20, 40)
+        sqls.append(
+            "SELECT s.rating, sum(l.price) AS total_price "
+            "FROM lineitem l JOIN supplier s ON l.supplier_id = s.id "
+            f"WHERE l.quantity > {quantity} GROUP BY s.rating"
+        )
+        day = self._day()
+        sqls.append(
+            "SELECT c.segment, count(*) AS n "
+            "FROM lineitem l, orders o, customer c "
+            "WHERE l.order_id = o.id AND o.customer_id = c.id "
+            f"AND o.ship_date BETWEEN {day} AND {day + 10} "
+            "GROUP BY c.segment"
+        )
+        sqls.append(
+            "SELECT c.segment, count(*) AS n "
+            "FROM lineitem l "
+            "JOIN orders o ON l.order_id = o.id "
+            "JOIN customer c ON o.customer_id = c.id "
+            f"WHERE o.ship_date BETWEEN {day} AND {day + 10} "
+            "GROUP BY c.segment"
+        )
+        category = self.generator.integer(0, CATEGORIES - 1)
+        sqls.append(
+            "SELECT s.nation_id, p.category, sum(l.price) AS revenue "
+            "FROM lineitem l "
+            "JOIN part p ON l.part_id = p.id "
+            "JOIN supplier s ON l.supplier_id = s.id "
+            f"WHERE p.category = {category} "
+            "GROUP BY s.nation_id, p.category"
+        )
+        sqls.append(
+            "SELECT p.category, avg(o.total) AS avg_total "
+            "FROM lineitem l, part p, orders o "
+            "WHERE l.part_id = p.id AND l.order_id = o.id "
+            "AND l.discount > 0.08 GROUP BY p.category"
+        )
+        return sqls
+
+    def _aggregates(self) -> List[str]:
+        sqls = []
+        for _ in range(3):
+            day = self._day()
+            sqls.append(
+                "SELECT priority, count(*) AS n, avg(total) AS avg_total "
+                f"FROM orders WHERE ship_date BETWEEN {day} AND {day + 25} "
+                "GROUP BY priority"
+            )
+        for _ in range(2):
+            low, high = self._price_band(60.0, 120.0)
+            sqls.append(
+                "SELECT quantity, sum(charge) AS total_charge "
+                f"FROM lineitem WHERE price BETWEEN {low} AND {high} "
+                "GROUP BY quantity"
+            )
+        sqls.extend(
+            [
+                "SELECT segment, count(*) AS n, min(balance) AS lo, "
+                "max(balance) AS hi FROM customer GROUP BY segment",
+                "SELECT nation_id, count(*) AS n FROM supplier "
+                "GROUP BY nation_id HAVING count(*) > 1",
+                "SELECT category, avg(retail_price) AS avg_price "
+                "FROM part GROUP BY category "
+                "HAVING avg(retail_price) > 300.0",
+                "SELECT count(*) AS n, sum(total) AS s, avg(total) AS a "
+                "FROM orders",
+                "SELECT count(distinct priority) AS priorities FROM orders",
+                "SELECT max(charge) AS worst FROM lineitem "
+                "WHERE quantity = 25",
+            ]
+        )
+        for _ in range(3):
+            priority = self.generator.integer(0, PRIORITIES - 1)
+            sqls.append(
+                "SELECT customer_id, count(*) AS n FROM orders "
+                f"WHERE priority = {priority} GROUP BY customer_id "
+                "HAVING count(*) >= 3"
+            )
+        return sqls
+
+    def _topk(self) -> List[str]:
+        sqls = []
+        for _ in range(3):
+            day = self._day()
+            limit = self.generator.choice([5, 10, 20])
+            sqls.append(
+                f"SELECT id, total FROM orders "
+                f"WHERE ship_date BETWEEN {day} AND {day + 15} "
+                f"ORDER BY total DESC LIMIT {limit}"
+            )
+        for _ in range(2):
+            low, high = self._price_band(40.0, 90.0)
+            sqls.append(
+                f"SELECT id, price, charge FROM lineitem "
+                f"WHERE price BETWEEN {low} AND {high} "
+                f"ORDER BY charge DESC, id ASC LIMIT 15"
+            )
+        sqls.extend(
+            [
+                "SELECT id, balance FROM customer "
+                "WHERE balance IS NOT NULL ORDER BY balance ASC LIMIT 10",
+                "SELECT id, retail_price FROM part "
+                "ORDER BY retail_price DESC, id ASC LIMIT 8",
+                "SELECT o.id, o.total FROM orders o, customer c "
+                "WHERE o.customer_id = c.id "
+                "ORDER BY o.total DESC, o.id ASC LIMIT 12",
+            ]
+        )
+        return sqls
+
+    def _distinct(self) -> List[str]:
+        return [
+            "SELECT DISTINCT segment FROM customer",
+            "SELECT DISTINCT priority FROM orders WHERE total > 5000.0",
+            "SELECT DISTINCT category, size FROM part WHERE size > 40",
+            "SELECT DISTINCT nation_id FROM supplier WHERE rating >= 2",
+            "SELECT DISTINCT c.segment FROM orders o "
+            "JOIN customer c ON o.customer_id = c.id "
+            "WHERE o.priority = 0",
+            "SELECT DISTINCT quantity FROM lineitem WHERE discount < 0.01",
+        ]
+
+
+def generate_corpus(seed: int = 0) -> List[CorpusQuery]:
+    """The corpus for one seed (stable ids ``q001..``)."""
+    return CorpusGenerator(seed).generate()
+
+
+def corpus_text(queries: Iterable[CorpusQuery]) -> str:
+    """Canonical one-query-per-line rendering (determinism fingerprint)."""
+    return "\n".join(
+        f"{query.query_id} [{query.family}] {query.sql}" for query in queries
+    )

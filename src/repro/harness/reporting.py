@@ -1,8 +1,10 @@
-"""Plain-text table formatting for benchmark reports."""
+"""Plain-text table formatting for benchmark and corpus reports."""
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, Dict, List, Sequence
+
+from repro.harness.classify import QueryOutcome
 
 
 def format_table(
@@ -36,3 +38,56 @@ def _cell(value: Any) -> str:
             return f"{value:.1f}"
         return f"{value:.3g}" if abs(value) < 0.01 or abs(value) >= 1e6 else f"{value:.2f}"
     return str(value)
+
+
+def format_outcomes(
+    outcomes: Sequence[QueryOutcome],
+    title: str = "",
+    statuses: Sequence[str] = (),
+) -> str:
+    """The per-query classification table (optionally status-filtered)."""
+    rows = []
+    for outcome in outcomes:
+        if statuses and outcome.status not in statuses:
+            continue
+        validation = (
+            "-" if outcome.validation is None
+            else outcome.validation.confidence
+            + ("" if outcome.validation.ok else " MISMATCH")
+        )
+        rows.append(
+            [
+                outcome.query_id,
+                outcome.family,
+                outcome.status
+                + (" (ceiling)" if outcome.ceiling_bounded else ""),
+                outcome.speedup,
+                "-" if outcome.page_ratio is None else outcome.page_ratio,
+                "-" if outcome.wall_ratio is None else outcome.wall_ratio,
+                validation,
+            ]
+        )
+    return format_table(
+        ["query", "family", "status", "speedup x", "pages x", "wall x",
+         "validation"],
+        rows,
+        title=title,
+    )
+
+
+def format_corpus_summary(summary: Dict[str, Any], title: str = "") -> str:
+    """The aggregate classification summary as a metric/value table.
+
+    Nested dictionaries (status counts, per-status worst q-error,
+    confidence counts) are flattened to dotted metric names.
+    """
+    rows: List[List[Any]] = []
+    for key, value in summary.items():
+        if isinstance(value, dict):
+            for inner_key, inner_value in value.items():
+                rows.append([f"{key}.{inner_key}", inner_value])
+        elif isinstance(value, list):
+            rows.append([key, ", ".join(map(str, value)) or "-"])
+        else:
+            rows.append([key, "-" if value is None else value])
+    return format_table(["metric", "value"], rows, title=title)

@@ -1,4 +1,10 @@
-"""Measurement helpers shared by the benchmark suite."""
+"""Measurement helpers shared by the benchmark suite.
+
+Classification of A/B measurements (WIN/REGRESSION statuses, validation
+confidence, measured-vs-ceiling segregation) lives in
+:mod:`repro.harness.classify`; this module supplies the raw measurements
+those statuses are computed from.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +12,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.api import SoftDB
 from repro.executor.runtime import ExecutionResult, Executor
+from repro.harness.classify import normalized_row_key
 from repro.optimizer.planner import Optimizer, OptimizerConfig
 from repro.optimizer.physical import PhysicalPlan
 
@@ -90,25 +97,17 @@ def compare_optimizers(
     return enabled, disabled
 
 
-def _row_key(row: Tuple[Any, ...]) -> Tuple[Any, ...]:
-    """Sort key tolerant of None and float summation-order noise.
+#: Result-row sort key; canonical implementation is in the classify layer.
+_row_key = normalized_row_key
 
-    Floats are quantized to 12 significant digits: different plans sum in
-    different orders, and the resulting last-ulp differences are not
-    correctness violations.
+
+def all_off(**overrides: Any) -> OptimizerConfig:
+    """The SC-off baseline: every constraint-driven mechanism disabled.
+
+    ``overrides`` pass through to :class:`OptimizerConfig` (e.g.
+    ``batch_size=0, compile_expressions=False`` selects the interpreted
+    row-at-a-time oracle configuration).
     """
-    normalized = []
-    for value in row:
-        if value is None:
-            normalized.append((True, ""))
-        elif isinstance(value, float):
-            normalized.append((False, float(f"{value:.12g}")))
-        else:
-            normalized.append((False, value))
-    return tuple(normalized)
-
-
-def _all_off() -> OptimizerConfig:
     return OptimizerConfig(
         enable_branch_elimination=False,
         enable_join_elimination=False,
@@ -118,4 +117,9 @@ def _all_off() -> OptimizerConfig:
         enable_hole_trimming=False,
         enable_twinning=False,
         use_twinning_in_estimation=False,
+        **overrides,
     )
+
+
+#: Backwards-compatible alias (the pre-corpus private name).
+_all_off = all_off

@@ -22,24 +22,46 @@ def correlated_workload(
     return workload
 
 
-def star_workload() -> Workload:
-    """Fact-only aggregations that join to dimensions out of habit."""
+def star_workload(include_explicit_joins: bool = True) -> Workload:
+    """Fact-only aggregations that join to dimensions out of habit.
+
+    Every query is emitted in both join syntaxes — the legacy
+    comma-WHERE form and the explicit ``JOIN ... ON`` form — so corpus
+    consumers exercise both paths through the parser.  The explicit
+    variants carry half the frequency (the workload's feature counts
+    stay dominated by the historical shape); pass
+    ``include_explicit_joins=False`` for the legacy comma-only workload.
+    """
     workload = Workload()
-    workload.add(
-        "SELECT s.id, s.amount FROM sales s, customer c "
-        "WHERE s.customer_id = c.id AND s.amount > 400.0",
-        frequency=5.0,
-    )
-    workload.add(
-        "SELECT s.customer_id, sum(s.amount) AS total FROM sales s, "
-        "product p WHERE s.product_id = p.id GROUP BY s.customer_id",
-        frequency=3.0,
-    )
-    workload.add(
-        "SELECT c.segment, sum(s.amount) AS total FROM sales s, customer c "
-        "WHERE s.customer_id = c.id GROUP BY c.segment",
-        frequency=2.0,
-    )
+    shapes = [
+        (
+            "SELECT s.id, s.amount FROM sales s, customer c "
+            "WHERE s.customer_id = c.id AND s.amount > 400.0",
+            "SELECT s.id, s.amount FROM sales s "
+            "JOIN customer c ON s.customer_id = c.id "
+            "WHERE s.amount > 400.0",
+            5.0,
+        ),
+        (
+            "SELECT s.customer_id, sum(s.amount) AS total FROM sales s, "
+            "product p WHERE s.product_id = p.id GROUP BY s.customer_id",
+            "SELECT s.customer_id, sum(s.amount) AS total FROM sales s "
+            "INNER JOIN product p ON s.product_id = p.id "
+            "GROUP BY s.customer_id",
+            3.0,
+        ),
+        (
+            "SELECT c.segment, sum(s.amount) AS total FROM sales s, "
+            "customer c WHERE s.customer_id = c.id GROUP BY c.segment",
+            "SELECT c.segment, sum(s.amount) AS total FROM sales s "
+            "JOIN customer c ON s.customer_id = c.id GROUP BY c.segment",
+            2.0,
+        ),
+    ]
+    for comma_sql, explicit_sql, frequency in shapes:
+        workload.add(comma_sql, frequency=frequency)
+        if include_explicit_joins:
+            workload.add(explicit_sql, frequency=frequency / 2.0)
     return workload
 
 

@@ -1,0 +1,273 @@
+"""A TPC-H/DS-flavored scenario: fact/dimension schemas at a scale factor.
+
+The corpus harness (:mod:`repro.corpus`) needs a database that looks like
+the warehouses the paper targets — fact tables orders/lineitem over
+customer/part/supplier dimensions — with the *data characteristics* the
+soft-constraint machinery keys on planted deterministically:
+
+* **correlated date columns** — ``orders.ship_date`` falls within a fixed
+  lag window of ``orders.order_date`` (every row, so the linear SC over
+  the pair verifies as absolute and predicate introduction may fire);
+* **a correlated charge column** — ``lineitem.charge ~= TAX * price``
+  within a tight band, with the index on ``charge`` (the E1 asymmetry);
+* **skewed foreign keys** — fact rows reference dimensions Zipf-style,
+  so per-key join fan-out is far from uniform;
+* **informational foreign keys** — declared NOT ENFORCED (the loader
+  guarantees integrity), which is what lets join elimination drop a
+  dimension joined "out of habit";
+* **hard attribute bounds** — registered min/max SCs on ``orders.total``
+  and ``lineitem.quantity`` so out-of-range predicates abbreviate to
+  constant-FALSE scans.
+
+Everything is a pure function of ``(scale_factor, seed)`` via
+:class:`~repro.workload.datagen.DataGenerator`: two builds with the same
+arguments produce bit-identical tables (the determinism property tests
+hold this builder to that).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.api import SoftDB
+from repro.softcon.linear import LinearCorrelationSC
+from repro.softcon.minmax import MinMaxSC
+from repro.workload.datagen import DataGenerator
+from repro.workload.schemas import YEAR_START
+
+#: ship_date = order_date + lag, lag uniform in [0, 2 * SHIP_LAG_EPS].
+SHIP_LAG_EPS = 15
+#: charge = CHARGE_SLOPE * price + U(-CHARGE_EPS, +CHARGE_EPS).
+CHARGE_SLOPE = 1.07
+CHARGE_EPS = 2.0
+#: Hard value bounds planted (and registered as min/max SCs).
+TOTAL_LOW, TOTAL_HIGH = 1.0, 10_000.0
+QUANTITY_LOW, QUANTITY_HIGH = 1, 50
+PRICE_LOW, PRICE_HIGH = 1.0, 1000.0
+#: Two order years, day-granular, in the epoch-day calendar of E5/E6.
+DATE_DAYS = 2 * 365
+
+SEGMENTS = 5
+CATEGORIES = 10
+NATIONS = 8
+PRIORITIES = 3
+
+
+@dataclass(frozen=True)
+class TpcScale:
+    """Row counts for one scale factor (all linear in ``scale_factor``)."""
+
+    customers: int
+    parts: int
+    suppliers: int
+    orders: int
+    lineitems: int
+
+    @classmethod
+    def of(cls, scale_factor: float) -> "TpcScale":
+        if scale_factor <= 0:
+            raise ValueError(f"scale_factor must be > 0, got {scale_factor}")
+
+        def scaled(base: int, floor: int) -> int:
+            return max(floor, int(math.ceil(base * scale_factor)))
+
+        return cls(
+            customers=scaled(400, 10),
+            parts=scaled(200, 8),
+            suppliers=scaled(80, 4),
+            orders=scaled(3000, 40),
+            lineitems=scaled(9000, 120),
+        )
+
+
+def build_tpc_db(
+    scale_factor: float = 1.0,
+    seed: int = 0,
+    register_soft_constraints: bool = True,
+) -> SoftDB:
+    """Build and populate the TPC-style database (stats collected).
+
+    With ``register_soft_constraints`` the planted characterizations are
+    registered and verified (so they are ACTIVE and absolute); without,
+    the same data is available for the discovery miners to find them.
+    """
+    scale = TpcScale.of(scale_factor)
+    db = SoftDB()
+    _create_schema(db)
+    generator = DataGenerator(seed)
+    _populate(db, generator, scale)
+    db.execute("CREATE INDEX idx_orders_odate ON orders (order_date)")
+    db.execute("CREATE INDEX idx_lineitem_charge ON lineitem (charge)")
+    db.runstats_all()
+    if register_soft_constraints:
+        _register_soft_constraints(db)
+    return db
+
+
+def _create_schema(db: SoftDB) -> None:
+    db.execute(
+        "CREATE TABLE customer (id INT PRIMARY KEY, name VARCHAR(20), "
+        "segment INT, nation_id INT, balance DOUBLE)"
+    )
+    db.execute(
+        "CREATE TABLE part (id INT PRIMARY KEY, name VARCHAR(20), "
+        "category INT, size INT, retail_price DOUBLE)"
+    )
+    db.execute(
+        "CREATE TABLE supplier (id INT PRIMARY KEY, name VARCHAR(20), "
+        "nation_id INT, rating INT)"
+    )
+    db.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer_id INT NOT NULL, "
+        "order_date DATE, ship_date DATE, priority INT, total DOUBLE, "
+        "CONSTRAINT fk_orders_cust FOREIGN KEY (customer_id) "
+        "REFERENCES customer (id) NOT ENFORCED)"
+    )
+    db.execute(
+        "CREATE TABLE lineitem (id INT PRIMARY KEY, order_id INT NOT NULL, "
+        "part_id INT NOT NULL, supplier_id INT NOT NULL, quantity INT, "
+        "price DOUBLE, discount DOUBLE, charge DOUBLE, "
+        "CONSTRAINT fk_line_order FOREIGN KEY (order_id) "
+        "REFERENCES orders (id) NOT ENFORCED, "
+        "CONSTRAINT fk_line_part FOREIGN KEY (part_id) "
+        "REFERENCES part (id) NOT ENFORCED, "
+        "CONSTRAINT fk_line_supp FOREIGN KEY (supplier_id) "
+        "REFERENCES supplier (id) NOT ENFORCED)"
+    )
+
+
+def _populate(db: SoftDB, generator: DataGenerator, scale: TpcScale) -> None:
+    db.database.insert_many(
+        "customer",
+        [
+            (
+                n,
+                generator.string_code("cust", n),
+                generator.integer(0, SEGMENTS - 1),
+                generator.integer(0, NATIONS - 1),
+                # A few unknown balances exercise 3VL through the corpus.
+                None
+                if generator.bernoulli(0.02)
+                else round(generator.uniform(-500.0, 9500.0), 2),
+            )
+            for n in range(scale.customers)
+        ],
+    )
+    db.database.insert_many(
+        "part",
+        [
+            (
+                n,
+                generator.string_code("part", n),
+                generator.integer(0, CATEGORIES - 1),
+                generator.integer(1, 50),
+                round(generator.uniform(PRICE_LOW, PRICE_HIGH), 2),
+            )
+            for n in range(scale.parts)
+        ],
+    )
+    db.database.insert_many(
+        "supplier",
+        [
+            (
+                n,
+                generator.string_code("supp", n),
+                generator.integer(0, NATIONS - 1),
+                generator.integer(0, 4),
+            )
+            for n in range(scale.suppliers)
+        ],
+    )
+    order_rows = []
+    for n in range(scale.orders):
+        order_day = generator.day_in_year(YEAR_START, DATE_DAYS)
+        order_rows.append(
+            (
+                n,
+                generator.skewed_category(scale.customers),
+                order_day,
+                order_day + generator.integer(0, 2 * SHIP_LAG_EPS),
+                generator.integer(0, PRIORITIES - 1),
+                round(generator.uniform(TOTAL_LOW, TOTAL_HIGH), 2),
+            )
+        )
+    # Orders arrive in date order (any real order-entry system), so the
+    # heap is clustered on order_date — the access path the introduced
+    # ship-lag range exploits.  The sort is stable, so determinism holds.
+    order_rows.sort(key=lambda row: row[2])
+    db.database.insert_many("orders", order_rows)
+    line_rows = []
+    for n in range(scale.lineitems):
+        price = round(generator.uniform(PRICE_LOW, PRICE_HIGH), 2)
+        line_rows.append(
+            (
+                n,
+                generator.integer(0, scale.orders - 1),
+                generator.skewed_category(scale.parts),
+                generator.skewed_category(scale.suppliers),
+                generator.integer(QUANTITY_LOW, QUANTITY_HIGH),
+                price,
+                round(generator.uniform(0.0, 0.1), 3),
+                round(
+                    CHARGE_SLOPE * price
+                    + generator.uniform(-CHARGE_EPS, CHARGE_EPS),
+                    3,
+                ),
+            )
+        )
+    # The lineitem heap is kept clustered on charge (the indexed column),
+    # so the ranges predicate introduction derives from the price band
+    # turn into contiguous index-range reads.  Stable sort: deterministic.
+    line_rows.sort(key=lambda row: row[7])
+    db.database.insert_many("lineitem", line_rows)
+
+
+def _register_soft_constraints(db: SoftDB) -> None:
+    """Register the planted characterizations; all verify as absolute."""
+    db.add_soft_constraint(
+        LinearCorrelationSC(
+            "sc_orders_ship_lag",
+            "orders",
+            column_a="order_date",
+            column_b="ship_date",
+            slope=1.0,
+            intercept=-float(SHIP_LAG_EPS),
+            epsilon=float(SHIP_LAG_EPS),
+        ),
+        verify_first=True,
+    )
+    db.add_soft_constraint(
+        LinearCorrelationSC(
+            "sc_lineitem_charge",
+            "lineitem",
+            column_a="charge",
+            column_b="price",
+            slope=CHARGE_SLOPE,
+            intercept=0.0,
+            # round(x, 3) may push a boundary draw just past the band.
+            epsilon=CHARGE_EPS + 1e-3,
+        ),
+        verify_first=True,
+    )
+    db.add_soft_constraint(
+        MinMaxSC("sc_orders_total", "orders", "total", TOTAL_LOW, TOTAL_HIGH),
+        verify_first=True,
+    )
+    db.add_soft_constraint(
+        MinMaxSC(
+            "sc_lineitem_qty", "lineitem", "quantity",
+            QUANTITY_LOW, QUANTITY_HIGH,
+        ),
+        verify_first=True,
+    )
+
+
+def table_snapshot(db: SoftDB) -> Dict[str, List[tuple]]:
+    """Every table's rows, in heap order — the determinism fingerprint."""
+    snapshot: Dict[str, List[tuple]] = {}
+    for name in db.database.catalog.table_names():
+        table = db.database.table(name)
+        snapshot[name] = [tuple(row) for row in table.scan_rows()]
+    return snapshot

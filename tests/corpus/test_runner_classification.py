@@ -1,0 +1,164 @@
+"""The corpus runner's classification protocol on a small warehouse.
+
+Covers the routing table (structural -> FAIL, runtime -> ERROR), the
+measured path (WIN with oracle validation), and guard truncation
+(ceiling tagging + exclusion from measured aggregates).
+"""
+
+import pytest
+
+from repro.corpus.generator import CorpusQuery
+from repro.corpus.runner import CorpusRunner, run_corpus
+from repro.harness.classify import (
+    BOTH_TIMEOUT,
+    CONFIDENCE_HIGH,
+    CONFIDENCE_ZERO_ROW,
+    ERROR,
+    FAIL,
+    MEASURED,
+    NEUTRAL,
+    VS_TIMEOUT_CEILING,
+    WIN,
+    summarize,
+)
+from repro.resilience.guards import QueryGuard
+from repro.workload.schemas import YEAR_START
+from repro.workload.tpc import TOTAL_HIGH, build_tpc_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_tpc_db(scale_factor=0.3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def runner(db):
+    return CorpusRunner(db)
+
+
+def _query(sql, query_id="qx", family="test"):
+    return CorpusQuery(query_id, family, sql)
+
+
+SHIP_RANGE_SQL = (
+    f"SELECT id FROM orders "
+    f"WHERE ship_date BETWEEN {YEAR_START + 100} AND {YEAR_START + 110}"
+)
+
+
+class TestFailRouting:
+    def test_parse_error_is_fail(self, runner):
+        outcome = runner.run_query(_query("SELECT FROM"))
+        assert outcome.status == FAIL
+        assert "ParseError" in outcome.error
+
+    def test_unknown_table_is_fail(self, runner):
+        outcome = runner.run_query(_query("SELECT x FROM no_such_table"))
+        assert outcome.status == FAIL
+        assert "no_such_table" in outcome.error
+
+    def test_fail_carries_no_measurements(self, runner):
+        outcome = runner.run_query(_query("SELECT FROM"))
+        assert outcome.page_ratio is None
+        assert outcome.validation is None
+
+
+class TestErrorRouting:
+    def test_runtime_division_by_zero_is_error(self, runner):
+        outcome = runner.run_query(
+            _query("SELECT 1 / (id - id) AS x FROM customer")
+        )
+        assert outcome.status == ERROR
+        assert "division by zero" in outcome.error
+
+
+class TestMeasuredPath:
+    def test_ship_date_range_is_a_validated_win(self, runner):
+        outcome = runner.run_query(_query(SHIP_RANGE_SQL))
+        assert outcome.status == WIN
+        assert outcome.speedup_type == MEASURED
+        assert outcome.speedup == outcome.page_ratio > 1.10
+        assert outcome.validation.confidence == CONFIDENCE_HIGH
+        assert outcome.validation.ok
+        assert outcome.qerror >= 1.0
+        assert outcome.cached_wall_ratio is not None
+
+    def test_out_of_range_predicate_is_zero_row_unverified(self, runner):
+        outcome = runner.run_query(
+            _query(
+                f"SELECT id FROM orders WHERE total > {TOTAL_HIGH * 2}"
+            )
+        )
+        assert outcome.row_count == 0
+        assert outcome.validation.confidence == CONFIDENCE_ZERO_ROW
+
+    def test_validation_switched_off(self, db):
+        runner = CorpusRunner(db, validate=False)
+        outcome = runner.run_query(_query(SHIP_RANGE_SQL))
+        assert outcome.validation is None
+        assert outcome.status == WIN
+
+    def test_wall_metric_accepted(self, db):
+        runner = CorpusRunner(db, metric="wall")
+        outcome = runner.run_query(_query(SHIP_RANGE_SQL))
+        assert outcome.speedup == outcome.wall_ratio
+
+    def test_unknown_metric_rejected(self, db):
+        with pytest.raises(ValueError):
+            CorpusRunner(db, metric="cycles")
+
+
+class TestCeilingTagging:
+    def test_baseline_truncation_tags_vs_timeout_ceiling(self, db, runner):
+        # Pick a guard ceiling between the candidate's page count and
+        # the baseline's: SC-on completes, SC-off truncates.
+        measured = runner.run_query(_query(SHIP_RANGE_SQL))
+        ceiling = (measured.candidate_pages + measured.baseline_pages) // 2
+        assert measured.candidate_pages < ceiling < measured.baseline_pages
+        guarded = CorpusRunner(
+            db, guard=QueryGuard(max_page_reads=ceiling, on_breach="partial")
+        )
+        outcome = guarded.run_query(_query(SHIP_RANGE_SQL))
+        assert outcome.speedup_type == VS_TIMEOUT_CEILING
+        assert outcome.ceiling_bounded
+        # A truncated row set is not an answer: no validation, no
+        # q-error, no cached axis.
+        assert outcome.validation is None
+        assert outcome.qerror is None
+        assert outcome.cached_wall_ratio is None
+
+    def test_both_truncated_pins_speedup_to_parity(self, db):
+        guarded = CorpusRunner(
+            db, guard=QueryGuard(max_page_reads=1, on_breach="partial")
+        )
+        outcome = guarded.run_query(
+            _query("SELECT id FROM orders WHERE total > 0.0")
+        )
+        assert outcome.speedup_type == BOTH_TIMEOUT
+        assert outcome.speedup == 1.0
+        assert outcome.status == NEUTRAL
+
+    def test_ceiling_outcomes_segregated_in_summary(self, db, runner):
+        measured = runner.run_query(_query(SHIP_RANGE_SQL))
+        ceiling = (measured.candidate_pages + measured.baseline_pages) // 2
+        guarded = CorpusRunner(
+            db, guard=QueryGuard(max_page_reads=ceiling, on_breach="partial")
+        )
+        truncated = guarded.run_query(_query(SHIP_RANGE_SQL))
+        summary = summarize([measured, truncated])
+        assert summary["measured_queries"] == 1
+        assert summary["ceiling_bounded"] == 1
+        assert summary["mean_measured_speedup"] == round(measured.speedup, 4)
+
+
+class TestRunAndSummarize:
+    def test_run_corpus_convenience(self, db):
+        queries = [
+            _query(SHIP_RANGE_SQL, "q001", "sel_shipdate"),
+            _query("SELECT count(*) AS n FROM customer", "q002", "agg"),
+        ]
+        result = run_corpus(db, queries)
+        assert len(result["outcomes"]) == 2
+        assert result["summary"]["queries"] == 2
+        assert result["summary"]["regressions"] == 0
+        assert result["summary"]["validation_mismatches"] == 0

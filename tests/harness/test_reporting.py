@@ -1,0 +1,100 @@
+"""Reporting tables: alignment, ceiling/mismatch flags, summary flattening."""
+
+from repro.harness.classify import (
+    ERROR,
+    NEUTRAL,
+    QueryOutcome,
+    VS_TIMEOUT_CEILING,
+    WIN,
+    summarize,
+    validate_rows,
+)
+from repro.harness.reporting import (
+    format_corpus_summary,
+    format_outcomes,
+    format_table,
+)
+
+
+def _outcome(query_id, status, **overrides):
+    outcome = QueryOutcome(query_id, "SELECT 1", overrides.pop("family", "fam"))
+    outcome.status = status
+    for name, value in overrides.items():
+        setattr(outcome, name, value)
+    return outcome
+
+
+class TestFormatTable:
+    def test_title_header_rule_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].split() == ["a", "bb"]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.50" in lines[3]
+
+    def test_columns_align_to_widest_cell(self):
+        text = format_table(["h"], [["short"], ["much longer cell"]])
+        header, rule, *rows = text.splitlines()
+        assert len(rule) == len("much longer cell")
+
+    def test_whole_floats_render_with_one_decimal(self):
+        assert "3.0" in format_table(["x"], [[3.0]])
+
+
+class TestFormatOutcomes:
+    def test_row_contents(self):
+        outcome = _outcome(
+            "q001", WIN, speedup=2.5, page_ratio=2.5, wall_ratio=1.7,
+            validation=validate_rows([(1,)], [(1,)]),
+        )
+        text = format_outcomes([outcome], title="corpus")
+        assert "q001" in text
+        assert "WIN" in text
+        assert "high" in text
+        assert "MISMATCH" not in text
+        assert "(ceiling)" not in text
+
+    def test_ceiling_and_mismatch_flags(self):
+        ceiling = _outcome(
+            "q002", WIN, speedup_type=VS_TIMEOUT_CEILING, speedup=40.0
+        )
+        mismatch = _outcome(
+            "q003", ERROR, validation=validate_rows([(1,)], [(2,)])
+        )
+        text = format_outcomes([ceiling, mismatch])
+        assert "WIN (ceiling)" in text
+        assert "MISMATCH" in text
+
+    def test_status_filter(self):
+        outcomes = [
+            _outcome("q001", WIN),
+            _outcome("q002", NEUTRAL),
+        ]
+        text = format_outcomes(outcomes, statuses=(WIN,))
+        assert "q001" in text
+        assert "q002" not in text
+
+    def test_missing_measurements_render_as_dash(self):
+        text = format_outcomes([_outcome("q001", ERROR)])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestFormatCorpusSummary:
+    def test_flattens_nested_dicts_to_dotted_names(self):
+        summary = summarize(
+            [_outcome("q001", WIN, speedup=1.5, qerror=2.0)]
+        )
+        text = format_corpus_summary(summary, title="summary")
+        assert text.splitlines()[0] == "summary"
+        assert "status_counts.WIN" in text
+        assert "worst_qerror_by_status.WIN" in text
+        assert "win_rate" in text
+
+    def test_lists_join_and_none_dashes(self):
+        text = format_corpus_summary(
+            {"ceiling_statuses": ["WIN", "NEUTRAL"], "empty": [],
+             "mean_measured_speedup": None}
+        )
+        assert "WIN, NEUTRAL" in text
+        assert "-" in text

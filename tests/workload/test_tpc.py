@@ -1,0 +1,139 @@
+"""The TPC-style warehouse: planted characteristics actually hold."""
+
+import pytest
+
+from repro.engine.constraints import ConstraintMode, ForeignKeyConstraint
+from repro.softcon.base import SCState
+from repro.workload.schemas import YEAR_START
+from repro.workload.tpc import (
+    CHARGE_EPS,
+    CHARGE_SLOPE,
+    DATE_DAYS,
+    QUANTITY_HIGH,
+    QUANTITY_LOW,
+    SHIP_LAG_EPS,
+    TOTAL_HIGH,
+    TOTAL_LOW,
+    TpcScale,
+    build_tpc_db,
+    table_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_tpc_db(scale_factor=0.1, seed=5)
+
+
+@pytest.fixture(scope="module")
+def snapshot(db):
+    return table_snapshot(db)
+
+
+class TestScale:
+    def test_linear_scaling(self):
+        full = TpcScale.of(1.0)
+        half = TpcScale.of(0.5)
+        assert full.orders == 3000 and full.lineitems == 9000
+        assert half.orders == 1500
+
+    def test_floors_hold_at_tiny_scale(self):
+        tiny = TpcScale.of(0.0001)
+        assert tiny.customers >= 10
+        assert tiny.lineitems >= 120
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TpcScale.of(0.0)
+
+
+class TestPlantedCharacteristics:
+    def test_ship_lag_within_window(self, snapshot):
+        for row in snapshot["orders"]:
+            order_date, ship_date = row[2], row[3]
+            assert 0 <= ship_date - order_date <= 2 * SHIP_LAG_EPS
+            assert YEAR_START <= order_date < YEAR_START + DATE_DAYS
+
+    def test_charge_tracks_price_within_band(self, snapshot):
+        for row in snapshot["lineitem"]:
+            price, charge = row[5], row[7]
+            assert abs(charge - CHARGE_SLOPE * price) <= CHARGE_EPS + 1e-3
+
+    def test_hard_bounds_hold(self, snapshot):
+        for row in snapshot["orders"]:
+            assert TOTAL_LOW <= row[5] <= TOTAL_HIGH
+        for row in snapshot["lineitem"]:
+            assert QUANTITY_LOW <= row[4] <= QUANTITY_HIGH
+
+    def test_foreign_keys_skewed_toward_low_ids(self, snapshot, db):
+        parts = len(snapshot["part"])
+        low_half = sum(
+            1 for row in snapshot["lineitem"] if row[2] < parts // 2
+        )
+        assert low_half > 0.6 * len(snapshot["lineitem"])
+
+    def test_some_customer_balances_are_null(self, snapshot):
+        assert any(row[4] is None for row in snapshot["customer"])
+
+    def test_heaps_clustered_on_indexed_columns(self, snapshot):
+        order_dates = [row[2] for row in snapshot["orders"]]
+        assert order_dates == sorted(order_dates)
+        charges = [row[7] for row in snapshot["lineitem"]]
+        assert charges == sorted(charges)
+
+
+class TestRegisteredMetadata:
+    def test_soft_constraints_active_and_absolute(self, db):
+        for name in (
+            "sc_orders_ship_lag",
+            "sc_lineitem_charge",
+            "sc_orders_total",
+            "sc_lineitem_qty",
+        ):
+            constraint = db.registry.get(name)
+            assert constraint.state is SCState.ACTIVE
+            assert constraint.is_absolute
+            assert constraint.usable_in_rewrite
+
+    def test_foreign_keys_informational(self, db):
+        fks = [
+            constraint
+            for table in ("orders", "lineitem")
+            for constraint in db.database.catalog.constraints_on(table)
+            if isinstance(constraint, ForeignKeyConstraint)
+        ]
+        assert len(fks) == 4
+        assert all(
+            fk.mode is ConstraintMode.INFORMATIONAL for fk in fks
+        )
+
+    def test_no_registration_leaves_data_only(self):
+        bare = build_tpc_db(
+            scale_factor=0.05, seed=5, register_soft_constraints=False
+        )
+        assert not list(bare.registry.all())
+
+    def test_referential_integrity_despite_not_enforced(self, snapshot):
+        customer_ids = {row[0] for row in snapshot["customer"]}
+        order_ids = {row[0] for row in snapshot["orders"]}
+        assert all(row[1] in customer_ids for row in snapshot["orders"])
+        assert all(row[1] in order_ids for row in snapshot["lineitem"])
+
+
+class TestStarWorkloadSatellite:
+    def test_both_join_syntaxes_emitted(self):
+        from repro.workload.queries import star_workload
+
+        workload = star_workload()
+        sqls = [entry.sql for entry in workload.queries]
+        assert len(sqls) == 6
+        assert sum(1 for sql in sqls if " JOIN " in sql) == 3
+        assert sum(1 for sql in sqls if " JOIN " not in sql) == 3
+
+    def test_legacy_comma_only_mode(self):
+        from repro.workload.queries import star_workload
+
+        workload = star_workload(include_explicit_joins=False)
+        sqls = [entry.sql for entry in workload.queries]
+        assert len(sqls) == 3
+        assert all(" JOIN " not in sql for sql in sqls)
