@@ -43,6 +43,7 @@ SCHEMAS: Dict[str, Tuple[str, str, float]] = {
     "BENCH_e12.json": ("interpreted_batched_s", "compiled_batched_s", 2.0),
     "BENCH_e13.json": ("static_s", "feedback_s", 1.5),
     "BENCH_e14.json": ("baseline_s", "candidate_s", 5.0),
+    "BENCH_e16.json": ("list_batched_s", "columnar_s", 5.0),
 }
 
 #: Fallback timing key pairs tried, in order, for BENCH files that are

@@ -119,6 +119,8 @@ class SoftDB:
             self.registry,
             batch_size=self.config.batch_size,
             feedback=self.feedback,
+            columnar=self.config.columnar,
+            workers=self.config.workers if self.config.workers else None,
         )
         self._constraint_sequence = 0
         self.durability = None
@@ -359,7 +361,11 @@ class SoftDB:
             f"{result.page_reads} pages read"
         )
         if self.executor.batch_size:
-            summary += f" (batched, batch_size={self.executor.batch_size})"
+            summary += (
+                f" (batched, batch_size={self.executor.batch_size}, "
+                f"columnar={'yes' if self.executor.columnar else 'no'}, "
+                f"workers={self.executor.workers})"
+            )
         if result.truncated:
             summary += " [truncated by guard]"
         if result.guard_report is not None:

@@ -5,8 +5,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import ExecutionError
+from repro.executor.vecbatch import promote
 from repro.expr.eval import evaluate
 from repro.optimizer.logical import Aggregate
+
+#: int64 folds stay exact as long as ``n * max|v|`` is well inside the
+#: dtype; anything wider falls back to Python's arbitrary-precision sum.
+_INT_FOLD_SAFE = 2**62
 
 RowDict = Dict[str, Any]
 
@@ -116,6 +121,61 @@ class AggregateState:
                 self.minimum = low
         elif function == "max":
             high = max(fresh)
+            if self.maximum is None or high > self.maximum:
+                self.maximum = high
+
+    def update_vec(self, values: Sequence[Any]) -> None:
+        """Columnar update: fold a column slice via numpy where exact.
+
+        Only folds that are bit-identical to :meth:`update_values` take
+        the numpy path: COUNT over any numeric dtype (count = rows minus
+        NULLs) and SUM/AVG/MIN/MAX over pure-int64 columns (integer sums
+        are associative, so order cannot matter).  Float sums keep the
+        list path's left-to-right association, DISTINCT needs arrival
+        order, and object-dtype columns keep the list path's exact error
+        behaviour — all of those delegate to :meth:`update_values`.
+        """
+        if self.seen is not None:
+            self.update_values(values)
+            return
+        vec = promote(values)
+        kind = vec.values.dtype.kind
+        if kind not in ("i", "f"):
+            self.update_values(values)
+            return
+        mask = vec.mask
+        fresh_count = len(vec) - (0 if mask is None else int(mask.sum()))
+        if fresh_count == 0:
+            return
+        function = self.spec.function
+        if function == "count":
+            self.count += fresh_count
+            return
+        if kind != "i":
+            # Float SUM/AVG must keep Python's sequential association
+            # (numpy's pairwise summation rounds differently); float
+            # MIN/MAX must keep Python's NaN-ordering quirks.
+            self.update_values(values)
+            return
+        array = vec.values if mask is None else vec.values[~mask]
+        if function in ("sum", "avg"):
+            bound = max(abs(int(array.min())), abs(int(array.max())))
+            if bound and fresh_count * bound >= _INT_FOLD_SAFE:
+                self.update_values(values)
+                return
+            self.count += fresh_count
+            subtotal = int(array.sum())
+            self.total = (
+                subtotal if self.total is None else self.total + subtotal
+            )
+            return
+        self.count += fresh_count
+        if function == "min":
+            low = int(array.min())
+            if self.minimum is None or low < self.minimum:
+                self.minimum = low
+        elif function == "max":
+            high = int(array.max())
             if self.maximum is None or high > self.maximum:
                 self.maximum = high
 

@@ -6,7 +6,11 @@ would use (qualified ``"t.a"`` keys from scans; bare output names after
 projection; both forms after GROUP BY).  Operators never mutate a batch's
 column lists — they build new batches — so lists may be shared freely
 between batches (e.g. a join probe output aliases the build side's
-columns instead of copying them).
+columns instead of copying them).  Producers that *know* they are about
+to share columns across batches enforce that contract mechanically with
+:meth:`RowBatch.freeze`, which swaps the lists for tuples so any
+in-place mutation of an aliased column raises instead of silently
+corrupting every batch that shares it.
 """
 
 from __future__ import annotations
@@ -102,6 +106,22 @@ class RowBatch:
     def row(self, index: int) -> RowDict:
         """One row as a dict (used for per-group carried columns)."""
         return {name: self.data[name][index] for name in self.columns}
+
+    def freeze(self) -> "RowBatch":
+        """Swap column lists for immutable tuples, in place.
+
+        Joins alias build/inner-side columns into many output batches;
+        freezing turns a would-be silent corruption (in-place ``append``
+        / ``__setitem__`` on a shared column) into an immediate
+        ``TypeError``.  Tuples support everything readers use — indexing,
+        iteration, slicing, ``* k`` tiling — so frozen batches flow
+        through every operator unchanged.  Returns ``self``.
+        """
+        data = self.data
+        for name, column in data.items():
+            if type(column) is list:
+                data[name] = tuple(column)
+        return self
 
     # -- selection ----------------------------------------------------------
 

@@ -17,11 +17,14 @@ to observe the edge's true selectivity.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.executor.batch import RowBatch
+from repro.executor.vecbatch import ColumnarBatch
 from repro.expr.eval import evaluate, evaluate_batch
+from repro.expr.vector import VectorFallback, compile_vector
 from repro.optimizer.physical import HashJoin, NestedLoopJoin
+from repro.sql import ast
 
 RowDict = Dict[str, Any]
 RowIterator = Iterator[RowDict]
@@ -201,6 +204,11 @@ def run_nested_loop_join_batched(
     try:
         if inner is None or len(inner) == 0:
             return
+        # The inner columns below are aliased into every output chunk
+        # (``column * 1`` shares the object); freeze them so an in-place
+        # mutation anywhere downstream fails loudly instead of
+        # corrupting other chunks.
+        inner.freeze()
         m = len(inner)
         # Keep output chunks near batch_size rows without splitting inner runs.
         outer_chunk = max(1, batch_size // m)
@@ -235,12 +243,43 @@ def run_nested_loop_join_batched(
             node.actual_pairs = pairs
 
 
+def _key_columns(
+    exprs: Sequence[ast.Expression],
+    compiled: Optional[Sequence[Tuple[Any, Any]]],
+    batch: RowBatch,
+    columnar: bool,
+) -> List[List[Any]]:
+    """Evaluate join key expressions over a batch.
+
+    With ``columnar`` on, *computed* keys (anything but a plain column
+    reference, whose list the compiled closure already returns with zero
+    copying) are extracted through the vector kernels and materialized
+    back to Python values; a :class:`VectorFallback` on any key reverts
+    the whole batch to the list closures for exact error parity.
+    """
+    if columnar and any(
+        not isinstance(expr, ast.ColumnRef) for expr in exprs
+    ):
+        columnar_batch = ColumnarBatch.from_row_batch(batch)
+        try:
+            return [
+                compile_vector(expr)(columnar_batch).to_list()
+                for expr in exprs
+            ]
+        except VectorFallback:
+            pass
+    if compiled is not None:
+        return [pair[1](batch) for pair in compiled]
+    return [evaluate_batch(expr, batch) for expr in exprs]
+
+
 def run_hash_join_batched(
     node: HashJoin,
     run_child: BatchRunner,
     batch_size: int,
     count_pairs: bool = False,
     guard: Any = None,
+    columnar: bool = False,
 ) -> Iterator[RowBatch]:
     """Batched hash join: keys evaluated per batch, matches gathered.
 
@@ -254,14 +293,12 @@ def run_hash_join_batched(
         guard.note_rows(0 if build_side is None else len(build_side))
     build: Dict[Tuple[Any, ...], List[int]] = {}
     if build_side is not None and len(build_side):
-        if node.compiled_right_keys is not None:
-            key_columns = [
-                pair[1](build_side) for pair in node.compiled_right_keys
-            ]
-        else:
-            key_columns = [
-                evaluate_batch(expr, build_side) for expr in node.right_keys
-            ]
+        # Build columns are gathered into every output batch; freeze
+        # them so aliased in-place mutation fails loudly (see RowBatch).
+        build_side.freeze()
+        key_columns = _key_columns(
+            node.right_keys, node.compiled_right_keys, build_side, columnar
+        )
         for i in range(len(build_side)):
             key = tuple(column[i] for column in key_columns)
             if any(part is None for part in key):
@@ -272,14 +309,9 @@ def run_hash_join_batched(
         if not build:
             return  # empty build side: skip scanning the probe input entirely
         for left in run_child(node.left):
-            if node.compiled_left_keys is not None:
-                key_columns = [
-                    pair[1](left) for pair in node.compiled_left_keys
-                ]
-            else:
-                key_columns = [
-                    evaluate_batch(expr, left) for expr in node.left_keys
-                ]
+            key_columns = _key_columns(
+                node.left_keys, node.compiled_left_keys, left, columnar
+            )
             probe_idx: List[int] = []
             build_idx: List[int] = []
             for i in range(len(left)):

@@ -9,6 +9,7 @@ with ``batch_size=0`` and used as the differential-testing oracle.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.database import Database
@@ -39,6 +40,19 @@ from repro.optimizer.physical import (
 )
 
 RowDict = Dict[str, Any]
+
+
+def default_workers() -> int:
+    """Scan-morsel worker count from ``REPRO_WORKERS`` (default 1).
+
+    ``1`` means strictly sequential scans; anything larger enables the
+    morsel-parallel seq-scan path for observation-free scans (see
+    :func:`repro.executor.scans.run_seq_scan_columnar`).
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 class ExecutionResult:
@@ -130,11 +144,15 @@ class Executor:
         registry: Optional[Any] = None,
         batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
         feedback: Optional[Any] = None,
+        columnar: bool = True,
+        workers: Optional[int] = None,
     ) -> None:
         self.database = database
         self.registry = registry
         self.batch_size = batch_size
         self.feedback = feedback
+        self.columnar = columnar
+        self.workers = default_workers() if workers is None else workers
 
     def execute(
         self,
@@ -144,6 +162,8 @@ class Executor:
         collect_feedback: Optional[bool] = None,
         guard: Optional[Any] = None,
         cancel: Optional[Any] = None,
+        columnar: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> ExecutionResult:
         """Run a plan.  With ``instrument``, every operator's actual output
         row count is recorded on the node (``actual_rows``; batched runs
@@ -162,7 +182,12 @@ class Executor:
         ``"partial"`` policy — returns the rows produced so far with
         ``truncated=True``.  Feedback is harvested only from successful,
         untruncated executions, so partial operator counters never pollute
-        the store."""
+        the store.
+
+        ``columnar`` / ``workers`` override the executor's defaults for
+        this one execution (batched path only): ``columnar=False``
+        selects the list-based batch kernels, ``workers>1`` enables
+        morsel-parallel seq scans for observation-free executions."""
         self._guard_freshness(plan)
         collect = (
             self.feedback is not None
@@ -178,6 +203,8 @@ class Executor:
             instrument = True
         active = self._arm(guard, cancel)
         size = self.batch_size if batch_size is None else batch_size
+        use_columnar = self.columnar if columnar is None else columnar
+        use_workers = self.workers if workers is None else workers
         before_reads = self.database.counters.page_reads
         before_rows = self.database.counters.rows_read
         truncated = False
@@ -190,6 +217,8 @@ class Executor:
                     instrument=instrument,
                     collect=collect,
                     guard=active,
+                    columnar=use_columnar,
+                    workers=use_workers,
                 )
                 if active is None:
                     rows = interpreter.rows(plan.root)

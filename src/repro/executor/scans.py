@@ -18,15 +18,40 @@ work.
 from __future__ import annotations
 
 import itertools
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.database import Database
 from repro.executor.batch import RowBatch
+from repro.executor.vecbatch import ColumnarBatch
 from repro.expr.eval import evaluate, evaluate_batch
+from repro.expr.vector import VectorFallback, compile_vector, filter_indices
 from repro.optimizer.physical import IndexScan, SeqScan
 from repro.sql import ast
 
 RowDict = Dict[str, Any]
+
+
+class ScanQuota:
+    """A shared upper bound on rows still needed from upstream.
+
+    Created by ``LIMIT`` and threaded down through the streaming,
+    at-most-one-output-per-input operators (filter/project/extend/
+    distinct/union) to the scans, which then never fetch more than
+    ``remaining`` rows per chunk.  Because every operator on the way up
+    emits at most one row per fetched row, a scan that fetches
+    ``min(batch_size, remaining)`` can never overshoot the row-at-a-time
+    pipeline's stopping point — page-read and row-read accounting under
+    LIMIT is therefore bit-identical to the oracle.  Blocking operators
+    (sorts, joins, grouping) do not forward the quota: they materialize
+    their input fully in both pipelines, so there is nothing to clamp.
+    """
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, remaining: int) -> None:
+        self.remaining = remaining
 
 
 def qualified_row(
@@ -206,6 +231,7 @@ def run_seq_scan_batched(
     batch_size: int,
     count_input: bool = False,
     guard: Any = None,
+    quota: Optional[ScanQuota] = None,
 ) -> Iterator[RowBatch]:
     table = database.table(node.table_name)
     names = tuple(
@@ -214,8 +240,9 @@ def run_seq_scan_batched(
     source = table.scan_rows()
     if count_input:
         source = _count_scanned(source, node)
-    while True:
-        buffer = list(itertools.islice(source, batch_size))
+    while quota is None or quota.remaining > 0:
+        fetch = batch_size if quota is None else min(batch_size, quota.remaining)
+        buffer = list(itertools.islice(source, fetch))
         if not buffer:
             return
         if guard is not None:
@@ -231,6 +258,7 @@ def run_index_scan_batched(
     batch_size: int,
     count_input: bool = False,
     guard: Any = None,
+    quota: Optional[ScanQuota] = None,
 ) -> Iterator[RowBatch]:
     """Batched twin of :func:`run_index_scan`.
 
@@ -244,6 +272,19 @@ def run_index_scan_batched(
     source = _index_rows(database, node)
     if count_input:
         source = _count_scanned(source, node)
+    if quota is not None:
+        while quota.remaining > 0:
+            buffer = list(
+                itertools.islice(source, min(batch_size, quota.remaining))
+            )
+            if not buffer:
+                return
+            if guard is not None:
+                guard.tick(len(buffer))
+            batch = _emit_batch(names, buffer, node)
+            if batch is not None:
+                yield batch
+        return
     buffer: List[Tuple[Any, ...]] = []
     for row in source:
         buffer.append(row)
@@ -258,5 +299,218 @@ def run_index_scan_batched(
         if guard is not None:
             guard.tick(len(buffer))
         batch = _emit_batch(names, buffer, node)
+        if batch is not None:
+            yield batch
+
+
+# -- columnar variants ---------------------------------------------------------
+
+
+def _emit_columnar(
+    names: Tuple[str, ...],
+    rows: List[Tuple[Any, ...]],
+    node: "SeqScan | IndexScan",
+    kernel: Any,
+) -> Optional[RowBatch]:
+    """Transpose one morsel into numpy vectors, run the pushed-down
+    predicate as a vector kernel, and materialize only the survivors
+    (late materialization).  On :class:`VectorFallback` the morsel is
+    re-evaluated through :func:`_emit_batch`, which reproduces the
+    row-at-a-time semantics (and errors) exactly."""
+    if not rows:
+        return None
+    if kernel is None:
+        return RowBatch.from_tuples(names, rows)
+    columnar = ColumnarBatch.from_tuples(names, rows)
+    try:
+        indices = filter_indices(kernel, columnar)
+    except VectorFallback:
+        return _emit_batch(names, rows, node)
+    if indices is None:
+        return columnar.to_row_batch()
+    if not len(indices):
+        return None
+    return columnar.to_row_batch(indices)
+
+
+#: One lazily-built worker pool per ``workers`` setting, shared by every
+#: morsel-parallel scan in the process (pool startup would otherwise
+#: dominate small scans).  Workers only ever run :func:`_emit_columnar`
+#: on already-fetched row tuples: all storage I/O, counter updates and
+#: guard interaction stay on the caller's thread.
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def _worker_pool(workers: int) -> ThreadPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-morsel"
+        )
+        _POOLS[workers] = pool
+    return pool
+
+
+def run_seq_scan_columnar(
+    database: Database,
+    node: SeqScan,
+    batch_size: int,
+    count_input: bool = False,
+    guard: Any = None,
+    quota: Optional[ScanQuota] = None,
+    workers: int = 1,
+) -> Iterator[RowBatch]:
+    """Columnar twin of :func:`run_seq_scan_batched`.
+
+    Rows are read page-at-a-time via
+    :meth:`~repro.engine.table.HeapTable.scan_row_runs` (identical I/O
+    accounting), sliced into fixed ``batch_size`` morsels, and each
+    morsel is vector-filtered.  With ``workers > 1`` morsels are
+    dispatched to a thread pool — numpy kernels release the GIL — and
+    merged back **in submission order**, so results, row order and every
+    counter are bit-identical to the single-worker run.
+
+    Determinism contract: morsel parallelism only engages on
+    *observation-free* scans.  A LIMIT quota clamps fetch sizes (no
+    read-ahead allowed) and an armed guard observes page-read deltas at
+    every tick, so both run the sequential columnar path; see
+    :func:`repro.resilience.guards.permits_readahead`.
+    """
+    if quota is not None:
+        yield from run_seq_scan_batched(
+            database, node, batch_size, count_input, guard, quota
+        )
+        return
+    table = database.table(node.table_name)
+    names = tuple(
+        f"{node.binding}.{name}" for name in table.schema.column_names()
+    )
+    kernel = (
+        compile_vector(node.predicate) if node.predicate is not None else None
+    )
+    if workers > 1 and guard is None:
+        yield from _morsel_scan(
+            table, names, node, kernel, batch_size, workers, count_input
+        )
+        return
+    scanned = 0
+    buffer: List[Tuple[Any, ...]] = []
+    try:
+        for run in table.scan_row_runs():
+            buffer.extend(run)
+            while len(buffer) >= batch_size:
+                chunk = buffer[:batch_size]
+                del buffer[:batch_size]
+                scanned += len(chunk)
+                if guard is not None:
+                    guard.tick(len(chunk))
+                batch = _emit_columnar(names, chunk, node, kernel)
+                if batch is not None:
+                    yield batch
+        if buffer:
+            scanned += len(buffer)
+            if guard is not None:
+                guard.tick(len(buffer))
+            batch = _emit_columnar(names, buffer, node, kernel)
+            if batch is not None:
+                yield batch
+    finally:
+        if count_input:
+            node.actual_rows_scanned = scanned
+
+
+def _morsel_scan(
+    table: Any,
+    names: Tuple[str, ...],
+    node: SeqScan,
+    kernel: Any,
+    batch_size: int,
+    workers: int,
+    count_input: bool,
+) -> Iterator[RowBatch]:
+    """Fan fixed-size morsels out to the worker pool, merge in order.
+
+    The caller's thread does every storage read (and so every counter
+    update); at most ``workers`` morsels are in flight; results — and
+    any evaluation error — surface strictly in morsel order, making the
+    merge deterministic by construction.
+    """
+    pool = _worker_pool(workers)
+    pending: "deque" = deque()
+    scanned = 0
+    buffer: List[Tuple[Any, ...]] = []
+    try:
+        for run in table.scan_row_runs():
+            buffer.extend(run)
+            while len(buffer) >= batch_size:
+                chunk = buffer[:batch_size]
+                del buffer[:batch_size]
+                scanned += len(chunk)
+                while len(pending) >= workers:
+                    batch = pending.popleft().result()
+                    if batch is not None:
+                        yield batch
+                pending.append(
+                    pool.submit(_emit_columnar, names, chunk, node, kernel)
+                )
+        if buffer:
+            scanned += len(buffer)
+            pending.append(
+                pool.submit(_emit_columnar, names, buffer, node, kernel)
+            )
+        while pending:
+            batch = pending.popleft().result()
+            if batch is not None:
+                yield batch
+    finally:
+        for future in pending:
+            future.cancel()
+        if count_input:
+            node.actual_rows_scanned = scanned
+
+
+def run_index_scan_columnar(
+    database: Database,
+    node: IndexScan,
+    batch_size: int,
+    count_input: bool = False,
+    guard: Any = None,
+    quota: Optional[ScanQuota] = None,
+) -> Iterator[RowBatch]:
+    """Columnar twin of :func:`run_index_scan_batched`.
+
+    Index scans keep the one-page RID fetch buffer (random access order
+    is the point of the index), so they stay sequential — only the
+    transpose/filter/materialize step is vectorized.
+    """
+    if quota is not None:
+        yield from run_index_scan_batched(
+            database, node, batch_size, count_input, guard, quota
+        )
+        return
+    table = database.table(node.table_name)
+    names = tuple(
+        f"{node.binding}.{name}" for name in table.schema.column_names()
+    )
+    kernel = (
+        compile_vector(node.predicate) if node.predicate is not None else None
+    )
+    source = _index_rows(database, node)
+    if count_input:
+        source = _count_scanned(source, node)
+    buffer: List[Tuple[Any, ...]] = []
+    for row in source:
+        buffer.append(row)
+        if len(buffer) >= batch_size:
+            if guard is not None:
+                guard.tick(len(buffer))
+            batch = _emit_columnar(names, buffer, node, kernel)
+            buffer = []
+            if batch is not None:
+                yield batch
+    if buffer:
+        if guard is not None:
+            guard.tick(len(buffer))
+        batch = _emit_columnar(names, buffer, node, kernel)
         if batch is not None:
             yield batch

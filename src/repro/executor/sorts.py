@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List
 
+import numpy as np
+
 from repro.executor.batch import RowBatch
+from repro.executor.vecbatch import try_int64
 from repro.expr.eval import evaluate, evaluate_batch
 from repro.optimizer.physical import Sort
 
@@ -92,6 +95,22 @@ def run_sort_batched(
             (evaluate_batch(expression, materialized), ascending)
             for expression, ascending in reversed(node.order)
         ]
+    if len(passes) == 1:
+        values, ascending = passes[0]
+        array = try_int64(values)
+        if array is not None and (
+            ascending or len(array) == 0 or int(array.min()) != -(2**63)
+        ):
+            # Single pure-int64 key, no NULLs: a stable argsort gives
+            # exactly the permutation the decorated sort would (negating
+            # the key instead of reversing preserves stability for the
+            # descending case, matching ``list.sort(reverse=True)`` on
+            # a fresh identity permutation).
+            order = np.argsort(
+                array if ascending else -array, kind="stable"
+            )
+            yield from materialized.take(order.tolist()).split(batch_size)
+            return
     for values, ascending in passes:
         keys = [
             _NULL_KEY if value is None else (False, value) for value in values

@@ -1,0 +1,244 @@
+"""Columnar vectors: numpy value arrays paired with explicit null masks.
+
+A :class:`Vec` is one column of a batch in true columnar form: a numpy
+array of values plus an optional boolean ``mask`` marking SQL NULL
+positions (``True`` = NULL).  A :class:`ColumnarBatch` lazily promotes
+the plain Python column lists of the list-based pipeline into Vecs, one
+column at a time, so vectorized kernels only ever pay conversion for the
+columns an expression actually touches (late materialization).
+
+Dtype promotion rules (exact, decided from ``set(map(type, column))``):
+
+* all ``int`` (``bool`` excluded — it is not a SQL number) → ``int64``;
+* all ``float`` → ``float64``;
+* either of the above plus ``None`` → same dtype with the NULL slots
+  filled by ``0`` and marked in the mask;
+* an all-``None`` column → ``int64`` zeros, fully masked;
+* anything else — strings, bools, mixed ``int``/``float``, exotic
+  objects, ints beyond ``int64`` — → ``object`` dtype with ``None`` kept
+  in place (the *object fallback*).  Kernels that cannot handle object
+  dtype raise :class:`~repro.expr.vector.VectorFallback` and the caller
+  re-evaluates through the compiled list-batch closure, which reproduces
+  the row-at-a-time semantics (including which row raises which error)
+  exactly.
+
+Mixed ``int``/``float`` deliberately does *not* promote to ``float64``:
+``2**53 + 1 == float(2**53)`` under numpy's lossy int→float cast, while
+Python compares int-to-float exactly — the object fallback keeps those
+columns bit-faithful.  ``NaN`` is a float *value*, never NULL: it stays
+unmasked, so ``x IS NULL`` is False and ``x = x`` is False for a NaN,
+matching the interpreter.
+
+Vec value arrays are frozen (``writeable=False``): downstream operators
+alias columns across batches, and an in-place numpy mutation would
+corrupt every aliased reader.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.executor.batch import RowBatch
+
+#: int64-vs-float64 interactions are exact only below 2**53; kernels
+#: consult this bound before mixing the two dtypes.
+FLOAT_EXACT_INT = 2**53
+
+_NONE_TYPE = type(None)
+
+
+class Vec:
+    """One column: a numpy values array + optional null mask (True = NULL).
+
+    For numeric dtypes the masked slots hold a ``0`` filler; for object
+    dtype they hold ``None`` itself (so ``tolist`` round-trips for free).
+    """
+
+    __slots__ = ("values", "mask")
+
+    def __init__(
+        self, values: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> None:
+        self.values = values
+        self.mask = mask
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.values.dtype.kind in ("i", "f")
+
+    def to_list(self) -> List[Any]:
+        """Python values with ``None`` restored at masked positions."""
+        out = self.values.tolist()
+        if self.mask is not None and self.values.dtype != object:
+            for i in np.flatnonzero(self.mask).tolist():
+                out[i] = None
+        return out
+
+    def __repr__(self) -> str:
+        nulls = 0 if self.mask is None else int(self.mask.sum())
+        return f"Vec(n={len(self.values)}, dtype={self.values.dtype}, nulls={nulls})"
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+def promote(values: Sequence[Any]) -> Vec:
+    """Promote one Python column to a :class:`Vec` per the module rules."""
+    kinds = set(map(type, values))
+    has_null = _NONE_TYPE in kinds
+    kinds.discard(_NONE_TYPE)
+    if kinds == {int} or not kinds:
+        filler = values
+        if has_null or not kinds:
+            filler = [0 if v is None else v for v in values]
+        try:
+            array = np.asarray(filler, dtype=np.int64)
+        except OverflowError:
+            return _object_vec(values, has_null)
+        mask = None
+        if has_null or not kinds:
+            mask = np.fromiter(
+                (v is None for v in values), dtype=bool, count=len(values)
+            )
+            if not mask.any():
+                mask = None
+        return Vec(_freeze(array), mask)
+    if kinds == {float}:
+        if has_null:
+            filler = [0.0 if v is None else v for v in values]
+            mask = np.fromiter(
+                (v is None for v in values), dtype=bool, count=len(values)
+            )
+        else:
+            filler = values
+            mask = None
+        return Vec(_freeze(np.asarray(filler, dtype=np.float64)), mask)
+    return _object_vec(values, has_null)
+
+
+def _object_vec(values: Sequence[Any], has_null: bool) -> Vec:
+    array = np.empty(len(values), dtype=object)
+    array[:] = values
+    mask = None
+    if has_null:
+        mask = np.fromiter(
+            (v is None for v in values), dtype=bool, count=len(values)
+        )
+    return Vec(_freeze(array), mask)
+
+
+def try_int64(values: Sequence[Any]) -> Optional[np.ndarray]:
+    """``values`` as an int64 array iff every element is a plain int
+    (no NULLs, no bools); None otherwise.  Used by the sort fast path."""
+    if set(map(type, values)) != {int}:
+        return None
+    try:
+        return np.asarray(values, dtype=np.int64)
+    except OverflowError:
+        return None
+
+
+class ColumnarBatch:
+    """A batch whose columns promote to :class:`Vec` lazily, on first use.
+
+    Wraps either raw storage row tuples (scan path) or an existing
+    :class:`~repro.executor.batch.RowBatch` (filter path).  Row-backed
+    batches transpose one column at a time, on demand, so a predicate
+    over two of ten columns never even transposes the other eight —
+    and surviving rows gather straight from the row tuples, so columns
+    only the output touches are materialized solely for survivors.
+    """
+
+    __slots__ = ("columns", "length", "_raw", "_rows", "_vecs")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        raw: Dict[str, Sequence[Any]],
+        length: int,
+        rows: Optional[Sequence[Tuple[Any, ...]]] = None,
+    ) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.length = length
+        self._raw = raw
+        self._rows = rows
+        self._vecs: Dict[str, Vec] = {}
+
+    def __len__(self) -> int:
+        return self.length
+
+    @classmethod
+    def from_tuples(
+        cls, columns: Sequence[str], rows: Sequence[Tuple[Any, ...]]
+    ) -> "ColumnarBatch":
+        """Wrap storage row tuples (the columnar scan's entry point);
+        no transposition happens until a column is actually used."""
+        return cls(columns, {}, len(rows), rows=rows)
+
+    @classmethod
+    def from_row_batch(cls, batch: RowBatch) -> "ColumnarBatch":
+        """View an existing list-based batch columnar-ly (zero copy)."""
+        return cls(batch.columns, batch.data, batch.length)
+
+    def _column(self, name: str) -> Optional[Sequence[Any]]:
+        """The raw Python column, transposing it out of the row tuples
+        on first use (cached)."""
+        raw = self._raw.get(name)
+        if raw is None:
+            if self._rows is None:
+                return None
+            try:
+                position = self.columns.index(name)
+            except ValueError:
+                return None
+            raw = [row[position] for row in self._rows]
+            self._raw[name] = raw
+        return raw
+
+    def vec(self, name: str) -> Optional[Vec]:
+        """The named column as a Vec (promoted once, cached); None when
+        the batch has no such column."""
+        vector = self._vecs.get(name)
+        if vector is None:
+            raw = self._column(name)
+            if raw is None:
+                return None
+            vector = promote(raw)
+            self._vecs[name] = vector
+        return vector
+
+    def to_row_batch(
+        self, indices: Optional[np.ndarray] = None
+    ) -> RowBatch:
+        """Materialize (a selection of) the batch as a list-based
+        :class:`RowBatch` — the late-materialization step: only surviving
+        rows are ever converted back to Python values, which flow through
+        as the original objects (exact parity for free)."""
+        if indices is None:
+            if self._rows is not None:
+                return RowBatch.from_tuples(self.columns, self._rows)
+            data = {
+                name: raw if isinstance(raw, list) else list(raw)
+                for name, raw in (
+                    (name, self._raw[name]) for name in self.columns
+                )
+            }
+            return RowBatch(self.columns, data, self.length)
+        positions = indices.tolist()
+        if self._rows is not None:
+            rows = self._rows
+            return RowBatch.from_tuples(
+                self.columns, [rows[p] for p in positions]
+            )
+        data = {}
+        for name in self.columns:
+            raw = self._raw[name]
+            data[name] = [raw[i] for i in positions]
+        return RowBatch(self.columns, data, len(positions))

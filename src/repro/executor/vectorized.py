@@ -6,19 +6,28 @@ once per batch via :func:`repro.expr.eval.evaluate_batch`, and the
 per-row interpreter overhead (dict materialization, recursive expression
 dispatch) is amortized over ``batch_size`` rows.
 
+With ``columnar=True`` (the default) scans and filters go further: row
+tuples are transposed into numpy vectors with explicit null masks
+(:mod:`repro.executor.vecbatch`), predicates run as vector kernels
+(:mod:`repro.expr.vector`), and only surviving rows are materialized
+into Python lists — late materialization.  ``workers > 1`` additionally
+fans sequential-scan morsels out to a thread pool with a deterministic
+in-order merge (see :func:`repro.executor.scans.run_seq_scan_columnar`).
+
 Semantics — result rows and their order, row counts, and page-I/O
 accounting — match the row-at-a-time interpreter in
 :mod:`repro.executor.runtime` exactly; the differential harness in
 ``tests/executor/test_batched_differential.py`` pins the two together.
-The one intentional divergence: under LIMIT, a batched scan may fetch up
-to one batch of rows beyond the limit (read-ahead), so *LIMIT queries*
-can charge more page reads than the row-at-a-time pipeline.
+That includes LIMIT: a :class:`~repro.executor.scans.ScanQuota` created
+by the Limit operator clamps every scan fetch to the rows still needed,
+so page-read accounting under LIMIT is bit-identical to the
+row-at-a-time pipeline too.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.database import Database
 from repro.errors import ExecutionError
@@ -28,9 +37,17 @@ from repro.executor.joins import (
     run_hash_join_batched,
     run_nested_loop_join_batched,
 )
-from repro.executor.scans import run_index_scan_batched, run_seq_scan_batched
+from repro.executor.scans import (
+    ScanQuota,
+    run_index_scan_batched,
+    run_index_scan_columnar,
+    run_seq_scan_batched,
+    run_seq_scan_columnar,
+)
 from repro.executor.sorts import run_sort_batched
+from repro.executor.vecbatch import ColumnarBatch
 from repro.expr.eval import evaluate, evaluate_batch
+from repro.expr.vector import VectorFallback, compile_vector, filter_indices
 from repro.optimizer.physical import (
     Distinct,
     EmptyResult,
@@ -50,13 +67,16 @@ from repro.optimizer.physical import (
 
 RowDict = Dict[str, Any]
 
+#: Sentinel: the vector kernel declined this batch (fell back).
+_FALLBACK = object()
+
 
 class BatchedInterpreter:
     """Interprets a physical plan batch-at-a-time.
 
-    One instance serves one execution: it carries the ``batch_size`` and,
-    when instrumented, records per-node actual row *and batch* counts for
-    EXPLAIN ANALYZE.
+    One instance serves one execution: it carries the ``batch_size``
+    (and the columnar/worker switches) and, when instrumented, records
+    per-node actual row *and batch* counts for EXPLAIN ANALYZE.
     """
 
     def __init__(
@@ -66,11 +86,15 @@ class BatchedInterpreter:
         instrument: bool = False,
         collect: bool = False,
         guard: Any = None,
+        columnar: bool = True,
+        workers: int = 1,
     ) -> None:
         if batch_size < 1:
             raise ExecutionError(
                 f"batch_size must be >= 1, got {batch_size}"
             )
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
         self.database = database
         self.batch_size = batch_size
         # Feedback collection implies instrumentation and additionally
@@ -80,6 +104,8 @@ class BatchedInterpreter:
         # An armed ActiveGuard (repro.resilience.guards) or None; threaded
         # to the operators that can burn unbounded work.
         self.guard = guard
+        self.columnar = columnar
+        self.workers = workers
 
     def rows(self, root: PhysicalNode) -> List[RowDict]:
         """Run the plan and materialize the result as row dicts."""
@@ -90,42 +116,73 @@ class BatchedInterpreter:
 
     # -- dispatch -------------------------------------------------------------
 
-    def run(self, node: PhysicalNode) -> Iterator[RowBatch]:
+    def run(
+        self, node: PhysicalNode, quota: Optional[ScanQuota] = None
+    ) -> Iterator[RowBatch]:
         if not self.instrument:
-            return self._run_raw(node)
-        return self._counted(node)
+            return self._run_raw(node, quota)
+        return self._counted(node, quota)
 
-    def _counted(self, node: PhysicalNode) -> Iterator[RowBatch]:
+    def _counted(
+        self, node: PhysicalNode, quota: Optional[ScanQuota]
+    ) -> Iterator[RowBatch]:
         rows = 0
         batches = 0
-        for batch in self._run_raw(node):
+        for batch in self._run_raw(node, quota):
             rows += len(batch)
             batches += 1
             yield batch
         node.actual_rows = rows
         node.actual_batches = batches
 
-    def _run_raw(self, node: PhysicalNode) -> Iterator[RowBatch]:
+    def _run_raw(
+        self, node: PhysicalNode, quota: Optional[ScanQuota] = None
+    ) -> Iterator[RowBatch]:
+        # ``quota`` is a LIMIT clamp, forwarded only through streaming
+        # at-most-one-output-per-input operators; blocking operators
+        # (joins, sorts, grouping) materialize fully in both pipelines
+        # and therefore drop it.
         if isinstance(node, EmptyResult):
             return iter(())
         if isinstance(node, SeqScan):
+            if self.columnar:
+                return run_seq_scan_columnar(
+                    self.database,
+                    node,
+                    self.batch_size,
+                    count_input=self.collect,
+                    guard=self.guard,
+                    quota=quota,
+                    workers=self.workers,
+                )
             return run_seq_scan_batched(
                 self.database,
                 node,
                 self.batch_size,
                 count_input=self.collect,
                 guard=self.guard,
+                quota=quota,
             )
         if isinstance(node, IndexScan):
+            if self.columnar:
+                return run_index_scan_columnar(
+                    self.database,
+                    node,
+                    self.batch_size,
+                    count_input=self.collect,
+                    guard=self.guard,
+                    quota=quota,
+                )
             return run_index_scan_batched(
                 self.database,
                 node,
                 self.batch_size,
                 count_input=self.collect,
                 guard=self.guard,
+                quota=quota,
             )
         if isinstance(node, Filter):
-            return self._run_filter(node)
+            return self._run_filter(node, quota)
         if isinstance(node, NestedLoopJoin):
             return run_nested_loop_join_batched(
                 node,
@@ -141,11 +198,12 @@ class BatchedInterpreter:
                 self.batch_size,
                 count_pairs=self.collect,
                 guard=self.guard,
+                columnar=self.columnar,
             )
         if isinstance(node, GroupBy):
             return self._run_group_by(node)
         if isinstance(node, Extend):
-            return self._run_extend(node)
+            return self._run_extend(node, quota)
         if isinstance(node, Sort):
             return run_sort_batched(
                 node,
@@ -155,37 +213,68 @@ class BatchedInterpreter:
                 guard=self.guard,
             )
         if isinstance(node, Project):
-            return self._run_project(node)
+            return self._run_project(node, quota)
         if isinstance(node, Distinct):
-            return self._run_distinct(node)
+            return self._run_distinct(node, quota)
         if isinstance(node, Limit):
-            return self._run_limit(node)
+            return self._run_limit(node, quota)
         if isinstance(node, UnionAll):
             return itertools.chain.from_iterable(
-                self.run(child) for child in node.inputs
+                self.run(child, quota) for child in node.inputs
             )
         raise ExecutionError(f"cannot execute {type(node).__name__}")
 
     # -- operators ----------------------------------------------------------------
 
-    def _run_filter(self, node: Filter) -> Iterator[RowBatch]:
-        if node.compiled_predicate is not None:
-            batch_fn = node.compiled_predicate[1]
-            for batch in self.run(node.child):
+    def _run_filter(
+        self, node: Filter, quota: Optional[ScanQuota]
+    ) -> Iterator[RowBatch]:
+        kernel = (
+            compile_vector(node.predicate)
+            if self.columnar and node.predicate is not None
+            else None
+        )
+        batch_fn = (
+            node.compiled_predicate[1]
+            if node.compiled_predicate is not None
+            else None
+        )
+        for batch in self.run(node.child, quota):
+            if kernel is not None:
+                survivors = self._vector_filter(kernel, batch)
+                if survivors is not _FALLBACK:
+                    if survivors is not None and len(survivors):
+                        yield survivors
+                    continue
+            if batch_fn is not None:
                 filtered = batch.filter_true(batch_fn(batch))
-                if len(filtered):
-                    yield filtered
-        else:
-            for batch in self.run(node.child):
+            else:
                 filtered = batch.filter_true(
                     evaluate_batch(node.predicate, batch)
                 )
-                if len(filtered):
-                    yield filtered
+            if len(filtered):
+                yield filtered
 
-    def _run_extend(self, node: Extend) -> Iterator[RowBatch]:
+    @staticmethod
+    def _vector_filter(kernel: Any, batch: RowBatch) -> Any:
+        """Kernel-filter one batch; ``_FALLBACK`` when the kernel declines."""
+        try:
+            indices = filter_indices(
+                kernel, ColumnarBatch.from_row_batch(batch)
+            )
+        except VectorFallback:
+            return _FALLBACK
+        if indices is None:
+            return batch
+        if not len(indices):
+            return None
+        return batch.take(indices.tolist())
+
+    def _run_extend(
+        self, node: Extend, quota: Optional[ScanQuota]
+    ) -> Iterator[RowBatch]:
         compiled = node.compiled_outputs
-        for batch in self.run(node.child):
+        for batch in self.run(node.child, quota):
             columns = list(batch.columns)
             data = dict(batch.data)
             present = set(columns)
@@ -203,8 +292,10 @@ class BatchedInterpreter:
                     present.add(output.name)
             yield RowBatch(columns, data, len(batch))
 
-    def _run_project(self, node: Project) -> Iterator[RowBatch]:
-        for batch in self.run(node.child):
+    def _run_project(
+        self, node: Project, quota: Optional[ScanQuota]
+    ) -> Iterator[RowBatch]:
+        for batch in self.run(node.child, quota):
             data: Dict[str, List[Any]] = {}
             for name, source in zip(node.names, node.source_names):
                 column = batch.data.get(source)
@@ -213,9 +304,11 @@ class BatchedInterpreter:
                 )
             yield RowBatch(node.names, data, len(batch))
 
-    def _run_distinct(self, node: Distinct) -> Iterator[RowBatch]:
+    def _run_distinct(
+        self, node: Distinct, quota: Optional[ScanQuota]
+    ) -> Iterator[RowBatch]:
         seen: set = set()
-        for batch in self.run(node.child):
+        for batch in self.run(node.child, quota):
             # Same key as the row form's tuple(sorted(row.items())).
             names = sorted(batch.columns)
             columns = [batch.data[name] for name in names]
@@ -232,16 +325,27 @@ class BatchedInterpreter:
                 continue
             yield batch if len(keep) == len(batch) else batch.take(keep)
 
-    def _run_limit(self, node: Limit) -> Iterator[RowBatch]:
-        remaining = node.count
-        if remaining <= 0:
+    def _run_limit(
+        self, node: Limit, quota: Optional[ScanQuota]
+    ) -> Iterator[RowBatch]:
+        # The quota clamps upstream scan fetches to the rows still
+        # needed.  Every forwarding operator emits at most one row per
+        # fetched row, so a received batch can never exceed
+        # ``inner.remaining`` — the slice below only fires for blocking
+        # subtrees (which do not forward the quota).
+        count = node.count
+        if quota is not None:
+            count = min(count, quota.remaining)
+        inner = ScanQuota(count)
+        if inner.remaining <= 0:
             return
-        for batch in self.run(node.child):
-            if len(batch) < remaining:
-                remaining -= len(batch)
+        for batch in self.run(node.child, inner):
+            if len(batch) < inner.remaining:
+                inner.remaining -= len(batch)
                 yield batch
             else:
-                yield batch.slice(0, remaining)
+                yield batch.slice(0, inner.remaining)
+                inner.remaining = 0
                 return
 
     def _run_group_by(self, node: GroupBy) -> Iterator[RowBatch]:
@@ -250,6 +354,7 @@ class BatchedInterpreter:
         has_keys = bool(node.keys)
         compiled_args = node.compiled_aggregate_args
         compiled_keys = node.compiled_keys
+        fold_vec = self.columnar
         for batch in self.run(node.child):
             n = len(batch)
             if compiled_args is not None:
@@ -309,7 +414,10 @@ class BatchedInterpreter:
                     if column is None:
                         state.update_count_star(len(indices))
                     elif whole_batch:
-                        state.update_values(column)
+                        if fold_vec:
+                            state.update_vec(column)
+                        else:
+                            state.update_values(column)
                     else:
                         state.update_values([column[i] for i in indices])
 

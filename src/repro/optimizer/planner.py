@@ -68,6 +68,18 @@ class OptimizerConfig:
     # repro.executor.batch.DEFAULT_BATCH_SIZE, kept literal here so the
     # optimizer package never imports the executor.
     batch_size: int = 1024
+    # Columnar execution: batched operators promote columns to numpy
+    # vectors with explicit null masks and evaluate predicates through
+    # the vector kernels (repro.expr.vector), materializing only
+    # surviving rows.  False keeps the list-based batch closures.
+    columnar: bool = True
+    # Morsel-parallel seq scans: >1 dispatches scan morsels to a worker
+    # pool (observation-free scans only — guarded/LIMIT scans stay
+    # sequential so accounting is bit-identical).  0/None here means
+    # "use the REPRO_WORKERS environment default" at executor
+    # construction time; kept as a plain int so the optimizer package
+    # never imports the executor.
+    workers: int = 0
     # Lower plan expressions to specialized closures at optimize time
     # (repro.expr.compile).  False runs the interpreted evaluate /
     # evaluate_batch oracle path unchanged — the differential escape

@@ -1,7 +1,9 @@
-"""Differential equivalence across all four execution modes.
+"""Differential equivalence across every execution mode.
 
-Every query runs in row/batched × compiled/interpreted form — the
-interpreted row-at-a-time executor is the oracle — and all four must
+Every query runs in row/batched × compiled/interpreted form, plus the
+batched pipeline with the columnar kernels off (list-based closures) and
+with morsel-parallel scans (``workers=4``) — the interpreted
+row-at-a-time executor is the oracle — and all modes must
 produce identical sorted result multisets, row counts, page-read totals,
 *and errors* (a query that raises must raise the same error type and
 message in every mode).  Corpora: the property SQL oracle generators
@@ -45,10 +47,14 @@ CONFIGS = {
 }
 
 
-def _executor(db: SoftDB, batch_size: int, config: OptimizerConfig) -> Executor:
+def _executor(
+    db: SoftDB, batch_size: int, config: OptimizerConfig, **kwargs
+) -> Executor:
     """An executor for one mode; feedback-collecting when configured."""
     feedback = FeedbackStore() if config.collect_feedback else None
-    return Executor(db.database, batch_size=batch_size, feedback=feedback)
+    return Executor(
+        db.database, batch_size=batch_size, feedback=feedback, **kwargs
+    )
 
 
 def _outcome(fn):
@@ -77,23 +83,45 @@ def _plans(db: SoftDB, sql: str, config: OptimizerConfig):
 
 
 def _modes(interpreted, compiled):
-    """(name, plan, batch_size) for every non-oracle execution mode."""
-    modes = [("row-compiled", compiled, 0)]
+    """(name, plan, batch_size, executor kwargs) per non-oracle mode.
+
+    The plain batched modes run with the default columnar kernels; each
+    batch size additionally runs with ``columnar=False`` (the list-based
+    batch closures) and the default size also runs with ``workers=4``
+    (morsel-parallel seq scans), so the oracle comparison pins all three
+    lowering targets *and* the parallel merge at once.
+    """
+    modes = [("row-compiled", compiled, 0, {})]
     for batch_size in BATCH_SIZES:
-        modes.append((f"batched-interpreted-{batch_size}", interpreted, batch_size))
-        modes.append((f"batched-compiled-{batch_size}", compiled, batch_size))
+        modes.append(
+            (f"batched-interpreted-{batch_size}", interpreted, batch_size, {})
+        )
+        modes.append(
+            (f"batched-compiled-{batch_size}", compiled, batch_size, {})
+        )
+        modes.append(
+            (
+                f"batched-listpath-{batch_size}",
+                compiled,
+                batch_size,
+                {"columnar": False},
+            )
+        )
+    modes.append(
+        ("batched-workers4-1024", compiled, 1024, {"workers": 4})
+    )
     return modes
 
 
 def assert_differential(db: SoftDB, sql: str, config: OptimizerConfig) -> None:
-    """Execute ``sql`` in all four modes under ``config``; compare all."""
+    """Execute ``sql`` in every mode under ``config``; compare all."""
     interpreted, compiled = _plans(db, sql, config)
     oracle = _outcome(
         lambda: Executor(db.database, batch_size=0).execute(interpreted)
     )
-    for name, plan, batch_size in _modes(interpreted, compiled):
+    for name, plan, batch_size, kwargs in _modes(interpreted, compiled):
         result = _outcome(
-            lambda: _executor(db, batch_size, config).execute(plan)
+            lambda: _executor(db, batch_size, config, **kwargs).execute(plan)
         )
         context = f"{sql!r} ({name})"
         if oracle[0] == "error":
@@ -222,18 +250,9 @@ def test_rewrite_configurations_differential(switch):
     else:
         config = dataclasses.replace(OptimizerConfig(), **{switch: False})
     for sql in WORKLOAD:
-        if "LIMIT" in sql:
-            # Batched scans read ahead up to one batch under LIMIT, so
-            # page counts legitimately differ; compare rows only.
-            interpreted, compiled = _plans(db, sql, config)
-            oracle = Executor(db.database, batch_size=0).execute(interpreted)
-            for name, plan, batch_size in _modes(interpreted, compiled):
-                batched = Executor(
-                    db.database, batch_size=batch_size
-                ).execute(plan)
-                assert batched.tuples() == oracle.tuples(), (sql, name)
-        else:
-            assert_differential(db, sql, config)
+        # LIMIT needs no carve-out: batched scans clamp their fetch to the
+        # remaining quota, so page accounting matches the oracle exactly.
+        assert_differential(db, sql, config)
 
 
 # -- error parity: every mode must raise the same error --------------------

@@ -1,0 +1,218 @@
+"""Columnar execution: mutation guards, morsel determinism, LIMIT I/O.
+
+Covers the contracts the columnar rewrite added on top of the batched
+pipeline: frozen (tuple-backed) join build sides that make aliased
+in-place mutation raise instead of corrupting sibling batches,
+bit-identical results and I/O accounting between ``workers=1`` and
+``workers=4`` morsel scans, LIMIT page-read parity with the
+row-at-a-time oracle, and the numpy aggregate folds.
+"""
+
+import pytest
+
+from repro import SoftDB
+from repro.errors import QueryGuardError
+from repro.executor.batch import RowBatch
+from repro.executor.runtime import Executor
+from repro.executor.vectorized import BatchedInterpreter
+from repro.optimizer.logical import Aggregate
+from repro.resilience.guards import QueryGuard
+
+pytestmark = pytest.mark.differential
+
+
+def _db(rows=5000):
+    db = SoftDB()
+    db.execute("CREATE TABLE t (a INT, b INT, c TEXT)")
+    db.database.insert_many(
+        "t", [(i, i % 13, f"v{i % 5}") for i in range(rows)]
+    )
+    db.runstats_all()
+    return db
+
+
+# ------------------------------------------------------ mutation guard
+
+
+class TestFrozenBatches:
+    def test_freeze_makes_mutation_raise(self):
+        batch = RowBatch(("a",), {"a": [1, 2, 3]})
+        batch.freeze()
+        with pytest.raises(TypeError):
+            batch.data["a"][0] = 99
+        with pytest.raises(AttributeError):
+            batch.data["a"].append(4)
+
+    def test_frozen_batches_still_slice_take_and_tile(self):
+        batch = RowBatch(("a",), {"a": [1, 2, 3]}).freeze()
+        assert batch.slice(0, 2).data["a"] == (1, 2)
+        assert batch.take([2, 0]).data["a"] == [3, 1]
+
+    def test_join_build_side_columns_are_immutable(self):
+        # The nested-loop inner side is aliased into every output chunk;
+        # an in-place mutation through an emitted batch must raise, not
+        # silently corrupt the chunks that share the column.
+        db = SoftDB()
+        db.execute("CREATE TABLE small (x INT)")
+        db.execute("CREATE TABLE big (y INT)")
+        db.database.insert_many("small", [(i,) for i in range(2)])
+        db.database.insert_many("big", [(i,) for i in range(2000)])
+        db.runstats_all()
+        plan = db.optimizer.optimize("SELECT small.x, big.y FROM small, big")
+        interpreter = BatchedInterpreter(db.database, 1024)
+        first = next(iter(interpreter.run(plan.root)))
+        aliased = [
+            column
+            for column in first.data.values()
+            if isinstance(column, tuple)
+        ]
+        assert aliased, "expected at least one frozen (aliased) column"
+        with pytest.raises(TypeError):
+            aliased[0][0] = -1
+
+
+# ------------------------------------- morsel-parallel determinism
+
+
+class TestWorkerDeterminism:
+    QUERIES = [
+        "SELECT a, b FROM t WHERE a % 3 = 1 AND b < 9",
+        "SELECT b, count(*) AS n, sum(a) AS s FROM t GROUP BY b",
+        "SELECT a FROM t WHERE b = 4 ORDER BY a DESC",
+        "SELECT count(*) AS n FROM t WHERE c LIKE 'v1%'",
+    ]
+
+    def test_workers4_bit_identical_to_workers1(self):
+        db = _db()
+        for sql in self.QUERIES:
+            plan = db.optimizer.optimize(sql)
+            serial = Executor(db.database, workers=1).execute(plan)
+            parallel = Executor(db.database, workers=4).execute(plan)
+            assert parallel.tuples() == serial.tuples(), sql
+            assert parallel.page_reads == serial.page_reads, sql
+            assert parallel.rows_read == serial.rows_read, sql
+
+    def test_workers4_feedback_counters_identical(self):
+        db = _db()
+        sql = "SELECT a FROM t WHERE b = 7"
+        plan1 = db.optimizer.optimize(sql)
+        Executor(db.database, workers=1).execute(
+            plan1, collect_feedback=True
+        )
+        counters1 = [
+            (type(n).__name__, n.actual_rows, getattr(n, "actual_rows_scanned", None))
+            for n in _walk(plan1.root)
+        ]
+        plan4 = db.optimizer.optimize(sql)
+        Executor(db.database, workers=4).execute(
+            plan4, collect_feedback=True
+        )
+        counters4 = [
+            (type(n).__name__, n.actual_rows, getattr(n, "actual_rows_scanned", None))
+            for n in _walk(plan4.root)
+        ]
+        assert counters4 == counters1
+
+    def test_guarded_scan_breaches_identically_under_workers(self):
+        db = _db()
+        plan = db.optimizer.optimize("SELECT a FROM t WHERE b = 1")
+        outcomes = []
+        for workers in (1, 4):
+            guard = QueryGuard(max_page_reads=3)
+            with pytest.raises(QueryGuardError) as info:
+                Executor(db.database, workers=workers).execute(
+                    db.optimizer.optimize("SELECT a FROM t WHERE b = 1"),
+                    guard=guard,
+                )
+            outcomes.append(str(info.value))
+        assert outcomes[0] == outcomes[1]
+
+
+def _walk(node):
+    yield node
+    for child in getattr(node, "children", lambda: [])():
+        yield from _walk(child)
+
+
+# ---------------------------------------------- LIMIT I/O accounting
+
+
+class TestLimitAccounting:
+    @pytest.mark.parametrize("batch_size", [3, 64, 1024])
+    def test_limit_page_reads_match_oracle(self, batch_size):
+        db = _db()
+        for sql in (
+            "SELECT a FROM t LIMIT 10",
+            "SELECT a FROM t WHERE b < 6 LIMIT 25",
+            "SELECT a FROM t LIMIT 0",
+            "SELECT a, b FROM t WHERE a > 100 LIMIT 4999",
+        ):
+            plan_o = db.optimizer.optimize(sql)
+            oracle = Executor(db.database, batch_size=0).execute(plan_o)
+            plan_b = db.optimizer.optimize(sql)
+            for columnar in (False, True):
+                batched = Executor(
+                    db.database, batch_size=batch_size, columnar=columnar
+                ).execute(plan_b)
+                context = (sql, batch_size, columnar)
+                assert batched.tuples() == oracle.tuples(), context
+                assert batched.page_reads == oracle.page_reads, context
+                assert batched.rows_read == oracle.rows_read, context
+
+
+# ------------------------------------------------- aggregate folds
+
+
+class TestUpdateVec:
+    def _pair(self, function, distinct=False):
+        from repro.executor.aggregates import AggregateState
+
+        spec = Aggregate(
+            function=function,
+            argument=None,
+            distinct=distinct,
+            output_name="o",
+        )
+        return AggregateState(spec), AggregateState(spec)
+
+    @pytest.mark.parametrize(
+        "function", ["count", "sum", "avg", "min", "max"]
+    )
+    def test_int_fold_matches_list_path(self, function):
+        values = [5, None, -3, 12, None, 0, 7]
+        vec_state, list_state = self._pair(function)
+        vec_state.update_vec(values)
+        list_state.update_values(values)
+        assert vec_state.result() == list_state.result()
+        assert vec_state.count == list_state.count
+
+    def test_distinct_falls_back(self):
+        values = [1, 1, 2, None, 2, 3]
+        vec_state, list_state = self._pair("count", distinct=True)
+        vec_state.update_vec(values)
+        list_state.update_values(values)
+        assert vec_state.result() == list_state.result() == 3
+
+    def test_mixed_column_keeps_error_parity(self):
+        from repro.errors import ExecutionError
+
+        vec_state, list_state = self._pair("sum")
+        with pytest.raises(ExecutionError) as vec_err:
+            vec_state.update_vec([1, "x"])
+        with pytest.raises(ExecutionError) as list_err:
+            list_state.update_values([1, "x"])
+        assert str(vec_err.value) == str(list_err.value)
+
+    def test_float_sum_keeps_sequential_association(self):
+        values = [0.1, 0.2, 0.3, None, 1e16, 1.0, -1e16]
+        vec_state, list_state = self._pair("sum")
+        vec_state.update_vec(values)
+        list_state.update_values(values)
+        assert vec_state.result() == list_state.result()
+
+    def test_huge_int_sum_exact(self):
+        values = [2**61, 2**61, 7]
+        vec_state, list_state = self._pair("sum")
+        vec_state.update_vec(values)
+        list_state.update_values(values)
+        assert vec_state.result() == list_state.result() == 2**62 + 7
