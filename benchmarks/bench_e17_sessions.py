@@ -1,0 +1,310 @@
+"""E17 — Sessions: WAL group commit amortization and multi-session traffic.
+
+Two halves, mirroring ISSUE 8's acceptance bar:
+
+**Group commit.**  32 writer threads each run a stream of single-row
+explicit transactions on disjoint keys (no conflicts — this measures
+the commit path, not the lock manager).  The baseline durable database
+has the group committer detached, so every commit pays its own
+``wal.flush()``; the candidate commits through the gather window and
+shares flushes.  The gate is *flushes per commit*: grouping must need
+at least ``TARGET_AMORTIZATION`` (3x) fewer flushes than the
+one-flush-per-commit baseline.
+
+**Traffic simulation.**  A fleet of short-lived sessions (1000 full
+size) hammers the asyncio TCP server with a skewed mix — point reads,
+autocommit updates, and two-statement explicit transactions over a
+power-law key distribution, so hot rows genuinely contend.  Recorded:
+p50/p99 statement latency, abort rate (deadlock victims +
+first-updater losers over transactions started), and WAL flushes per
+commit under load.  Aborts are correctness working as intended, but a
+runaway rate means the lock manager is thrashing — the gate bounds it.
+
+Emits ``BENCH_e17.json`` with a ``sessions`` section consumed by
+``check_bench_regression.py``'s ``_check_sessions`` gate.
+
+Set ``E17_FAST=<n>`` for a smoke run: n simulated sessions (64 is
+plenty), fewer transactions per writer, results to a temp directory so
+the committed BENCH_e17.json is never clobbered.
+"""
+
+import asyncio
+import json
+import os
+import random
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from statistics import quantiles
+
+import pytest
+
+from repro import SoftDB
+from repro.errors import DeadlockError, TransactionConflictError
+
+FAST = bool(os.environ.get("E17_FAST"))
+
+WRITERS = 32
+TXNS_PER_WRITER = 4 if FAST else 16
+#: Grouping must cut flushes-per-commit by at least this factor.
+TARGET_AMORTIZATION = 3.0
+
+try:
+    SIM_SESSIONS = max(8, int(os.environ.get("E17_FAST", "")))
+except ValueError:
+    SIM_SESSIONS = 64
+if not FAST:
+    SIM_SESSIONS = 1000
+STATEMENTS_PER_SESSION = 5
+#: Concurrently open connections (the rest of the fleet queues behind a
+#: semaphore); kept below the executor width so a lock-blocked statement
+#: can never starve the statement that would unblock it.
+CONCURRENT_CLIENTS = 32 if FAST else 128
+EXECUTOR_WIDTH = CONCURRENT_CLIENTS + 32
+#: Aborts (deadlock victims, first-updater losers) over transactions.
+MAX_ABORT_RATE = 0.25
+KEYS = 64
+#: Power-law skew: key ~ KEYS * u^SKEW biases hard toward low keys.
+SKEW = 2.0
+
+RESULTS_PATH = (
+    Path(tempfile.mkdtemp(prefix="bench_e17_")) / "BENCH_e17.json"
+    if FAST
+    else Path(__file__).resolve().parent / "BENCH_e17.json"
+)
+
+SCHEMA_SQL = "CREATE TABLE kv (id INT PRIMARY KEY, val INT)"
+
+
+def _open_db(base_dir: Path, label: str) -> SoftDB:
+    db = SoftDB.open(base_dir / label)
+    db.execute(SCHEMA_SQL)
+    db.execute(
+        "INSERT INTO kv VALUES "
+        + ", ".join(f"({k}, {k})" for k in range(1, KEYS + 1))
+    )
+    return db
+
+
+# -- group commit amortization ------------------------------------------------
+
+
+def _commit_storm(db: SoftDB, grouped: bool) -> dict:
+    """32 writer threads, disjoint keys, explicit txn per update."""
+    sessions = [db.session(f"w{n}") for n in range(WRITERS)]
+    if not grouped:
+        # Detach the committer: every commit flushes for itself.
+        db.durability.group_commit = None
+    barrier = threading.Barrier(WRITERS)
+    flushes_before = db.durability.wal.flushes
+    errors = []
+
+    def writer(index):
+        session = sessions[index]
+        key = (index % KEYS) + 1
+        barrier.wait()
+        try:
+            for n in range(TXNS_PER_WRITER):
+                session.execute("BEGIN")
+                session.execute(
+                    f"UPDATE kv SET val = {index * 1000 + n} "
+                    f"WHERE id = {key}"
+                )
+                session.execute("COMMIT")
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=writer, args=(n,), daemon=True)
+        for n in range(WRITERS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "commit storm writer hung"
+    elapsed = time.perf_counter() - start
+    assert not errors, f"commit storm failed: {errors[0]!r}"
+    flushes = db.durability.wal.flushes - flushes_before
+    for session in sessions:
+        session.close()
+    commits = WRITERS * TXNS_PER_WRITER
+    return {
+        "commits": commits,
+        "flushes": flushes,
+        "flushes_per_commit": flushes / commits,
+        "elapsed_s": elapsed,
+    }
+
+
+def test_e17_group_commit_amortizes_flushes(report, tmp_path):
+    baseline_db = _open_db(tmp_path, "per-txn")
+    baseline = _commit_storm(baseline_db, grouped=False)
+    baseline_db.close()
+    grouped_db = _open_db(tmp_path, "grouped")
+    grouped = _commit_storm(grouped_db, grouped=True)
+    stats = grouped_db.database.concurrency.group_commit.stats()
+    grouped_db.close()
+
+    amortization = (
+        baseline["flushes_per_commit"] / grouped["flushes_per_commit"]
+    )
+    report(
+        "E17: WAL flushes per commit, 32 writers",
+        ["mode", "commits", "flushes", "flushes/commit", "largest group"],
+        [
+            ["per-txn flush", baseline["commits"], baseline["flushes"],
+             round(baseline["flushes_per_commit"], 3), 1],
+            ["group commit", grouped["commits"], grouped["flushes"],
+             round(grouped["flushes_per_commit"], 3),
+             stats["largest_group"]],
+        ],
+    )
+    test_e17_group_commit_amortizes_flushes.entry = {
+        "writers": WRITERS,
+        "commits_per_mode": baseline["commits"],
+        "per_txn_flushes": baseline["flushes"],
+        "group_flushes": grouped["flushes"],
+        "flush_amortization": round(amortization, 2),
+        "min_flush_amortization": TARGET_AMORTIZATION,
+        "largest_group": stats["largest_group"],
+    }
+    # The baseline really is one flush per commit — anything else means
+    # the detached mode measured the wrong thing.
+    assert baseline["flushes"] >= baseline["commits"]
+    assert amortization >= TARGET_AMORTIZATION, (
+        f"group commit only cut flushes/commit by {amortization:.2f}x "
+        f"(target {TARGET_AMORTIZATION}x at {WRITERS} writers)"
+    )
+
+
+# -- traffic simulation -------------------------------------------------------
+
+
+def _skewed_key(rng: random.Random) -> int:
+    return min(KEYS, int(KEYS * (rng.random() ** SKEW)) + 1)
+
+
+async def _client(server, worker: int, gate, latencies, counters):
+    from repro.concurrency.server import SessionClient
+
+    rng = random.Random(worker * 7919 + 1)
+    async with gate:
+        client = await SessionClient.connect(server.host, server.port)
+        try:
+            budget = STATEMENTS_PER_SESSION
+            while budget > 0:
+                roll = rng.random()
+                if roll < 0.55:
+                    statements = [
+                        f"SELECT val FROM kv WHERE id = {_skewed_key(rng)}"
+                    ]
+                    txn = False
+                elif roll < 0.8:
+                    statements = [
+                        f"UPDATE kv SET val = {worker} "
+                        f"WHERE id = {_skewed_key(rng)}"
+                    ]
+                    txn = False
+                else:
+                    a, b = _skewed_key(rng), _skewed_key(rng)
+                    statements = [
+                        "BEGIN",
+                        f"UPDATE kv SET val = {worker} WHERE id = {a}",
+                        f"UPDATE kv SET val = {worker} WHERE id = {b}",
+                        "COMMIT",
+                    ]
+                    txn = True
+                budget -= len(statements)
+                counters["txns"] += 1
+                try:
+                    for sql in statements:
+                        start = time.perf_counter()
+                        await client.execute(sql)
+                        latencies.append(time.perf_counter() - start)
+                except (DeadlockError, TransactionConflictError):
+                    # The server-side session already rolled the victim
+                    # back; the client just moves on.
+                    counters["aborts"] += 1
+                else:
+                    if txn:
+                        counters["commits"] += 1
+        finally:
+            await client.close()
+
+
+async def _simulate(db: SoftDB) -> dict:
+    latencies = []
+    counters = {"txns": 0, "aborts": 0, "commits": 0}
+    flushes_before = db.durability.wal.flushes
+    server = db.serve()
+    loop = asyncio.get_running_loop()
+    executor = ThreadPoolExecutor(max_workers=EXECUTOR_WIDTH)
+    loop.set_default_executor(executor)
+    gate = asyncio.Semaphore(CONCURRENT_CLIENTS)
+    start = time.perf_counter()
+    async with server:
+        await asyncio.gather(
+            *(
+                _client(server, worker, gate, latencies, counters)
+                for worker in range(SIM_SESSIONS)
+            )
+        )
+    elapsed = time.perf_counter() - start
+    executor.shutdown(wait=False)
+    flushes = db.durability.wal.flushes - flushes_before
+    latencies.sort()
+    grid = quantiles(latencies, n=100)
+    explicit_commits = max(1, counters["commits"])
+    return {
+        "sessions": SIM_SESSIONS,
+        "statements": len(latencies),
+        "elapsed_s": round(elapsed, 3),
+        "statements_per_s": round(len(latencies) / elapsed, 1),
+        "p50_ms": round(grid[49] * 1000, 3),
+        "p99_ms": round(grid[98] * 1000, 3),
+        "transactions": counters["txns"],
+        "aborts": counters["aborts"],
+        "abort_rate": round(counters["aborts"] / counters["txns"], 4),
+        "max_abort_rate": MAX_ABORT_RATE,
+        "explicit_commits": counters["commits"],
+        "wal_flushes": flushes,
+        "flushes_per_explicit_commit": round(flushes / explicit_commits, 3),
+    }
+
+
+def test_e17_session_traffic(report, tmp_path):
+    db = _open_db(tmp_path, "traffic")
+    sim = asyncio.run(_simulate(db))
+    served = db.database.concurrency.txns.committed
+    db.close()
+    assert served > 0
+
+    report(
+        f"E17: {SIM_SESSIONS} skewed sessions over the asyncio server",
+        ["sessions", "stmts", "stmts/s", "p50 ms", "p99 ms",
+         "abort rate", "flushes/commit"],
+        [[sim["sessions"], sim["statements"], sim["statements_per_s"],
+          sim["p50_ms"], sim["p99_ms"], sim["abort_rate"],
+          sim["flushes_per_explicit_commit"]]],
+    )
+    storm = getattr(
+        test_e17_group_commit_amortizes_flushes, "entry", None
+    )
+    payload = {"experiment": "E17", "sessions": dict(sim)}
+    if storm:
+        payload["sessions"].update(storm)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert sim["statements"] > 0
+    assert sim["abort_rate"] <= MAX_ABORT_RATE, (
+        f"abort rate {sim['abort_rate']} over {MAX_ABORT_RATE}: the lock "
+        f"manager is thrashing under skew"
+    )
+    # The gate must accept the file it will re-check at session end.
+    from check_bench_regression import check_regressions
+
+    assert check_regressions(RESULTS_PATH) == []

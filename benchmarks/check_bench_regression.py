@@ -44,6 +44,8 @@ SCHEMAS: Dict[str, Tuple[str, str, float]] = {
     "BENCH_e13.json": ("static_s", "feedback_s", 1.5),
     "BENCH_e14.json": ("baseline_s", "candidate_s", 5.0),
     "BENCH_e16.json": ("list_batched_s", "columnar_s", 5.0),
+    # BENCH_e17.json has no timing pipelines: its ``sessions`` section is
+    # gated by :func:`_check_sessions` (flush amortization, abort rate).
 }
 
 #: Fallback timing key pairs tried, in order, for BENCH files that are
@@ -108,6 +110,41 @@ def _check_corpus(corpus: dict) -> List[str]:
     return failures
 
 
+def _check_sessions(sessions: dict) -> List[str]:
+    """Gate a multi-session section (``BENCH_e17.json``).
+
+    Group commit must amortize WAL flushes by the recorded factor at the
+    recorded writer count, and the traffic simulation's abort rate
+    (deadlock victims + first-updater losers over transactions started)
+    must stay under its recorded ceiling — aborts are snapshot isolation
+    working, but a runaway rate means the lock manager is thrashing.
+    """
+    failures: List[str] = []
+    floor = sessions.get("min_flush_amortization")
+    amortization = sessions.get("flush_amortization")
+    if floor is not None:
+        if amortization is None:
+            failures.append(
+                "sessions: flush_amortization missing despite a recorded "
+                "min_flush_amortization floor"
+            )
+        elif amortization < floor:
+            failures.append(
+                f"sessions: group commit amortizes flushes only "
+                f"{amortization}x (floor {floor}x at "
+                f"{sessions.get('writers', '?')} writers)"
+            )
+    ceiling = sessions.get("max_abort_rate")
+    if ceiling is not None and sessions.get("abort_rate", 0.0) > ceiling:
+        failures.append(
+            f"sessions: abort rate {sessions.get('abort_rate')} over the "
+            f"recorded {ceiling} ceiling"
+        )
+    if not sessions.get("statements", 0):
+        failures.append("sessions: traffic simulation served no statements")
+    return failures
+
+
 def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
     """Return a list of human-readable regression descriptions (empty = ok)."""
     path = Path(path)
@@ -115,6 +152,8 @@ def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
     failures: List[str] = []
     if isinstance(payload.get("corpus"), dict):
         failures.extend(_check_corpus(payload["corpus"]))
+    if isinstance(payload.get("sessions"), dict):
+        failures.extend(_check_sessions(payload["sessions"]))
     for entry in payload.get("pipelines", []):
         name = entry.get("name", "?")
         baseline_key, candidate_key, headline_floor = _entry_keys(
@@ -175,6 +214,15 @@ def _speedups(path: Path) -> List[str]:
             f"win rate {corpus.get('win_rate', 0.0)}, "
             f"{corpus.get('regressions', 0)} regressions, "
             f"{corpus.get('validation_mismatches', 0)} mismatches"
+        )
+    sessions = payload.get("sessions")
+    if isinstance(sessions, dict):
+        lines.append(
+            f"ok: {path.name} sessions "
+            f"{sessions.get('sessions', 0)} simulated, flush amortization "
+            f"{sessions.get('flush_amortization', '?')}x, abort rate "
+            f"{sessions.get('abort_rate', 0.0)}, p99 "
+            f"{sessions.get('p99_ms', '?')}ms"
         )
     for entry in payload.get("pipelines", []):
         baseline_key, candidate_key, _ = _entry_keys(path.name, entry)

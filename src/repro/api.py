@@ -38,6 +38,7 @@ from repro.errors import (
     QueryGuardError,
     QueryTimeoutError,
     SqlError,
+    TransactionError,
 )
 from repro.executor.runtime import ExecutionResult, Executor
 from repro.expr.eval import compile_predicate, evaluate
@@ -124,6 +125,9 @@ class SoftDB:
         )
         self._constraint_sequence = 0
         self.durability = None
+        # Facade-level explicit transaction (BEGIN..COMMIT/ROLLBACK on
+        # this object directly, without a Session).
+        self._txn = None
         if path is not None:
             self._attach_durability(path, crash_points)
 
@@ -178,11 +182,40 @@ class SoftDB:
     def close(self, checkpoint: bool = True) -> None:
         """Close the session; by default a final checkpoint is taken so
         the next :meth:`open` restores without replaying the whole log."""
+        if self._txn is not None and self._txn.is_active:
+            self._txn.rollback()
+            self._txn = None
         if self.durability is None:
             return
         if checkpoint:
             self.checkpoint()
         self.durability.close()
+
+    # -------------------------------------------------------------- sessions
+
+    def session(self, name: Optional[str] = None):
+        """Open a concurrent session over this database.
+
+        The first call attaches a
+        :class:`~repro.concurrency.engine.ConcurrencyEngine` to the
+        shared database (and, for durable sessions, installs WAL group
+        commit); every session after that shares it.  Sessions are the
+        concurrency unit: each holds its own transaction state, plan
+        cache, and executor, and may run on any thread.
+        """
+        from repro.concurrency import ConcurrencyEngine, Session
+
+        engine = self.database.concurrency
+        if engine is None:
+            engine = ConcurrencyEngine(self.database)
+        engine.attach_group_commit(self.durability)
+        return Session(self, name=name)
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0):
+        """Construct (not start) the asyncio TCP session server."""
+        from repro.concurrency.server import SessionServer
+
+        return SessionServer(self, host=host, port=port)
 
     # ------------------------------------------------------------- execution
 
@@ -243,6 +276,21 @@ class SoftDB:
             elif use_cache and self.feedback is not None:
                 self.plan_cache.note_execution(sql, result.max_qerror)
             return result
+        if isinstance(statement, ast.BeginTransaction):
+            self._begin_transaction()
+            return None
+        if isinstance(statement, ast.CommitTransaction):
+            self._commit_transaction()
+            return None
+        if isinstance(statement, ast.RollbackTransaction):
+            self._rollback_transaction()
+            return None
+        if self._txn is not None and not isinstance(
+            statement, (ast.Insert, ast.Delete, ast.Update)
+        ):
+            raise TransactionError(
+                "only DML is supported inside an explicit transaction"
+            )
         # Every non-query statement is one WAL transaction: a crash (or
         # fault) mid-statement — even mid-DDL, e.g. halfway through
         # CREATE SUMMARY TABLE's register/populate sequence — leaves no
@@ -490,6 +538,35 @@ class SoftDB:
         with self.database._statement_scope():
             return ExceptionTable(self.database, constraint, name)
 
+    # ---------------------------------------------------------- transactions
+
+    def _begin_transaction(self) -> None:
+        """``BEGIN`` on the facade itself: a single-session transaction.
+
+        DML until ``COMMIT``/``ROLLBACK`` routes through one undo-log
+        :class:`~repro.engine.transactions.Transaction`, so a rollback
+        publishes compensating events and the WAL hides the whole
+        transaction.  Concurrent multi-session transactions live in
+        :meth:`session` instead.
+        """
+        if self._txn is not None:
+            raise TransactionError("a transaction is already open")
+        from repro.engine.transactions import Transaction
+
+        self._txn = Transaction(self.database)
+
+    def _commit_transaction(self) -> None:
+        if self._txn is None:
+            raise TransactionError("no transaction is open")
+        txn, self._txn = self._txn, None
+        txn.commit()
+
+    def _rollback_transaction(self) -> None:
+        if self._txn is None:
+            raise TransactionError("no transaction is open")
+        txn, self._txn = self._txn, None
+        txn.rollback()
+
     # ----------------------------------------------------------- DML internals
 
     def _execute_insert(self, statement: ast.Insert) -> int:
@@ -505,6 +582,10 @@ class SoftDB:
                 mapping = dict(zip(statement.columns, values))
                 values = table.schema.row_from_mapping(mapping)
             rows.append(values)
+        if self._txn is not None:
+            for values in rows:
+                self._txn.insert(statement.table, values)
+            return len(rows)
         # insert_many is atomic for multi-row statements: a fault midway
         # rolls the already-inserted prefix back.
         self.database.insert_many(statement.table, rows)
@@ -514,10 +595,20 @@ class SoftDB:
         if statement.where is None:
             # DELETE without WHERE: same all-or-nothing semantics as the
             # predicated path in Database.delete_where.
-            return self.database.delete_where(
-                statement.table, lambda row: True
-            )
-        predicate = compile_predicate(statement.where)
+            predicate = lambda row: True
+        else:
+            predicate = compile_predicate(statement.where)
+        if self._txn is not None:
+            table = self.database.table(statement.table)
+            names = table.schema.column_names()
+            victims = [
+                rid
+                for rid, row in table.scan()
+                if predicate(dict(zip(names, row))) is True
+            ]
+            for rid in victims:
+                self._txn.delete(statement.table, rid)
+            return len(victims)
         return self.database.delete_where(statement.table, predicate)
 
     def _execute_update(self, statement: ast.Update) -> int:
@@ -533,6 +624,21 @@ class SoftDB:
                 for column, expression in assignments
             }
 
+        if self._txn is not None:
+            table = self.database.table(statement.table)
+            names = table.schema.column_names()
+            targets = []
+            for rid, row in table.scan():
+                row_dict = dict(zip(names, row))
+                if predicate(row_dict) is True:
+                    targets.append((rid, row_dict))
+            for rid, row_dict in targets:
+                new_dict = dict(row_dict)
+                new_dict.update(assign(row_dict))
+                self._txn.update(
+                    statement.table, rid, [new_dict[name] for name in names]
+                )
+            return len(targets)
         return self.database.update_where(statement.table, predicate, assign)
 
     # ----------------------------------------------------------- DDL internals

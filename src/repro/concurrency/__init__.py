@@ -1,0 +1,36 @@
+"""Concurrent multi-session execution: MVCC, locking, group commit.
+
+The paper's Section 4.1 discusses concurrent transactions only insofar
+as one can *overturn* an ASC another's plan relied on.  This package
+supplies the machinery that makes the question real inside the repro:
+multiple sessions over one :class:`~repro.engine.database.Database`,
+snapshot-isolation reads via an undo-based version overlay, strict-2PL
+writers with deadlock detection, and WAL group commit so concurrent
+commits share flushes.
+
+Entry points:
+
+* :class:`~repro.concurrency.session.Session` — one client's view of
+  the database (``SoftDB.session()`` constructs them);
+* :class:`~repro.concurrency.engine.ConcurrencyEngine` — the shared
+  per-database coordinator;
+* :class:`~repro.concurrency.server.SessionServer` /
+  :class:`~repro.concurrency.server.SessionClient` — the asyncio
+  TCP front end.
+"""
+
+from repro.concurrency.engine import ConcurrencyEngine
+from repro.concurrency.groupcommit import GroupCommitter
+from repro.concurrency.locks import LockManager
+from repro.concurrency.mvcc import Snapshot, TransactionManager, VersionStore
+from repro.concurrency.session import Session
+
+__all__ = [
+    "ConcurrencyEngine",
+    "GroupCommitter",
+    "LockManager",
+    "Session",
+    "Snapshot",
+    "TransactionManager",
+    "VersionStore",
+]

@@ -1,0 +1,203 @@
+"""Asyncio TCP front end: one session per connection, JSON-lines wire.
+
+The protocol is newline-delimited JSON.  Request::
+
+    {"id": 1, "sql": "SELECT * FROM t"}
+
+Response::
+
+    {"id": 1, "ok": true, "rows": [...], "rowcount": 2}
+    {"id": 2, "ok": false, "error": {"type": "DeadlockError",
+                                     "message": "..."}}
+
+``rows`` is present for queries, ``rowcount`` for DML; transaction
+control and DDL return neither.  Statements execute on a thread pool
+(the engine is synchronous), so slow queries never stall the event
+loop — and two connections' statements genuinely interleave, which is
+the whole point of the exercise.
+
+:class:`SessionServer` owns the listener; :class:`SessionClient` is the
+matching line-protocol client.  Both are asyncio-native; the
+traffic-simulator benchmark drives thousands of concurrent client
+coroutines against one server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError, SessionError
+
+__all__ = ["SessionServer", "SessionClient"]
+
+_MAX_LINE = 2**22  # 4 MiB — a request or response line beyond this is a bug
+
+
+def _encode(payload: Dict[str, Any]) -> bytes:
+    return (json.dumps(payload, default=str) + "\n").encode("utf-8")
+
+
+class SessionServer:
+    """Serve sessions of one :class:`~repro.api.SoftDB` over TCP."""
+
+    def __init__(
+        self, db, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections = 0
+        self.statements_served = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=_MAX_LINE
+        )
+        # Resolve the OS-assigned port for port=0.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "SessionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, traceback) -> None:
+        await self.stop()
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        session = self.db.session()
+        self.connections += 1
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    sql = request["sql"]
+                except (ValueError, KeyError, TypeError):
+                    writer.write(
+                        _encode(
+                            {
+                                "id": None,
+                                "ok": False,
+                                "error": {
+                                    "type": "ProtocolError",
+                                    "message": "malformed request line",
+                                },
+                            }
+                        )
+                    )
+                    await writer.drain()
+                    continue
+                response: Dict[str, Any] = {"id": request.get("id")}
+                try:
+                    # The engine is synchronous: run the statement on
+                    # the default thread pool so the loop keeps serving
+                    # other connections meanwhile.
+                    result = await loop.run_in_executor(
+                        None, session.execute, sql
+                    )
+                except ReproError as error:
+                    response["ok"] = False
+                    response["error"] = {
+                        "type": type(error).__name__,
+                        "message": str(error),
+                    }
+                else:
+                    response["ok"] = True
+                    if result is None:
+                        pass
+                    elif isinstance(result, int):
+                        response["rowcount"] = result
+                    else:
+                        response["rows"] = result.rows
+                self.statements_served += 1
+                writer.write(_encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            session.close()
+            # close() alone: awaiting wait_closed here would race the
+            # server shutdown's task cancellation.
+            writer.close()
+
+
+class SessionClient:
+    """Line-protocol client for :class:`SessionServer`.
+
+    Usage::
+
+        client = await SessionClient.connect(host, port)
+        rows = (await client.execute("SELECT * FROM t"))["rows"]
+        await client.close()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "SessionClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=_MAX_LINE
+        )
+        return cls(reader, writer)
+
+    async def execute(self, sql: str) -> Dict[str, Any]:
+        """Send one statement; returns the decoded response dict.
+
+        A server-side error response raises the matching typed error
+        when it is one of ours (``DeadlockError`` and friends re-raise
+        as themselves), otherwise :class:`SessionError`.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        self._writer.write(_encode({"id": request_id, "sql": sql}))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise SessionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise _rehydrate(error.get("type"), error.get("message", ""))
+        return response
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def _rehydrate(type_name: Optional[str], message: str) -> Exception:
+    """Map a wire error back to the typed exception it started as."""
+    import repro.errors as errors_module
+
+    candidate = getattr(errors_module, type_name or "", None)
+    if isinstance(candidate, type) and issubclass(candidate, Exception):
+        return candidate(message)
+    return SessionError(f"{type_name}: {message}")

@@ -37,6 +37,7 @@ ASC can never outlive a crash.
 from __future__ import annotations
 
 import json
+import threading
 import zlib
 from contextlib import contextmanager
 from pathlib import Path
@@ -88,8 +89,18 @@ class DurabilityManager:
         self.feedback = None
         # Extra facade-level sequences persisted through checkpoints.
         self.session_state: Dict[str, Any] = {}
-        self._txn_stack: List[int] = []
+        # Transaction contexts.  Single-session work uses the default
+        # stack; each Session installs its own stack around statement
+        # execution (see txn_context), so concurrent sessions tag WAL
+        # records with their own transaction without sharing nesting
+        # state.  The mutex serializes every append-side mutation.
+        self._mutex = threading.RLock()
+        self._tls = threading.local()
+        self._default_stack: List[int] = []
+        self._open_txns: Set[int] = set()
         self._txn_dirty: Set[int] = set()
+        # Installed by the concurrency engine; None = flush per commit.
+        self.group_commit = None
         self._table_json: Dict[str, str] = {}
         # Pending row run: consecutive same-op/table/txn row hooks are
         # buffered and flushed as ONE framed record (see _flush_run).
@@ -111,30 +122,70 @@ class DurabilityManager:
         return self.checkpoint_path.exists() or self.wal.offset() > 0
 
     def close(self) -> None:
-        self._flush_run()
-        self.wal.close()
+        with self._mutex:
+            self._flush_run()
+            self.wal.close()
 
     # -- transactions -------------------------------------------------------
 
+    @property
+    def _txn_stack(self) -> List[int]:
+        """This thread's transaction stack (a session's, or the default)."""
+        stack = getattr(self._tls, "stack", None)
+        return self._default_stack if stack is None else stack
+
+    @contextmanager
+    def txn_context(self, stack: List[int]):
+        """Route this thread's transaction nesting through ``stack``.
+
+        Sessions own one stack apiece and install it around each
+        statement, so a session's open transaction follows the session —
+        not the thread — even when its statements run on a pool.
+        """
+        previous = getattr(self._tls, "stack", None)
+        self._tls.stack = stack
+        try:
+            yield
+        finally:
+            self._tls.stack = previous
+
     def _begin(self) -> int:
-        self._txn_counter += 1
-        txn_id = self._txn_counter
+        with self._mutex:
+            self._txn_counter += 1
+            txn_id = self._txn_counter
+            self._open_txns.add(txn_id)
         self._txn_stack.append(txn_id)
         return txn_id
 
     def _finish(self, txn_id: int, op: str) -> None:
-        if self._txn_stack and self._txn_stack[-1] == txn_id:
-            self._txn_stack.pop()
-        # Only a transaction that tagged records of its own writes a
-        # commit/abort.  A statement scope around a nested transaction
-        # (multi-row DML runs one Transaction per statement) must not
-        # add a second commit record: the statement needs exactly one
-        # durability point, or a crash between the two leaves replay
-        # honouring the first while the client saw the statement fail.
-        if txn_id in self._txn_dirty:
+        committer = None
+        seq = 0
+        with self._mutex:
+            stack = self._txn_stack
+            if stack and stack[-1] == txn_id:
+                stack.pop()
+            self._open_txns.discard(txn_id)
+            # Only a transaction that tagged records of its own writes a
+            # commit/abort.  A statement scope around a nested transaction
+            # (multi-row DML runs one Transaction per statement) must not
+            # add a second commit record: the statement needs exactly one
+            # durability point, or a crash between the two leaves replay
+            # honouring the first while the client saw the statement fail.
+            if txn_id not in self._txn_dirty:
+                return
             self._txn_dirty.discard(txn_id)
             # The commit/abort record is the durability point: flush.
             self._append({"op": op, "txn": txn_id})
+            candidate = self.group_commit
+            if candidate is not None and candidate.active:
+                committer = candidate
+                seq = self.wal.appended
+        if committer is not None:
+            # Group commit: the flush happens outside the mutex so N
+            # committing transactions can share the leader's single
+            # flush instead of serializing N flushes behind it.
+            committer.commit(seq)
+        else:
             self.wal.flush()
 
     def txn_begin(self) -> Optional[int]:
@@ -178,10 +229,11 @@ class DurabilityManager:
     # -- logging hooks ------------------------------------------------------
 
     def _append(self, record: Dict[str, Any]) -> None:
-        if self._run is not None:
-            self._flush_run()
-        self.wal.append(record)
-        self.records_logged += 1
+        with self._mutex:
+            if self._run is not None:
+                self._flush_run()
+            self.wal.append(record)
+            self.records_logged += 1
 
     def _log(self, record: Dict[str, Any]) -> None:
         if self._replaying:
@@ -203,27 +255,29 @@ class DurabilityManager:
     # run can never escape its transaction's commit/abort decision.
 
     def _buffer(self, op: str, table_name: str, rid_entry, row) -> None:
-        txn_id = self._txn_stack[-1] if self._txn_stack else None
-        if txn_id is not None:
-            self._txn_dirty.add(txn_id)
-        run = self._run
-        if run is not None:
-            if run[0] is op and run[1] == table_name and run[2] == txn_id:
-                run[3].append(rid_entry)
-                if row is not None:
-                    run[4].append(row)
-                return
-            self._flush_run()
-        self._run = [
-            op,
-            table_name,
-            txn_id,
-            [rid_entry],
-            [] if row is None else [row],
-        ]
+        with self._mutex:
+            stack = self._txn_stack
+            txn_id = stack[-1] if stack else None
+            if txn_id is not None:
+                self._txn_dirty.add(txn_id)
+            run = self._run
+            if run is not None:
+                if run[0] is op and run[1] == table_name and run[2] == txn_id:
+                    run[3].append(rid_entry)
+                    if row is not None:
+                        run[4].append(row)
+                    return
+                self._flush_run()
+            self._run = [
+                op,
+                table_name,
+                txn_id,
+                [rid_entry],
+                [] if row is None else [row],
+            ]
 
     def _flush_run(self) -> None:
-        """Frame and append the pending row run, if any.
+        """Frame and append the pending row run, if any (mutex held).
 
         A crash mid-append leaves the whole run torn — exactly the
         statement-atomicity a real crash gives, since the run's commit
@@ -348,15 +402,16 @@ class DurabilityManager:
         image must be transaction-consistent, since replay starts *after*
         it).  A crash mid-checkpoint leaves the previous image installed.
         """
-        if self._txn_stack:
-            raise TransactionError(
-                "cannot checkpoint with an open transaction"
-            )
-        self._flush_run()
-        payload = self._build_payload()
-        write_checkpoint(self.checkpoint_path, payload, self.crash_points)
-        self.checkpoints_taken += 1
-        return payload["sequence"]
+        with self._mutex:
+            if self._open_txns or self._txn_stack:
+                raise TransactionError(
+                    "cannot checkpoint with an open transaction"
+                )
+            self._flush_run()
+            payload = self._build_payload()
+            write_checkpoint(self.checkpoint_path, payload, self.crash_points)
+            self.checkpoints_taken += 1
+            return payload["sequence"]
 
     def _build_payload(self) -> Dict[str, Any]:
         database = self.database

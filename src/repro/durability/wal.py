@@ -57,6 +57,9 @@ class WriteAheadLog:
         self.crash_points = crash_points
         self._file = open(self.path, "ab")
         self.appended = 0
+        # Flush calls actually issued — the group-commit amortization
+        # metric (flushes per commit) reads this.
+        self.flushes = 0
         # Latched by a simulated crash: a dead process writes nothing
         # more, so cleanup code unwinding through the SimulatedCrash
         # (e.g. a transaction rollback) must not reach the disk either.
@@ -95,6 +98,7 @@ class WriteAheadLog:
     def flush(self) -> None:
         if self.dead:
             return
+        self.flushes += 1
         self._file.flush()
 
     def offset(self) -> int:

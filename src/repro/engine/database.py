@@ -57,6 +57,9 @@ class Database:
         self._auto_index_sequence = 0
         # Set by DurabilityManager.attach; None = in-memory only.
         self.durability = None
+        # Set by ConcurrencyEngine when the first session opens; None =
+        # single-session (the DML/scan fast paths check this once).
+        self.concurrency = None
 
     # -------------------------------------------------------------- resilience
 
@@ -219,6 +222,18 @@ class Database:
             return _NULL_SCOPE
         return durability.statement()
 
+    def _mutation_guard(self):
+        """The concurrency engine's latch, or a no-op without sessions.
+
+        Held across one row's heap + index mutation and its version-note
+        so a snapshot reader (which latches per page) never observes a
+        half-applied change.
+        """
+        concurrency = self.concurrency
+        if concurrency is None:
+            return _NULL_SCOPE
+        return concurrency.latch
+
     def statement_transaction(self):
         """An implicit transaction wrapping one multi-row DML statement."""
         from repro.engine.transactions import Transaction
@@ -250,10 +265,12 @@ class Database:
         for constraint in self.catalog.constraints_on(table.name):
             if not constraint.is_informational:
                 constraint.check_insert(self, row)
-        with self._statement_scope():
+        with self._mutation_guard(), self._statement_scope():
             row_id = table.insert(row)
             for index in self.catalog.indexes_on(table.name):
                 index.insert(row, row_id)
+            if self.concurrency is not None:
+                self.concurrency.note_insert(table.name, row_id)
             if self.durability is not None:
                 self.durability.log_insert(table.name, row_id, row)
             self._publish(ChangeEvent("insert", table.name, None, row))
@@ -296,10 +313,12 @@ class Database:
         for constraint in self.catalog.constraints_on(table.name):
             if not constraint.is_informational:
                 constraint.check_delete(self, row)
-        with self._statement_scope():
+        with self._mutation_guard(), self._statement_scope():
             table.delete(row_id)
             for index in self.catalog.indexes_on(table.name):
                 index.delete(row, row_id)
+            if self.concurrency is not None:
+                self.concurrency.note_delete(table.name, row_id, row)
             if self.durability is not None:
                 self.durability.log_delete(table.name, row_id, row)
             self._publish(ChangeEvent("delete", table.name, row, None))
@@ -329,10 +348,14 @@ class Database:
             )
             if old_key != new_key:
                 fk.check_parent_delete(self, old_row)
-        with self._statement_scope():
+        with self._mutation_guard(), self._statement_scope():
             new_id, _ = table.update(row_id, new_row)
             for index in self.catalog.indexes_on(table.name):
                 index.update(old_row, row_id, new_row, new_id)
+            if self.concurrency is not None:
+                self.concurrency.note_update(
+                    table.name, row_id, new_id, old_row
+                )
             if self.durability is not None:
                 self.durability.log_update(
                     table.name, row_id, new_id, new_row

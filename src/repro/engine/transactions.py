@@ -23,7 +23,7 @@ from repro.errors import RollbackError, TransactionError
 
 
 class _UndoEntry:
-    __slots__ = ("kind", "table_name", "row_id", "old_row")
+    __slots__ = ("kind", "table_name", "row_id", "old_row", "pre_rid")
 
     def __init__(
         self,
@@ -31,11 +31,19 @@ class _UndoEntry:
         table_name: str,
         row_id: RowId,
         old_row: Optional[Tuple[Any, ...]],
+        pre_rid: Optional[RowId] = None,
     ) -> None:
         self.kind = kind
         self.table_name = table_name
+        # Where the compensating operation must be applied: the rid the
+        # row occupied *after* this change (for updates, the post-image
+        # rid — an update that did not fit in place forwarded the row).
         self.row_id = row_id
         self.old_row = old_row
+        # Where older undo entries know the row: the rid it occupied
+        # *before* this change.  Rollback records a remap from it when
+        # the compensation itself lands the row somewhere new.
+        self.pre_rid = pre_rid
 
 
 class Transaction:
@@ -85,22 +93,44 @@ class Transaction:
         entry is still applied, the transaction always deactivates, and
         the failures are re-raised aggregated in a single
         :class:`~repro.errors.RollbackError`.
+
+        Compensations replay in strict reverse order, and each
+        compensating event is published through the normal DML paths.  A
+        compensation can *move* the row: undoing a delete re-inserts at
+        a fresh rid, and undoing a forwarded update may restore the row
+        to yet another slot.  Older undo entries still reference the rid
+        the row had in their day, so rollback maintains a remap from
+        historical rids to the row's current location — without it, an
+        interleaved insert/update chain on one row rolls back against
+        stale rids and both leaks the row and drops its compensating
+        events.
         """
         self._require_active()
         failures: List[Exception] = []
+        remap: Dict[RowId, RowId] = {}
         try:
             for entry in reversed(self._undo):
                 try:
+                    at = remap.get(entry.row_id, entry.row_id)
                     if entry.kind == "insert":
-                        self.database.delete_row(entry.table_name, entry.row_id)
+                        self.database.delete_row(entry.table_name, at)
                     elif entry.kind == "delete":
                         assert entry.old_row is not None
-                        self.database.insert(entry.table_name, entry.old_row)
+                        restored = self.database.insert(
+                            entry.table_name, entry.old_row
+                        )
+                        # Unconditional (identity mappings included): a
+                        # later-undone entry may have left a stale remap
+                        # under this key, and this entry's placement is
+                        # now the authoritative one.
+                        remap[entry.row_id] = restored
                     else:  # update
                         assert entry.old_row is not None
-                        self.database.update_row(
-                            entry.table_name, entry.row_id, entry.old_row
+                        assert entry.pre_rid is not None
+                        restored = self.database.update_row(
+                            entry.table_name, at, entry.old_row
                         )
+                        remap[entry.pre_rid] = restored
                 except Exception as error:  # noqa: BLE001 - aggregated below
                     failures.append(error)
         finally:
@@ -156,5 +186,9 @@ class Transaction:
         table = self.database.table(table_name)
         old_row = table.fetch(row_id)
         new_id = self.database.update_row(table_name, row_id, values)
-        self._undo.append(_UndoEntry("update", table_name.lower(), new_id, old_row))
+        self._undo.append(
+            _UndoEntry(
+                "update", table_name.lower(), new_id, old_row, pre_rid=row_id
+            )
+        )
         return new_id

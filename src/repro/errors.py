@@ -217,6 +217,40 @@ class TransactionError(ReproError):
     """Transaction misuse (commit twice, write outside a transaction...)."""
 
 
+class DeadlockError(TransactionError):
+    """A lock wait would close a cycle in the waits-for graph.
+
+    The requesting transaction is chosen as the victim: the lock manager
+    raises before granting, the session layer rolls the victim back and
+    releases its locks, and the caller may re-issue the statement — the
+    paper's Section 4.1 "behind the scenes" deadlock resolution.
+
+    Attributes
+    ----------
+    cycle:
+        The transaction ids forming the detected cycle, victim first.
+    """
+
+    def __init__(self, message: str, cycle: tuple = ()) -> None:
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
+class TransactionConflictError(TransactionError):
+    """First-updater-wins: the row was changed by a transaction that
+    committed after this snapshot was taken.
+
+    Under snapshot isolation a writer that blocked on a row lock must
+    re-check the row's newest stamp once granted; finding a committed
+    writer its snapshot cannot see means proceeding would silently
+    overwrite that update.  The statement aborts instead.
+    """
+
+
+class SessionError(ReproError):
+    """Session misuse (statement on a closed session, nested BEGIN...)."""
+
+
 class RollbackError(StorageError):
     """One or more undo entries failed while rolling a transaction back.
 

@@ -69,6 +69,31 @@ def qualified_row(
 GUARD_STRIDE = 64
 
 
+def _active_snapshot(database: Database):
+    """This thread's MVCC snapshot, or None on the fast path.
+
+    Two cheap checks — an attribute and a threadlocal — decide whether a
+    scan must reconstruct row versions.  With no sessions open (or one
+    session and no transactions) both short-circuit, so the hot scan
+    loop below runs exactly the pre-concurrency code.
+    """
+    concurrency = database.concurrency
+    if concurrency is None:
+        return None
+    return concurrency.current_snapshot()
+
+
+def _seq_source(database: Database, table: Any) -> Iterator[Tuple[Any, ...]]:
+    """Row-tuple source for a sequential scan, snapshot-aware."""
+    snapshot = _active_snapshot(database)
+    if snapshot is None:
+        return table.scan_rows()
+    return (
+        row
+        for _rid, row in database.concurrency.visible_scan(table, snapshot)
+    )
+
+
 def _guard_ticks(
     rows: Iterator[Tuple[Any, ...]], guard: Any, stride: int = GUARD_STRIDE
 ) -> Iterator[Tuple[Any, ...]]:
@@ -110,7 +135,7 @@ def run_seq_scan(
 ) -> Iterator[RowDict]:
     table = database.table(node.table_name)
     names = tuple(table.schema.column_names())
-    source = table.scan_rows()
+    source = _seq_source(database, table)
     if count_input:
         source = _count_scanned(source, node)
     if guard is not None:
@@ -145,6 +170,18 @@ def _index_rows(
     """
     table = database.table(node.table_name)
     index = database.catalog.index(node.index_name)
+    snapshot = _active_snapshot(database)
+    if snapshot is not None:
+        yield from database.concurrency.visible_index_rows(
+            table,
+            index,
+            _resolve_key(node.low),
+            _resolve_key(node.high),
+            node.low_inclusive,
+            node.high_inclusive,
+            snapshot,
+        )
+        return
     counters = table.pages.counters
     buffered_page_id = None
     for _key, row_id in index.range_scan(
@@ -237,7 +274,7 @@ def run_seq_scan_batched(
     names = tuple(
         f"{node.binding}.{name}" for name in table.schema.column_names()
     )
-    source = table.scan_rows()
+    source = _seq_source(database, table)
     if count_input:
         source = _count_scanned(source, node)
     while quota is None or quota.remaining > 0:
@@ -388,15 +425,23 @@ def run_seq_scan_columnar(
     kernel = (
         compile_vector(node.predicate) if node.predicate is not None else None
     )
-    if workers > 1 and guard is None:
+    snapshot = _active_snapshot(database)
+    if workers > 1 and guard is None and snapshot is None:
         yield from _morsel_scan(
             table, names, node, kernel, batch_size, workers, count_input
         )
         return
+    if snapshot is None:
+        runs = table.scan_row_runs()
+    else:
+        # Snapshot scans reconstruct row versions page-at-a-time under
+        # the engine latch; morsel parallelism is not engaged (the
+        # version overlay is shared mutable state).
+        runs = database.concurrency.visible_row_runs(table, snapshot)
     scanned = 0
     buffer: List[Tuple[Any, ...]] = []
     try:
-        for run in table.scan_row_runs():
+        for run in runs:
             buffer.extend(run)
             while len(buffer) >= batch_size:
                 chunk = buffer[:batch_size]

@@ -22,6 +22,7 @@ reporting and for the discovery miners' targeting hints.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FeedbackError
@@ -114,6 +115,12 @@ class FeedbackStore:
         self.guard_trips = 0
         self.observations = 0
         self.harvests = 0
+        # Concurrent sessions harvest into one shared store; recording
+        # mutates multi-field Observation state, so every write path
+        # (and the aggregating reports) is serialized.  Point lookups
+        # stay lock-free: they read one reference, and the optimizer
+        # calls them on its hot path.
+        self._lock = threading.RLock()
 
     # ----------------------------------------------------------- recording
 
@@ -125,22 +132,27 @@ class FeedbackStore:
         actual: float,
     ) -> None:
         key = (table.lower(), signature)
-        entry = self._scans.setdefault(key, Observation())
-        entry.record(actual, estimated, self.alpha)
-        self.observations += 1
+        with self._lock:
+            entry = self._scans.setdefault(key, Observation())
+            entry.record(actual, estimated, self.alpha)
+            self.observations += 1
 
     def record_index_range(
         self, table: str, index_name: str, range_signature: str, fetched: float
     ) -> None:
         key = (table.lower(), index_name.lower(), range_signature)
-        entry = self._index_ranges.setdefault(key, Observation())
-        entry.record(fetched, None, self.alpha)
-        self.observations += 1
+        with self._lock:
+            entry = self._index_ranges.setdefault(key, Observation())
+            entry.record(fetched, None, self.alpha)
+            self.observations += 1
 
     def record_base_rows(self, table: str, rows: float) -> None:
-        entry = self._base_rows.setdefault(table.lower(), Observation())
-        entry.record(rows, None, self.alpha)
-        self.observations += 1
+        with self._lock:
+            entry = self._base_rows.setdefault(
+                table.lower(), Observation()
+            )
+            entry.record(rows, None, self.alpha)
+            self.observations += 1
 
     def record_join(
         self,
@@ -149,27 +161,30 @@ class FeedbackStore:
         actual_selectivity: float,
         tables: Tuple[str, ...] = (),
     ) -> None:
-        entry = self._joins.setdefault(signature, Observation())
-        entry.record(actual_selectivity, None, self.alpha)
-        if estimated_selectivity is not None:
-            # Selectivities are fractions; q-error clamps to >= 1 row, so
-            # track the ratio on a common scale instead.
-            scale = 1e9
-            entry.qerror.record(
-                estimated_selectivity * scale, actual_selectivity * scale
-            )
-        if tables:
-            self._join_tables[signature] = tuple(
-                t.lower() for t in sorted(tables)
-            )
-        self.observations += 1
+        with self._lock:
+            entry = self._joins.setdefault(signature, Observation())
+            entry.record(actual_selectivity, None, self.alpha)
+            if estimated_selectivity is not None:
+                # Selectivities are fractions; q-error clamps to >= 1
+                # row, so track the ratio on a common scale instead.
+                scale = 1e9
+                entry.qerror.record(
+                    estimated_selectivity * scale,
+                    actual_selectivity * scale,
+                )
+            if tables:
+                self._join_tables[signature] = tuple(
+                    t.lower() for t in sorted(tables)
+                )
+            self.observations += 1
 
     def record_group(
         self, signature: str, estimated: float, actual: float
     ) -> None:
-        entry = self._groups.setdefault(signature, Observation())
-        entry.record(actual, estimated, self.alpha)
-        self.observations += 1
+        with self._lock:
+            entry = self._groups.setdefault(signature, Observation())
+            entry.record(actual, estimated, self.alpha)
+            self.observations += 1
 
     def record_guard_trip(self, kind: str, tables: Tuple[str, ...] = ()) -> None:
         """Record a resource-governance breach against a query's tables.
@@ -180,11 +195,14 @@ class FeedbackStore:
         sentinel q-error, so the adjuster re-verifies their constraints
         exactly as it would after a large misestimate.
         """
-        self.guard_trips += 1
-        self._guard_trip_kinds[kind] = self._guard_trip_kinds.get(kind, 0) + 1
-        for table in tables:
-            name = table.lower()
-            self._guard_trips[name] = self._guard_trips.get(name, 0) + 1
+        with self._lock:
+            self.guard_trips += 1
+            self._guard_trip_kinds[kind] = (
+                self._guard_trip_kinds.get(kind, 0) + 1
+            )
+            for table in tables:
+                name = table.lower()
+                self._guard_trips[name] = self._guard_trips.get(name, 0) + 1
 
     # ------------------------------------------------------------- lookups
 
@@ -232,7 +250,10 @@ class FeedbackStore:
         worth re-verifying, and the discovery engine to boost candidates.
         """
         worst: Dict[str, float] = {}
-        for (table, _sig), entry in self._scans.items():
+        with self._lock:
+            scans = list(self._scans.items())
+            guard_trips = list(self._guard_trips.items())
+        for (table, _sig), entry in scans:
             q = entry.qerror.max_qerror
             if q >= min_qerror and q > worst.get(table, 0.0):
                 worst[table] = q
@@ -240,7 +261,7 @@ class FeedbackStore:
         # without a recorded misestimate (the breach usually aborted the
         # run before actuals could be harvested): surface it at a
         # sentinel q-error so the adjuster re-verifies its constraints.
-        for table, trips in self._guard_trips.items():
+        for table, trips in guard_trips:
             if trips >= GUARD_TRIP_SUSPECT_THRESHOLD:
                 worst[table] = max(
                     worst.get(table, 0.0), GUARD_TRIP_SENTINEL_QERROR
@@ -251,11 +272,12 @@ class FeedbackStore:
         self, limit: int = 5, min_qerror: float = 1.0
     ) -> List[Tuple[str, str, float]]:
         """(table, signature, max q-error), worst first."""
-        ranked = [
-            (table, sig, entry.qerror.max_qerror)
-            for (table, sig), entry in self._scans.items()
-            if entry.qerror.max_qerror >= min_qerror
-        ]
+        with self._lock:
+            ranked = [
+                (table, sig, entry.qerror.max_qerror)
+                for (table, sig), entry in self._scans.items()
+                if entry.qerror.max_qerror >= min_qerror
+            ]
         ranked.sort(key=lambda item: -item[2])
         return ranked[:limit]
 
@@ -263,18 +285,21 @@ class FeedbackStore:
         self, limit: int = 5, min_qerror: float = 1.0
     ) -> List[Tuple[str, Tuple[str, ...], float]]:
         """(edge signature, tables, max q-error), worst first."""
-        ranked = [
-            (sig, self._join_tables.get(sig, ()), entry.qerror.max_qerror)
-            for sig, entry in self._joins.items()
-            if entry.qerror.max_qerror >= min_qerror
-        ]
+        with self._lock:
+            ranked = [
+                (sig, self._join_tables.get(sig, ()), entry.qerror.max_qerror)
+                for sig, entry in self._joins.items()
+                if entry.qerror.max_qerror >= min_qerror
+            ]
         ranked.sort(key=lambda item: -item[2])
         return ranked[:limit]
 
     def join_table_qerrors(self) -> Dict[Tuple[str, ...], float]:
         """Sorted table pair → worst join-edge q-error observed on it."""
         worst: Dict[Tuple[str, ...], float] = {}
-        for sig, entry in self._joins.items():
+        with self._lock:
+            joins = list(self._joins.items())
+        for sig, entry in joins:
             tables = self._join_tables.get(sig)
             if not tables:
                 continue
@@ -324,29 +349,34 @@ class FeedbackStore:
                 for key, observation in sorted(entries.items())
             ]
 
-        return {
-            "alpha": self.alpha,
-            "scans": encode(self._scans),
-            "index_ranges": encode(self._index_ranges),
-            "joins": encode(self._joins),
-            "join_tables": [
-                [signature, list(tables)]
-                for signature, tables in sorted(self._join_tables.items())
-            ],
-            "groups": encode(self._groups),
-            "base_rows": encode(self._base_rows),
-            "guard_trips_by_table": dict(self._guard_trips),
-            "guard_trips_by_kind": dict(self._guard_trip_kinds),
-            "counters": {
-                "guard_trips": self.guard_trips,
-                "observations": self.observations,
-                "harvests": self.harvests,
-            },
-        }
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "scans": encode(self._scans),
+                "index_ranges": encode(self._index_ranges),
+                "joins": encode(self._joins),
+                "join_tables": [
+                    [signature, list(tables)]
+                    for signature, tables in sorted(self._join_tables.items())
+                ],
+                "groups": encode(self._groups),
+                "base_rows": encode(self._base_rows),
+                "guard_trips_by_table": dict(self._guard_trips),
+                "guard_trips_by_kind": dict(self._guard_trip_kinds),
+                "counters": {
+                    "guard_trips": self.guard_trips,
+                    "observations": self.observations,
+                    "harvests": self.harvests,
+                },
+            }
 
     def load_state(self, state: dict) -> None:
         """Replace this store's content with a checkpointed state."""
-        self.clear()
+        with self._lock:
+            self._load_state_locked(state)
+
+    def _load_state_locked(self, state: dict) -> None:
+        self._clear_locked()
         self.alpha = state["alpha"]
 
         def decode(entries: list, target: dict, tuple_keys: bool) -> None:
@@ -369,6 +399,10 @@ class FeedbackStore:
         self.harvests = state["counters"]["harvests"]
 
     def clear(self) -> None:
+        with self._lock:
+            self._clear_locked()
+
+    def _clear_locked(self) -> None:
         self._scans.clear()
         self._index_ranges.clear()
         self._joins.clear()

@@ -10,6 +10,7 @@ must be dropped").
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
@@ -355,6 +356,12 @@ class PlanCache:
         self.optimizer = optimizer
         self.backup_plans = backup_plans
         self.qerror_threshold = qerror_threshold
+        # Sessions share one optimizer but may share a cache too; every
+        # public entry point (and the invalidation hooks, which fire on
+        # whichever thread committed the overturning change) takes this
+        # re-entrant lock, so concurrent lookups never observe a plan
+        # mid-eviction.
+        self._lock = threading.RLock()
         self._plans: Dict[str, PhysicalPlan] = {}
         self._backups: Dict[str, PhysicalPlan] = {}
         self._reverted: set = set()
@@ -372,21 +379,24 @@ class PlanCache:
         self.guard_invalidations = 0
 
     def get_plan(self, sql: str) -> PhysicalPlan:
-        cached = self._plans.get(sql)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        plan = self.optimizer.optimize(sql)
-        self._plans[sql] = plan
-        self._reverted.discard(sql)
-        if self.backup_plans and plan.sc_dependencies:
-            self._backups[sql] = self._compile_backup(sql)
-        for dependency in plan.sc_dependencies:
-            self._register_hook(f"softconstraint:{dependency}", sql)
-        for dependency in plan.sc_value_dependencies:
-            self._register_hook(f"softconstraint-values:{dependency}", sql)
-        return plan
+        with self._lock:
+            cached = self._plans.get(sql)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+            plan = self.optimizer.optimize(sql)
+            self._plans[sql] = plan
+            self._reverted.discard(sql)
+            if self.backup_plans and plan.sc_dependencies:
+                self._backups[sql] = self._compile_backup(sql)
+            for dependency in plan.sc_dependencies:
+                self._register_hook(f"softconstraint:{dependency}", sql)
+            for dependency in plan.sc_value_dependencies:
+                self._register_hook(
+                    f"softconstraint-values:{dependency}", sql
+                )
+            return plan
 
     def _register_hook(self, channel: str, sql: str) -> None:
         key = (channel, sql)
@@ -397,8 +407,9 @@ class PlanCache:
         def hook(_dep: str) -> None:
             # The catalog popped this hook to fire it; the pair must be
             # re-registered on the next compile of this SQL.
-            self._hooked.discard(key)
-            self._invalidate(sql)
+            with self._lock:
+                self._hooked.discard(key)
+                self._invalidate(sql)
 
         self.optimizer.database.catalog.on_invalidate(channel, hook)
 
@@ -410,6 +421,10 @@ class PlanCache:
         return backup_optimizer.optimize(sql)
 
     def _invalidate(self, sql: str) -> None:
+        with self._lock:
+            self._invalidate_locked(sql)
+
+    def _invalidate_locked(self, sql: str) -> None:
         if sql in self._reverted or sql not in self._plans:
             return
         backup = self._backups.pop(sql, None)
@@ -432,19 +447,20 @@ class PlanCache:
         feedback store's corrected estimates; the reverted marker is also
         cleared so a reverted backup plan can be replaced too.
         """
-        if (
-            self.qerror_threshold is None
-            or max_qerror is None
-            or max_qerror < self.qerror_threshold
-            or sql not in self._plans
-        ):
-            return False
-        del self._plans[sql]
-        self._backups.pop(sql, None)
-        self._reverted.discard(sql)
-        self.invalidations += 1
-        self.feedback_invalidations += 1
-        return True
+        with self._lock:
+            if (
+                self.qerror_threshold is None
+                or max_qerror is None
+                or max_qerror < self.qerror_threshold
+                or sql not in self._plans
+            ):
+                return False
+            del self._plans[sql]
+            self._backups.pop(sql, None)
+            self._reverted.discard(sql)
+            self.invalidations += 1
+            self.feedback_invalidations += 1
+            return True
 
     def note_guard_breach(self, sql: str) -> bool:
         """A guarded execution of ``sql`` breached its resource budget:
@@ -456,14 +472,15 @@ class PlanCache:
         reversion, same reasoning as :meth:`note_execution`).  Returns
         True when a plan was evicted.
         """
-        if sql not in self._plans:
-            return False
-        del self._plans[sql]
-        self._backups.pop(sql, None)
-        self._reverted.discard(sql)
-        self.invalidations += 1
-        self.guard_invalidations += 1
-        return True
+        with self._lock:
+            if sql not in self._plans:
+                return False
+            del self._plans[sql]
+            self._backups.pop(sql, None)
+            self._reverted.discard(sql)
+            self.invalidations += 1
+            self.guard_invalidations += 1
+            return True
 
     def invalidate_table(self, table_name: str) -> int:
         """Fully evict every cached plan that touches ``table_name``.
@@ -476,14 +493,15 @@ class PlanCache:
         """
         name = table_name.lower()
         evicted = 0
-        for sql, plan in list(self._plans.items()):
-            if name not in self._tables_of(plan):
-                continue
-            del self._plans[sql]
-            self._backups.pop(sql, None)
-            self._reverted.discard(sql)
-            self.invalidations += 1
-            evicted += 1
+        with self._lock:
+            for sql, plan in list(self._plans.items()):
+                if name not in self._tables_of(plan):
+                    continue
+                del self._plans[sql]
+                self._backups.pop(sql, None)
+                self._reverted.discard(sql)
+                self.invalidations += 1
+                evicted += 1
         return evicted
 
     @staticmethod
@@ -506,6 +524,7 @@ class PlanCache:
         return len(self._plans)
 
     def clear(self) -> None:
-        self._plans.clear()
-        self._backups.clear()
-        self._reverted.clear()
+        with self._lock:
+            self._plans.clear()
+            self._backups.clear()
+            self._reverted.clear()

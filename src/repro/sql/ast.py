@@ -377,6 +377,26 @@ class Update(Node):
         self.assignments = [(c.lower(), e) for c, e in self.assignments]
 
 
+# --------------------------------------------------------------------------
+# Transaction control
+# --------------------------------------------------------------------------
+
+
+@dataclass(eq=True)
+class BeginTransaction(Node):
+    """``BEGIN [WORK | TRANSACTION]`` / ``START TRANSACTION``."""
+
+
+@dataclass(eq=True)
+class CommitTransaction(Node):
+    """``COMMIT [WORK | TRANSACTION]``."""
+
+
+@dataclass(eq=True)
+class RollbackTransaction(Node):
+    """``ROLLBACK [WORK | TRANSACTION]``."""
+
+
 Statement = Union[
     SelectStatement,
     UnionAll,
@@ -387,4 +407,7 @@ Statement = Union[
     Insert,
     Delete,
     Update,
+    BeginTransaction,
+    CommitTransaction,
+    RollbackTransaction,
 ]

@@ -30,7 +30,7 @@ from repro.sql.tokens import (
 _NONRESERVED = frozenset(
     ["count", "sum", "avg", "min", "max", "abs", "date", "key", "index",
      "summary", "view", "check", "set", "all", "asc", "desc", "left",
-     "right", "year", "month"]
+     "right", "year", "month", "work", "transaction", "start"]
 )
 
 _COMPARISONS = frozenset(["=", "<>", "!=", "<", "<=", ">", ">="])
@@ -134,7 +134,26 @@ class _Parser:
             return self.update_statement()
         if token.is_keyword("drop"):
             return self.drop_statement()
+        if token.is_keyword("begin", "start"):
+            return self.begin_statement()
+        if token.is_keyword("commit"):
+            self.advance()
+            self.accept_keyword("work") or self.accept_keyword("transaction")
+            return ast.CommitTransaction()
+        if token.is_keyword("rollback"):
+            self.advance()
+            self.accept_keyword("work") or self.accept_keyword("transaction")
+            return ast.RollbackTransaction()
         raise self.error("expected a statement")
+
+    def begin_statement(self) -> ast.BeginTransaction:
+        """``BEGIN [WORK | TRANSACTION]`` or ``START TRANSACTION``."""
+        if self.accept_keyword("start"):
+            self.expect_keyword("transaction")
+        else:
+            self.expect_keyword("begin")
+            self.accept_keyword("work") or self.accept_keyword("transaction")
+        return ast.BeginTransaction()
 
     # -- SELECT / UNION ALL ------------------------------------------------
 

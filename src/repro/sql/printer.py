@@ -258,6 +258,18 @@ def _update(node: ast.Update) -> str:
     return f"UPDATE {node.table} SET {sets}{where}"
 
 
+def _begin_txn(node: ast.BeginTransaction) -> str:
+    return "BEGIN"
+
+
+def _commit_txn(node: ast.CommitTransaction) -> str:
+    return "COMMIT"
+
+
+def _rollback_txn(node: ast.RollbackTransaction) -> str:
+    return "ROLLBACK"
+
+
 _DISPATCH = {
     ast.Literal: _literal,
     ast.ColumnRef: _column,
@@ -277,4 +289,7 @@ _DISPATCH = {
     ast.Insert: _insert,
     ast.Delete: _delete,
     ast.Update: _update,
+    ast.BeginTransaction: _begin_txn,
+    ast.CommitTransaction: _commit_txn,
+    ast.RollbackTransaction: _rollback_txn,
 }

@@ -24,6 +24,7 @@ KEYWORDS = frozenset(
     create table index unique primary key foreign references check
     constraint enforced summary view materialized
     insert into values delete update set drop
+    begin commit rollback transaction start work
     true false date integer int bigint smallint double float real
     decimal numeric varchar char text string bool boolean
     count sum avg min max abs

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.engine.database import ChangeEvent
+from repro.engine.page import Page
 from repro.engine.transactions import Transaction
 from repro.errors import RollbackError, TransactionError
 
@@ -97,6 +99,104 @@ class TestExceptionSafeRollback:
         txn.insert("city", [8, "a"])
         txn.rollback()  # no RollbackError on the happy path
         assert people_database.table("city").row_count == 3
+
+
+class TestCompensatingEvents:
+    """Rollback must publish the exact inverse of every change, newest
+    first, so observers (the soft-constraint manager) unwind in lockstep
+    with the data."""
+
+    def test_inverse_events_in_strict_reverse_order(self, people_database):
+        txn = Transaction(people_database)
+        rid = txn.insert("city", [9, "x"])
+        rid = txn.update("city", rid, [9, "y"])
+        (ottawa,) = people_database.lookup_key("city", ["id"], [2])
+        txn.delete("city", ottawa)
+        txn.update("city", rid, [9, "z"])
+
+        events = []
+        people_database.add_observer(events.append)
+        try:
+            txn.rollback()
+        finally:
+            people_database.remove_observer(events.append)
+
+        assert events == [
+            ChangeEvent("update", "city", (9, "z"), (9, "y")),
+            ChangeEvent("insert", "city", None, (2, "ottawa")),
+            ChangeEvent("update", "city", (9, "y"), (9, "x")),
+            ChangeEvent("delete", "city", (9, "x"), None),
+        ]
+        names = {row["name"] for row in people_database.scan_dicts("city")}
+        assert names == {"toronto", "ottawa", "montreal"}
+
+    def test_forwarded_update_chain_rolls_back_via_remap(
+        self, people_database, monkeypatch
+    ):
+        # Force every update down the forwarding path (delete +
+        # re-insert at a new rid), as a full page would: each undo step
+        # then *moves* the row, and older undo entries only find it
+        # through the rollback remap.
+        monkeypatch.setattr(
+            Page, "can_update", lambda self, slot_no, row_bytes: False
+        )
+        txn = Transaction(people_database)
+        rid = txn.insert("city", [9, "a"])
+        rid = txn.update("city", rid, [9, "bb"])
+        rid = txn.update("city", rid, [9, "ccc"])
+
+        events = []
+        people_database.add_observer(events.append)
+        try:
+            txn.rollback()
+        finally:
+            people_database.remove_observer(events.append)
+
+        assert events == [
+            ChangeEvent("update", "city", (9, "ccc"), (9, "bb")),
+            ChangeEvent("update", "city", (9, "bb"), (9, "a")),
+            ChangeEvent("delete", "city", (9, "a"), None),
+        ]
+        # No leaked copy at any of the stale rids.
+        assert people_database.table("city").row_count == 3
+        ids = {row["id"] for row in people_database.scan_dicts("city")}
+        assert 9 not in ids
+
+    def test_interleaved_delete_update_on_one_row(
+        self, people_database, monkeypatch
+    ):
+        monkeypatch.setattr(
+            Page, "can_update", lambda self, slot_no, row_bytes: False
+        )
+        before = sorted(
+            (row["id"], row["name"])
+            for row in people_database.scan_dicts("city")
+        )
+        txn = Transaction(people_database)
+        (rid,) = people_database.lookup_key("city", ["id"], [3])
+        rid = txn.update("city", rid, [3, "mtl"])
+        txn.delete("city", rid)
+        rid = txn.insert("city", [3, "back"])
+        txn.update("city", rid, [3, "again"])
+
+        events = []
+        people_database.add_observer(events.append)
+        try:
+            txn.rollback()
+        finally:
+            people_database.remove_observer(events.append)
+
+        assert [e.kind for e in events] == [
+            "update",  # again -> back
+            "delete",  # undo the re-insert
+            "insert",  # undo the delete: montreal's mtl image returns
+            "update",  # mtl -> montreal
+        ]
+        after = sorted(
+            (row["id"], row["name"])
+            for row in people_database.scan_dicts("city")
+        )
+        assert after == before
 
 
 class TestStateMachine:
