@@ -46,6 +46,7 @@ SCHEMAS: Dict[str, Tuple[str, str, float]] = {
     "BENCH_e16.json": ("list_batched_s", "columnar_s", 5.0),
     # BENCH_e17.json has no timing pipelines: its ``sessions`` section is
     # gated by :func:`_check_sessions` (flush amortization, abort rate).
+    "BENCH_e18.json": ("primary_only_s", "fleet_s", 1.8),
 }
 
 #: Fallback timing key pairs tried, in order, for BENCH files that are
@@ -145,6 +146,62 @@ def _check_sessions(sessions: dict) -> List[str]:
     return failures
 
 
+def _check_replication(replication: dict) -> List[str]:
+    """Gate a replication section (``BENCH_e18.json``).
+
+    The correctness counters are absolute: replicas may never serve rows
+    that diverge from the primary's ground truth (mismatches), a routed
+    read under ``max_staleness=0`` may never be stale (stale-read
+    violations), and converged replicas may never miss a committed write
+    (lost updates).  The failover phase must have actually failed over
+    at least once, raised nothing outside the typed taxonomy, and kept
+    the per-statement p99 — kill included — under the recorded ceiling.
+    """
+    failures: List[str] = []
+    mismatches = replication.get("replica_read_mismatches", 0)
+    if mismatches:
+        failures.append(
+            f"replication: {mismatches} replica reads diverged from the "
+            f"primary's ground truth"
+        )
+    failover = replication.get("failover") or {}
+    if not failover.get("statements", 0):
+        failures.append("replication: failover phase served no statements")
+    elif failover.get("failovers", 0) < 1:
+        failures.append(
+            "replication: the server kill never forced a client failover"
+        )
+    if failover.get("untyped_errors", 0):
+        failures.append(
+            f"replication: {failover['untyped_errors']} errors escaped "
+            f"the typed taxonomy during failover"
+        )
+    ceiling = failover.get("max_p99_ms")
+    if ceiling is not None and failover.get("p99_ms", 0.0) > ceiling:
+        failures.append(
+            f"replication: failover p99 {failover.get('p99_ms')}ms over "
+            f"the recorded {ceiling}ms ceiling"
+        )
+    routed = replication.get("routed") or {}
+    if not routed.get("steps", 0):
+        failures.append("replication: routed loop ran no steps")
+    if routed.get("stale_read_violations", 0):
+        failures.append(
+            f"replication: {routed['stale_read_violations']} stale reads "
+            f"served under max_staleness=0"
+        )
+    if routed.get("lost_updates", 0):
+        failures.append(
+            f"replication: {routed['lost_updates']} converged replicas "
+            f"missing committed writes (lost updates)"
+        )
+    if not (
+        routed.get("reads_on_replica", 0) + routed.get("reads_on_primary", 0)
+    ):
+        failures.append("replication: the router placed no reads at all")
+    return failures
+
+
 def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
     """Return a list of human-readable regression descriptions (empty = ok)."""
     path = Path(path)
@@ -154,6 +211,8 @@ def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
         failures.extend(_check_corpus(payload["corpus"]))
     if isinstance(payload.get("sessions"), dict):
         failures.extend(_check_sessions(payload["sessions"]))
+    if isinstance(payload.get("replication"), dict):
+        failures.extend(_check_replication(payload["replication"]))
     for entry in payload.get("pipelines", []):
         name = entry.get("name", "?")
         baseline_key, candidate_key, headline_floor = _entry_keys(
@@ -223,6 +282,17 @@ def _speedups(path: Path) -> List[str]:
             f"{sessions.get('flush_amortization', '?')}x, abort rate "
             f"{sessions.get('abort_rate', 0.0)}, p99 "
             f"{sessions.get('p99_ms', '?')}ms"
+        )
+    replication = payload.get("replication")
+    if isinstance(replication, dict):
+        failover = replication.get("failover") or {}
+        routed = replication.get("routed") or {}
+        lines.append(
+            f"ok: {path.name} replication failovers "
+            f"{failover.get('failovers', 0)}, failover p99 "
+            f"{failover.get('p99_ms', '?')}ms, "
+            f"{routed.get('stale_read_violations', 0)} stale reads, "
+            f"{routed.get('lost_updates', 0)} lost updates"
         )
     for entry in payload.get("pipelines", []):
         baseline_key, candidate_key, _ = _entry_keys(path.name, entry)

@@ -167,8 +167,15 @@ class SoftDB:
             # Anything cached before recovery points at pre-crash objects.
             self.plan_cache.clear()
 
-    def checkpoint(self) -> int:
-        """Write a full-state checkpoint (durable sessions only)."""
+    def checkpoint(self, compact: bool = False) -> int:
+        """Write a full-state checkpoint (durable sessions only).
+
+        ``compact=True`` additionally truncates the WAL behind the
+        installed image (log compaction) — replay history before the
+        checkpoint is discarded and the log restarts a new generation,
+        which forces any attached replication shipper into a full
+        resync (see :mod:`repro.replication`).
+        """
         if self.durability is None:
             raise ExecutionError(
                 "this session is in-memory; construct it with a path "
@@ -177,7 +184,7 @@ class SoftDB:
         self.durability.session_state["constraint_sequence"] = (
             self._constraint_sequence
         )
-        return self.durability.checkpoint()
+        return self.durability.checkpoint(compact=compact)
 
     def close(self, checkpoint: bool = True) -> None:
         """Close the session; by default a final checkpoint is taken so

@@ -16,19 +16,28 @@ Entry points:
   per-database coordinator;
 * :class:`~repro.concurrency.server.SessionServer` /
   :class:`~repro.concurrency.server.SessionClient` — the asyncio
-  TCP front end.
+  TCP front end (with :class:`~repro.concurrency.client.
+  FailoverClient` layering retry/backoff/failover on top);
+* :class:`~repro.concurrency.routing.RoutedSession` — primary/replica
+  statement routing under a per-query currency (staleness) bound.
+
+The asyncio server and client live in their submodules
+(``repro.concurrency.server`` / ``repro.concurrency.client``) and are
+not re-exported here, keeping package import synchronous-only.
 """
 
 from repro.concurrency.engine import ConcurrencyEngine
 from repro.concurrency.groupcommit import GroupCommitter
 from repro.concurrency.locks import LockManager
 from repro.concurrency.mvcc import Snapshot, TransactionManager, VersionStore
+from repro.concurrency.routing import RoutedSession
 from repro.concurrency.session import Session
 
 __all__ = [
     "ConcurrencyEngine",
     "GroupCommitter",
     "LockManager",
+    "RoutedSession",
     "Session",
     "Snapshot",
     "TransactionManager",

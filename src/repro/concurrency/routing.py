@@ -1,0 +1,122 @@
+"""Primary/replica statement routing under a currency bound.
+
+A :class:`RoutedSession` fronts one durable primary and the replicas a
+:class:`~repro.replication.shipper.WalShipper` keeps caught up.  The
+routing rule is the paper's staleness economics applied to placement:
+
+* **writes** (DML, DDL, transaction control) always go to the primary —
+  replicas are read-only twins;
+* **reads** fan out round-robin across replicas whose currency margin
+  (committed-records-behind over row count, the Section 3.3 ``u/n``
+  arithmetic) is within the query's ``max_staleness`` bound;
+* a replica that is too stale, dead, partitioned, or mid-resync is
+  simply skipped; when none qualifies the read runs on the primary.
+
+Degrading to the primary rather than answering from a too-stale twin is
+the same contract soft constraints honor: a characterization outside
+its stated currency bound is not used, it is *bypassed* — never a
+silently wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ReplicationError,
+    ReplicaUnavailableError,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+__all__ = ["RoutedSession"]
+
+
+class RoutedSession:
+    """Route statements between one primary and its read replicas.
+
+    Parameters
+    ----------
+    db:
+        The primary :class:`~repro.api.SoftDB`.
+    shipper:
+        The :class:`~repro.replication.shipper.WalShipper` whose
+        attached replicas serve reads.
+    max_staleness:
+        Default currency-margin bound for reads (0.0 = only replicas
+        acknowledging the primary's full durable frontier may answer).
+        Overridable per query.
+    """
+
+    def __init__(self, db, shipper, max_staleness: float = 0.0) -> None:
+        self.db = db
+        self.shipper = shipper
+        self.max_staleness = max_staleness
+        self._round_robin = 0
+        # Where the last statement ran: ("replica", name, margin) or
+        # ("primary", reason, 0.0).
+        self.last_route: Optional[Tuple[str, str, float]] = None
+        self.reads_on_replica = 0
+        self.reads_on_primary = 0
+        self.writes = 0
+        self.degraded = 0  # reads skipped past a too-stale replica
+        self.replica_errors = 0  # reads that failed over mid-route
+
+    def execute(self, sql: str, max_staleness: Optional[float] = None):
+        """Run one statement on the side of the fleet it belongs on."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.SelectStatement, ast.UnionAll)):
+            self.writes += 1
+            self.last_route = ("primary", "write", 0.0)
+            return self.db.execute(sql)
+        bound = self.max_staleness if max_staleness is None else max_staleness
+        links = list(self.shipper.links.values())
+        count = len(links)
+        for step in range(count):
+            link = links[(self._round_robin + step) % count]
+            replica = link.replica
+            # Fresh lag against the primary's *current* durable
+            # frontier — trusting the last pump's lag would let a bound
+            # of 0.0 route to a replica the primary has since outrun.
+            lag = self.shipper.refresh_lag(link)
+            if lag is None:
+                continue
+            margin = lag.margin
+            if margin > bound:
+                self.degraded += 1
+                continue
+            try:
+                result = replica.execute(sql)
+            except (ReplicaUnavailableError, ReplicationError):
+                # The replica died between the health check and the
+                # read; fail over to the next candidate.
+                self.replica_errors += 1
+                continue
+            self._round_robin = (self._round_robin + step + 1) % count
+            self.reads_on_replica += 1
+            self.last_route = ("replica", replica.name, margin)
+            return result
+        self.reads_on_primary += 1
+        self.last_route = ("primary", "fallback", 0.0)
+        return self.db.execute(sql)
+
+    def query(
+        self, sql: str, max_staleness: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        return self.execute(sql, max_staleness=max_staleness).rows
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Routing counters for reporting."""
+        return {
+            "reads_on_replica": self.reads_on_replica,
+            "reads_on_primary": self.reads_on_primary,
+            "writes": self.writes,
+            "degraded": self.degraded,
+            "replica_errors": self.replica_errors,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutedSession(replicas={sorted(self.shipper.links)}, "
+            f"max_staleness={self.max_staleness})"
+        )

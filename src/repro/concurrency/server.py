@@ -16,8 +16,28 @@ control and DDL return neither.  Statements execute on a thread pool
 loop — and two connections' statements genuinely interleave, which is
 the whole point of the exercise.
 
+Failure behavior is typed end to end:
+
+* **load shedding** — past ``max_inflight`` concurrently-executing
+  statements the server rejects *before* execution with
+  :class:`~repro.errors.OverloadedError`, which clients treat as
+  retryable (nothing ran, so retrying is always safe);
+* **graceful shutdown** — :meth:`SessionServer.stop` stops accepting,
+  lets in-flight statements finish within a drain deadline, cancels
+  and rolls back stragglers, and answers anything that still arrives
+  with :class:`~repro.errors.ShutdownError` instead of a reset socket;
+* **client timeouts** — :class:`SessionClient` bounds connect and
+  statement waits; a breach raises
+  :class:`~repro.errors.NetworkError` and closes the connection, since
+  the outcome of the in-flight statement is unknown;
+* **rehydration** — a server error whose type the client cannot map
+  onto the taxonomy becomes :class:`~repro.errors.RemoteError`, so
+  callers always catch ``ReproError``, never a bare ``Exception``.
+
 :class:`SessionServer` owns the listener; :class:`SessionClient` is the
-matching line-protocol client.  Both are asyncio-native; the
+matching line-protocol client (see
+:class:`~repro.concurrency.client.FailoverClient` for the multi-
+endpoint retry/failover layer).  Both are asyncio-native; the
 traffic-simulator benchmark drives thousands of concurrent client
 coroutines against one server.
 """
@@ -28,7 +48,7 @@ import asyncio
 import json
 from typing import Any, Dict, Optional
 
-from repro.errors import ReproError, SessionError
+from repro.errors import NetworkError, ReproError, RemoteError
 
 __all__ = ["SessionServer", "SessionClient"]
 
@@ -39,31 +59,85 @@ def _encode(payload: Dict[str, Any]) -> bytes:
     return (json.dumps(payload, default=str) + "\n").encode("utf-8")
 
 
+def _error_response(
+    request_id: Any, type_name: str, message: str
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type_name, "message": message},
+    }
+
+
 class SessionServer:
-    """Serve sessions of one :class:`~repro.api.SoftDB` over TCP."""
+    """Serve sessions of one :class:`~repro.api.SoftDB` over TCP.
+
+    ``max_inflight`` caps statements executing concurrently across all
+    connections; excess requests are shed with a typed, retryable
+    rejection instead of queueing without bound behind the thread pool.
+    """
 
     def __init__(
-        self, db, host: str = "127.0.0.1", port: int = 0
+        self,
+        db,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: Optional[int] = None,
     ) -> None:
         self.db = db
         self.host = host
         self.port = port
+        self.max_inflight = max_inflight
         self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: set = set()
+        self._sessions: set = set()
+        self._inflight = 0
+        self._draining = False
         self.connections = 0
         self.statements_served = 0
+        self.shed = 0
+        self.stragglers = 0
 
     async def start(self) -> None:
+        self._draining = False
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port, limit=_MAX_LINE
         )
         # Resolve the OS-assigned port for port=0.
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        """Graceful shutdown: drain, then roll back stragglers.
+
+        New connections and new statements are answered with
+        :class:`~repro.errors.ShutdownError`; statements already
+        executing get ``drain_timeout`` seconds to finish.  Handler
+        tasks still alive after the deadline are cancelled — each one's
+        cleanup rolls back its session's open transaction — so the
+        database is left transaction-consistent either way.
+        """
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        while self._inflight and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        self.stragglers += self._inflight
+        # Flag every live session *before* any teardown runs: a
+        # straggler statement blocked on a lock must see the flag when
+        # the lock holder's rollback wakes it, whatever order the
+        # per-connection cleanups happen to run in.  Cancellation alone
+        # cannot guarantee that — it never interrupts the pool thread.
+        for session in list(self._sessions):
+            session.request_close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._server = None
 
     async def __aenter__(self) -> "SessionServer":
         await self.start()
@@ -77,7 +151,11 @@ class SessionServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
         session = self.db.session()
+        self._sessions.add(session)
         self.connections += 1
         loop = asyncio.get_running_loop()
         try:
@@ -94,19 +172,49 @@ class SessionServer:
                 except (ValueError, KeyError, TypeError):
                     writer.write(
                         _encode(
-                            {
-                                "id": None,
-                                "ok": False,
-                                "error": {
-                                    "type": "ProtocolError",
-                                    "message": "malformed request line",
-                                },
-                            }
+                            _error_response(
+                                None, "ProtocolError", "malformed request line"
+                            )
                         )
                     )
                     await writer.drain()
                     continue
-                response: Dict[str, Any] = {"id": request.get("id")}
+                request_id = request.get("id")
+                if self._draining:
+                    # Typed rejection instead of a reset socket: the
+                    # client knows to fail over, not to suspect a crash.
+                    writer.write(
+                        _encode(
+                            _error_response(
+                                request_id,
+                                "ShutdownError",
+                                "server is draining for shutdown",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    continue
+                if (
+                    self.max_inflight is not None
+                    and self._inflight >= self.max_inflight
+                ):
+                    # Shed *before* execution: the statement never ran,
+                    # so the client may retry it unconditionally.
+                    self.shed += 1
+                    writer.write(
+                        _encode(
+                            _error_response(
+                                request_id,
+                                "OverloadedError",
+                                f"server at max_inflight="
+                                f"{self.max_inflight}; retry after backoff",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    continue
+                response: Dict[str, Any] = {"id": request_id}
+                self._inflight += 1
                 try:
                     # The engine is synchronous: run the statement on
                     # the default thread pool so the loop keeps serving
@@ -128,13 +236,25 @@ class SessionServer:
                         response["rowcount"] = result
                     else:
                         response["rows"] = result.rows
+                finally:
+                    self._inflight -= 1
                 self.statements_served += 1
                 writer.write(_encode(response))
                 try:
                     await writer.drain()
                 except ConnectionError:
                     break
+        except asyncio.CancelledError:
+            # Shutdown cancelled this handler (drain deadline expired);
+            # returning lets cleanup run without the event loop logging
+            # an unretrieved-cancellation error for the task.
+            pass
         finally:
+            if task is not None:
+                self._tasks.discard(task)
+            self._sessions.discard(session)
+            # Rolls back any open transaction — the straggler cleanup
+            # the drain deadline promises.
             session.close()
             # close() alone: awaiting wait_closed here would race the
             # server shutdown's task cancellation.
@@ -146,7 +266,7 @@ class SessionClient:
 
     Usage::
 
-        client = await SessionClient.connect(host, port)
+        client = await SessionClient.connect(host, port, timeout=1.0)
         rows = (await client.execute("SELECT * FROM t"))["rows"]
         await client.close()
     """
@@ -159,45 +279,89 @@ class SessionClient:
         self._next_id = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "SessionClient":
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=_MAX_LINE
-        )
+    async def connect(
+        cls, host: str, port: int, timeout: Optional[float] = None
+    ) -> "SessionClient":
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port, limit=_MAX_LINE),
+                timeout,
+            )
+        except asyncio.TimeoutError:
+            raise NetworkError(
+                f"connect to {host}:{port} timed out after {timeout}s"
+            ) from None
+        except (ConnectionError, OSError) as error:
+            raise NetworkError(
+                f"connect to {host}:{port} failed: {error}"
+            ) from error
         return cls(reader, writer)
 
-    async def execute(self, sql: str) -> Dict[str, Any]:
+    async def execute(
+        self, sql: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
         """Send one statement; returns the decoded response dict.
 
         A server-side error response raises the matching typed error
-        when it is one of ours (``DeadlockError`` and friends re-raise
-        as themselves), otherwise :class:`SessionError`.
+        (``DeadlockError`` and friends re-raise as themselves; anything
+        unmapped becomes :class:`~repro.errors.RemoteError`).  A
+        ``timeout`` bounds the whole round trip; a breach — or any
+        transport failure — raises :class:`~repro.errors.NetworkError`
+        **and closes the connection**, because the statement's outcome
+        is unknown and a late response must not be mistaken for the
+        answer to a later request.
         """
         self._next_id += 1
         request_id = self._next_id
-        self._writer.write(_encode({"id": request_id, "sql": sql}))
-        await self._writer.drain()
-        line = await self._reader.readline()
+        try:
+            self._writer.write(_encode({"id": request_id, "sql": sql}))
+            line = await asyncio.wait_for(self._round_trip(), timeout)
+        except asyncio.TimeoutError:
+            await self.close()
+            raise NetworkError(
+                f"statement timed out after {timeout}s; outcome unknown"
+            ) from None
+        except (ConnectionError, OSError) as error:
+            await self.close()
+            raise NetworkError(f"connection failed: {error}") from error
         if not line:
-            raise SessionError("server closed the connection")
+            await self.close()
+            raise NetworkError(
+                "server closed the connection mid-statement; "
+                "outcome unknown"
+            )
         response = json.loads(line)
         if not response.get("ok"):
             error = response.get("error") or {}
             raise _rehydrate(error.get("type"), error.get("message", ""))
         return response
 
+    async def _round_trip(self) -> bytes:
+        await self._writer.drain()
+        return await self._reader.readline()
+
     async def close(self) -> None:
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except ConnectionError:
+        except (ConnectionError, OSError):
             pass
 
 
-def _rehydrate(type_name: Optional[str], message: str) -> Exception:
-    """Map a wire error back to the typed exception it started as."""
+def _rehydrate(type_name: Optional[str], message: str) -> ReproError:
+    """Map a wire error back to the typed exception it started as.
+
+    Only :class:`~repro.errors.ReproError` subclasses defined in the
+    taxonomy rehydrate as themselves; an unknown name, a non-error
+    attribute that happens to match, or a malformed error frame all
+    become :class:`~repro.errors.RemoteError` — the wire can degrade
+    *which* typed error the caller sees, never whether it is typed.
+    """
     import repro.errors as errors_module
 
     candidate = getattr(errors_module, type_name or "", None)
-    if isinstance(candidate, type) and issubclass(candidate, Exception):
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
         return candidate(message)
-    return SessionError(f"{type_name}: {message}")
+    return RemoteError(
+        f"{type_name}: {message}", remote_type=type_name or ""
+    )

@@ -41,6 +41,7 @@ from repro.engine.transactions import Transaction
 from repro.errors import (
     DeadlockError,
     SessionError,
+    ShutdownError,
     TransactionConflictError,
     TransactionError,
 )
@@ -109,6 +110,13 @@ class Session:
         self._cc_id: Optional[int] = None
         self._snapshot = None
         self._closed = False
+        # close() may be called while a statement is mid-flight on a
+        # pool thread (the server's drain-deadline cleanup does exactly
+        # that); these coordinate the hand-off so only one thread ever
+        # touches the transaction state.
+        self._close_requested = False
+        self._active = False
+        self._state_mutex = threading.Lock()
         # Instrumentation.
         self.statements = 0
         self.commits = 0
@@ -124,16 +132,46 @@ class Session:
         return self._txn is not None
 
     def close(self) -> None:
-        """Roll back any open transaction and release the session slot."""
-        if self._closed:
-            return
+        """Roll back any open transaction and release the session slot.
+
+        Safe to call while a statement is mid-flight on another thread:
+        asyncio cancellation cannot interrupt a pool thread, so the
+        close is *deferred* to the statement thread — the statement
+        aborts with :class:`~repro.errors.ShutdownError` at its next
+        lock grant or commit point (it must never commit into a closed
+        session) and then finishes the close itself.  Rolling back here
+        while the statement thread still holds the transaction would
+        race it.
+        """
+        with self._state_mutex:
+            if self._closed:
+                return
+            self._close_requested = True
+            if self._active:
+                return
+            self._closed = True
+        self._teardown()
+
+    def request_close(self) -> None:
+        """Flag the session for close without tearing anything down.
+
+        Shutdown calls this on *every* live session before any cleanup
+        runs: once the flags are set, no in-flight statement can commit
+        no matter what order the per-connection teardowns release locks
+        in.  The actual close still happens via :meth:`close` (or the
+        statement thread's deferred finish).
+        """
+        with self._state_mutex:
+            if not self._closed:
+                self._close_requested = True
+
+    def _teardown(self) -> None:
         if self._txn is not None:
             try:
                 with self._wal_context():
                     self._finish_rollback()
             finally:
                 self._clear_txn_state()
-        self._closed = True
         with self.cc._snap_mutex:
             self.cc.sessions_open -= 1
 
@@ -159,8 +197,24 @@ class Session:
         transaction-control statements ``BEGIN`` / ``COMMIT`` /
         ``ROLLBACK``.
         """
-        if self._closed:
-            raise SessionError(f"session {self.name!r} is closed")
+        with self._state_mutex:
+            if self._closed or self._close_requested:
+                raise SessionError(f"session {self.name!r} is closed")
+            self._active = True
+        try:
+            return self._execute(
+                sql, use_cache, batch_size, guard, cancel
+            )
+        finally:
+            with self._state_mutex:
+                self._active = False
+                finish_close = self._close_requested and not self._closed
+                if finish_close:
+                    self._closed = True
+            if finish_close:
+                self._teardown()
+
+    def _execute(self, sql, use_cache, batch_size, guard, cancel):
         self.statements += 1
         statement = parse_statement(sql)
         with self._wal_context():
@@ -243,6 +297,20 @@ class Session:
             self.cc.release_snapshot(snapshot)
             self.rollbacks += 1
 
+    def _check_close_requested(self) -> None:
+        """Abort the statement if the session was closed under it.
+
+        A lock wait can outlive the connection that issued the
+        statement (the server's drain deadline cancels the *awaiter*,
+        never the pool thread).  Winning the lock after that must not
+        turn into a commit — the caller's rollback path runs instead.
+        """
+        if self._close_requested:
+            raise ShutdownError(
+                f"session {self.name!r} was closed while the statement "
+                f"was in flight; rolling back"
+            )
+
     def _clear_txn_state(self) -> None:
         self._txn = None
         self._cc_id = None
@@ -295,6 +363,10 @@ class Session:
             self._begin()
         try:
             count = self._apply_dml(statement)
+            # The session may have been closed while this statement was
+            # blocked on a lock; it must not commit into a closed
+            # session.
+            self._check_close_requested()
         except (DeadlockError, TransactionConflictError):
             self.conflicts += 1
             self._rollback()  # victim rollback — locks freed, waiters wake
@@ -364,6 +436,7 @@ class Session:
         self.cc.lock_row_for_write(
             self._cc_id, table.name, rid, self._snapshot
         )
+        self._check_close_requested()
         with self.cc.latch:
             current = table.pages.pages[rid.page_id].slots[rid.slot_no]
         if current is None:

@@ -395,12 +395,20 @@ class DurabilityManager:
 
     # -- checkpoints --------------------------------------------------------
 
-    def checkpoint(self) -> int:
+    def checkpoint(self, compact: bool = False) -> int:
         """Write a full-state checkpoint; returns its sequence number.
 
         Taken at a statement boundary only (no open transaction — the
         image must be transaction-consistent, since replay starts *after*
         it).  A crash mid-checkpoint leaves the previous image installed.
+
+        With ``compact=True`` the WAL is truncated once the image is
+        installed and restarted with an epoch record naming this
+        checkpoint (see :meth:`WriteAheadLog.reset` for why that makes
+        the two-file update crash-safe).  Compaction bumps the log
+        generation, so any replication cursor into the old log is
+        invalidated and the shipper performs a full resync rather than
+        shipping bytes across the discontinuity.
         """
         with self._mutex:
             if self._open_txns or self._txn_stack:
@@ -410,6 +418,8 @@ class DurabilityManager:
             self._flush_run()
             payload = self._build_payload()
             write_checkpoint(self.checkpoint_path, payload, self.crash_points)
+            if compact:
+                self.wal.reset(payload["sequence"])
             self.checkpoints_taken += 1
             return payload["sequence"]
 
@@ -522,6 +532,17 @@ class DurabilityManager:
             self._restore(payload, summary)
             start_offset = payload["wal_offset"]
             summary["checkpoint"] = True
+            # Compaction check: a log that *begins* with an epoch record
+            # naming this checkpoint was truncated by it, so the image's
+            # recorded offset (measured in the pre-compaction log) is
+            # stale — replay starts just past the marker instead.
+            head = self.wal.head_record()
+            if (
+                head is not None
+                and head[0].get("op") == "epoch"
+                and head[0].get("sequence") == payload["sequence"]
+            ):
+                start_offset = head[1]
         records, end_offset, torn = self.wal.scan(start_offset)
         winners = {
             record["txn"]
@@ -532,7 +553,7 @@ class DurabilityManager:
         try:
             for position, record in enumerate(records):
                 op = record.get("op")
-                if op in ("commit", "abort"):
+                if op in ("commit", "abort", "epoch"):
                     continue
                 txn_id = record.get("txn")
                 if txn_id is not None and txn_id not in winners:

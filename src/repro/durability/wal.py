@@ -60,6 +60,18 @@ class WriteAheadLog:
         # Flush calls actually issued — the group-commit amortization
         # metric (flushes per commit) reads this.
         self.flushes = 0
+        # The durable frontier: byte offset (and appended-record count)
+        # covered by the last flush.  This is the replication shipping
+        # horizon — records past it are buffered only, so a crash could
+        # still revoke them, and the WAL shipper must never send them
+        # (the byte-granular twin of the group committer's
+        # ``_flushed_seq`` publication point).
+        self.durable_offset = self._file.tell()
+        self.durable_seq = 0
+        # Bumped by :meth:`reset` (log compaction).  Byte offsets are
+        # only comparable within one generation; a replication cursor
+        # carried across a bump is meaningless and forces a full resync.
+        self.generation = 0
         # Latched by a simulated crash: a dead process writes nothing
         # more, so cleanup code unwinding through the SimulatedCrash
         # (e.g. a transaction rollback) must not reach the disk either.
@@ -95,15 +107,45 @@ class WriteAheadLog:
         self._file.write(line)
         self.appended += 1
 
+    def mirror_line(self, line: bytes) -> None:
+        """Append one already-framed line verbatim (the replica path).
+
+        No crash-site consult and no re-framing: a replica's log must
+        stay a byte prefix of the primary's, and the replica's ingest
+        layer owns its own crash simulation (see :meth:`tear`).
+        """
+        if self.dead:
+            return
+        self._file.write(line)
+        self.appended += 1
+
+    def tear(self, line: bytes) -> None:
+        """Simulate dying mid-append of ``line``: a torn prefix reaches
+        the disk and the log is latched dead (replica kill support)."""
+        if self.dead:
+            return
+        self._file.write(line[: max(1, len(line) // 2)])
+        self._file.flush()
+        self.dead = True
+
     def flush(self) -> None:
         if self.dead:
             return
         self.flushes += 1
         self._file.flush()
+        self._mark_durable()
+
+    def _mark_durable(self) -> None:
+        """Publish the flushed frontier (never past a simulated death —
+        a torn crash prefix is on disk but must not ship)."""
+        if not self.dead:
+            self.durable_offset = self._file.tell()
+            self.durable_seq = self.appended
 
     def offset(self) -> int:
         """Current end-of-log byte offset (everything flushed first)."""
         self._file.flush()
+        self._mark_durable()
         return self._file.tell()
 
     def close(self) -> None:
@@ -125,6 +167,7 @@ class WriteAheadLog:
         :class:`WALCorruptionError`.
         """
         self._file.flush()
+        self._mark_durable()
         with open(self.path, "rb") as handle:
             handle.seek(from_offset)
             data = handle.read()
@@ -153,12 +196,63 @@ class WriteAheadLog:
         return records, offset, False
 
     def truncate_to(self, offset: int) -> None:
-        """Drop everything past ``offset`` (discarding a torn tail)."""
+        """Drop everything past ``offset`` (discarding a torn tail).
+
+        The durable frontier is pulled back with the file: a shipper
+        cursor past the new end now points at bytes that no longer
+        exist, which its next pump detects as a full-resync condition
+        rather than a silent gap.
+        """
         self._file.flush()
         self._file.close()
         with open(self.path, "r+b") as handle:
             handle.truncate(offset)
         self._file = open(self.path, "ab")
+        self.durable_offset = min(self.durable_offset, offset)
+
+    def reset(self, epoch_sequence: int) -> None:
+        """Compact: truncate to empty and stamp a new epoch record.
+
+        Called by a compacting checkpoint *after* its image is
+        installed.  The epoch record carries the checkpoint's sequence
+        number, which is what makes compaction crash-safe without a
+        cross-file atomic update: recovery trusts the checkpoint's
+        recorded ``wal_offset`` unless the log *begins* with an epoch
+        record naming that same checkpoint, in which case replay starts
+        just past the marker (the log was compacted by the checkpoint it
+        is being replayed against).  A crash before this call leaves the
+        full log behind an image whose offset points at its end — also
+        consistent.  The epoch write skips the crash-site consult: it is
+        not a workload append, and simulated crashes fire only at the
+        declared sites.
+        """
+        self._file.close()
+        open(self.path, "wb").close()
+        self._file = open(self.path, "ab")
+        self._file.write(
+            _frame({"op": "epoch", "sequence": epoch_sequence, "txn": None})
+        )
+        self._file.flush()
+        self.appended += 1
+        self.generation += 1
+        self.durable_offset = self._file.tell()
+        self.durable_seq = self.appended
+
+    def head_record(self) -> Optional[Tuple[Dict[str, Any], int]]:
+        """Decode the log's first framed record.
+
+        Returns ``(record, end_offset)`` — the offset just past it — or
+        None when the log is empty or its head is torn/corrupt.
+        """
+        self._file.flush()
+        with open(self.path, "rb") as handle:
+            head = handle.readline()
+        if not head.endswith(b"\n"):
+            return None
+        record = _decode_line(head[:-1])
+        if record is None:
+            return None
+        return record, len(head)
 
     def __repr__(self) -> str:
         return f"WriteAheadLog({self.path}, appended={self.appended})"

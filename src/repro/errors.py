@@ -251,6 +251,90 @@ class SessionError(ReproError):
     """Session misuse (statement on a closed session, nested BEGIN...)."""
 
 
+class RemoteError(SessionError):
+    """A server-side error arrived over the wire with a type this client
+    cannot map back onto the taxonomy.
+
+    :meth:`repro.concurrency.server.SessionClient._rehydrate` re-raises
+    known :class:`ReproError` subclasses as themselves; anything else —
+    an unknown name, a non-``ReproError``, a malformed error frame —
+    rehydrates to this class so callers always catch ``ReproError``.
+
+    Attributes
+    ----------
+    remote_type:
+        The type name the server reported, verbatim.
+    """
+
+    def __init__(self, message: str, remote_type: str = "") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
+class OverloadedError(SessionError):
+    """The server shed this statement: its in-flight cap is full.
+
+    Load shedding is graceful degradation, not failure — the statement
+    was rejected *before* execution, so the client may safely retry
+    after a backoff (see
+    :class:`repro.concurrency.client.FailoverClient`).
+    """
+
+
+class ShutdownError(SessionError):
+    """The server is draining for shutdown and rejected the statement.
+
+    Raised instead of a reset socket so clients can distinguish an
+    orderly shutdown (fail over to another endpoint) from a crash.
+    Statements already in flight when the drain began still complete.
+    """
+
+
+class NetworkError(ReproError):
+    """A network-level failure talking to a remote session server:
+    connect/statement timeout, reset connection, or unexpected EOF.
+
+    The request outcome is *unknown* — the statement may or may not have
+    executed — so only idempotent work should be blindly retried.  The
+    client closes the connection, since a response could still arrive
+    for a request it has given up on.
+    """
+
+
+class ReplicaUnavailableError(NetworkError):
+    """The replica (or its replication link) is down, severed, or closed.
+
+    Raised by the in-process replication link when a partition or kill
+    is simulated, and by the failover client when every endpoint in its
+    list has been exhausted.
+    """
+
+
+class ReplicationError(ReproError):
+    """Base class for WAL-shipping replication problems."""
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """A write (DML/DDL/transaction control) was routed to a replica.
+
+    Replicas apply the primary's WAL verbatim; any local write would
+    fork their state from the primary's committed prefix.  The router
+    sends writes to the primary — hitting this error means a caller
+    bypassed it.
+    """
+
+
+class ResyncRequiredError(ReplicationError):
+    """The replica's shipping cursor no longer matches the primary's log.
+
+    The signature of checkpoint-truncation (or recovery truncation)
+    racing a lagging replica: the cursor points past the primary's
+    durable end, or at bytes that no longer decode as a framed record.
+    Incremental shipping must stop — continuing would apply a gapped or
+    misaligned stream — and the shipper performs a full resync instead.
+    """
+
+
 class RollbackError(StorageError):
     """One or more undo entries failed while rolling a transaction back.
 

@@ -1,0 +1,402 @@
+"""The read replica: a WAL-mirroring, continuously-recovering twin.
+
+A :class:`Replica` owns its own database directory.  Its local WAL is a
+**byte prefix mirror** of the primary's log (same framed lines, same
+CRCs, same offsets modulo the resync base), which is what makes every
+replication guarantee reduce to one already proven by the crash
+differential: restart recovery is literally
+:meth:`~repro.durability.manager.DurabilityManager.recover` over the
+mirrored prefix, and bit-identity with the primary's committed prefix
+falls out of replaying the identical bytes through the identical
+``_apply`` path.
+
+Streaming apply buffers records per transaction and applies them only
+when the transaction's commit record arrives — a replica must never
+show uncommitted work, and it has no undo log to take it back with.  An
+abort record drops the buffer; records logged outside any transaction
+apply immediately (recovery treats them as unconditional winners too).
+
+Staleness is the paper's currency model: every committed-but-unshipped
+WAL record may flip one row of the replica's answer, so a replica
+``records_behind`` records on a database of ``n`` rows serves reads
+with the same ``u/n`` margin of error a statistical soft constraint
+carries after ``u`` updates (Section 3.3).  The router compares that
+margin against each query's ``max_staleness`` bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.api import SoftDB
+from repro.durability.checkpoint import write_checkpoint
+from repro.durability.manager import CHECKPOINT_NAME, WAL_NAME
+from repro.durability.wal import _decode_line
+from repro.errors import (
+    ReadOnlyReplicaError,
+    ReplicaUnavailableError,
+    ReplicationError,
+    ReproError,
+    ResyncRequiredError,
+)
+from repro.resilience.faults import CrashSchedule, SimulatedCrash
+from repro.softcon.currency import CurrencyModel
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+__all__ = ["Replica", "ReplicaLag"]
+
+#: WAL ops that change the catalog's shape; applying one invalidates
+#: every plan the replica's cache compiled against the old shape.
+_DDL_OPS = ("create_table", "create_index", "drop_table", "add_constraint")
+
+
+class ReplicaLag:
+    """One replica's staleness snapshot, as of the last shipment."""
+
+    __slots__ = ("bytes_behind", "records_behind", "margin")
+
+    def __init__(
+        self, bytes_behind: int, records_behind: int, margin: float
+    ) -> None:
+        self.bytes_behind = bytes_behind
+        self.records_behind = records_behind
+        self.margin = margin
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaLag(bytes={self.bytes_behind}, "
+            f"records={self.records_behind}, margin={self.margin:.4f})"
+        )
+
+
+class Replica:
+    """A read-only twin kept caught up by WAL shipping.
+
+    Parameters
+    ----------
+    path:
+        The replica's own directory (mirrored WAL + installed images).
+    name:
+        Display/routing name; defaults to the directory name.
+    crash_points:
+        Optional :class:`~repro.resilience.faults.CrashSchedule`.  The
+        ``wal_append`` site is visited once per mirrored record, so a
+        scheduled crash kills the replica mid-stream with a torn final
+        record — exactly what the primary-side crash suite inflicts.
+    """
+
+    def __init__(
+        self,
+        path: Any,
+        name: Optional[str] = None,
+        crash_points: Optional[CrashSchedule] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.name = name or f"replica-{self.path.name}"
+        self.crash_points = crash_points
+        # One mutex covers ingest, reads, and lifecycle: the shipper may
+        # pump from one thread while readers query from others.
+        self._mutex = threading.RLock()
+        self.db: Optional[SoftDB] = None
+        # Primary-stream offset corresponding to local WAL offset 0
+        # (the resync base); persisted through the installed image.
+        self._base = 0
+        # Uncommitted transactions mid-stream: txn id -> buffered records.
+        self._pending: Dict[int, List[Dict[str, Any]]] = {}
+        self.dead = False
+        # Lag knowledge as of the last shipment (see note_lag).
+        self._known_durable = 0
+        self._records_behind = 0
+        # Instrumentation.
+        self.lines_received = 0
+        self.txns_applied = 0
+        self.rows_applied = 0
+        self.duplicates = 0
+        self.torn_frames = 0
+        self.gap_rejects = 0
+        self.restarts = 0
+        self.apply_warnings: List[str] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def install_resync(self, payload: Dict[str, Any], base: int) -> None:
+        """Install a full primary image and restart streaming from ``base``.
+
+        The payload is a primary ``_build_payload()`` snapshot; it is
+        rebased to local offset 0 (the mirror restarts empty) and the
+        base is persisted inside the image's session state so a replica
+        restart recovers it along with everything else.
+        """
+        with self._mutex:
+            if self.db is not None:
+                self.db.durability.close()
+                self.db = None
+            payload = dict(payload)
+            session = dict(payload["session"])
+            session["replication_base"] = base
+            payload["session"] = session
+            payload["wal_offset"] = 0
+            wal_path = self.path / WAL_NAME
+            if wal_path.exists():
+                wal_path.unlink()
+            write_checkpoint(self.path / CHECKPOINT_NAME, payload)
+            self._pending = {}
+            self._open()
+
+    def _open(self) -> None:
+        """(Re)build the live stack from the directory: full recovery
+        over the mirrored prefix, then pending-buffer reconstruction."""
+        self.db = SoftDB.open(self.path, crash_points=self.crash_points)
+        self._base = self.db.durability.session_state.get(
+            "replication_base", 0
+        )
+        self.dead = False
+        self._rebuild_pending()
+
+    def _rebuild_pending(self) -> None:
+        """Re-buffer transactions whose records are mirrored but whose
+        commit/abort has not arrived yet (recovery skipped them; the
+        stream will resolve them)."""
+        records, _end, _torn = self.db.durability.wal.scan(0)
+        pending: Dict[int, List[Dict[str, Any]]] = {}
+        for record in records:
+            op = record.get("op")
+            txn = record.get("txn")
+            if op in ("commit", "abort"):
+                pending.pop(txn, None)
+            elif op == "epoch" or txn is None:
+                continue
+            else:
+                pending.setdefault(txn, []).append(record)
+        self._pending = pending
+
+    def kill(self) -> None:
+        """Abrupt death: the in-memory session is gone; only the
+        mirrored log and the last installed image survive for
+        :meth:`restart`."""
+        with self._mutex:
+            self.dead = True
+
+    def restart(self) -> None:
+        """Crash-recover from local state and resume streaming.
+
+        Runs the standard recovery pipeline over the mirrored prefix —
+        committed replay, torn-tail truncation, storage verification —
+        then rebuilds the pending buffer.  The acknowledged offset
+        regresses to the intact mirrored prefix, so the shipper simply
+        re-ships from there.
+        """
+        with self._mutex:
+            if self.db is not None:
+                self.db.durability.close()
+                self.db = None
+            self._pending = {}
+            self._open()
+            self.restarts += 1
+
+    def close(self) -> None:
+        with self._mutex:
+            self.dead = True
+            if self.db is not None:
+                self.db.durability.close()
+                self.db = None
+
+    def checkpoint(self) -> int:
+        """Persist the applied state so a restart recovers without
+        replaying the whole mirrored prefix.  Requires a transaction-
+        consistent point in the stream (no buffered transactions)."""
+        with self._mutex:
+            self._require_up()
+            if self._pending:
+                raise ReplicationError(
+                    f"replica {self.name!r} cannot checkpoint with "
+                    f"{len(self._pending)} transaction(s) still streaming"
+                )
+            return self.db.checkpoint()
+
+    # -- the stream ----------------------------------------------------------
+
+    def ack(self) -> int:
+        """The primary-stream offset this replica has durably mirrored
+        (the shipper's pull cursor — authoritative, gap-free)."""
+        with self._mutex:
+            self._require_up()
+            return self._base + self.db.durability.wal.offset()
+
+    def receive(self, offset: int, data: bytes) -> int:
+        """Ingest one shipment of framed WAL bytes at stream ``offset``.
+
+        Returns the count of bytes accepted (complete, CRC-intact
+        frames mirrored and dispatched).  Continuity is enforced, never
+        assumed: an overlap with already-mirrored bytes is skipped as a
+        duplicate (late/re-shipped packets), a torn or corrupt frame
+        rejects the remainder for re-shipment, and a gap — bytes from
+        beyond the mirrored prefix — raises
+        :class:`~repro.errors.ResyncRequiredError` rather than applying
+        a stream with a hole in it.
+        """
+        with self._mutex:
+            self._require_up()
+            wal = self.db.durability.wal
+            expected = self._base + wal.offset()
+            if offset > expected:
+                self.gap_rejects += 1
+                raise ResyncRequiredError(
+                    f"replica {self.name!r} mirrored up to stream offset "
+                    f"{expected} but was offered {offset}: gap in the "
+                    f"shipped log"
+                )
+            if offset < expected:
+                overlap = expected - offset
+                if overlap >= len(data):
+                    self.duplicates += 1
+                    return 0
+                data = data[overlap:]
+            position = 0
+            while True:
+                newline = data.find(b"\n", position)
+                if newline == -1:
+                    if position < len(data):
+                        self.torn_frames += 1
+                    break
+                line = data[position : newline + 1]
+                record = _decode_line(line[:-1])
+                if record is None:
+                    self.torn_frames += 1
+                    break
+                self._ingest(line, record)
+                position = newline + 1
+            wal.flush()
+            return position
+
+    def _ingest(self, line: bytes, record: Dict[str, Any]) -> None:
+        """Mirror one framed line and dispatch its record."""
+        wal = self.db.durability.wal
+        schedule = self.crash_points
+        if schedule is not None and schedule.should_crash("wal_append"):
+            wal.tear(line)
+            self.dead = True
+            raise SimulatedCrash(
+                "simulated replica crash during WAL mirror",
+                site="wal_append",
+            )
+        wal.mirror_line(line)
+        self.lines_received += 1
+        op = record.get("op")
+        txn = record.get("txn")
+        if op == "commit":
+            for buffered in self._pending.pop(txn, ()):
+                self._apply(buffered)
+            self.txns_applied += 1
+        elif op == "abort":
+            self._pending.pop(txn, None)
+        elif op == "epoch":
+            pass
+        elif txn is None:
+            self._apply(record)
+        else:
+            self._pending.setdefault(txn, []).append(record)
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        """Redo one committed record through the recovery apply path."""
+        manager = self.db.durability
+        manager._replaying = True
+        try:
+            self.rows_applied += manager._apply(
+                record, {"warnings": self.apply_warnings}
+            )
+        except ReproError as error:
+            # A record that cannot be applied means the twin has forked;
+            # serving reads from it would violate the bit-identity
+            # contract, so the replica takes itself out of rotation.
+            self.dead = True
+            raise ReplicationError(
+                f"replica {self.name!r} failed to apply a shipped "
+                f"{record.get('op')!r} record: {error}"
+            ) from error
+        finally:
+            manager._replaying = False
+        if record.get("op") in _DDL_OPS:
+            self.db.plan_cache.clear()
+
+    # -- staleness -----------------------------------------------------------
+
+    def note_lag(self, durable_offset: int, records_behind: int) -> None:
+        """Shipper callback: the primary's durable frontier and how many
+        committed records sit between it and our ack."""
+        with self._mutex:
+            self._known_durable = durable_offset
+            self._records_behind = records_behind
+
+    def lag(self) -> ReplicaLag:
+        with self._mutex:
+            if self.db is None or self.dead:
+                return ReplicaLag(0, 0, 1.0)
+            local = self._base + self.db.durability.wal.offset()
+            return ReplicaLag(
+                max(0, self._known_durable - local),
+                self._records_behind,
+                self.currency_bound(),
+            )
+
+    def currency_bound(self) -> float:
+        """This replica's staleness as a currency margin of error.
+
+        Each unshipped committed record may flip one row's contribution
+        to an answer, so the bound is the paper's ``u/n`` arithmetic
+        with ``u`` = records behind and ``n`` = the replica's row count
+        — computed by the same :class:`CurrencyModel` that prices
+        soft-constraint staleness.
+        """
+        with self._mutex:
+            if self.db is None or self.dead:
+                return 1.0
+            catalog = self.db.database.catalog
+            rows = sum(
+                catalog.table(name).row_count
+                for name in catalog.table_names()
+            )
+            model = CurrencyModel(rows)
+            model.record_update(self._records_behind)
+            return model.margin_of_error
+
+    # -- reads ---------------------------------------------------------------
+
+    def execute(self, sql: str):
+        """Run one read-only statement against the replica's state.
+
+        Anything but a query raises
+        :class:`~repro.errors.ReadOnlyReplicaError`: replicas apply the
+        primary's log verbatim, and a local write would fork the twin.
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.SelectStatement, ast.UnionAll)):
+            raise ReadOnlyReplicaError(
+                f"replica {self.name!r} is read-only; route "
+                f"{type(statement).__name__} to the primary"
+            )
+        with self._mutex:
+            self._require_up()
+            return self.db.execute(sql)
+
+    def query(self, sql: str) -> List[Dict[str, Any]]:
+        return self.execute(sql).rows
+
+    # -- internals -----------------------------------------------------------
+
+    def _require_up(self) -> None:
+        if self.dead or self.db is None:
+            raise ReplicaUnavailableError(
+                f"replica {self.name!r} is down"
+            )
+
+    def __repr__(self) -> str:
+        state = "dead" if self.dead else ("up" if self.db else "detached")
+        return (
+            f"Replica({self.name}, {state}, base={self._base}, "
+            f"pending={len(self._pending)})"
+        )

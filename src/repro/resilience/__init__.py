@@ -27,6 +27,8 @@ mark a plan suspect exactly like a large q-error would (see
 
 from repro.resilience.faults import (
     KINDS,
+    NETWORK_KINDS,
+    NETWORK_SITES,
     SITES,
     FaultInjector,
     FaultSpec,
@@ -46,6 +48,8 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "KINDS",
+    "NETWORK_KINDS",
+    "NETWORK_SITES",
     "QueryGuard",
     "RetryPolicy",
     "SITES",

@@ -40,6 +40,24 @@ from repro.resilience.guards import VirtualClock
 SITES = ("page_read", "page_write", "index_probe")
 KINDS = ("transient", "corrupt")
 
+#: Replication network fault sites (see :mod:`repro.replication`).  A
+#: ``net_frame`` visit is one shipment attempt of a chunk of framed WAL
+#: records from the primary's shipper to one replica's link.
+NETWORK_SITES = ("net_frame",)
+
+#: Network fault kinds, modelling what an unreliable link does to a
+#: shipment: ``drop`` loses it entirely (the pull-style cursor re-ships
+#: it next pump), ``truncate`` delivers a torn prefix (the replica
+#: rejects the torn frame and the intact remainder is re-shipped),
+#: ``delay`` parks the shipment and delivers it late (by which time its
+#: offset no longer matches — the replica's gap check rejects it), and
+#: ``sever`` cuts the connection (a partition of one replica until the
+#: link is restored).
+NETWORK_KINDS = ("drop", "truncate", "delay", "sever")
+
+_ALL_SITES = SITES + NETWORK_SITES
+_ALL_KINDS = KINDS + NETWORK_KINDS
+
 #: Named durability crash points (see :mod:`repro.durability`).  Unlike
 #: the storage fault SITES above — which model *recoverable* I/O trouble
 #: — a crash point models process death, after which the only way
@@ -103,10 +121,14 @@ class FaultSpec:
         every_nth: Optional[int] = None,
         limit: Optional[int] = None,
     ) -> None:
-        if site not in SITES:
-            raise ExecutionError(f"unknown fault site {site!r} (sites: {SITES})")
-        if kind not in KINDS:
-            raise ExecutionError(f"unknown fault kind {kind!r} (kinds: {KINDS})")
+        if site not in _ALL_SITES:
+            raise ExecutionError(
+                f"unknown fault site {site!r} (sites: {_ALL_SITES})"
+            )
+        if kind not in _ALL_KINDS:
+            raise ExecutionError(
+                f"unknown fault kind {kind!r} (kinds: {_ALL_KINDS})"
+            )
         if not 0.0 <= probability <= 1.0:
             raise ExecutionError(
                 f"probability must be in [0, 1], got {probability}"
@@ -148,7 +170,7 @@ class FaultInjector:
         self.clock = clock if clock is not None else VirtualClock()
         self.enabled = True
         self.specs: List[FaultSpec] = []
-        self.visits: Dict[str, int] = {site: 0 for site in SITES}
+        self.visits: Dict[str, int] = {site: 0 for site in _ALL_SITES}
         self.injected: Dict[Tuple[str, str], int] = {}
         # (page, slot_no, original value) of the live page corruption, so
         # a detected torn read can be healed (the simulated disk image is

@@ -1,0 +1,127 @@
+"""RoutedSession placement rules: writes to the primary, reads to
+replicas under a currency bound, graceful degradation everywhere else.
+"""
+
+import pytest
+
+from repro.api import SoftDB
+from repro.concurrency import RoutedSession
+from repro.errors import ReadOnlyReplicaError
+from repro.replication import Replica, WalShipper
+
+pytestmark = pytest.mark.replication
+
+PROBE = "SELECT id, v FROM t ORDER BY id"
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    primary = SoftDB.open(tmp_path / "primary")
+    primary.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    primary.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    shipper = WalShipper(primary)
+    replicas = [Replica(tmp_path / f"r{n}") for n in range(2)]
+    for replica in replicas:
+        shipper.attach(replica)
+    assert shipper.pump_until_synced()
+    yield primary, shipper, replicas
+    for replica in replicas:
+        replica.close()
+    primary.close(checkpoint=False)
+
+
+def test_writes_route_to_primary_only(fleet):
+    primary, shipper, replicas = fleet
+    routed = RoutedSession(primary, shipper)
+    assert routed.execute("INSERT INTO t VALUES (3, 30)") == 1
+    assert routed.last_route == ("primary", "write", 0.0)
+    assert routed.writes == 1
+    # The replicas have not been pumped: the write exists only on the
+    # primary until shipping catches them up.
+    for replica in replicas:
+        assert replica.query(PROBE) == [
+            {"id": 1, "v": 10},
+            {"id": 2, "v": 20},
+        ]
+    assert shipper.pump_until_synced()
+    for replica in replicas:
+        assert {"id": 3, "v": 30} in replica.query(PROBE)
+
+
+def test_reads_round_robin_across_synced_replicas(fleet):
+    primary, shipper, replicas = fleet
+    routed = RoutedSession(primary, shipper, max_staleness=0.0)
+    served = [routed.execute(PROBE) and routed.last_route for _ in range(4)]
+    names = [route[1] for route in served]
+    assert all(route[0] == "replica" for route in served)
+    assert set(names) == {replica.name for replica in replicas}
+    assert names[:2] == names[2:], "round-robin order should repeat"
+    assert routed.reads_on_replica == 4
+    assert routed.reads_on_primary == 0
+
+
+def test_strict_bound_degrades_stale_replicas_to_primary(fleet):
+    primary, shipper, replicas = fleet
+    routed = RoutedSession(primary, shipper, max_staleness=0.0)
+    # An unpumped write makes every replica stale *right now* — the
+    # router must notice against the live frontier, not the lag recorded
+    # at the last pump (which still says zero).
+    primary.execute("INSERT INTO t VALUES (4, 40)")
+    got = routed.execute(PROBE)
+    assert routed.last_route == ("primary", "fallback", 0.0)
+    assert {"id": 4, "v": 40} in got.rows
+    assert routed.degraded == len(replicas)
+    # Once shipped, replicas serve again.
+    assert shipper.pump_until_synced()
+    assert {"id": 4, "v": 40} in routed.execute(PROBE).rows
+    assert routed.last_route[0] == "replica"
+
+
+def test_loose_bound_serves_bounded_stale_snapshot(fleet):
+    primary, shipper, replicas = fleet
+    frozen = replicas[0].query(PROBE)
+    primary.execute("INSERT INTO t VALUES (5, 50)")
+    routed = RoutedSession(primary, shipper, max_staleness=1.0)
+    assert routed.query(PROBE) == frozen
+    where, name, margin = routed.last_route
+    assert where == "replica"
+    assert 0.0 < margin <= 1.0
+    # Per-query override tightens the bound below this staleness.
+    assert routed.query(PROBE, max_staleness=0.0) == primary.query(PROBE)
+    assert routed.last_route[0] == "primary"
+
+
+def test_dead_replica_skipped_until_restart(fleet):
+    primary, shipper, replicas = fleet
+    routed = RoutedSession(primary, shipper, max_staleness=0.0)
+    replicas[0].kill()
+    for _ in range(3):
+        routed.execute(PROBE)
+        assert routed.last_route[:2] == ("replica", replicas[1].name)
+    replicas[0].restart()
+    assert shipper.pump_until_synced()
+    names = set()
+    for _ in range(3):
+        routed.execute(PROBE)
+        names.add(routed.last_route[1])
+    assert replicas[0].name in names
+
+
+def test_all_replicas_down_falls_back_to_primary(fleet):
+    primary, shipper, replicas = fleet
+    for replica in replicas:
+        replica.kill()
+    routed = RoutedSession(primary, shipper, max_staleness=1.0)
+    assert routed.query(PROBE) == primary.query(PROBE)
+    assert routed.last_route == ("primary", "fallback", 0.0)
+
+
+def test_replica_rejects_writes_with_typed_error(fleet):
+    primary, shipper, replicas = fleet
+    with pytest.raises(ReadOnlyReplicaError):
+        replicas[0].execute("INSERT INTO t VALUES (9, 90)")
+    with pytest.raises(ReadOnlyReplicaError):
+        replicas[0].execute("CREATE TABLE u (x INT)")
+    # The router never trips over this: it sends writes to the primary.
+    routed = RoutedSession(primary, shipper)
+    assert routed.execute("DELETE FROM t WHERE id = 2") == 1

@@ -27,6 +27,7 @@ SCOPED = (
     "engine",
     "executor",
     "expr",
+    "replication",
     "feedback",
     "optimizer",
     "resilience",
