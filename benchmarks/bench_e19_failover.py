@@ -1,0 +1,213 @@
+"""E19 — Automatic failover: recovery time, zero lost commits, fencing.
+
+Three measurements, mirroring ISSUE 10's acceptance bar:
+
+**Recovery time.**  A fleet (durable primary + two WAL-shipped
+replicas) runs a tagged commit storm; the primary is then killed (even
+trials) or asymmetrically partitioned away from the failure detector
+(odd trials — the split-brain inducer).  The moment the lease-based
+detector suspects the primary, a wall-clock timer starts; it stops at
+the first *successful* write on the promoted replica.  That
+detection→first-successful-write span — election, drain through
+recovery replay, epoch bump, fence attach, shipper rebuild — is the
+recovery time; its p99 across trials must stay under the recorded
+(generous) ceiling.
+
+**Zero lost updates.**  Every storm write is tagged, and the cluster
+ledgers which tags reached cluster-ack (durable on the primary and
+mirrored by >= 1 replica).  After every promotion each cluster-acked
+tag must exist on the new primary — the count of missing tags is
+recorded and gated at zero.
+
+**Fencing + currency bound.**  On partition trials the deposed primary
+is still alive: every write it attempts must raise a typed
+:class:`~repro.errors.FencedError` (anything else counts as untyped,
+gated at zero).  After each promotion a :class:`RoutedSession` is
+rebound to the new primary and a ``max_staleness=0`` read must match
+the new primary's answer exactly — stale-read violations are gated at
+zero.
+
+Set ``E19_FAST=1`` for a smoke run: fewer trials, shorter storms,
+results to a temp directory so the committed BENCH_e19.json is never
+clobbered.
+"""
+
+import json
+import os
+import random
+import tempfile
+import time
+from pathlib import Path
+from statistics import quantiles
+
+from repro import SoftDB
+from repro.concurrency.routing import RoutedSession
+from repro.errors import FencedError, ReproError
+from repro.replication import FailoverCluster, Replica
+
+FAST = bool(os.environ.get("E19_FAST"))
+
+TRIALS = 4 if FAST else 12
+STORM_WRITES = 12 if FAST else 40
+#: Generous ceiling: a promotion closes and crash-recovers the winner's
+#: database, stamps the epoch, and full-resyncs every survivor.
+MAX_RECOVERY_P99_MS = 1500.0
+
+SEEDS = (7, 23, 1009)
+
+RESULTS_PATH = (
+    Path(tempfile.mkdtemp(prefix="bench_e19_")) / "BENCH_e19.json"
+    if FAST
+    else Path(__file__).resolve().parent / "BENCH_e19.json"
+)
+
+_SECTIONS = {}
+
+
+def _build_cluster(base_dir, seed, replicas=2):
+    primary = SoftDB.open(base_dir / "primary")
+    primary.execute("CREATE TABLE ledger (id INT PRIMARY KEY, v INT)")
+    fleet = FailoverCluster(primary, lease_timeout=1.0)
+    twins = [
+        Replica(base_dir / f"replica{n}", name=f"replica{n}")
+        for n in range(replicas)
+    ]
+    for twin in twins:
+        fleet.attach(twin)
+    return fleet, twins
+
+
+def _storm(fleet, rng, start, count):
+    for n in range(start, start + count):
+        fleet.execute(
+            f"INSERT INTO ledger VALUES ({n}, {rng.randrange(10_000)})",
+            tag=n,
+        )
+        fleet.tick(advance=0.1)
+    return start + count
+
+
+def _one_trial(base_dir, seed, partition):
+    """One failover trial; returns its measurement record."""
+    rng = random.Random(seed)
+    fleet, twins = _build_cluster(base_dir, seed)
+    next_id = _storm(fleet, rng, 0, STORM_WRITES)
+    deposed_db = fleet.primary_db if partition else None
+    if partition:
+        fleet.channel.partition()
+    else:
+        fleet.kill_primary()
+    while not fleet.primary_suspected():
+        fleet.tick(advance=0.3)
+    # Detection has fired: recovery is everything from here to the
+    # first successful write on the new primary.
+    started = time.perf_counter()
+    fleet.promote()
+    fleet.execute(
+        f"INSERT INTO ledger VALUES ({next_id}, 0)", tag=next_id
+    )
+    recovery_ms = (time.perf_counter() - started) * 1000
+    next_id += 1
+    # Invariant: every cluster-acked tag survived the promotion.
+    present = {
+        row["id"]
+        for row in fleet.primary_db.query("SELECT id FROM ledger")
+    }
+    lost = sum(1 for tag in fleet.cluster_acked if tag not in present)
+    # Fencing: the deposed-but-alive primary may only fail typed.
+    fenced = untyped = 0
+    if deposed_db is not None:
+        for n in range(next_id, next_id + 3):
+            try:
+                deposed_db.execute(f"INSERT INTO ledger VALUES ({n}, 0)")
+                untyped += 1  # a deposed primary accepted a write
+            except FencedError:
+                fenced += 1
+            except ReproError:
+                untyped += 1
+            except Exception:  # noqa: BLE001 - the thing being gated
+                untyped += 1
+    # Currency bound after rebind: a max_staleness=0 routed read must
+    # match the new primary exactly.
+    routed = RoutedSession(
+        fleet.primary_db, fleet.shipper, max_staleness=0.0
+    )
+    probe = "SELECT id, v FROM ledger ORDER BY id"
+    stale = int(routed.query(probe) != fleet.primary_db.query(probe))
+    acked = len(fleet.cluster_acked)
+    for twin in twins:
+        twin.close()
+    for _name, old_db in fleet.deposed:
+        old_db.durability.close()
+    fleet.primary_db.durability.close()
+    return {
+        "seed": seed,
+        "mode": "partition" if partition else "kill",
+        "recovery_ms": round(recovery_ms, 3),
+        "cluster_acked": acked,
+        "lost_updates": lost,
+        "fenced_rejections": fenced,
+        "untyped_errors": untyped,
+        "stale_read_violations": stale,
+    }
+
+
+def test_e19_failover_recovery_time(report, tmp_path):
+    trials = []
+    for n in range(TRIALS):
+        seed = SEEDS[n % len(SEEDS)] + n
+        trials.append(
+            _one_trial(tmp_path / f"trial{n}", seed, partition=n % 2 == 1)
+        )
+    recoveries = sorted(t["recovery_ms"] for t in trials)
+    grid = quantiles(recoveries, n=100)
+    failover = {
+        "trials": len(trials),
+        "storm_writes": STORM_WRITES,
+        "recovery_p50_ms": round(grid[49], 3),
+        "recovery_p99_ms": round(grid[98], 3),
+        "max_recovery_p99_ms": MAX_RECOVERY_P99_MS,
+        "cluster_acked": sum(t["cluster_acked"] for t in trials),
+        "lost_updates": sum(t["lost_updates"] for t in trials),
+        "fenced_rejections": sum(t["fenced_rejections"] for t in trials),
+        "untyped_errors": sum(t["untyped_errors"] for t in trials),
+        "stale_read_violations": sum(
+            t["stale_read_violations"] for t in trials
+        ),
+    }
+    _SECTIONS["failover"] = failover
+    _SECTIONS["trials"] = trials
+    report(
+        "E19: detection -> first-successful-write recovery across "
+        f"{len(trials)} failovers",
+        ["mode", "seed", "recovery ms", "acked", "lost", "fenced",
+         "stale"],
+        [
+            [t["mode"], t["seed"], t["recovery_ms"], t["cluster_acked"],
+             t["lost_updates"], t["fenced_rejections"],
+             t["stale_read_violations"]]
+            for t in trials
+        ],
+    )
+    assert failover["lost_updates"] == 0, (
+        "cluster-acked commits were lost across a promotion"
+    )
+    assert failover["untyped_errors"] == 0
+    assert failover["stale_read_violations"] == 0
+    assert failover["fenced_rejections"] > 0, (
+        "no partition trial exercised the fence"
+    )
+    assert failover["recovery_p99_ms"] <= MAX_RECOVERY_P99_MS
+
+    # Last test: assemble and gate the results file.
+    payload = {
+        "experiment": "E19",
+        "cpu_count": os.cpu_count(),
+        "fast_mode": FAST,
+        "failover": _SECTIONS["failover"],
+        "trials": _SECTIONS["trials"],
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    from check_bench_regression import check_regressions
+
+    assert check_regressions(RESULTS_PATH) == []

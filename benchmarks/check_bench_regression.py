@@ -47,6 +47,9 @@ SCHEMAS: Dict[str, Tuple[str, str, float]] = {
     # BENCH_e17.json has no timing pipelines: its ``sessions`` section is
     # gated by :func:`_check_sessions` (flush amortization, abort rate).
     "BENCH_e18.json": ("primary_only_s", "fleet_s", 1.8),
+    # BENCH_e19.json has no timing pipelines either: its top-level
+    # ``failover`` section is gated by :func:`_check_failover` (recovery
+    # p99 ceiling, zero lost updates / untyped errors / stale reads).
 }
 
 #: Fallback timing key pairs tried, in order, for BENCH files that are
@@ -202,6 +205,50 @@ def _check_replication(replication: dict) -> List[str]:
     return failures
 
 
+def _check_failover(failover: dict) -> List[str]:
+    """Gate an automatic-failover section (``BENCH_e19.json``).
+
+    The correctness counters are absolute: a promotion may never lose a
+    cluster-acked commit, a deposed primary may only fail with the typed
+    :class:`FencedError` (anything else is an untyped error), and a
+    rebound ``max_staleness=0`` routed read may never be stale.  The run
+    must have exercised the fence at least once (a partition trial), and
+    the detection-to-first-successful-write p99 must stay under the
+    recorded ceiling.
+    """
+    failures: List[str] = []
+    if not failover.get("trials", 0):
+        failures.append("failover: no failover trials ran")
+    if not failover.get("cluster_acked", 0):
+        failures.append("failover: no commit ever reached cluster-ack")
+    if failover.get("lost_updates", 0):
+        failures.append(
+            f"failover: {failover['lost_updates']} cluster-acked commits "
+            f"lost across a promotion"
+        )
+    if failover.get("untyped_errors", 0):
+        failures.append(
+            f"failover: {failover['untyped_errors']} deposed-primary "
+            f"writes failed outside the typed FencedError path"
+        )
+    if failover.get("stale_read_violations", 0):
+        failures.append(
+            f"failover: {failover['stale_read_violations']} stale reads "
+            f"served after rebind under max_staleness=0"
+        )
+    if not failover.get("fenced_rejections", 0):
+        failures.append(
+            "failover: no partition trial ever exercised the fence"
+        )
+    ceiling = failover.get("max_recovery_p99_ms")
+    if ceiling is not None and failover.get("recovery_p99_ms", 0.0) > ceiling:
+        failures.append(
+            f"failover: recovery p99 {failover.get('recovery_p99_ms')}ms "
+            f"over the recorded {ceiling}ms ceiling"
+        )
+    return failures
+
+
 def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
     """Return a list of human-readable regression descriptions (empty = ok)."""
     path = Path(path)
@@ -213,6 +260,8 @@ def check_regressions(path: Path = DEFAULT_RESULTS) -> List[str]:
         failures.extend(_check_sessions(payload["sessions"]))
     if isinstance(payload.get("replication"), dict):
         failures.extend(_check_replication(payload["replication"]))
+    if isinstance(payload.get("failover"), dict):
+        failures.extend(_check_failover(payload["failover"]))
     for entry in payload.get("pipelines", []):
         name = entry.get("name", "?")
         baseline_key, candidate_key, headline_floor = _entry_keys(
@@ -293,6 +342,15 @@ def _speedups(path: Path) -> List[str]:
             f"{failover.get('p99_ms', '?')}ms, "
             f"{routed.get('stale_read_violations', 0)} stale reads, "
             f"{routed.get('lost_updates', 0)} lost updates"
+        )
+    failover = payload.get("failover")
+    if isinstance(failover, dict):
+        lines.append(
+            f"ok: {path.name} failover {failover.get('trials', 0)} trials, "
+            f"recovery p99 {failover.get('recovery_p99_ms', '?')}ms, "
+            f"{failover.get('lost_updates', 0)} lost updates, "
+            f"{failover.get('fenced_rejections', 0)} fenced rejections, "
+            f"{failover.get('stale_read_violations', 0)} stale reads"
         )
     for entry in payload.get("pipelines", []):
         baseline_key, candidate_key, _ = _entry_keys(path.name, entry)

@@ -9,7 +9,11 @@ needs:
   same endpoint), :class:`~repro.errors.ShutdownError` (orderly drain:
   fail over to the next endpoint), and :class:`~repro.errors.
   NetworkError` (outcome *unknown*: fail over, but only retry the
-  statement when the caller declared it idempotent);
+  statement when the caller declared it idempotent), and
+  :class:`~repro.errors.FencedError` (a deposed primary rejected the
+  write *before* any durability point: outcome known, so the client
+  redirects to the next endpoint and may re-issue even non-idempotent
+  statements);
 * **capped exponential backoff with jitter** — seeded, so failover
   tests replay deterministically; jitter keeps a thundering herd of
   recovering clients from re-synchronizing on the server;
@@ -30,17 +34,32 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.concurrency.server import SessionClient
 from repro.errors import (
+    FencedError,
     NetworkError,
     OverloadedError,
     ReplicaUnavailableError,
     ShutdownError,
 )
+from repro.resilience.guards import VirtualClock
 
 __all__ = ["BackoffPolicy", "FailoverClient"]
 
 
 class BackoffPolicy:
-    """Capped exponential backoff with seeded jitter."""
+    """Capped exponential backoff with seeded jitter and an overall
+    elapsed-time budget.
+
+    ``max_elapsed`` bounds the *total* virtual time a caller may spend
+    backing off across a retry sequence: when granting one more delay
+    would push the cumulative total past the budget, :meth:`delay`
+    raises :class:`~repro.errors.ReplicaUnavailableError` instead —
+    chained (``from cause``) to the failure that provoked the retry, so
+    the caller's traceback still names the real problem.  A delay that
+    lands the total exactly on ``max_elapsed`` is still granted; only
+    exceeding it trips.  Time is accounted on a
+    :class:`~repro.resilience.guards.VirtualClock`, so budget tests are
+    deterministic and sleep-free.
+    """
 
     def __init__(
         self,
@@ -49,18 +68,48 @@ class BackoffPolicy:
         cap: float = 0.5,
         jitter: float = 0.5,
         seed: int = 0,
+        max_elapsed: Optional[float] = None,
+        clock: Optional[VirtualClock] = None,
     ) -> None:
         self.base_delay = base_delay
         self.multiplier = multiplier
         self.cap = cap
         self.jitter = jitter
         self.rng = random.Random(seed)
+        self.max_elapsed = max_elapsed
+        self.clock = clock if clock is not None else VirtualClock()
+        self.elapsed = 0.0
+        self.exhaustions = 0
 
-    def delay(self, attempt: int) -> float:
+    def delay(
+        self, attempt: int, cause: Optional[BaseException] = None
+    ) -> float:
         """Sleep before retry number ``attempt`` (0-based): capped
-        exponential, then jittered down by up to ``jitter`` of itself."""
+        exponential, then jittered down by up to ``jitter`` of itself.
+
+        Raises :class:`~repro.errors.ReplicaUnavailableError` (chained
+        to ``cause``) when granting this delay would exceed the
+        ``max_elapsed`` budget.
+        """
         base = min(self.cap, self.base_delay * (self.multiplier ** attempt))
-        return base * (1.0 - self.jitter * self.rng.random())
+        chosen = base * (1.0 - self.jitter * self.rng.random())
+        if (
+            self.max_elapsed is not None
+            and self.elapsed + chosen > self.max_elapsed
+        ):
+            self.exhaustions += 1
+            raise ReplicaUnavailableError(
+                f"retry budget exhausted: {self.elapsed:.4f}s of backoff "
+                f"spent and the next {chosen:.4f}s delay would exceed "
+                f"max_elapsed={self.max_elapsed}"
+            ) from cause
+        self.elapsed += chosen
+        self.clock.sleep(chosen)
+        return chosen
+
+    def reset(self) -> None:
+        """Open a fresh budget window (a new logical operation)."""
+        self.elapsed = 0.0
 
 
 class FailoverClient:
@@ -102,6 +151,7 @@ class FailoverClient:
         self.retries = 0
         self.failovers = 0
         self.sheds_seen = 0
+        self.fenced_seen = 0
 
     @property
     def endpoint(self) -> Tuple[str, int]:
@@ -124,7 +174,9 @@ class FailoverClient:
         for attempt in range(self.max_attempts):
             if attempt:
                 self.retries += 1
-                await asyncio.sleep(self.backoff.delay(attempt - 1))
+                await asyncio.sleep(
+                    self.backoff.delay(attempt - 1, cause=last_error)
+                )
             try:
                 await self._ensure_connected()
                 return await self._client.execute(
@@ -134,6 +186,16 @@ class FailoverClient:
                 # Shed pre-execution: same endpoint, just back off.
                 self.sheds_seen += 1
                 last_error = error
+            except FencedError as error:
+                # The endpoint is a deposed primary: failover promoted
+                # someone else, and the write was rejected *before* any
+                # durability point.  The outcome is known (nothing
+                # executed), so re-issuing on the next endpoint is safe
+                # even for non-idempotent statements — this is the
+                # primary-redirect path, not a blind retry.
+                self.fenced_seen += 1
+                last_error = error
+                await self._fail_over()
             except ShutdownError as error:
                 # Orderly drain: this endpoint is going away.
                 last_error = error

@@ -61,6 +61,13 @@ class RoutedSession:
         self.writes = 0
         self.degraded = 0  # reads skipped past a too-stale replica
         self.replica_errors = 0  # reads that failed over mid-route
+        self.rebinds = 0  # write-target swaps (failover promotions)
+        # Per-endpoint placement ledger: how many statements each
+        # endpoint ("primary" or a replica name) actually served.
+        self.route_counts: Dict[str, int] = {}
+        # Why the most recent read skipped a replica (stale margin,
+        # unavailable, mid-route failure); None until a skip happens.
+        self.last_degradation: Optional[str] = None
 
     def execute(self, sql: str, max_staleness: Optional[float] = None):
         """Run one statement on the side of the fleet it belongs on."""
@@ -68,6 +75,7 @@ class RoutedSession:
         if not isinstance(statement, (ast.SelectStatement, ast.UnionAll)):
             self.writes += 1
             self.last_route = ("primary", "write", 0.0)
+            self._count_route("primary")
             return self.db.execute(sql)
         bound = self.max_staleness if max_staleness is None else max_staleness
         links = list(self.shipper.links.values())
@@ -80,30 +88,59 @@ class RoutedSession:
             # of 0.0 route to a replica the primary has since outrun.
             lag = self.shipper.refresh_lag(link)
             if lag is None:
+                self.last_degradation = (
+                    f"{replica.name}: unavailable (dead, severed, or "
+                    f"mid-resync)"
+                )
                 continue
             margin = lag.margin
             if margin > bound:
                 self.degraded += 1
+                self.last_degradation = (
+                    f"{replica.name}: margin {margin:.4f} exceeds "
+                    f"bound {bound:.4f}"
+                )
                 continue
             try:
                 result = replica.execute(sql)
-            except (ReplicaUnavailableError, ReplicationError):
+            except (ReplicaUnavailableError, ReplicationError) as error:
                 # The replica died between the health check and the
                 # read; fail over to the next candidate.
                 self.replica_errors += 1
+                self.last_degradation = (
+                    f"{replica.name}: failed mid-route "
+                    f"({type(error).__name__})"
+                )
                 continue
             self._round_robin = (self._round_robin + step + 1) % count
             self.reads_on_replica += 1
             self.last_route = ("replica", replica.name, margin)
+            self._count_route(replica.name)
             return result
         self.reads_on_primary += 1
         self.last_route = ("primary", "fallback", 0.0)
+        self._count_route("primary")
         return self.db.execute(sql)
 
     def query(
         self, sql: str, max_staleness: Optional[float] = None
     ) -> List[Dict[str, Any]]:
         return self.execute(sql, max_staleness=max_staleness).rows
+
+    def rebind(self, db, shipper) -> None:
+        """Swap the write target after a failover promotion.
+
+        The promotion coordinator hands the session the new primary and
+        its fresh :class:`~repro.replication.shipper.WalShipper`;
+        subsequent writes go to the promoted node and reads fan out over
+        the re-attached survivors.  The round-robin cursor resets (the
+        link set changed) but the placement ledgers persist — a failover
+        should be visible in the counters, not erase them.
+        """
+        self.db = db
+        self.shipper = shipper
+        self._round_robin = 0
+        self.rebinds += 1
 
     def snapshot(self) -> Dict[str, Any]:
         """Routing counters for reporting."""
@@ -113,7 +150,13 @@ class RoutedSession:
             "writes": self.writes,
             "degraded": self.degraded,
             "replica_errors": self.replica_errors,
+            "rebinds": self.rebinds,
+            "route_counts": dict(sorted(self.route_counts.items())),
+            "last_degradation": self.last_degradation,
         }
+
+    def _count_route(self, endpoint: str) -> None:
+        self.route_counts[endpoint] = self.route_counts.get(endpoint, 0) + 1
 
     def __repr__(self) -> str:
         return (

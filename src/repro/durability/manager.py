@@ -101,6 +101,13 @@ class DurabilityManager:
         self._txn_dirty: Set[int] = set()
         # Installed by the concurrency engine; None = flush per commit.
         self.group_commit = None
+        # Failover fencing (see repro.replication.failover): the cluster
+        # fence is the shared epoch authority, promotion_epoch is the
+        # epoch THIS node last held.  A node whose epoch lags the fence
+        # is deposed: every transaction begin and every commit re-checks,
+        # so a woken-up old primary cannot write — split-brain safety.
+        self.fence = None
+        self.promotion_epoch = 0
         self._table_json: Dict[str, str] = {}
         # Pending row run: consecutive same-op/table/txn row hooks are
         # buffered and flushed as ONE framed record (see _flush_run).
@@ -149,7 +156,22 @@ class DurabilityManager:
         finally:
             self._tls.stack = previous
 
+    def check_fence(self) -> None:
+        """Reject this node's write if the cluster has moved past it.
+
+        Checked at every transaction begin (before the engine mutates
+        anything) and again at every commit (an explicit transaction may
+        straddle a promotion): a deposed primary raises
+        :class:`~repro.errors.FencedError` instead of durably committing
+        a second history.  Nodes outside a failover cluster carry no
+        fence and pay nothing here.
+        """
+        fence = self.fence
+        if fence is not None:
+            fence.check(self.promotion_epoch, node=str(self.path))
+
     def _begin(self) -> int:
+        self.check_fence()
         with self._mutex:
             self._txn_counter += 1
             txn_id = self._txn_counter
@@ -158,6 +180,8 @@ class DurabilityManager:
         return txn_id
 
     def _finish(self, txn_id: int, op: str) -> None:
+        if op == "commit":
+            self.check_fence()
         committer = None
         seq = 0
         with self._mutex:
@@ -175,7 +199,14 @@ class DurabilityManager:
                 return
             self._txn_dirty.discard(txn_id)
             # The commit/abort record is the durability point: flush.
-            self._append({"op": op, "txn": txn_id})
+            # Cluster members stamp their promotion epoch into it — the
+            # WAL-visible fencing token the chaos suite audits.
+            if self.fence is not None:
+                self._append(
+                    {"op": op, "txn": txn_id, "epoch": self.promotion_epoch}
+                )
+            else:
+                self._append({"op": op, "txn": txn_id})
             candidate = self.group_commit
             if candidate is not None and candidate.active:
                 committer = candidate
@@ -393,6 +424,26 @@ class DurabilityManager:
             }
         )
 
+    def stamp_promotion(self, epoch: int, fence) -> None:
+        """Install this node as the primary for promotion ``epoch``.
+
+        Called by the promotion coordinator *after* the node drained its
+        buffered transaction tail through recovery replay.  Attaches the
+        cluster fence, adopts the epoch, persists it in the session
+        state (so checkpoints and resync images carry it), and stamps a
+        durable ``promote`` record into the WAL — the epoch bump is
+        itself WAL-visible, so a crash right after promotion recovers
+        the new epoch, and replicas streaming this log learn it in
+        order with the commits it fences.
+        """
+        with self._mutex:
+            self._flush_run()
+            self.fence = fence
+            self.promotion_epoch = epoch
+            self.session_state["promotion_epoch"] = epoch
+            self.wal.append({"op": "promote", "epoch": epoch, "txn": None})
+            self.wal.flush()
+
     # -- checkpoints --------------------------------------------------------
 
     def checkpoint(self, compact: bool = False) -> int:
@@ -427,6 +478,12 @@ class DurabilityManager:
         database = self.database
         catalog = database.catalog
         schedule = self.crash_points
+        if self.promotion_epoch:
+            # The image must carry the epoch even when it was recovered
+            # from a promote WAL record alone: a compacting checkpoint
+            # discards that record, and an image without the epoch would
+            # let a deposed primary forget it was ever fenced.
+            self.session_state["promotion_epoch"] = self.promotion_epoch
         tables = []
         for table in catalog.tables.values():
             pages = []
@@ -553,6 +610,13 @@ class DurabilityManager:
         try:
             for position, record in enumerate(records):
                 op = record.get("op")
+                if op == "promote":
+                    # The promotion-epoch bump is WAL-visible: recovery
+                    # re-adopts the highest epoch this node ever held.
+                    self.promotion_epoch = max(
+                        self.promotion_epoch, record.get("epoch", 0)
+                    )
+                    continue
                 if op in ("commit", "abort", "epoch"):
                     continue
                 txn_id = record.get("txn")
@@ -616,6 +680,7 @@ class DurabilityManager:
         database._auto_index_sequence = payload["auto_index_sequence"]
         self._txn_counter = payload["txn_counter"]
         self.session_state = dict(payload["session"])
+        self.promotion_epoch = self.session_state.get("promotion_epoch", 0)
         self._restore_registry(payload.get("registry"), summary)
         for binding in payload["summary_tables"]:
             self._rebind_exception_table(binding, summary)

@@ -324,6 +324,47 @@ class ReadOnlyReplicaError(ReplicationError):
     """
 
 
+class FencedError(ReplicationError):
+    """A write reached a node whose promotion epoch the cluster has
+    moved past — a deposed primary trying to act like one.
+
+    Fencing is what makes automatic failover split-brain-safe: the
+    promotion coordinator bumps the cluster's promotion epoch before the
+    new primary accepts its first write, and every durability point
+    (transaction begin and commit) on a fenced node re-checks its own
+    epoch against the cluster's.  A deposed primary that wakes up — or
+    never died at all, just lost its lease to an asymmetric partition —
+    therefore rejects **every** write with this error instead of
+    diverging the cluster into two histories.  The node must rejoin as a
+    replica (full resync from the new primary) to serve again.
+
+    Attributes
+    ----------
+    epoch:
+        The stale promotion epoch the write carried.
+    cluster_epoch:
+        The cluster's current promotion epoch at rejection time.
+    """
+
+    def __init__(
+        self, message: str, epoch: int = -1, cluster_epoch: int = -1
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.cluster_epoch = cluster_epoch
+
+
+class PromotionError(ReplicationError):
+    """Automatic failover could not produce a writable primary.
+
+    Raised by the promotion coordinator when no reachable, live replica
+    exists to elect, when the elected replica fails to drain its
+    buffered transaction tail through recovery replay, or when a
+    promotion is requested while the current primary's lease is still
+    live (promotion must never race a healthy primary).
+    """
+
+
 class ResyncRequiredError(ReplicationError):
     """The replica's shipping cursor no longer matches the primary's log.
 

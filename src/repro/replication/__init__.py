@@ -30,9 +30,34 @@ The pieces:
 The replication chaos differential (``pytest -m replication``) kills,
 partitions, and restarts replicas mid-stream under frame faults and
 requires fingerprint bit-identity plus typed-errors-only behavior.
+
+On top of the fleet sits automatic failover
+(:mod:`~repro.replication.failover`): lease-based failure detection
+over a fault-injectable ``heartbeat`` site, election of the
+most-caught-up reachable replica, a drain through the recovery replay
+path, and epoch fencing that turns a deposed primary's writes into
+typed :class:`~repro.errors.FencedError` rejections.  The failover
+chaos suite (``pytest -m failover``) kills and partitions primaries
+mid-commit-storm and requires zero cluster-acked commits lost and
+fingerprint bit-identity across every promotion.
 """
 
+from repro.replication.failover import (
+    ClusterFence,
+    FailoverCluster,
+    FailureDetector,
+    HeartbeatChannel,
+)
 from repro.replication.replica import Replica, ReplicaLag
 from repro.replication.shipper import ReplicationLink, WalShipper
 
-__all__ = ["Replica", "ReplicaLag", "ReplicationLink", "WalShipper"]
+__all__ = [
+    "ClusterFence",
+    "FailoverCluster",
+    "FailureDetector",
+    "HeartbeatChannel",
+    "Replica",
+    "ReplicaLag",
+    "ReplicationLink",
+    "WalShipper",
+]

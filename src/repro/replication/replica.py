@@ -35,6 +35,7 @@ from repro.durability.checkpoint import write_checkpoint
 from repro.durability.manager import CHECKPOINT_NAME, WAL_NAME
 from repro.durability.wal import _decode_line
 from repro.errors import (
+    PromotionError,
     ReadOnlyReplicaError,
     ReplicaUnavailableError,
     ReplicationError,
@@ -120,6 +121,11 @@ class Replica:
         self.gap_rejects = 0
         self.restarts = 0
         self.apply_warnings: List[str] = []
+        # Highest promotion epoch seen in the shipped stream (0 = the
+        # founding primary's epoch).  Promotion flips this node itself
+        # into a primary; see :meth:`promote`.
+        self.promotion_epoch = 0
+        self.promoted = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -154,6 +160,9 @@ class Replica:
         self._base = self.db.durability.session_state.get(
             "replication_base", 0
         )
+        self.promotion_epoch = max(
+            self.promotion_epoch, self.db.durability.promotion_epoch
+        )
         self.dead = False
         self._rebuild_pending()
 
@@ -168,7 +177,7 @@ class Replica:
             txn = record.get("txn")
             if op in ("commit", "abort"):
                 pending.pop(txn, None)
-            elif op == "epoch" or txn is None:
+            elif op in ("epoch", "promote") or txn is None:
                 continue
             else:
                 pending.setdefault(txn, []).append(record)
@@ -217,6 +226,41 @@ class Replica:
                     f"{len(self._pending)} transaction(s) still streaming"
                 )
             return self.db.checkpoint()
+
+    def promote(self, epoch: int, fence: Any) -> SoftDB:
+        """Flip this replica into the cluster's writable primary.
+
+        Promotion drains the buffered transaction tail through the
+        *recovery replay path* — close and reopen, which replays every
+        committed transaction in the mirrored prefix and truncates the
+        uncommitted tail exactly as a crash restart would — so the new
+        primary starts from a transaction-consistent, verified state.
+        It then stamps ``epoch`` into its WAL (a ``promote`` record) and
+        attaches the cluster ``fence`` so its own writes carry the new
+        epoch, and flips read-write.
+
+        Returns the now-writable :class:`~repro.api.SoftDB`; the caller
+        (the promotion coordinator) hangs a fresh ``WalShipper`` off it
+        and re-attaches the surviving replicas.
+        """
+        with self._mutex:
+            self._require_up()
+            if epoch <= self.promotion_epoch:
+                raise PromotionError(
+                    f"replica {self.name!r} already saw promotion epoch "
+                    f"{self.promotion_epoch}; refusing stale epoch {epoch}"
+                )
+            # Drain: recovery replays the committed mirrored prefix and
+            # truncates the uncommitted tail (those transactions never
+            # committed anywhere the cluster acknowledged).
+            self.db.durability.close()
+            self.db = None
+            self._pending = {}
+            self._open()
+            self.db.durability.stamp_promotion(epoch, fence)
+            self.promotion_epoch = epoch
+            self.promoted = True
+            return self.db
 
     # -- the stream ----------------------------------------------------------
 
@@ -294,6 +338,14 @@ class Replica:
             self.txns_applied += 1
         elif op == "abort":
             self._pending.pop(txn, None)
+        elif op == "promote":
+            # The stream's primary changed under us at this exact point
+            # in history; remember the epoch so a later promotion of
+            # THIS replica continues the epoch sequence, never reuses
+            # one.
+            self.promotion_epoch = max(
+                self.promotion_epoch, record.get("epoch", 0)
+            )
         elif op == "epoch":
             pass
         elif txn is None:
@@ -374,7 +426,9 @@ class Replica:
         primary's log verbatim, and a local write would fork the twin.
         """
         statement = parse_statement(sql)
-        if not isinstance(statement, (ast.SelectStatement, ast.UnionAll)):
+        if not self.promoted and not isinstance(
+            statement, (ast.SelectStatement, ast.UnionAll)
+        ):
             raise ReadOnlyReplicaError(
                 f"replica {self.name!r} is read-only; route "
                 f"{type(statement).__name__} to the primary"

@@ -42,18 +42,29 @@ KINDS = ("transient", "corrupt")
 
 #: Replication network fault sites (see :mod:`repro.replication`).  A
 #: ``net_frame`` visit is one shipment attempt of a chunk of framed WAL
-#: records from the primary's shipper to one replica's link.
-NETWORK_SITES = ("net_frame",)
+#: records from the primary's shipper to one replica's link.  A
+#: ``heartbeat`` visit is one framed lease-renewal heartbeat from the
+#: primary to the failure detector (see
+#: :mod:`repro.replication.failover`).
+NETWORK_SITES = ("net_frame", "heartbeat")
 
 #: Network fault kinds, modelling what an unreliable link does to a
 #: shipment: ``drop`` loses it entirely (the pull-style cursor re-ships
-#: it next pump), ``truncate`` delivers a torn prefix (the replica
-#: rejects the torn frame and the intact remainder is re-shipped),
-#: ``delay`` parks the shipment and delivers it late (by which time its
-#: offset no longer matches — the replica's gap check rejects it), and
-#: ``sever`` cuts the connection (a partition of one replica until the
-#: link is restored).
-NETWORK_KINDS = ("drop", "truncate", "delay", "sever")
+#: it next pump; a dropped heartbeat simply never renews the lease),
+#: ``truncate`` delivers a torn prefix (the replica rejects the torn
+#: frame and the intact remainder is re-shipped; a torn heartbeat fails
+#: its CRC and is discarded), ``delay`` parks the shipment and delivers
+#: it late (by which time its offset no longer matches — the replica's
+#: gap check rejects it; a late heartbeat may renew an already-expired
+#: lease, which the detector surfaces as a flap, never a rewind of a
+#: promotion), ``sever`` cuts the connection (a partition of one
+#: replica until the link is restored), and ``asym_partition`` models
+#: an **asymmetric** partition: the control direction is cut (no
+#: heartbeat reaches the detector) while the data direction still
+#: flows.  At the ``heartbeat`` site this is the canonical split-brain
+#: inducer — the primary is alive and serving, yet its lease expires
+#: and a replica gets promoted, so fencing alone keeps history single.
+NETWORK_KINDS = ("drop", "truncate", "delay", "sever", "asym_partition")
 
 _ALL_SITES = SITES + NETWORK_SITES
 _ALL_KINDS = KINDS + NETWORK_KINDS

@@ -413,6 +413,126 @@ def test_non_idempotent_statement_not_blind_retried(db):
     asyncio.run(scenario())
 
 
+def test_backoff_budget_allows_exact_boundary_then_raises():
+    """ISSUE 10, satellite (a): ``max_elapsed`` bounds total backoff on
+    the virtual clock.  A delay landing the total exactly on the budget
+    is granted; the first delay that would exceed it raises typed, with
+    the provoking failure chained as ``__cause__``."""
+    policy = BackoffPolicy(
+        base_delay=0.01,
+        multiplier=2.0,
+        cap=1.0,
+        jitter=0.0,
+        max_elapsed=0.03,
+    )
+    assert policy.delay(0) == pytest.approx(0.01)
+    # 0.01 + 0.02 == max_elapsed exactly: the boundary is inclusive.
+    assert policy.delay(1) == pytest.approx(0.02)
+    assert policy.elapsed == pytest.approx(0.03)
+    cause = NetworkError("endpoint reset mid-statement")
+    with pytest.raises(ReplicaUnavailableError) as caught:
+        policy.delay(2, cause=cause)
+    assert caught.value.__cause__ is cause
+    assert policy.exhaustions == 1
+    # Nothing was spent by the refused delay: neither the ledger nor
+    # the virtual clock moved.
+    assert policy.elapsed == pytest.approx(0.03)
+    assert policy.clock.now == pytest.approx(0.03)
+    # A reset opens a fresh budget window for the next operation.
+    policy.reset()
+    assert policy.delay(0) == pytest.approx(0.01)
+
+
+def test_backoff_without_budget_never_exhausts():
+    policy = BackoffPolicy(base_delay=0.01, cap=0.05, jitter=0.0, seed=0)
+    total = sum(policy.delay(attempt) for attempt in range(50))
+    assert policy.exhaustions == 0
+    assert policy.elapsed == pytest.approx(total)
+
+
+def test_exhausted_backoff_budget_cuts_retry_loop_short():
+    """The budget binds tighter than max_attempts: with every endpoint
+    unreachable, the client gives up as soon as one more delay would
+    blow the budget — and the surfaced error chains the real cause."""
+
+    async def scenario():
+        policy = BackoffPolicy(
+            base_delay=0.001,
+            multiplier=2.0,
+            cap=0.01,
+            jitter=0.0,
+            max_elapsed=0.001,
+        )
+        client = FailoverClient(
+            [("127.0.0.1", 1)],  # reserved port: connect always fails
+            connect_timeout=0.2,
+            max_attempts=50,
+            backoff=policy,
+        )
+        try:
+            with pytest.raises(ReplicaUnavailableError) as caught:
+                await client.execute("SELECT val FROM kv WHERE id = 1")
+            assert isinstance(caught.value.__cause__, NetworkError)
+            assert policy.exhaustions == 1
+            # Far fewer than max_attempts were made before the budget bound.
+            assert client.retries < 5
+        finally:
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_fenced_endpoint_redirects_even_non_idempotent(tmp_path):
+    """A deposed primary answers every write with FencedError — a
+    known-outcome rejection (nothing executed), so the client redirects
+    to the next endpoint and re-issues even a non-idempotent statement
+    exactly once."""
+    from repro.errors import FencedError
+    from repro.replication import ClusterFence
+
+    async def scenario():
+        deposed = SoftDB.open(tmp_path / "deposed")
+        deposed.execute("CREATE TABLE kv (id INT PRIMARY KEY, val INT)")
+        deposed.execute("INSERT INTO kv VALUES (1, 10)")
+        fence = ClusterFence()
+        deposed.durability.fence = fence
+        deposed.durability.promotion_epoch = fence.epoch
+        fence.advance()  # the cluster moved on: this node is deposed
+        current = SoftDB()
+        current.execute("CREATE TABLE kv (id INT PRIMARY KEY, val INT)")
+        current.execute("INSERT INTO kv VALUES (1, 10)")
+        first = SessionServer(deposed)
+        second = SessionServer(current)
+        await first.start()
+        await second.start()
+        client = FailoverClient(
+            [(first.host, first.port), (second.host, second.port)],
+            backoff=fast_backoff(),
+        )
+        try:
+            # Direct writes on the deposed node really are fenced.
+            with pytest.raises(FencedError):
+                deposed.execute("UPDATE kv SET val = 99 WHERE id = 1")
+            got = await client.execute(
+                "UPDATE kv SET val = val + 1 WHERE id = 1",
+                idempotent=False,
+            )
+            assert got["rowcount"] == 1
+            assert client.fenced_seen == 1
+            assert client.failovers == 1
+            # Applied exactly once, on the current primary only.
+            assert current.query("SELECT val FROM kv") == [{"val": 11}]
+            assert deposed.query("SELECT val FROM kv") == [{"val": 10}]
+        finally:
+            await client.close()
+            await first.stop()
+            await second.stop()
+            deposed.close(checkpoint=False)
+            current.close()
+
+    asyncio.run(scenario())
+
+
 def test_backoff_policy_is_capped_and_jittered():
     policy = BackoffPolicy(
         base_delay=0.01, multiplier=2.0, cap=0.05, jitter=0.5, seed=3

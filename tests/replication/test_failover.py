@@ -1,0 +1,318 @@
+"""Failover unit coverage: leases, heartbeat faults, election,
+fencing at both durability points, epoch persistence, and rejoin.
+
+Everything runs on the virtual clock — no wall time, no sleeps — so
+each scenario replays identically from its seed.
+"""
+
+import pytest
+
+from repro.api import SoftDB
+from repro.errors import (
+    FencedError,
+    PromotionError,
+    ReadOnlyReplicaError,
+    ReplicaUnavailableError,
+)
+from repro.replication import (
+    ClusterFence,
+    FailoverCluster,
+    FailureDetector,
+    HeartbeatChannel,
+    Replica,
+)
+from repro.resilience.faults import FaultInjector
+from repro.resilience.guards import VirtualClock
+
+pytestmark = pytest.mark.failover
+
+
+# -- fence --------------------------------------------------------------------
+
+
+def test_fence_rejects_lagging_epoch_with_typed_error():
+    fence = ClusterFence()
+    fence.check(0, node="n1")  # founding epoch passes
+    assert fence.advance() == 1
+    with pytest.raises(FencedError) as caught:
+        fence.check(0, node="n1")
+    assert caught.value.epoch == 0
+    assert caught.value.cluster_epoch == 1
+    assert fence.rejections == 1
+    fence.check(1, node="n2")  # the current holder still passes
+
+
+# -- failure detector ---------------------------------------------------------
+
+
+def test_lease_expires_on_the_virtual_clock_alone():
+    clock = VirtualClock()
+    detector = FailureDetector(clock, lease_timeout=1.0)
+    assert detector.expired("p"), "an unknown node has no lease"
+    detector.observe("p", epoch=0)
+    assert not detector.expired("p")
+    assert detector.remaining("p") == pytest.approx(1.0)
+    clock.sleep(0.99)
+    assert not detector.expired("p")
+    clock.sleep(0.02)
+    assert detector.expired("p")
+    assert detector.remaining("p") == 0.0
+
+
+def test_late_renewal_after_expiry_counts_as_flap_not_rewind():
+    clock = VirtualClock()
+    detector = FailureDetector(clock, lease_timeout=0.5)
+    detector.observe("p", epoch=0)
+    clock.sleep(1.0)
+    assert detector.expired("p")
+    assert detector.observe("p", epoch=0)
+    assert detector.flaps == 1
+    assert not detector.expired("p")
+
+
+def test_stale_epoch_heartbeat_never_renews():
+    """A deposed primary's pulse must not look like cluster health."""
+    clock = VirtualClock()
+    detector = FailureDetector(clock, lease_timeout=0.5)
+    assert not detector.observe("old", epoch=1, min_epoch=2)
+    assert detector.stale_rejected == 1
+    assert detector.expired("old")
+
+
+# -- heartbeat channel --------------------------------------------------------
+
+
+def test_intact_heartbeat_round_trips_the_crc_frame():
+    channel = HeartbeatChannel()
+    record = {"op": "heartbeat", "node": "p", "epoch": 0, "seq": 1}
+    assert channel.send(record) == [record]
+    assert channel.delivered == 1
+
+
+def test_dropped_and_torn_heartbeats_never_deliver():
+    injector = FaultInjector(seed=0)
+    injector.add("heartbeat", "drop", every_nth=2)
+    injector.add("heartbeat", "truncate", every_nth=3)
+    channel = HeartbeatChannel(injector)
+    arrived = []
+    for seq in range(12):
+        arrived += channel.send({"op": "heartbeat", "seq": seq})
+    assert channel.dropped > 0
+    assert channel.torn > 0
+    # Whatever did arrive passed its CRC: torn frames are discarded,
+    # never half-parsed.
+    assert all(frame["op"] == "heartbeat" for frame in arrived)
+
+
+def test_delayed_heartbeat_rides_the_next_delivery():
+    injector = FaultInjector(seed=0)
+    injector.add("heartbeat", "delay", every_nth=1, limit=1)
+    channel = HeartbeatChannel(injector)
+    assert channel.send({"op": "heartbeat", "seq": 1}) == []
+    assert channel.delayed == 1
+    arrived = channel.send({"op": "heartbeat", "seq": 2})
+    assert [frame["seq"] for frame in arrived] == [1, 2]
+    assert channel.late_deliveries == 1
+
+
+def test_asym_partition_latches_until_healed():
+    injector = FaultInjector(seed=0)
+    injector.add("heartbeat", "asym_partition", every_nth=1, limit=1)
+    channel = HeartbeatChannel(injector)
+    assert channel.send({"op": "heartbeat", "seq": 1}) == []
+    assert channel.partitioned
+    # The partition persists across sends — not a one-shot drop.
+    assert channel.send({"op": "heartbeat", "seq": 2}) == []
+    assert channel.partition_losses == 2
+    channel.heal()
+    assert channel.send({"op": "heartbeat", "seq": 3}) != []
+
+
+# -- cluster ------------------------------------------------------------------
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    primary = SoftDB.open(tmp_path / "primary")
+    primary.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    fleet = FailoverCluster(primary, lease_timeout=1.0)
+    replicas = [Replica(tmp_path / f"r{n}", name=f"r{n}") for n in range(3)]
+    for replica in replicas:
+        fleet.attach(replica)
+    yield fleet, replicas
+    for replica in replicas:
+        replica.close()
+    if not fleet.primary_crashed and fleet.primary_db.durability is not None:
+        fleet.primary_db.durability.close()
+
+
+def test_promotion_refused_while_lease_is_live(cluster):
+    fleet, _replicas = cluster
+    assert not fleet.primary_suspected()
+    with pytest.raises(PromotionError):
+        fleet.promote()
+    assert fleet.maybe_failover() is None
+    assert fleet.epoch == 0
+
+
+def test_election_picks_the_most_caught_up_reachable_replica(cluster):
+    fleet, replicas = cluster
+    fleet.execute("INSERT INTO t VALUES (1, 10)", tag=1)
+    # Strand r0 behind (severed: it missed the latest shipments) and
+    # kill r2; only r1 is both live and caught up.
+    fleet.shipper.links["r0"].sever()
+    fleet.execute("INSERT INTO t VALUES (2, 20)", tag=2)
+    replicas[2].kill()
+    fleet.kill_primary()
+    fleet.clock.sleep(2.0)
+    report = fleet.promote()
+    assert report["winner"] == "r1"
+    assert report["epoch"] == 1
+    assert report["acks"]["r1"] > 0
+    assert "r2" not in report["acks"], "a dead replica is not electable"
+    assert fleet.primary_db.query("SELECT id FROM t ORDER BY id") == [
+        {"id": 1},
+        {"id": 2},
+    ]
+
+
+def test_promotion_with_no_candidates_is_typed_error(cluster):
+    fleet, replicas = cluster
+    for replica in replicas:
+        replica.kill()
+    fleet.kill_primary()
+    fleet.clock.sleep(2.0)
+    with pytest.raises(PromotionError):
+        fleet.promote()
+
+
+def test_promoted_replica_accepts_writes_and_ships_to_survivors(cluster):
+    fleet, replicas = cluster
+    fleet.execute("INSERT INTO t VALUES (1, 10)", tag=1)
+    fleet.kill_primary()
+    fleet.clock.sleep(2.0)
+    report = fleet.promote()
+    survivors = [r for r in replicas if r.name != report["winner"]]
+    assert sorted(report["survivors"]) == sorted(
+        r.name for r in survivors
+    )
+    fleet.execute("INSERT INTO t VALUES (2, 20)", tag=2)
+    assert 2 in fleet.cluster_acked
+    for survivor in survivors:
+        assert survivor.query("SELECT id FROM t ORDER BY id") == [
+            {"id": 1},
+            {"id": 2},
+        ]
+
+
+def test_deposed_primary_rejects_every_write_with_fenced_error(cluster):
+    """The asymmetric partition: the primary is alive and serving, its
+    heartbeats are lost, a replica is promoted behind its back.  Every
+    write on the deposed node must be a typed FencedError — reads may
+    continue (it is a consistent, if stale, snapshot)."""
+    fleet, _replicas = cluster
+    fleet.execute("INSERT INTO t VALUES (1, 10)", tag=1)
+    deposed = fleet.primary_db
+    fleet.channel.partition()
+    fleet.tick(advance=2.0, heartbeats=4)
+    assert fleet.primary_suspected()
+    fleet.promote()
+    for sql in (
+        "INSERT INTO t VALUES (99, 990)",
+        "UPDATE t SET v = 0 WHERE id = 1",
+        "DELETE FROM t WHERE id = 1",
+        "CREATE TABLE u (x INT)",
+    ):
+        with pytest.raises(FencedError):
+            deposed.execute(sql)
+    assert deposed.query("SELECT id FROM t") == [{"id": 1}]
+    # Nothing the fence rejected reached the new primary either.
+    assert fleet.primary_db.query("SELECT id FROM t") == [{"id": 1}]
+
+
+def test_fence_trips_at_commit_for_transaction_straddling_promotion(
+    tmp_path,
+):
+    """An explicit transaction opened before the promotion must fail at
+    its commit point: the begin-time check passed, so only the
+    commit-time re-check stands between the deposed primary and a
+    forked history."""
+    primary = SoftDB.open(tmp_path / "primary")
+    primary.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    fleet = FailoverCluster(primary, lease_timeout=1.0)
+    replica = Replica(tmp_path / "r0", name="r0")
+    fleet.attach(replica)
+    fleet.replicate()
+    primary.execute("BEGIN")
+    primary.execute("INSERT INTO t VALUES (1)")
+    fleet.clock.sleep(2.0)
+    fleet.promote()
+    with pytest.raises(FencedError):
+        primary.execute("COMMIT")
+    replica.close()
+
+
+def test_promotion_epoch_survives_restart_and_compaction(cluster):
+    fleet, _replicas = cluster
+    fleet.execute("INSERT INTO t VALUES (1, 10)", tag=1)
+    fleet.kill_primary()
+    fleet.clock.sleep(2.0)
+    fleet.promote()
+    path = fleet.primary_db.durability.path
+    fleet.primary_db.durability.close()
+    # Plain restart: the epoch comes back from the promote WAL record.
+    reopened = SoftDB.open(path)
+    assert reopened.durability.promotion_epoch == 1
+    # Compaction resets the log; the epoch must ride the checkpoint's
+    # session state instead of vanishing with the old generation.
+    reopened.checkpoint(compact=True)
+    reopened.durability.close()
+    compacted = SoftDB.open(path)
+    assert compacted.durability.promotion_epoch == 1
+    compacted.durability.close()
+
+
+def test_deposed_primary_rejoins_as_replica_via_resync(cluster):
+    fleet, _replicas = cluster
+    fleet.execute("INSERT INTO t VALUES (1, 10)", tag=1)
+    fleet.kill_primary()
+    fleet.clock.sleep(2.0)
+    fleet.promote()
+    fleet.execute("INSERT INTO t VALUES (2, 20)", tag=2)
+    rejoined = fleet.rejoin_deposed()
+    assert rejoined.query("SELECT id FROM t ORDER BY id") == [
+        {"id": 1},
+        {"id": 2},
+    ]
+    # It is a replica now: read-only, and it keeps up with shipping.
+    with pytest.raises(ReadOnlyReplicaError):
+        rejoined.execute("INSERT INTO t VALUES (3, 30)")
+    fleet.execute("INSERT INTO t VALUES (3, 30)", tag=3)
+    assert {"id": 3} in rejoined.query("SELECT id FROM t")
+    rejoined.close()
+
+
+def test_double_failover_monotonic_epochs(cluster):
+    fleet, replicas = cluster
+    fleet.execute("INSERT INTO t VALUES (1, 10)", tag=1)
+    fleet.kill_primary()
+    fleet.clock.sleep(2.0)
+    first = fleet.promote()
+    fleet.execute("INSERT INTO t VALUES (2, 20)", tag=2)
+    fleet.kill_primary()
+    fleet.clock.sleep(2.0)
+    second = fleet.promote()
+    assert (first["epoch"], second["epoch"]) == (1, 2)
+    assert second["winner"] != first["winner"]
+    fleet.execute("INSERT INTO t VALUES (3, 30)", tag=3)
+    assert fleet.primary_db.query("SELECT count(*) AS c FROM t") == [
+        {"c": 3}
+    ]
+    assert fleet.cluster_acked == [1, 2, 3]
+
+
+def test_crashed_primary_rejects_cluster_writes_with_typed_error(cluster):
+    fleet, _replicas = cluster
+    fleet.kill_primary()
+    with pytest.raises(ReplicaUnavailableError):
+        fleet.execute("INSERT INTO t VALUES (1, 10)", tag=1)

@@ -1,0 +1,228 @@
+"""Failover chaos suite: kill and partition primaries mid-commit-storm
+and hold every promotion to three hard invariants:
+
+1. **zero cluster-acked commits lost** — any statement acknowledged at
+   cluster level (durable on the primary *and* mirrored by at least one
+   replica) survives every promotion, because a full copy existed
+   somewhere the election could reach;
+2. **bit-identity** — after convergence every node's fingerprint (the
+   crash differential's page/index/constraint codec image) equals the
+   surviving primary's, byte for byte;
+3. **typed fencing** — every write attempted on a deposed primary
+   raises :class:`~repro.errors.FencedError`; no write on a deposed
+   node ever lands, and nothing non-typed ever escapes.
+
+Scenarios: primary killed mid-commit-storm, an asymmetric partition
+provoking a split-brain attempt that fencing defuses, double failover,
+and a promotion racing WAL compaction.  All deterministic from the
+seed: virtual clock, seeded fault injector, seeded storm.
+"""
+
+import random
+
+import pytest
+
+from repro.api import SoftDB
+from repro.errors import FencedError, ReproError
+from repro.replication import FailoverCluster, Replica
+from repro.resilience.faults import FaultInjector
+from tests.crash.test_crash_differential import SEEDS, fingerprint
+
+pytestmark = pytest.mark.failover
+
+
+def make_cluster(tmp_path, seed, replicas=2, injector=None):
+    primary = SoftDB.open(tmp_path / "primary")
+    primary.execute("CREATE TABLE ledger (id INT PRIMARY KEY, v INT)")
+    fleet = FailoverCluster(
+        primary,
+        injector=injector,
+        lease_timeout=1.0,
+        heartbeat_interval=0.25,
+    )
+    twins = [
+        Replica(tmp_path / f"replica{n}", name=f"replica{n}")
+        for n in range(replicas)
+    ]
+    for twin in twins:
+        fleet.attach(twin)
+    return fleet, twins
+
+
+def teardown(fleet, twins):
+    for twin in twins:
+        twin.close()
+    if not fleet.primary_crashed and fleet.primary_db.durability is not None:
+        fleet.primary_db.durability.close()
+    for _name, old_db in fleet.deposed:
+        old_db.durability.close()
+
+
+def storm(fleet, rng, start, count):
+    """A commit storm: ``count`` tagged single-row inserts, each pumped
+    and ledgered as cluster-acked or local-only."""
+    for n in range(start, start + count):
+        fleet.execute(
+            f"INSERT INTO ledger VALUES ({n}, {rng.randrange(10_000)})",
+            tag=n,
+        )
+        fleet.tick(advance=0.1)
+    return start + count
+
+
+def assert_invariants(fleet, twins):
+    """The three hard invariants, checked after convergence."""
+    primary = fleet.primary_db
+    # 1. Zero cluster-acked commits lost.
+    present = {
+        row["id"] for row in primary.query("SELECT id FROM ledger")
+    }
+    lost = [tag for tag in fleet.cluster_acked if tag not in present]
+    assert not lost, f"cluster-acked commits lost in promotion: {lost}"
+    assert len(present) == len(set(present)), "duplicated ledger rows"
+    # 2. Converged nodes are bit-identical to the surviving primary.
+    assert fleet.shipper.pump_until_synced()
+    reference = fingerprint(primary)
+    for link in fleet.shipper.links.values():
+        assert fingerprint(link.replica.db) == reference, (
+            f"{link.replica.name} diverged from the promoted primary"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kill_primary_mid_commit_storm(tmp_path, seed):
+    """The founding primary dies without warning mid-storm; the lease
+    runs out, the most-caught-up replica is promoted, the storm resumes
+    against it — and not one cluster-acked commit is missing."""
+    rng = random.Random(seed)
+    fleet, twins = make_cluster(tmp_path, seed, replicas=3)
+    next_id = storm(fleet, rng, 0, 20 + rng.randrange(10))
+    acked_before_crash = list(fleet.cluster_acked)
+    assert acked_before_crash, "storm produced no cluster-acked commits"
+    fleet.kill_primary()
+    fleet.tick(advance=2.5, heartbeats=5)
+    assert fleet.primary_suspected()
+    report = fleet.maybe_failover()
+    assert report is not None and report["epoch"] == 1
+    # The storm resumes against the promoted primary.
+    storm(fleet, rng, next_id, 10)
+    assert set(acked_before_crash) <= set(fleet.cluster_acked)
+    assert_invariants(fleet, twins)
+    teardown(fleet, twins)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partition_then_heal_split_brain_attempt(tmp_path, seed):
+    """The canonical split-brain inducer: an asymmetric partition eats
+    the heartbeats while the primary keeps serving.  A replica is
+    promoted behind the live primary's back; fencing must turn every
+    one of the old primary's subsequent writes into a typed
+    FencedError, and the healed node rejoins as a replica and
+    converges."""
+    rng = random.Random(seed)
+    injector = FaultInjector(seed=seed)
+    # The partition latches on the first heartbeat after the storm.
+    fleet, twins = make_cluster(
+        tmp_path, seed, replicas=2, injector=injector
+    )
+    next_id = storm(fleet, rng, 0, 15)
+    deposed_db = fleet.primary_db
+    injector.add("heartbeat", "asym_partition", every_nth=1, limit=1)
+    fleet.tick(advance=2.5, heartbeats=5)
+    assert fleet.channel.partitioned, "the partition never latched"
+    assert fleet.primary_suspected()
+    report = fleet.promote()
+    assert report["epoch"] == 1
+    # The deposed primary is alive and still thinks it serves: every
+    # write must be fenced, and only FencedError may escape.
+    fenced = 0
+    for n in range(next_id, next_id + 5):
+        try:
+            deposed_db.execute(f"INSERT INTO ledger VALUES ({n}, 0)")
+            raise AssertionError(
+                "a deposed primary accepted a write: split brain"
+            )
+        except FencedError:
+            fenced += 1
+        except ReproError as error:
+            raise AssertionError(
+                f"deposed write failed non-fenced: {type(error).__name__}"
+            )
+    assert fenced == 5
+    # Its *reads* still work — a consistent, stale snapshot.
+    deposed_rows = {
+        row["id"] for row in deposed_db.query("SELECT id FROM ledger")
+    }
+    assert deposed_rows == set(range(next_id))
+    # Heal: the deposed node rejoins as a replica and converges.
+    next_id = storm(fleet, rng, next_id, 10)
+    rejoined = fleet.rejoin_deposed()
+    twins.append(rejoined)
+    assert_invariants(fleet, twins)
+    assert {row["id"] for row in rejoined.query("SELECT id FROM ledger")} == set(
+        range(next_id)
+    )
+    teardown(fleet, twins)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_double_failover_keeps_every_acked_commit(tmp_path, seed):
+    """Two promotions back to back: epochs stay monotonic, each new
+    primary carries every cluster-acked commit, and the final fleet
+    converges bit-identical."""
+    rng = random.Random(seed)
+    fleet, twins = make_cluster(tmp_path, seed, replicas=3)
+    next_id = storm(fleet, rng, 0, 12)
+    fleet.kill_primary()
+    fleet.tick(advance=2.5, heartbeats=5)
+    first = fleet.promote()
+    next_id = storm(fleet, rng, next_id, 12)
+    fleet.kill_primary()
+    fleet.tick(advance=2.5, heartbeats=5)
+    second = fleet.promote()
+    assert (first["epoch"], second["epoch"]) == (1, 2)
+    assert second["winner"] != first["winner"]
+    next_id = storm(fleet, rng, next_id, 8)
+    # Both fallen primaries rejoin; everyone converges.
+    twins.append(fleet.rejoin_deposed(first["deposed"]))
+    twins.append(fleet.rejoin_deposed(second["deposed"]))
+    assert_invariants(fleet, twins)
+    assert fleet.epoch == 2
+    teardown(fleet, twins)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_promotion_racing_compaction_forces_resync_not_gap(tmp_path, seed):
+    """A compacting checkpoint fires inside the promotion window — the
+    new primary compacts its WAL before a partitioned survivor ever
+    re-attaches.  That survivor's cursor points into a log generation
+    that no longer exists; it must come back via full resync, and no
+    node may ever accept a gapped stream (gap_rejects stays zero on
+    every converged node)."""
+    rng = random.Random(seed)
+    fleet, twins = make_cluster(tmp_path, seed, replicas=3)
+    next_id = storm(fleet, rng, 0, 15)
+    # Partition one replica so promotion cannot re-attach it.
+    stranded = twins[-1]
+    fleet.shipper.links[stranded.name].sever()
+    fleet.kill_primary()
+    fleet.tick(advance=2.5, heartbeats=5)
+    report = fleet.promote()
+    assert stranded.name in report["unreachable"]
+    # Inside the promotion window: the new primary compacts, then the
+    # storm resumes in the fresh WAL generation.
+    fleet.primary_db.checkpoint(compact=True)
+    next_id = storm(fleet, rng, next_id, 8)
+    # The partition heals; the stranded replica re-attaches.  Its old
+    # cursor is doubly invalid (new primary, compacted log) — the only
+    # legal path back is a full resync.
+    resyncs_before = fleet.shipper.resyncs
+    fleet.attach(stranded)
+    assert fleet.shipper.resyncs == resyncs_before + 1
+    assert_invariants(fleet, twins)
+    for twin in twins:
+        assert twin.gap_rejects == 0, (
+            f"{twin.name} accepted (then rejected) a gapped shipment "
+            f"path during failover"
+        )
+    teardown(fleet, twins)

@@ -116,6 +116,75 @@ def test_all_replicas_down_falls_back_to_primary(fleet):
     assert routed.last_route == ("primary", "fallback", 0.0)
 
 
+def test_snapshot_reports_per_endpoint_route_counts(fleet):
+    primary, shipper, replicas = fleet
+    routed = RoutedSession(primary, shipper, max_staleness=0.0)
+    routed.execute("INSERT INTO t VALUES (7, 70)")
+    assert shipper.pump_until_synced()
+    for _ in range(4):
+        routed.execute(PROBE)
+    snapshot = routed.snapshot()
+    counts = snapshot["route_counts"]
+    # One write on the primary, four reads split round-robin.
+    assert counts["primary"] == 1
+    for replica in replicas:
+        assert counts[replica.name] == 2
+    assert sum(counts.values()) == 5
+    assert snapshot["rebinds"] == 0
+    assert snapshot["last_degradation"] is None
+
+
+def test_snapshot_records_last_degradation_reason(fleet):
+    primary, shipper, replicas = fleet
+    routed = RoutedSession(primary, shipper, max_staleness=0.0)
+    # A fresh unshipped write makes every replica too stale: the read
+    # falls back and the snapshot names the margin breach.
+    primary.execute("INSERT INTO t VALUES (8, 80)")
+    routed.execute(PROBE)
+    snapshot = routed.snapshot()
+    assert snapshot["route_counts"]["primary"] == 1
+    assert "margin" in snapshot["last_degradation"]
+    assert "exceeds bound" in snapshot["last_degradation"]
+    # A dead replica degrades with an unavailability reason instead.
+    assert shipper.pump_until_synced()
+    for replica in replicas:
+        replica.kill()
+    routed.execute(PROBE)
+    assert "unavailable" in routed.snapshot()["last_degradation"]
+
+
+def test_rebind_swaps_write_target_after_failover(fleet, tmp_path):
+    """After a promotion the coordinator hands the session the new
+    primary and its shipper; writes land there, reads fan out over the
+    re-attached survivors, and the ledgers persist across the swap."""
+    primary, shipper, replicas = fleet
+    routed = RoutedSession(primary, shipper, max_staleness=0.0)
+    routed.execute("INSERT INTO t VALUES (5, 50)")
+    # Promote replicas[0] by hand: the routing layer only cares that
+    # the write target and link set changed.
+    assert shipper.pump_until_synced()
+    from repro.replication import WalShipper
+    from repro.replication.failover import ClusterFence
+
+    fence = ClusterFence()
+    fence.advance()
+    promoted = replicas[0].promote(1, fence)
+    new_shipper = WalShipper(promoted)
+    new_shipper.attach(replicas[1])
+    routed.rebind(promoted, new_shipper)
+    assert routed.execute("INSERT INTO t VALUES (6, 60)") == 1
+    assert routed.writes == 2
+    assert routed.snapshot()["rebinds"] == 1
+    assert {"id": 6, "v": 60} in promoted.query(PROBE)
+    assert new_shipper.pump_until_synced()
+    got = routed.execute(PROBE)
+    assert routed.last_route[:2] == ("replica", replicas[1].name)
+    assert {"id": 6, "v": 60} in got.rows
+    # The ledger accumulated across the rebind: primary counts include
+    # pre-failover routes.
+    assert routed.snapshot()["route_counts"]["primary"] == 2
+
+
 def test_replica_rejects_writes_with_typed_error(fleet):
     primary, shipper, replicas = fleet
     with pytest.raises(ReadOnlyReplicaError):

@@ -203,6 +203,82 @@ def test_compaction_reset_invalidates_cursor_via_generation(pair):
     ]
 
 
+def test_compaction_inside_promotion_window_forces_resync(tmp_path):
+    """ISSUE 10, satellite (c): a ``checkpoint(compact=True)`` firing
+    inside the promotion window — after the epoch bump, before a
+    lagging survivor re-attaches — must force that cursor into a full
+    resync.  Gap-shipping across the epoch bump would hand the replica
+    a stream whose offsets belong to a dead log generation."""
+    from repro.replication.failover import ClusterFence
+
+    primary = SoftDB.open(tmp_path / "primary")
+    primary.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    shipper = WalShipper(primary, max_chunk=128)
+    winner = Replica(tmp_path / "winner", name="winner")
+    lagger = Replica(tmp_path / "lagger", name="lagger")
+    shipper.attach(winner)
+    shipper.attach(lagger)
+    primary.execute("INSERT INTO t VALUES (1, 10)")
+    assert shipper.pump_until_synced()
+    # The lagger partitions; the primary moves on, then dies.
+    shipper.links["lagger"].sever()
+    primary.execute("INSERT INTO t VALUES (2, 20)")
+    shipper.pump()
+    primary.close(checkpoint=False)
+    # Promotion: the winner drains through recovery and becomes the
+    # primary of a fresh shipper.
+    fence = ClusterFence()
+    promoted = winner.promote(fence.advance(), fence)
+    new_shipper = WalShipper(promoted, max_chunk=128)
+    # Inside the promotion window: compact before the lagger is back.
+    promoted.checkpoint(compact=True)
+    promoted.execute("INSERT INTO t VALUES (3, 30)")
+    # The lagger heals and re-attaches.  Its cursor is doubly stale —
+    # old primary's offsets, pre-compaction generation — so the only
+    # legal path is the attach-time full resync; incremental shipping
+    # from its old ack would be a gap-ship across the epoch bump.
+    resyncs_before = new_shipper.resyncs
+    new_shipper.attach(lagger)
+    assert new_shipper.resyncs == resyncs_before + 1
+    assert new_shipper.pump_until_synced()
+    assert lagger.gap_rejects == 0, "a gapped shipment reached the lagger"
+    assert lagger.query("SELECT id FROM t ORDER BY id") == [
+        {"id": 1},
+        {"id": 2},
+        {"id": 3},
+    ]
+    # The promoted primary's epoch survived its own compaction: the
+    # lagger's image carries it too.
+    assert promoted.durability.promotion_epoch == 1
+    assert lagger.db.durability.promotion_epoch == 1
+    lagger.close()
+    winner.close()
+
+
+def test_generation_check_precedes_ack_comparison_after_promotion(tmp_path):
+    """Even when the byte offsets happen to look compatible, a cursor
+    from another log generation must resync: the generation check runs
+    before any ack arithmetic, so no pathological offset coincidence
+    can gap-ship across a compaction inside the promotion window."""
+    primary = SoftDB.open(tmp_path / "primary")
+    primary.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    shipper = WalShipper(primary)
+    replica = Replica(tmp_path / "replica", name="replica")
+    link = shipper.attach(replica)
+    primary.execute("INSERT INTO t VALUES (1, 10)")
+    assert shipper.pump_until_synced()
+    generation_before = link.generation
+    primary.checkpoint(compact=True)
+    # The compacted log is much shorter: the replica's ack now exceeds
+    # nothing (offset arithmetic alone might even look shippable), but
+    # the generation mismatch decides first.
+    assert primary.durability.wal.generation == generation_before + 1
+    assert shipper.pump()[replica.name] == "resync"
+    assert replica.gap_rejects == 0
+    replica.close()
+    primary.close(checkpoint=False)
+
+
 def test_scan_sees_exactly_what_the_cursor_shipped(pair):
     """The replica's local ``scan`` decodes byte-identical records to
     the primary's log over the shipped range — the prefix-mirror claim

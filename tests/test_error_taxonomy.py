@@ -23,6 +23,7 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: Packages whose raise sites must use the typed hierarchy.
 SCOPED = (
+    "concurrency",
     "durability",
     "engine",
     "executor",
@@ -100,6 +101,24 @@ def test_typed_errors_share_one_base():
     for name, obj in vars(errors).items():
         if inspect.isclass(obj) and obj.__module__ == "repro.errors":
             assert issubclass(obj, ReproError), name
+
+
+def test_failover_errors_slot_under_replication():
+    """The failover additions extend the replication branch: one catch
+    of ReplicationError covers fencing rejections and failed
+    promotions, and FencedError carries both epochs so a client can log
+    exactly how stale the deposed node was."""
+    from repro.errors import (
+        FencedError,
+        PromotionError,
+        ReplicationError,
+    )
+
+    for exc in (FencedError, PromotionError):
+        assert issubclass(exc, ReplicationError)
+    fenced = FencedError("stale", epoch=3, cluster_epoch=5)
+    assert fenced.epoch == 3
+    assert fenced.cluster_epoch == 5
 
 
 def test_guard_errors_are_catchable_as_execution_errors():
